@@ -1,0 +1,203 @@
+//! The condition-based asynchronous ℓ-set agreement protocol (Section 4),
+//! generalizing the x-legal consensus algorithm of \[20\].
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use setagree_conditions::ConditionOracle;
+use setagree_types::{ProcessId, ProposalValue};
+
+use crate::memory::SharedMemory;
+
+/// Where a process is in its protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsyncPhase<V> {
+    /// Has not yet written its proposal.
+    Writing,
+    /// Writing done; snapshotting until `n − x` entries are visible.
+    Snapshotting,
+    /// Decided the value.
+    Decided(V),
+    /// Saw a full-enough snapshot incompatible with the condition: the
+    /// input vector is outside `C` and the algorithm may never decide.
+    Blocked,
+}
+
+/// One process of the asynchronous condition-based ℓ-set agreement
+/// protocol.
+///
+/// Drive it with [`step`](CondSetAgreement::step), one linearized memory
+/// operation per call (the [`Scheduler`](crate::Scheduler) does this under
+/// an adversarial interleaving).
+pub struct CondSetAgreement<V, O> {
+    me: ProcessId,
+    x: usize,
+    proposal: V,
+    oracle: O,
+    phase: AsyncPhase<V>,
+    steps: u64,
+}
+
+impl<V: ProposalValue, O: ConditionOracle<V>> CondSetAgreement<V, O> {
+    /// Creates process `me` proposing `proposal`, tolerating `x` crashes
+    /// with the given (x, ℓ)-condition oracle.
+    pub fn new(me: ProcessId, x: usize, proposal: V, oracle: O) -> Self {
+        CondSetAgreement {
+            me,
+            x,
+            proposal,
+            oracle,
+            phase: AsyncPhase::Writing,
+            steps: 0,
+        }
+    }
+
+    /// The process identity.
+    pub fn id(&self) -> ProcessId {
+        self.me
+    }
+
+    /// The current phase.
+    pub fn phase(&self) -> &AsyncPhase<V> {
+        &self.phase
+    }
+
+    /// The number of steps taken so far.
+    pub fn steps_taken(&self) -> u64 {
+        self.steps
+    }
+
+    /// Returns `true` once the process has decided or blocked (no further
+    /// steps change its state).
+    pub fn is_settled(&self) -> bool {
+        matches!(self.phase, AsyncPhase::Decided(_) | AsyncPhase::Blocked)
+    }
+
+    /// The decided value, if any.
+    pub fn decision(&self) -> Option<&V> {
+        match &self.phase {
+            AsyncPhase::Decided(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Performs one linearized memory operation:
+    ///
+    /// * `Writing` → write the proposal, move to `Snapshotting`;
+    /// * `Snapshotting` → take one snapshot; if it shows at least `n − x`
+    ///   proposals, decide `max(h_ℓ(J))` when `P(J)` holds, or block when
+    ///   it proves the input is outside the condition.
+    ///
+    /// Settled processes ignore further steps.
+    pub fn step(&mut self, memory: &mut SharedMemory<V>) {
+        if self.is_settled() {
+            return;
+        }
+        self.steps += 1;
+        match self.phase {
+            AsyncPhase::Writing => {
+                memory.write(self.me, self.proposal.clone());
+                self.phase = AsyncPhase::Snapshotting;
+            }
+            AsyncPhase::Snapshotting => {
+                let snap = memory.snapshot();
+                let visible = snap.len() - snap.count_bottom();
+                if visible + self.x < snap.len() {
+                    return; // fewer than n − x proposals yet; keep waiting
+                }
+                match self.oracle.decode_view(&snap) {
+                    Some(decoded) => {
+                        let value = pick(decoded).unwrap_or_else(|| self.proposal.clone());
+                        self.phase = AsyncPhase::Decided(value);
+                    }
+                    None => {
+                        // P(J) is false: J has a ⊥-count ≤ x and no
+                        // completion in C, so the input vector is provably
+                        // outside the condition. The basic condition-based
+                        // algorithm offers no termination in this case.
+                        self.phase = AsyncPhase::Blocked;
+                    }
+                }
+            }
+            AsyncPhase::Decided(_) | AsyncPhase::Blocked => unreachable!("settled"),
+        }
+    }
+}
+
+/// The deterministic extraction the paper uses: the greatest decodable
+/// value. (`None` only for an ill-formed oracle on an all-⊥ view, which
+/// the protocol never produces: a process snapshots after writing.)
+fn pick<V: Ord>(decoded: BTreeSet<V>) -> Option<V> {
+    decoded.into_iter().max()
+}
+
+impl<V: fmt::Debug + Ord, O> fmt::Debug for CondSetAgreement<V, O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CondSetAgreement")
+            .field("me", &self.me)
+            .field("x", &self.x)
+            .field("phase", &self.phase)
+            .field("steps", &self.steps)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setagree_conditions::{LegalityParams, MaxCondition};
+
+    fn oracle(x: usize, ell: usize) -> MaxCondition {
+        MaxCondition::new(LegalityParams::new(x, ell).unwrap())
+    }
+
+    #[test]
+    fn solo_run_writes_then_decides() {
+        // n = 3, x = 2: a single process can decide alone once n − x = 1
+        // entry (its own) is visible — wait-free for x = n − 1.
+        let mut mem = SharedMemory::<u32>::new(3);
+        let mut p = CondSetAgreement::new(ProcessId::new(0), 2, 7, oracle(2, 3));
+        assert_eq!(*p.phase(), AsyncPhase::Writing);
+        p.step(&mut mem);
+        assert_eq!(*p.phase(), AsyncPhase::Snapshotting);
+        p.step(&mut mem);
+        // (2,3) admits all vectors (ℓ > x): decide own value.
+        assert_eq!(p.decision(), Some(&7));
+        assert_eq!(p.steps_taken(), 2);
+    }
+
+    #[test]
+    fn waits_for_n_minus_x_entries() {
+        let mut mem = SharedMemory::<u32>::new(3);
+        let mut p = CondSetAgreement::new(ProcessId::new(0), 1, 5, oracle(1, 1));
+        p.step(&mut mem); // write
+        p.step(&mut mem); // snapshot: only 1 of required 2 entries
+        assert_eq!(*p.phase(), AsyncPhase::Snapshotting);
+        mem.write(ProcessId::new(1), 5);
+        p.step(&mut mem); // snapshot: 2 entries, J = (5, 5, ⊥) matches C_max(1,1)
+        assert_eq!(p.decision(), Some(&5));
+    }
+
+    #[test]
+    fn blocks_when_input_outside_condition() {
+        let mut mem = SharedMemory::<u32>::new(3);
+        mem.write(ProcessId::new(1), 1);
+        mem.write(ProcessId::new(2), 2);
+        let mut p = CondSetAgreement::new(ProcessId::new(0), 1, 3, oracle(1, 1));
+        p.step(&mut mem); // write 3
+        p.step(&mut mem); // full snapshot (3,1,2): no value twice → P false
+        assert_eq!(*p.phase(), AsyncPhase::Blocked);
+        assert!(p.is_settled());
+        assert_eq!(p.decision(), None);
+        // Further steps are no-ops.
+        let snaps = mem.snapshot_count();
+        p.step(&mut mem);
+        assert_eq!(mem.snapshot_count(), snaps);
+    }
+
+    #[test]
+    fn debug_shows_phase() {
+        let p = CondSetAgreement::new(ProcessId::new(1), 1, 5u32, oracle(1, 1));
+        assert!(format!("{p:?}").contains("Writing"));
+    }
+}

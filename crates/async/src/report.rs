@@ -1,0 +1,183 @@
+//! Reports for asynchronous executions.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use setagree_types::{ProcessId, ProposalValue};
+
+/// The fate of one process in an asynchronous execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsyncOutcome<V> {
+    /// Decided `value` after `steps` of its own steps.
+    Decided {
+        /// The decided value.
+        value: V,
+        /// The process's own step count at decision.
+        steps: u64,
+    },
+    /// Crashed before settling.
+    Crashed,
+    /// Settled without a decision: its snapshot proved the input vector is
+    /// outside the condition.
+    Blocked,
+    /// Still running when the scheduler's step budget ran out (e.g.
+    /// waiting for `n − x` entries that will never come because more than
+    /// `x` processes crashed).
+    Unfinished,
+}
+
+impl<V> AsyncOutcome<V> {
+    /// The decided value, if any.
+    pub fn decided_value(&self) -> Option<&V> {
+        match self {
+            AsyncOutcome::Decided { value, .. } => Some(value),
+            _ => None,
+        }
+    }
+}
+
+/// The result of one asynchronous execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsyncReport<V> {
+    outcomes: Vec<AsyncOutcome<V>>,
+    total_steps: u64,
+}
+
+impl<V: ProposalValue> AsyncReport<V> {
+    pub(crate) fn new(outcomes: Vec<AsyncOutcome<V>>, total_steps: u64) -> Self {
+        AsyncReport { outcomes, total_steps }
+    }
+
+    /// Per-process outcomes, indexed by process.
+    pub fn outcomes(&self) -> &[AsyncOutcome<V>] {
+        &self.outcomes
+    }
+
+    /// One process's outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn outcome(&self, id: ProcessId) -> &AsyncOutcome<V> {
+        &self.outcomes[id.index()]
+    }
+
+    /// Total scheduler steps consumed.
+    pub fn total_steps(&self) -> u64 {
+        self.total_steps
+    }
+
+    /// The set of distinct decided values.
+    pub fn decided_values(&self) -> BTreeSet<V> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.decided_value().cloned())
+            .collect()
+    }
+
+    /// How many processes decided.
+    pub fn decided_count(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.decided_value().is_some())
+            .count()
+    }
+
+    /// How many crashed.
+    pub fn crashed_count(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, AsyncOutcome::Crashed))
+            .count()
+    }
+
+    /// How many settled as blocked (input provably outside the condition).
+    pub fn blocked_count(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, AsyncOutcome::Blocked))
+            .count()
+    }
+
+    /// How many were still running at budget exhaustion.
+    pub fn unfinished_count(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, AsyncOutcome::Unfinished))
+            .count()
+    }
+
+    /// `true` when no process was cut off by the step budget: every
+    /// process decided, blocked, or crashed.
+    pub fn all_settled_or_crashed(&self) -> bool {
+        self.unfinished_count() == 0
+    }
+
+    /// Termination in the condition-based sense: every non-crashed process
+    /// decided.
+    pub fn all_correct_decided(&self) -> bool {
+        self.outcomes
+            .iter()
+            .all(|o| !matches!(o, AsyncOutcome::Blocked | AsyncOutcome::Unfinished))
+    }
+}
+
+impl<V: ProposalValue> fmt::Display for AsyncReport<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "async run: {} steps, {} decided / {} crashed / {} blocked / {} unfinished",
+            self.total_steps,
+            self.decided_count(),
+            self.crashed_count(),
+            self.blocked_count(),
+            self.unfinished_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> AsyncReport<u32> {
+        AsyncReport::new(
+            vec![
+                AsyncOutcome::Decided { value: 4, steps: 3 },
+                AsyncOutcome::Crashed,
+                AsyncOutcome::Blocked,
+                AsyncOutcome::Unfinished,
+                AsyncOutcome::Decided { value: 4, steps: 5 },
+            ],
+            20,
+        )
+    }
+
+    #[test]
+    fn counters() {
+        let r = report();
+        assert_eq!(r.decided_count(), 2);
+        assert_eq!(r.crashed_count(), 1);
+        assert_eq!(r.blocked_count(), 1);
+        assert_eq!(r.unfinished_count(), 1);
+        assert_eq!(r.total_steps(), 20);
+        assert_eq!(r.decided_values(), [4].into_iter().collect());
+        assert!(!r.all_settled_or_crashed());
+        assert!(!r.all_correct_decided());
+    }
+
+    #[test]
+    fn accessors() {
+        let r = report();
+        assert_eq!(r.outcome(ProcessId::new(0)).decided_value(), Some(&4));
+        assert_eq!(r.outcome(ProcessId::new(1)).decided_value(), None);
+        assert_eq!(r.outcomes().len(), 5);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let s = report().to_string();
+        assert!(s.contains("2 decided"));
+        assert!(s.contains("1 blocked"));
+    }
+}

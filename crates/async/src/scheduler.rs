@@ -1,0 +1,241 @@
+//! The asynchronous adversary: a seeded scheduler interleaving process
+//! steps, with crash injection.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use setagree_conditions::ConditionOracle;
+use setagree_types::{InputVector, ProcessId, ProposalValue};
+
+use crate::memory::SharedMemory;
+use crate::process::CondSetAgreement;
+use crate::report::{AsyncOutcome, AsyncReport};
+
+/// Which processes crash, and after how many of their own steps.
+///
+/// A budget of `0` steps crashes the process before it writes its proposal
+/// (the asynchronous analogue of an initial crash).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AsyncCrashes {
+    crashes: BTreeMap<ProcessId, u64>,
+}
+
+impl AsyncCrashes {
+    /// No crashes.
+    pub fn none() -> Self {
+        AsyncCrashes::default()
+    }
+
+    /// Crashes `id` after it has taken `steps` steps.
+    pub fn crash_after(mut self, id: ProcessId, steps: u64) -> Self {
+        self.crashes.insert(id, steps);
+        self
+    }
+
+    /// The number of faulty processes.
+    pub fn fault_count(&self) -> usize {
+        self.crashes.len()
+    }
+
+    /// The step budget after which `id` crashes, if it is faulty.
+    pub fn budget(&self, id: ProcessId) -> Option<u64> {
+        self.crashes.get(&id).copied()
+    }
+}
+
+/// A seeded, adversarial interleaving of process steps.
+///
+/// Each scheduler tick picks a uniformly random runnable process and lets
+/// it perform one linearized memory operation. Determinism: the same seed,
+/// crashes and inputs replay the same execution.
+#[derive(Debug)]
+pub struct Scheduler {
+    rng: SmallRng,
+    max_steps: u64,
+}
+
+impl Scheduler {
+    /// A scheduler with the given seed and a global step budget (the run
+    /// stops once the budget is exhausted; still-running processes are
+    /// reported as blocked-by-scheduler via [`AsyncOutcome::Unfinished`]).
+    pub fn new(seed: u64, max_steps: u64) -> Self {
+        Scheduler {
+            rng: SmallRng::seed_from_u64(seed),
+            max_steps,
+        }
+    }
+
+    /// Runs the processes to completion (or budget exhaustion).
+    pub fn run<V, O>(
+        &mut self,
+        mut processes: Vec<CondSetAgreement<V, O>>,
+        memory: &mut SharedMemory<V>,
+        crashes: &AsyncCrashes,
+    ) -> AsyncReport<V>
+    where
+        V: ProposalValue,
+        O: ConditionOracle<V>,
+    {
+        let n = processes.len();
+        let mut crashed = vec![false; n];
+        let mut total_steps: u64 = 0;
+
+        loop {
+            let runnable: Vec<usize> = (0..n)
+                .filter(|&i| !crashed[i] && !processes[i].is_settled())
+                .collect();
+            if runnable.is_empty() || total_steps >= self.max_steps {
+                break;
+            }
+            let idx = runnable[self.rng.gen_range(0..runnable.len())];
+            let id = ProcessId::new(idx);
+            // Crash check: a process with an exhausted budget stops now.
+            if let Some(budget) = crashes.budget(id) {
+                if processes[idx].steps_taken() >= budget {
+                    crashed[idx] = true;
+                    continue;
+                }
+            }
+            processes[idx].step(memory);
+            total_steps += 1;
+        }
+
+        let outcomes = processes
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                if crashed[i] {
+                    AsyncOutcome::Crashed
+                } else {
+                    match p.decision() {
+                        Some(v) => AsyncOutcome::Decided {
+                            value: v.clone(),
+                            steps: p.steps_taken(),
+                        },
+                        None if p.is_settled() => AsyncOutcome::Blocked,
+                        None => AsyncOutcome::Unfinished,
+                    }
+                }
+            })
+            .collect();
+        AsyncReport::new(outcomes, total_steps)
+    }
+}
+
+/// One-call helper: builds the processes from an input vector and runs
+/// them under the seeded scheduler.
+///
+/// `x` is the crash tolerance the oracle's condition is designed for; the
+/// schedule in `crashes` should respect it for the termination guarantee
+/// to apply (the function does not enforce it — over-budget schedules are
+/// how the tests probe the impossibility frontier).
+pub fn run_async<V, O>(
+    oracle: &O,
+    x: usize,
+    input: &InputVector<V>,
+    crashes: &AsyncCrashes,
+    seed: u64,
+) -> AsyncReport<V>
+where
+    V: ProposalValue,
+    O: ConditionOracle<V> + Clone,
+{
+    let n = input.len();
+    let mut memory = SharedMemory::new(n);
+    let processes: Vec<CondSetAgreement<V, O>> = ProcessId::all(n)
+        .map(|id| CondSetAgreement::new(id, x, input.get(id).clone(), oracle.clone()))
+        .collect();
+    // Generous budget: each process needs 2 steps plus retries while
+    // waiting for slow writers; n² × 16 covers every schedule comfortably.
+    let budget = (n as u64).pow(2) * 16 + 64;
+    Scheduler::new(seed, budget).run(processes, &mut memory, crashes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setagree_conditions::{LegalityParams, MaxCondition};
+
+    fn oracle(x: usize, ell: usize) -> MaxCondition {
+        MaxCondition::new(LegalityParams::new(x, ell).unwrap())
+    }
+
+    fn input(entries: &[u32]) -> InputVector<u32> {
+        InputVector::new(entries.to_vec())
+    }
+
+    #[test]
+    fn failure_free_in_condition_terminates_with_ell_values() {
+        // (x, ℓ) = (2, 2); input's top-2 {8, 9} occupy 4 > 2 entries: in C.
+        let inp = input(&[9, 9, 8, 8, 1]);
+        for seed in 0..30 {
+            let report = run_async(&oracle(2, 2), 2, &inp, &AsyncCrashes::none(), seed);
+            assert!(report.all_settled_or_crashed(), "seed {seed}");
+            assert!(report.decided_values().len() <= 2, "seed {seed}");
+            for v in report.decided_values() {
+                assert!(inp.distinct_values().contains(&v), "seed {seed}");
+            }
+            assert_eq!(report.crashed_count(), 0);
+            assert_eq!(report.blocked_count(), 0);
+        }
+    }
+
+    #[test]
+    fn terminates_despite_x_crashes() {
+        let inp = input(&[9, 9, 9, 2, 3]);
+        let crashes = AsyncCrashes::none()
+            .crash_after(ProcessId::new(3), 0)
+            .crash_after(ProcessId::new(4), 1);
+        for seed in 0..30 {
+            let report = run_async(&oracle(2, 1), 2, &inp, &crashes, seed);
+            assert!(report.all_settled_or_crashed(), "seed {seed}: {report}");
+            assert_eq!(report.crashed_count(), 2);
+            // ℓ = 1: consensus-grade agreement among survivors.
+            assert!(report.decided_values().len() <= 1, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn blocks_outside_condition() {
+        // All values distinct: outside C_max(1,1). Survivors block instead
+        // of deciding — the honest price of the condition-based approach.
+        let inp = input(&[1, 2, 3, 4]);
+        let report = run_async(&oracle(1, 1), 1, &inp, &AsyncCrashes::none(), 7);
+        assert_eq!(report.decided_count(), 0);
+        assert_eq!(report.blocked_count(), 4);
+    }
+
+    #[test]
+    fn too_many_crashes_can_strand_processes() {
+        // x = 1 condition but 3 crashes: waiters may never see n − x
+        // entries and remain unfinished at budget exhaustion.
+        let inp = input(&[5, 5, 1, 2]);
+        let crashes = AsyncCrashes::none()
+            .crash_after(ProcessId::new(0), 0)
+            .crash_after(ProcessId::new(1), 0)
+            .crash_after(ProcessId::new(2), 0);
+        let report = run_async(&oracle(1, 1), 1, &inp, &crashes, 3);
+        assert_eq!(report.crashed_count(), 3);
+        assert_eq!(report.unfinished_count(), 1, "{report}");
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let inp = input(&[9, 9, 8, 8, 1]);
+        let crashes = AsyncCrashes::none().crash_after(ProcessId::new(2), 1);
+        let a = run_async(&oracle(2, 2), 2, &inp, &crashes, 99);
+        let b = run_async(&oracle(2, 2), 2, &inp, &crashes, 99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn crash_accounting() {
+        let c = AsyncCrashes::none()
+            .crash_after(ProcessId::new(0), 0)
+            .crash_after(ProcessId::new(1), 2);
+        assert_eq!(c.fault_count(), 2);
+        assert_eq!(AsyncCrashes::none().fault_count(), 0);
+    }
+}

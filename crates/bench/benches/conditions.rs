@@ -1,0 +1,57 @@
+//! Criterion benches for the conditions framework: legality checking,
+//! oracle decoding (analytic vs explicit — an ablation of the
+//! `MaxCondition` closed forms), and the counting formulas.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use setagree_conditions::{
+    counting, legality, ConditionOracle, ExplicitOracle, LegalityParams, MaxCondition, MaxEll,
+};
+use setagree_types::View;
+
+fn bench_legality_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("legality_check");
+    for (n, m) in [(4usize, 2u32), (4, 3), (5, 3)] {
+        let params = LegalityParams::new(1, 1).unwrap();
+        let cond = MaxCondition::new(params).enumerate(n, m);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_m{m}_{}vec", cond.len())),
+            &cond,
+            |b, cond| {
+                b.iter(|| legality::check(cond, &MaxEll::new(1), params).is_ok());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_decode_view(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode_view");
+    let params = LegalityParams::new(2, 2).unwrap();
+    let analytic = MaxCondition::new(params);
+    let explicit = ExplicitOracle::new(analytic.enumerate(5, 4), MaxEll::new(2), params);
+    let view = View::from_options(vec![Some(4u32), Some(4), None, Some(2), None]);
+
+    group.bench_function("analytic_max_condition", |b| {
+        b.iter(|| analytic.decode_view(&view));
+    });
+    group.bench_function("explicit_enumerated", |b| {
+        b.iter(|| explicit.decode_view(&view));
+    });
+    group.finish();
+}
+
+fn bench_counting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counting_nb");
+    let params = LegalityParams::new(2, 2).unwrap();
+    group.bench_function("closed_form_n20_m10", |b| {
+        b.iter(|| counting::nb(20, 10, params));
+    });
+    group.bench_function("brute_force_n5_m4", |b| {
+        b.iter(|| counting::nb_brute_force(5, 4, params));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_legality_check, bench_decode_view, bench_counting);
+criterion_main!(benches);

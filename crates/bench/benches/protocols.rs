@@ -1,0 +1,126 @@
+//! Criterion benches for the protocols: end-to-end runs of the Figure 2
+//! algorithm vs the baselines on the simulator, scaling with `n`, plus the
+//! asynchronous algorithm and the threaded runtime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use setagree_async::{run_async, run_message_passing, AsyncCrashes};
+use setagree_bench::{in_condition_input, out_of_condition_input, spread_input};
+use setagree_conditions::MaxCondition;
+use setagree_core::{
+    run_condition_based, run_early_condition_based, run_early_deciding, run_floodset,
+    ConditionBasedConfig, FloodSet,
+};
+use setagree_runtime::run_threaded;
+use setagree_sync::{run_protocol, FailurePattern};
+
+fn config_for(n: usize) -> ConditionBasedConfig {
+    // t ≈ n/2, k = 2, d = t − 2, ℓ = 2 — a representative operating point.
+    let t = n / 2;
+    ConditionBasedConfig::builder(n, t, 2)
+        .condition_degree(t - 2)
+        .ell(2)
+        .build()
+        .expect("valid for n ≥ 8")
+}
+
+fn bench_condition_based(c: &mut Criterion) {
+    let mut group = c.benchmark_group("condition_based_run");
+    let mut rng = SmallRng::seed_from_u64(7);
+    for n in [8usize, 16, 32, 64] {
+        let config = config_for(n);
+        let oracle = MaxCondition::new(config.legality());
+        let inside = in_condition_input(n, config.legality(), &mut rng);
+        let outside = out_of_condition_input(n, config.legality());
+        let pattern = FailurePattern::none(n);
+        group.bench_with_input(BenchmarkId::new("in_condition", n), &n, |b, _| {
+            b.iter(|| run_condition_based(&config, &oracle, &inside, &pattern).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("out_of_condition", n), &n, |b, _| {
+            b.iter(|| run_condition_based(&config, &oracle, &outside, &pattern).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_run");
+    for n in [8usize, 16, 32, 64] {
+        let t = n / 2;
+        let input = spread_input(n);
+        let pattern = FailurePattern::none(n);
+        group.bench_with_input(BenchmarkId::new("floodset", n), &n, |b, _| {
+            b.iter(|| run_floodset(n, t, 2, &input, &pattern).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("early_deciding", n), &n, |b, _| {
+            b.iter(|| run_early_deciding(n, t, 2, &input, &pattern).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_async(c: &mut Criterion) {
+    let mut group = c.benchmark_group("async_run");
+    let mut rng = SmallRng::seed_from_u64(11);
+    for n in [8usize, 16, 32] {
+        let params = setagree_conditions::LegalityParams::new(2, 2).unwrap();
+        let oracle = MaxCondition::new(params);
+        let input = in_condition_input(n, params, &mut rng);
+        group.bench_with_input(BenchmarkId::new("shared_memory", n), &n, |b, _| {
+            b.iter(|| run_async(&oracle, 2, &input, &AsyncCrashes::none(), 3));
+        });
+        group.bench_with_input(BenchmarkId::new("message_passing", n), &n, |b, _| {
+            b.iter(|| run_message_passing(&oracle, 2, &input, &AsyncCrashes::none(), 3));
+        });
+    }
+    group.finish();
+}
+
+fn bench_early_condition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("early_condition_run");
+    for n in [8usize, 16, 32] {
+        let config = config_for(n);
+        let oracle = MaxCondition::new(config.legality());
+        let outside = out_of_condition_input(n, config.legality());
+        let pattern = FailurePattern::none(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| run_early_condition_based(&config, &oracle, &outside, &pattern).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulator_vs_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("executor");
+    let n = 16;
+    let t = 8;
+    let input = spread_input(n);
+    let pattern = FailurePattern::none(n);
+    group.bench_function("simulator_floodset", |b| {
+        b.iter(|| {
+            let procs: Vec<FloodSet<u32>> =
+                input.iter().map(|&v| FloodSet::new(t, 2, v)).collect();
+            run_protocol(procs, &pattern, 12).unwrap()
+        });
+    });
+    group.bench_function("threaded_floodset", |b| {
+        b.iter(|| {
+            let procs: Vec<FloodSet<u32>> =
+                input.iter().map(|&v| FloodSet::new(t, 2, v)).collect();
+            run_threaded(procs, &pattern, 12).unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_condition_based,
+    bench_baselines,
+    bench_async,
+    bench_early_condition,
+    bench_simulator_vs_threads
+);
+criterion_main!(benches);

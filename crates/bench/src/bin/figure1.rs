@@ -1,0 +1,144 @@
+//! Regenerates **Figure 1**: the global inclusion picture of the
+//! (x, ℓ)-legal condition families.
+//!
+//! For each pair (x, ℓ) over a small grid the binary reports:
+//!
+//! * whether the all-vectors condition is (x, ℓ)-legal — the analytic
+//!   frontier `ℓ > x` (Theorems 8/9), verified *empirically* for a small
+//!   system by exhaustive recognizing-function search;
+//! * the family-inclusion arrows to the right/up neighbours (Theorems
+//!   4–7), verified by the strictness witnesses.
+//!
+//! ```text
+//! cargo run -p setagree-bench --bin figure1
+//! ```
+
+use setagree_conditions::{lattice, legality, witness, Condition, LegalityParams, MaxEll};
+use setagree_types::InputVector;
+
+use setagree_bench::Table;
+
+fn main() {
+    // System for the frontier check: n = m = 3 so the all-distinct vector
+    // exists (Theorem 9 presumes the value universe is rich enough — over
+    // tiny universes pigeonhole can make C_all legal below the frontier).
+    let n = 3;
+    let m = 3u32;
+    let all_vectors = enumerate_all(n, m);
+
+    println!("Figure 1 — the lattice of (x, ℓ)-legal families (empirical, n = {n}, m = {m})");
+    println!();
+    let mut grid = Table::new(vec!["x \\ ℓ", "ℓ=1", "ℓ=2", "ℓ=3"]);
+    for x in 0..n {
+        let mut cells = vec![format!("x={x}")];
+        for ell in 1..=n {
+            let params = LegalityParams::new(x, ell).unwrap();
+            let legal = if params.admits_all_vectors() {
+                // ℓ > x: by Theorem 2 + maximality, C_all is legal iff it
+                // coincides with the enumerated C_max(x, ℓ).
+                let c_max = setagree_conditions::MaxCondition::new(params).enumerate(n, m);
+                c_max.len() == all_vectors.len()
+            } else {
+                // ℓ ≤ x: the all-distinct vector (1, …, n) admits no dense
+                // decoding (any ℓ values occupy ℓ ≤ x entries), so any
+                // condition containing it — C_all in particular — is not
+                // (x, ℓ)-legal. Legality is downward closed, so this is a
+                // sound refutation.
+                let distinct = Condition::from_vectors(vec![InputVector::new(
+                    (1..=n as u32).collect::<Vec<u32>>(),
+                )])
+                .expect("non-empty");
+                let refuted = witness::find_recognizing(&distinct, params).is_none();
+                assert!(refuted, "Theorem 9 refutation failed at {params}");
+                false
+            };
+            assert_eq!(
+                params.admits_all_vectors(),
+                legal,
+                "Theorems 8/9 frontier violated at {params}"
+            );
+            cells.push(if legal { "C_all ∈" } else { "C_all ∉" }.to_string());
+        }
+        grid.row(cells);
+    }
+    println!("{grid}");
+    println!("frontier check: C_all is (x, ℓ)-legal ⟺ ℓ > x   [Theorems 8, 9] — VERIFIED");
+    println!();
+
+    // Inclusion arrows with strictness witnesses.
+    let mut arrows = Table::new(vec!["relation", "theorem", "witness", "verdict"]);
+    // (x+1, ℓ) ⊆ (x, ℓ), strict: Theorem 4 + 5.
+    let p11 = LegalityParams::new(1, 1).unwrap();
+    let p21 = LegalityParams::new(2, 1).unwrap();
+    let w5 = witness::theorem_5_witness(4, 3, p11);
+    let w5_ok = legality::check(&w5, &MaxEll::new(1), p11).is_ok()
+        && witness::find_recognizing(&small(&w5, 3), p21).is_none();
+    arrows.row(vec![
+        "F(2,1) ⊊ F(1,1)".into(),
+        "Th 4+5".into(),
+        format!("{} vectors", w5.len()),
+        verdict(lattice::implies(p21, p11) && !lattice::implies(p11, p21) && w5_ok),
+    ]);
+    // (x, ℓ) ⊆ (x, ℓ+1), strict: Theorem 6 + 7.
+    let p22 = LegalityParams::new(2, 2).unwrap();
+    let w7 = witness::theorem_7_witness(4, 3, p21);
+    let w7_ok = legality::check(&w7, &MaxEll::new(2), p22).is_ok()
+        && witness::find_recognizing(&small(&w7, 3), p21).is_none();
+    arrows.row(vec![
+        "F(2,1) ⊊ F(2,2)".into(),
+        "Th 6+7".into(),
+        format!("{} vectors", w7.len()),
+        verdict(lattice::implies(p21, p22) && !lattice::implies(p22, p21) && w7_ok),
+    ]);
+    // Diagonal incomparability: Theorems 14 (Table 1) and 15.
+    let (t1, h1) = witness::table_1();
+    let t14_ok = legality::check(&t1, &h1, p11).is_ok()
+        && witness::find_recognizing(&t1, p22).is_none();
+    arrows.row(vec![
+        "F(1,1) ∦ F(2,2)".into(),
+        "Th 14".into(),
+        "Table 1".into(),
+        verdict(t14_ok),
+    ]);
+    let p32 = LegalityParams::new(3, 2).unwrap();
+    let p33 = LegalityParams::new(3, 3).unwrap();
+    let (w15, h15) = witness::theorem_15_witness(7, p32);
+    let t15_ok = legality::check(&w15, &h15, p33).is_ok()
+        && witness::find_recognizing(&w15, p32).is_none();
+    arrows.row(vec![
+        "F(3,3) ⊄ F(3,2)".into(),
+        "Th 15".into(),
+        format!("{} vectors", w15.len()),
+        verdict(t15_ok),
+    ]);
+    println!("{arrows}");
+}
+
+/// The condition containing every vector over values `{1..m}`.
+fn enumerate_all(n: usize, m: u32) -> Condition<u32> {
+    let mut cond = Condition::new(n);
+    let total = (m as usize).pow(n as u32);
+    for code in 0..total {
+        let mut c = code;
+        let entries: Vec<u32> = (0..n)
+            .map(|_| {
+                let v = (c % m as usize) as u32 + 1;
+                c /= m as usize;
+                v
+            })
+            .collect();
+        cond.insert(InputVector::new(entries)).expect("length n");
+    }
+    cond
+}
+
+/// A small sub-condition (first `k` vectors) for the exhaustive searches.
+fn small(cond: &Condition<u32>, k: usize) -> Condition<u32> {
+    Condition::from_vectors(cond.iter().take(k).cloned().collect::<Vec<_>>())
+        .expect("non-empty witness")
+}
+
+fn verdict(ok: bool) -> String {
+    assert!(ok, "figure 1 verification failed");
+    "VERIFIED".to_string()
+}

@@ -1,0 +1,45 @@
+//! Regenerates **Table 1**: the paper's example of a (1, 1)-legal
+//! condition over four processes, and the Theorem 14 claim that it is not
+//! (2, 2)-legal.
+//!
+//! ```text
+//! cargo run -p setagree-bench --bin table1
+//! ```
+
+use setagree_conditions::{legality, witness, LegalityParams};
+
+use setagree_bench::Table;
+
+fn main() {
+    let (cond, h) = witness::table_1();
+    let p11 = LegalityParams::new(1, 1).unwrap();
+    let p22 = LegalityParams::new(2, 2).unwrap();
+
+    println!("Table 1 — a (1,1)-legal condition C (paper, Section B / Theorem 14)");
+    println!();
+    let mut t = Table::new(vec!["input vector", "h_1(I)"]);
+    for (vector, decoded) in h.iter() {
+        let cells: Vec<String> = vec![
+            format!(
+                "({})",
+                vector.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(", ")
+            ),
+            format!("{{{}}}", decoded.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(", ")),
+        ];
+        t.row(cells);
+    }
+    println!("{t}");
+
+    let legal_11 = legality::check(&cond, &h, p11).is_ok();
+    println!("(1,1)-legality with the printed h: {}", if legal_11 { "VERIFIED" } else { "FAILED" });
+
+    let rediscovered = witness::find_recognizing(&cond, p11).is_some();
+    println!("(1,1)-recognizing function rediscovered by exhaustive search: {rediscovered}");
+
+    let legal_22 = witness::find_recognizing(&cond, p22);
+    println!(
+        "(2,2)-legality (Theorem 14 says NO): {}",
+        if legal_22.is_none() { "no recognizing function exists — VERIFIED" } else { "FAILED" }
+    );
+    assert!(legal_11 && rediscovered && legal_22.is_none());
+}

@@ -1,0 +1,201 @@
+//! Ablation studies of the design choices DESIGN.md calls out:
+//!
+//! 1. **Ordered round-1 sends** (the paper's model) vs the standard
+//!    arbitrary-subset model: the very same Figure 2 algorithm violates
+//!    consensus under subset loss (containment of views is load-bearing).
+//! 2. **Condition vs no condition**: instantiating the algorithm with the
+//!    trivial all-vectors condition (footnote 6) regresses the fast path
+//!    to the classical bound.
+//! 3. **Plain Figure 2 vs the Section 8 early-deciding combination**:
+//!    rounds under few actual crashes.
+//!
+//! ```text
+//! cargo run -p setagree-bench --bin table_ablation
+//! ```
+
+use setagree_conditions::{Condition, ExplicitOracle, LegalityParams, MaxCondition, MaxEll};
+use setagree_core::{
+    run_condition_based, run_early_condition_based, ConditionBased, ConditionBasedConfig,
+};
+use setagree_sync::{
+    run_protocol, run_protocol_unordered, CrashSpec, FailurePattern, SubsetCrash,
+    UnorderedFailurePattern,
+};
+use setagree_types::{InputVector, ProcessId, ProcessSet};
+
+use setagree_bench::{in_condition_input, out_of_condition_input, Table};
+
+fn main() {
+    ordered_sends_ablation();
+    println!();
+    condition_ablation();
+    println!();
+    early_combination_ablation();
+}
+
+/// Ablation 1: ordered vs arbitrary-subset sends.
+fn ordered_sends_ablation() {
+    let config = ConditionBasedConfig::builder(4, 2, 1)
+        .condition_degree(1)
+        .ell(1)
+        .build()
+        .expect("valid");
+    let i6 = InputVector::new(vec![6u32, 6, 3, 3]);
+    let i5 = InputVector::new(vec![5u32, 5, 3, 3]);
+    let cond = Condition::from_vectors(vec![i6, i5]).expect("uniform");
+    let params = LegalityParams::new(1, 1).expect("valid");
+    let oracle = ExplicitOracle::new(cond, MaxEll::new(1), params);
+    let input = InputVector::new(vec![6u32, 5, 3, 3]);
+    let build = || -> Vec<ConditionBased<u32, _>> {
+        ProcessId::all(4)
+            .map(|id| ConditionBased::new(config, id, *input.get(id), oracle.clone()))
+            .collect()
+    };
+
+    // Ordered model, worst case over all prefix pairs.
+    let mut ordered_worst = 0;
+    for p1 in 0..=4 {
+        for p2 in 0..=4 {
+            let mut pattern = FailurePattern::none(4);
+            pattern.crash(ProcessId::new(0), CrashSpec::new(1, p1)).unwrap();
+            pattern.crash(ProcessId::new(1), CrashSpec::new(1, p2)).unwrap();
+            let trace = run_protocol(build(), &pattern, 10).expect("runs");
+            ordered_worst = ordered_worst.max(trace.decided_values().len());
+        }
+    }
+
+    // Standard model: split deliveries.
+    let mut only_p3 = ProcessSet::empty(4);
+    only_p3.insert(ProcessId::new(2));
+    let mut only_p4 = ProcessSet::empty(4);
+    only_p4.insert(ProcessId::new(3));
+    let mut pattern = UnorderedFailurePattern::none(4);
+    pattern.crash(ProcessId::new(0), SubsetCrash::new(1, only_p3)).unwrap();
+    pattern.crash(ProcessId::new(1), SubsetCrash::new(1, only_p4)).unwrap();
+    let unordered = run_protocol_unordered(build(), &pattern, 10).expect("runs");
+
+    println!("Ablation 1 — send discipline (n=4, t=2, k=1, same algorithm & condition)");
+    println!();
+    let mut t = Table::new(vec!["model", "worst |decided|", "consensus (k=1)"]);
+    t.row(vec![
+        "ordered prefix (paper)".into(),
+        ordered_worst.to_string(),
+        if ordered_worst <= 1 { "holds".into() } else { "VIOLATED".to_string() },
+    ]);
+    t.row(vec![
+        "arbitrary subset (standard)".into(),
+        unordered.decided_values().len().to_string(),
+        if unordered.decided_values().len() <= 1 { "holds".into() } else { "VIOLATED".into() },
+    ]);
+    println!("{t}");
+    assert_eq!(ordered_worst, 1);
+    assert_eq!(unordered.decided_values().len(), 2);
+    println!("the ordered-send assumption is load-bearing — VERIFIED");
+}
+
+/// Ablation 2: real condition vs the trivial all-vectors condition.
+fn condition_ablation() {
+    let mut rng = rand::rngs::mock::StepRng::new(7, 13);
+    let real = ConditionBasedConfig::builder(10, 6, 2)
+        .condition_degree(4)
+        .ell(1)
+        .build()
+        .expect("valid");
+    let trivial = ConditionBasedConfig::builder(10, 6, 2)
+        .condition_degree(6)
+        .ell(2)
+        .permit_trivial_condition()
+        .build()
+        .expect("valid");
+    let input = in_condition_input(10, real.legality(), &mut rng);
+    let pattern = FailurePattern::none(10);
+
+    let with_cond =
+        run_condition_based(&real, &MaxCondition::new(real.legality()), &input, &pattern)
+            .expect("runs");
+    let with_trivial =
+        run_condition_based(&trivial, &MaxCondition::new(trivial.legality()), &input, &pattern)
+            .expect("runs");
+
+    println!("Ablation 2 — condition vs trivial condition (n=10, t=6, k=2, input ∈ C)");
+    println!();
+    let mut t = Table::new(vec!["instantiation", "rounds", "note"]);
+    t.row(vec![
+        format!("C_max{} (d=4)", real.legality()),
+        with_cond.decision_round().unwrap().to_string(),
+        "condition fast path".into(),
+    ]);
+    t.row(vec![
+        "C_all (d=6, footnote 6)".into(),
+        with_trivial.decision_round().unwrap().to_string(),
+        "everything 'matches': 2-round path trivially fires".into(),
+    ]);
+    println!("{t}");
+    assert!(with_cond.satisfies_all() && with_trivial.satisfies_all());
+    println!(
+        "note: with C_all every input is 'in condition', so agreement rests on ℓ ≤ k alone; \
+         the out-of-condition fallback below shows the real cost."
+    );
+
+    // The real difference shows under crashes: with C_all, any missing
+    // entry exceeds t − d = 0, so the fast condition path is unreachable
+    // and runs fall back to the classical bound — while a genuine
+    // condition still fast-paths its members.
+    let staircase = FailurePattern::staircase(10, 6, 2);
+    let inside2 = in_condition_input(10, real.legality(), &mut rng);
+    let with_cond =
+        run_condition_based(&real, &MaxCondition::new(real.legality()), &inside2, &staircase)
+            .expect("runs");
+    let with_trivial =
+        run_condition_based(&trivial, &MaxCondition::new(trivial.legality()), &inside2, &staircase)
+            .expect("runs");
+    assert!(with_cond.satisfies_all() && with_trivial.satisfies_all());
+    let mut t = Table::new(vec!["instantiation", "rounds (staircase crashes)"]);
+    t.row(vec![
+        "C_max (d=4)".into(),
+        with_cond.decision_round().unwrap().to_string(),
+    ]);
+    t.row(vec![
+        "C_all (d=6)".into(),
+        with_trivial.decision_round().unwrap().to_string(),
+    ]);
+    println!("{t}");
+    assert!(
+        with_cond.decision_round().unwrap() <= with_trivial.decision_round().unwrap(),
+        "a genuine condition must not be slower than C_all under crashes"
+    );
+}
+
+/// Ablation 3: plain Figure 2 vs the Section 8 early-deciding combination.
+fn early_combination_ablation() {
+    let config = ConditionBasedConfig::builder(12, 6, 2)
+        .condition_degree(4)
+        .ell(1)
+        .build()
+        .expect("valid");
+    let oracle = MaxCondition::new(config.legality());
+    let outside = out_of_condition_input(12, config.legality());
+
+    println!("Ablation 3 — Figure 2 vs + early decision (n=12, t=6, k=2, input ∉ C)");
+    println!();
+    let mut t = Table::new(vec!["f", "Figure 2", "+ early decision", "adaptive bound"]);
+    for f in [0usize, 2, 4] {
+        let pattern = FailurePattern::initial(
+            12,
+            (0..f).map(|i| ProcessId::new(11 - i)),
+        )
+        .expect("valid");
+        let plain = run_condition_based(&config, &oracle, &outside, &pattern).expect("runs");
+        let early = run_early_condition_based(&config, &oracle, &outside, &pattern).expect("runs");
+        assert!(plain.satisfies_all() && early.satisfies_all());
+        assert!(early.within_predicted_rounds());
+        t.row(vec![
+            f.to_string(),
+            plain.decision_round().unwrap().to_string(),
+            early.decision_round().unwrap().to_string(),
+            early.predicted_rounds().to_string(),
+        ]);
+    }
+    println!("{t}");
+    println!("the Section 8 combination keeps all Figure 2 bounds and adds ⌊f/k⌋+2 — VERIFIED");
+}

@@ -1,0 +1,11 @@
+//! Shared harness utilities for the table/figure binaries and Criterion
+//! benches: workload generators and a plain-text table printer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod table;
+pub mod workloads;
+
+pub use table::Table;
+pub use workloads::{in_condition_input, out_of_condition_input, spread_input};

@@ -1,0 +1,109 @@
+//! Input-vector workload generators for the experiments.
+
+use rand::Rng;
+
+use setagree_conditions::{LegalityParams, MaxCondition};
+use setagree_types::InputVector;
+
+/// A vector guaranteed to be **inside** `C_max(x, ℓ)`: ℓ "heavy" values
+/// occupy `x + 1` entries between them (the paper's density), the rest are
+/// random strictly-smaller values.
+///
+/// # Panics
+///
+/// Panics if `x + 1 > n` (no vector can be dense enough) or `ℓ > x + 1`.
+pub fn in_condition_input<R: Rng + ?Sized>(
+    n: usize,
+    params: LegalityParams,
+    rng: &mut R,
+) -> InputVector<u32> {
+    let x = params.x();
+    let ell = params.ell();
+    assert!(x < n, "density x + 1 = {} unreachable with n = {n}", x + 1);
+    assert!(ell <= x + 1, "ℓ heavy values need at least ℓ of the x + 1 dense entries");
+
+    // Heavy values live above the noise band [1, 100].
+    let heavy: Vec<u32> = (0..ell as u32).map(|i| 1000 + i).collect();
+    let mut entries: Vec<u32> = Vec::with_capacity(n);
+    // Spread x + 1 dense entries across the heavy values (each ≥ 1).
+    for slot in 0..=x {
+        entries.push(heavy[slot % ell]);
+    }
+    while entries.len() < n {
+        entries.push(rng.gen_range(1..=100));
+    }
+    // Shuffle positions so density is not positional.
+    for i in (1..entries.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        entries.swap(i, j);
+    }
+    let input = InputVector::new(entries);
+    debug_assert!(MaxCondition::new(params).contains(&input));
+    input
+}
+
+/// A vector guaranteed to be **outside** `C_max(x, ℓ)`: all entries
+/// distinct, so its top-ℓ values occupy exactly ℓ ≤ x entries.
+///
+/// # Panics
+///
+/// Panics if `ℓ > x` — then the condition contains every vector
+/// (Theorem 8) and no outside vector exists.
+pub fn out_of_condition_input(n: usize, params: LegalityParams) -> InputVector<u32> {
+    assert!(
+        params.ell() <= params.x(),
+        "ℓ > x: C_max{params} contains all input vectors (Theorem 8)"
+    );
+    let entries: Vec<u32> = (1..=n as u32).collect();
+    let input = InputVector::new(entries);
+    debug_assert!(!MaxCondition::new(params).contains(&input));
+    input
+}
+
+/// A maximally-spread vector (all values distinct, descending) used by the
+/// baseline measurements where condition membership is irrelevant.
+pub fn spread_input(n: usize) -> InputVector<u32> {
+    InputVector::new((1..=n as u32).rev().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn in_condition_inputs_are_members() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for (x, ell) in [(1usize, 1usize), (3, 1), (3, 2), (5, 3)] {
+            let params = LegalityParams::new(x, ell).unwrap();
+            for _ in 0..50 {
+                let input = in_condition_input(12, params, &mut rng);
+                assert!(MaxCondition::new(params).contains(&input), "{params}");
+                assert_eq!(input.len(), 12);
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_condition_inputs_are_not_members() {
+        for (x, ell) in [(1usize, 1usize), (3, 2), (4, 4)] {
+            let params = LegalityParams::new(x, ell).unwrap();
+            let input = out_of_condition_input(10, params);
+            assert!(!MaxCondition::new(params).contains(&input), "{params}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Theorem 8")]
+    fn out_of_condition_impossible_when_ell_exceeds_x() {
+        let params = LegalityParams::new(1, 2).unwrap();
+        let _ = out_of_condition_input(5, params);
+    }
+
+    #[test]
+    fn spread_input_is_distinct() {
+        let input = spread_input(6);
+        assert_eq!(input.distinct_count(), 6);
+    }
+}

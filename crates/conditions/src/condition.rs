@@ -1,0 +1,336 @@
+//! Explicit conditions: enumerated sets of input vectors.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use setagree_types::{InputVector, ProposalValue, View};
+
+use crate::error::ConditionError;
+
+/// A condition: a set of input vectors over a fixed system of `n`
+/// processes (Definition 1).
+///
+/// All vectors of a condition have the same length `n`; [`Condition::insert`]
+/// enforces this invariant.
+///
+/// # Example
+///
+/// ```
+/// use setagree_conditions::Condition;
+/// use setagree_types::{InputVector, View};
+///
+/// let mut c = Condition::new(3);
+/// c.insert(InputVector::new(vec![1, 1, 2]))?;
+/// c.insert(InputVector::new(vec![1, 1, 3]))?;
+/// assert_eq!(c.len(), 2);
+///
+/// // The predicate P(J): does some vector of C contain the view J?
+/// let j = View::from_options(vec![Some(1), Some(1), None]);
+/// assert!(c.matches_view(&j));
+/// # Ok::<(), setagree_conditions::ConditionError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Condition<V: Ord> {
+    n: usize,
+    vectors: BTreeSet<InputVector<V>>,
+}
+
+impl<V: ProposalValue> Condition<V> {
+    /// Creates an empty condition over a system of `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a condition needs a system of at least one process");
+        Condition {
+            n,
+            vectors: BTreeSet::new(),
+        }
+    }
+
+    /// Creates a condition from vectors, inferring `n` from the first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConditionError::LengthMismatch`] if the vectors do not all
+    /// have the same length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vectors` is empty (use [`Condition::new`] for an empty
+    /// condition, which needs an explicit `n`).
+    pub fn from_vectors(
+        vectors: impl IntoIterator<Item = InputVector<V>>,
+    ) -> Result<Self, ConditionError> {
+        let mut iter = vectors.into_iter();
+        let first = iter
+            .next()
+            .expect("from_vectors needs at least one vector; use Condition::new for empty");
+        let mut cond = Condition::new(first.len());
+        cond.insert(first)?;
+        for v in iter {
+            cond.insert(v)?;
+        }
+        Ok(cond)
+    }
+
+    /// The system size `n`.
+    pub fn system_size(&self) -> usize {
+        self.n
+    }
+
+    /// The number of vectors in the condition.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Returns `true` if the condition contains no vector.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Adds a vector; returns `true` if it was not already present.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConditionError::LengthMismatch`] if `vector.len() != n`.
+    pub fn insert(&mut self, vector: InputVector<V>) -> Result<bool, ConditionError> {
+        if vector.len() != self.n {
+            return Err(ConditionError::LengthMismatch {
+                expected: self.n,
+                got: vector.len(),
+            });
+        }
+        Ok(self.vectors.insert(vector))
+    }
+
+    /// Removes a vector; returns `true` if it was present.
+    pub fn remove(&mut self, vector: &InputVector<V>) -> bool {
+        self.vectors.remove(vector)
+    }
+
+    /// Returns `true` if the vector belongs to the condition.
+    pub fn contains(&self, vector: &InputVector<V>) -> bool {
+        self.vectors.contains(vector)
+    }
+
+    /// Iterates over the vectors in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = &InputVector<V>> {
+        self.vectors.iter()
+    }
+
+    /// The predicate `P(J)` of Figure 2: `true` iff some vector `I ∈ C`
+    /// satisfies `J ≤ I`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view's length differs from the condition's `n`.
+    pub fn matches_view(&self, view: &View<V>) -> bool {
+        self.vectors.iter().any(|i| view.is_contained_in_vector(i))
+    }
+
+    /// All vectors of the condition containing the given view.
+    pub fn completions_of<'a>(
+        &'a self,
+        view: &'a View<V>,
+    ) -> impl Iterator<Item = &'a InputVector<V>> {
+        self.vectors
+            .iter()
+            .filter(move |i| view.is_contained_in_vector(i))
+    }
+
+    /// The union of two conditions over the same system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConditionError::LengthMismatch`] if the system sizes differ.
+    pub fn union(&self, other: &Condition<V>) -> Result<Condition<V>, ConditionError> {
+        if self.n != other.n {
+            return Err(ConditionError::LengthMismatch {
+                expected: self.n,
+                got: other.n,
+            });
+        }
+        Ok(Condition {
+            n: self.n,
+            vectors: self.vectors.union(&other.vectors).cloned().collect(),
+        })
+    }
+
+    /// Returns `true` if every vector of `self` belongs to `other`.
+    pub fn is_subset_of(&self, other: &Condition<V>) -> bool {
+        self.n == other.n && self.vectors.is_subset(&other.vectors)
+    }
+
+    /// The intersection of two conditions over the same system.
+    ///
+    /// Intersections of (x, ℓ)-legal conditions are always (x, ℓ)-legal
+    /// (legality is downward closed); this is the safe way to combine
+    /// domain knowledge from two sources.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConditionError::LengthMismatch`] if the system sizes differ.
+    pub fn intersection(&self, other: &Condition<V>) -> Result<Condition<V>, ConditionError> {
+        if self.n != other.n {
+            return Err(ConditionError::LengthMismatch { expected: self.n, got: other.n });
+        }
+        Ok(Condition {
+            n: self.n,
+            vectors: self.vectors.intersection(&other.vectors).cloned().collect(),
+        })
+    }
+
+    /// The vectors of `self` not in `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConditionError::LengthMismatch`] if the system sizes differ.
+    pub fn difference(&self, other: &Condition<V>) -> Result<Condition<V>, ConditionError> {
+        if self.n != other.n {
+            return Err(ConditionError::LengthMismatch { expected: self.n, got: other.n });
+        }
+        Ok(Condition {
+            n: self.n,
+            vectors: self.vectors.difference(&other.vectors).cloned().collect(),
+        })
+    }
+}
+
+impl<'a, V: ProposalValue> IntoIterator for &'a Condition<V> {
+    type Item = &'a InputVector<V>;
+    type IntoIter = std::collections::btree_set::Iter<'a, InputVector<V>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.vectors.iter()
+    }
+}
+
+impl<V: ProposalValue + fmt::Display> fmt::Display for Condition<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "condition over n = {} ({} vectors):", self.n, self.len())?;
+        for v in &self.vectors {
+            writeln!(f, "  {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(entries: &[u32]) -> InputVector<u32> {
+        InputVector::new(entries.to_vec())
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut c = Condition::new(2);
+        assert!(c.insert(v(&[1, 2])).unwrap());
+        assert!(!c.insert(v(&[1, 2])).unwrap(), "duplicate insert is false");
+        assert!(c.contains(&v(&[1, 2])));
+        assert!(!c.contains(&v(&[2, 1])));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn insert_rejects_wrong_length() {
+        let mut c = Condition::new(2);
+        let err = c.insert(v(&[1, 2, 3])).unwrap_err();
+        assert_eq!(err, ConditionError::LengthMismatch { expected: 2, got: 3 });
+    }
+
+    #[test]
+    fn from_vectors_infers_n() {
+        let c = Condition::from_vectors(vec![v(&[1, 2, 3]), v(&[3, 2, 1])]).unwrap();
+        assert_eq!(c.system_size(), 3);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn from_vectors_rejects_mixed_lengths() {
+        let res = Condition::from_vectors(vec![v(&[1, 2]), v(&[1, 2, 3])]);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn matches_view_is_containment_search() {
+        let c = Condition::from_vectors(vec![v(&[1, 2, 3]), v(&[1, 9, 9])]).unwrap();
+        let j = View::from_options(vec![Some(1), None, Some(3)]);
+        assert!(c.matches_view(&j));
+        let j2 = View::from_options(vec![Some(2), None, None]);
+        assert!(!c.matches_view(&j2));
+    }
+
+    #[test]
+    fn completions_filters_containing_vectors() {
+        let c = Condition::from_vectors(vec![v(&[1, 2, 3]), v(&[1, 9, 3]), v(&[2, 2, 3])]).unwrap();
+        let j = View::from_options(vec![Some(1), None, Some(3)]);
+        let found: Vec<_> = c.completions_of(&j).collect();
+        assert_eq!(found.len(), 2);
+    }
+
+    #[test]
+    fn union_and_subset() {
+        let a = Condition::from_vectors(vec![v(&[1, 1])]).unwrap();
+        let b = Condition::from_vectors(vec![v(&[2, 2])]).unwrap();
+        let u = a.union(&b).unwrap();
+        assert_eq!(u.len(), 2);
+        assert!(a.is_subset_of(&u));
+        assert!(b.is_subset_of(&u));
+        assert!(!u.is_subset_of(&a));
+    }
+
+    #[test]
+    fn union_rejects_different_systems() {
+        let a: Condition<u32> = Condition::new(2);
+        let b: Condition<u32> = Condition::new(3);
+        assert!(a.union(&b).is_err());
+    }
+
+    #[test]
+    fn intersection_and_difference() {
+        let a = Condition::from_vectors(vec![v(&[1, 1]), v(&[2, 2])]).unwrap();
+        let b = Condition::from_vectors(vec![v(&[2, 2]), v(&[3, 3])]).unwrap();
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i.len(), 1);
+        assert!(i.contains(&v(&[2, 2])));
+        let d = a.difference(&b).unwrap();
+        assert_eq!(d.len(), 1);
+        assert!(d.contains(&v(&[1, 1])));
+        // Set identities: |a| = |a ∩ b| + |a \ b|; union recomposes.
+        assert_eq!(a.len(), i.len() + d.len());
+        assert!(i.union(&d).unwrap().is_subset_of(&a));
+        // System-size mismatches are rejected.
+        let c3: Condition<u32> = Condition::new(3);
+        assert!(a.intersection(&c3).is_err());
+        assert!(a.difference(&c3).is_err());
+    }
+
+    #[test]
+    fn remove_vector() {
+        let mut c = Condition::from_vectors(vec![v(&[1, 1])]).unwrap();
+        assert!(c.remove(&v(&[1, 1])));
+        assert!(!c.remove(&v(&[1, 1])));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn display_lists_vectors() {
+        let c = Condition::from_vectors(vec![v(&[1, 2])]).unwrap();
+        let s = c.to_string();
+        assert!(s.contains("n = 2"));
+        assert!(s.contains("[1, 2]"));
+    }
+
+    #[test]
+    fn iteration_in_lexicographic_order() {
+        let c = Condition::from_vectors(vec![v(&[2, 1]), v(&[1, 2])]).unwrap();
+        let vs: Vec<_> = c.iter().collect();
+        assert!(vs[0] < vs[1]);
+        assert_eq!((&c).into_iter().count(), 2);
+    }
+}

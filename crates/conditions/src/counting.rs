@@ -1,0 +1,331 @@
+//! Counting the maximal `max_ℓ` condition: `NB(x, ℓ)` (Theorem 3 and
+//! Theorem 13 / Appendix A).
+//!
+//! `NB(x, ℓ)` is the number of input vectors, over `n` processes and `m`
+//! proposable values `{1, …, m}`, in the (x, ℓ)-legal condition generated
+//! by `max_ℓ` — i.e. vectors whose ℓ greatest distinct values occupy more
+//! than `x` entries.
+//!
+//! Two closed forms are provided:
+//!
+//! * [`nb_x_1`] — the paper's Theorem 3 formula for ℓ = 1, transcribed
+//!   verbatim: `NB(x, 1) = Σ_{γ=1}^{m} Σ_{c=x+1}^{n} C(n, c)·(γ−1)^{n−c}`
+//!   (γ ranges over the greatest value of the vector, `c` over its
+//!   multiplicity);
+//! * [`nb`] — the general `NB(x, ℓ)` following the `A + B` decomposition of
+//!   Theorem 13: `A` counts the vectors with fewer than ℓ distinct values
+//!   (all trivially dense when `n > x`), `B` sums over the top-ℓ distinct
+//!   values `γ_1 > … > γ_ℓ` and their multiplicities `c_1, …, c_ℓ` with
+//!   `Σ c_i > x`, placing the remaining `n − Σ c_i` entries freely below
+//!   `γ_ℓ`.
+//!
+//! [`nb_brute_force`] enumerates all `m^n` vectors as the ground truth the
+//! closed forms are tested against.
+
+use crate::legality::LegalityParams;
+use crate::max_condition::MaxCondition;
+
+/// The binomial coefficient `C(n, k)` in exact 128-bit arithmetic.
+///
+/// # Panics
+///
+/// Panics on overflow (not reachable for the `n ≤ 64` system sizes this
+/// crate targets).
+pub fn binomial(n: usize, k: usize) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc
+            .checked_mul((n - i) as u128)
+            .expect("binomial overflow")
+            / (i as u128 + 1);
+    }
+    acc
+}
+
+/// The number of surjections from an `n`-set onto a `j`-set, by
+/// inclusion–exclusion: `Σ_{i=0}^{j} (−1)^i C(j, i) (j−i)^n`.
+pub fn surjections(n: usize, j: usize) -> u128 {
+    if j == 0 {
+        return if n == 0 { 1 } else { 0 };
+    }
+    if j > n {
+        return 0;
+    }
+    let mut acc: i128 = 0;
+    for i in 0..=j {
+        let term = (binomial(j, i) as i128)
+            .checked_mul(((j - i) as i128).checked_pow(n as u32).expect("pow overflow"))
+            .expect("surjection overflow");
+        if i % 2 == 0 {
+            acc += term;
+        } else {
+            acc -= term;
+        }
+    }
+    debug_assert!(acc >= 0, "surjection count cannot be negative");
+    acc as u128
+}
+
+/// Theorem 3: `NB(x, 1)` — the size of the maximal (x, 1)-legal condition
+/// over `n` processes and values `{1, …, m}`.
+///
+/// # Example
+///
+/// ```
+/// use setagree_conditions::counting;
+///
+/// // x = 0: every vector qualifies (its max appears at least once).
+/// assert_eq!(counting::nb_x_1(3, 2, 0), 8);
+/// // x = 1: the max value must appear at least twice.
+/// assert_eq!(counting::nb_x_1(3, 2, 1), 5); // 222, 221, 212, 122, 111
+/// ```
+pub fn nb_x_1(n: usize, m: u32, x: usize) -> u128 {
+    let mut total: u128 = 0;
+    for gamma in 1..=m as u128 {
+        for c in (x + 1)..=n {
+            let below = (gamma - 1).checked_pow((n - c) as u32).expect("pow overflow");
+            total += binomial(n, c) * below;
+        }
+    }
+    total
+}
+
+/// Theorem 13: the general `NB(x, ℓ)` over `n` processes and values
+/// `{1, …, m}`, as the `A + B` decomposition of Appendix A.
+///
+/// `A` counts vectors with fewer than ℓ distinct values — when `n > x`
+/// they all belong to the condition (their `max_ℓ` covers every entry);
+/// when `n ≤ x` no vector at all can satisfy density. `B` counts vectors
+/// with at least ℓ distinct values by enumerating the ℓ greatest values
+/// and their multiplicities.
+///
+/// # Example
+///
+/// ```
+/// use setagree_conditions::counting;
+/// use setagree_conditions::LegalityParams;
+///
+/// let p = LegalityParams::new(1, 2).unwrap();
+/// // Cross-checked against brute force in the crate's tests.
+/// assert_eq!(counting::nb(4, 3, p), counting::nb_brute_force(4, 3, p));
+/// ```
+pub fn nb(n: usize, m: u32, params: LegalityParams) -> u128 {
+    let x = params.x();
+    let ell = params.ell();
+    if n <= x {
+        // Density `> x` is unreachable with only n entries.
+        return 0;
+    }
+    let m_us = m as usize;
+
+    // A: vectors with fewer than ℓ distinct values.
+    let mut a: u128 = 0;
+    for j in 1..ell.min(n + 1).min(m_us + 1) {
+        a += binomial(m_us, j) * surjections(n, j);
+    }
+
+    // B: vectors with at least ℓ distinct values; enumerate the smallest of
+    // the top-ℓ values (g = γ_ℓ) and the multiset of multiplicities.
+    let mut b: u128 = 0;
+    if ell <= n && ell <= m_us {
+        for g in 1..=(m_us - ell + 1) {
+            let upper_choices = binomial(m_us - g, ell - 1);
+            if upper_choices == 0 {
+                continue;
+            }
+            // Sum over (c_1, …, c_ℓ), c_i ≥ 1, Σ > x, Σ ≤ n, with the
+            // remaining n − Σ entries drawn from {1, …, g−1} (so Σ = n is
+            // forced when g = 1).
+            let placements = sum_compositions(n, ell, x, g - 1);
+            b += upper_choices * placements;
+        }
+    }
+    a + b
+}
+
+/// Sums `C(n, c_1)·C(n−c_1, c_2)···(below)^{n−Σc}` over all `(c_1, …, c_ℓ)`
+/// with `c_i ≥ 1`, `Σ c_i > x`, `Σ c_i ≤ n`, where `below` is the number of
+/// values available for the remaining entries.
+fn sum_compositions(n: usize, ell: usize, x: usize, below: usize) -> u128 {
+    fn rec(
+        remaining_slots: usize,
+        parts_left: usize,
+        sum_so_far: usize,
+        x: usize,
+        below: usize,
+        n: usize,
+        acc_ways: u128,
+    ) -> u128 {
+        if parts_left == 0 {
+            if sum_so_far <= x {
+                return 0;
+            }
+            let rest = n - sum_so_far;
+            if below == 0 && rest > 0 {
+                return 0;
+            }
+            let fill = (below as u128).pow(rest as u32);
+            return acc_ways * fill;
+        }
+        // Each remaining part needs at least one slot.
+        let max_c = remaining_slots.saturating_sub(parts_left - 1);
+        let mut total = 0u128;
+        for c in 1..=max_c {
+            let ways = binomial(remaining_slots, c);
+            total += rec(
+                remaining_slots - c,
+                parts_left - 1,
+                sum_so_far + c,
+                x,
+                below,
+                n,
+                acc_ways * ways,
+            );
+        }
+        total
+    }
+    rec(n, ell, 0, x, below, n, 1)
+}
+
+/// Ground truth: counts the members of `C_max(x, ℓ)` by enumerating all
+/// `m^n` vectors.
+///
+/// # Panics
+///
+/// Panics if `m^n > 2^24` (see [`MaxCondition::enumerate`]).
+pub fn nb_brute_force(n: usize, m: u32, params: LegalityParams) -> u128 {
+    MaxCondition::new(params).enumerate(n, m).len() as u128
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: usize, ell: usize) -> LegalityParams {
+        LegalityParams::new(x, ell).unwrap()
+    }
+
+    #[test]
+    fn binomial_basics() {
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(5, 5), 1);
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(5, 6), 0);
+        assert_eq!(binomial(60, 30), 118_264_581_564_861_424);
+    }
+
+    #[test]
+    fn pascal_identity_holds() {
+        for n in 1..20 {
+            for k in 1..n {
+                assert_eq!(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k));
+            }
+        }
+    }
+
+    #[test]
+    fn surjection_basics() {
+        assert_eq!(surjections(3, 1), 1);
+        assert_eq!(surjections(3, 2), 6);
+        assert_eq!(surjections(3, 3), 6);
+        assert_eq!(surjections(2, 3), 0);
+        assert_eq!(surjections(0, 0), 1);
+        assert_eq!(surjections(4, 2), 14);
+    }
+
+    #[test]
+    fn surjections_partition_all_functions() {
+        // Σ_j C(m, j) · Surj(n, j) = m^n.
+        for (n, m) in [(3usize, 3usize), (4, 2), (5, 3)] {
+            let total: u128 = (1..=m).map(|j| binomial(m, j) * surjections(n, j)).sum();
+            assert_eq!(total, (m as u128).pow(n as u32));
+        }
+    }
+
+    #[test]
+    fn nb_x_1_small_cases_by_hand() {
+        // n = 2, m = 2, x = 1: vectors where the max appears twice: 11, 22.
+        assert_eq!(nb_x_1(2, 2, 1), 2);
+        // x = 0: all m^n vectors.
+        assert_eq!(nb_x_1(3, 3, 0), 27);
+    }
+
+    #[test]
+    fn nb_x_1_matches_brute_force() {
+        for n in 2..=5 {
+            for m in 1..=4u32 {
+                for x in 0..n {
+                    assert_eq!(
+                        nb_x_1(n, m, x),
+                        nb_brute_force(n, m, p(x, 1)),
+                        "NB mismatch at n={n}, m={m}, x={x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nb_general_matches_brute_force() {
+        for n in 2..=5 {
+            for m in 1..=4u32 {
+                for x in 0..n {
+                    for ell in 1..=n {
+                        let params = p(x, ell);
+                        assert_eq!(
+                            nb(n, m, params),
+                            nb_brute_force(n, m, params),
+                            "NB mismatch at n={n}, m={m}, {params}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nb_reduces_to_theorem_3_for_ell_1() {
+        for n in 2..=6 {
+            for m in 1..=4u32 {
+                for x in 0..n {
+                    assert_eq!(nb(n, m, p(x, 1)), nb_x_1(n, m, x));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nb_zero_when_density_unreachable() {
+        assert_eq!(nb(3, 4, p(3, 1)), 0);
+        assert_eq!(nb(3, 4, p(5, 2)), 0);
+    }
+
+    #[test]
+    fn nb_is_monotone_in_x_and_ell() {
+        // Larger x → fewer vectors; larger ℓ → more vectors.
+        let n = 5;
+        let m = 3;
+        for ell in 1..=3usize {
+            for x in 0..n - 1 {
+                assert!(nb(n, m, p(x + 1, ell)) <= nb(n, m, p(x, ell)));
+            }
+        }
+        for x in 0..n {
+            for ell in 1..=2usize {
+                assert!(nb(n, m, p(x, ell)) <= nb(n, m, p(x, ell + 1)));
+            }
+        }
+    }
+
+    #[test]
+    fn nb_all_vectors_when_ell_exceeds_x() {
+        // Theorem 8 in counting form: ℓ > x ⇒ the condition has all m^n vectors.
+        for (n, m, x, ell) in [(4usize, 3u32, 1usize, 2usize), (5, 2, 2, 3), (3, 4, 0, 1)] {
+            assert_eq!(nb(n, m, p(x, ell)), (m as u128).pow(n as u32));
+        }
+    }
+}

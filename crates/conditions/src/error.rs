@@ -1,0 +1,100 @@
+//! Error types of the conditions crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error constructing [`LegalityParams`](crate::LegalityParams) or
+/// [`SdtParams`](crate::SdtParams).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParamsError {
+    /// The agreement width ℓ must be at least 1 (an input vector encodes at
+    /// least one value).
+    ZeroEll,
+    /// In `S^d_t[ℓ]`, the degree must satisfy `d ≤ t`.
+    DegreeExceedsFaults {
+        /// The offending degree `d`.
+        degree: usize,
+        /// The fault bound `t`.
+        t: usize,
+    },
+    /// The all-vectors condition is (x, ℓ)-legal only when `ℓ > x`
+    /// (Theorem 9).
+    TrivialConditionNotLegal {
+        /// The crash tolerance `x`.
+        x: usize,
+        /// The agreement width ℓ.
+        ell: usize,
+    },
+}
+
+impl fmt::Display for ParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamsError::ZeroEll => write!(f, "the agreement width ℓ must be at least 1"),
+            ParamsError::DegreeExceedsFaults { degree, t } => {
+                write!(f, "condition degree d = {degree} exceeds the fault bound t = {t}")
+            }
+            ParamsError::TrivialConditionNotLegal { x, ell } => write!(
+                f,
+                "the all-vectors condition is not ({x}, {ell})-legal: Theorem 9 requires ℓ > x"
+            ),
+        }
+    }
+}
+
+impl Error for ParamsError {}
+
+/// Error manipulating an explicit [`Condition`](crate::Condition).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConditionError {
+    /// A vector of the wrong length was inserted into a condition over `n`
+    /// processes.
+    LengthMismatch {
+        /// The condition's system size.
+        expected: usize,
+        /// The offending vector's length.
+        got: usize,
+    },
+}
+
+impl fmt::Display for ConditionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConditionError::LengthMismatch { expected, got } => write!(
+                f,
+                "input vector has {got} entries but the condition is over {expected} processes"
+            ),
+        }
+    }
+}
+
+impl Error for ConditionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_error_messages() {
+        assert!(ParamsError::ZeroEll.to_string().contains("at least 1"));
+        let e = ParamsError::DegreeExceedsFaults { degree: 5, t: 3 };
+        assert!(e.to_string().contains("d = 5"));
+        assert!(e.to_string().contains("t = 3"));
+    }
+
+    #[test]
+    fn condition_error_messages() {
+        let e = ConditionError::LengthMismatch { expected: 4, got: 2 };
+        assert!(e.to_string().contains('4'));
+        assert!(e.to_string().contains('2'));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ParamsError>();
+        assert_err::<ConditionError>();
+    }
+}

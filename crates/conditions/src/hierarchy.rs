@@ -1,0 +1,175 @@
+//! The synchronous hierarchies `S^d_t[ℓ]` (Section 5).
+//!
+//! For a synchronous system with at most `t` crashes, `S^d_t[ℓ]` is the set
+//! of all `(t−d, ℓ)`-legal conditions: `d` is the *degree* of the condition
+//! (the larger `d`, the weaker — and the more numerous — the conditions),
+//! and `t − d` measures its difficulty. The paper's two hierarchies are:
+//!
+//! * ℓ fixed:  `S^0_t[ℓ] ⊂ S^1_t[ℓ] ⊂ … ⊂ S^t_t[ℓ]`
+//! * d fixed:  `S^d_t[1] ⊂ S^d_t[2] ⊂ … ⊂ S^d_t[n]`
+//!
+//! with the trivial all-vectors condition entering at `d ≥ t − ℓ + 1`
+//! (Theorem 8 with `x = t − d`).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ParamsError;
+use crate::lattice;
+use crate::legality::LegalityParams;
+
+/// The parameters `(t, d, ℓ)` of a hierarchy member `S^d_t[ℓ]`.
+///
+/// # Example
+///
+/// ```
+/// use setagree_conditions::SdtParams;
+///
+/// let s = SdtParams::new(4, 1, 1)?; // S^1_4[1]
+/// assert_eq!(s.legality().x(), 3);  // conditions are (t−d, ℓ) = (3, 1)-legal
+/// assert!(!s.contains_trivial_condition());
+/// assert!(SdtParams::new(4, 4, 1)?.contains_trivial_condition());
+/// # Ok::<(), setagree_conditions::ParamsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SdtParams {
+    t: usize,
+    d: usize,
+    ell: usize,
+}
+
+impl SdtParams {
+    /// Creates `S^d_t[ℓ]`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ParamsError::DegreeExceedsFaults`] if `d > t`;
+    /// * [`ParamsError::ZeroEll`] if `ell == 0`.
+    pub fn new(t: usize, d: usize, ell: usize) -> Result<Self, ParamsError> {
+        if ell == 0 {
+            return Err(ParamsError::ZeroEll);
+        }
+        if d > t {
+            return Err(ParamsError::DegreeExceedsFaults { degree: d, t });
+        }
+        Ok(SdtParams { t, d, ell })
+    }
+
+    /// The fault bound `t`.
+    pub const fn t(&self) -> usize {
+        self.t
+    }
+
+    /// The condition degree `d`.
+    pub const fn degree(&self) -> usize {
+        self.d
+    }
+
+    /// The agreement width ℓ.
+    pub const fn ell(&self) -> usize {
+        self.ell
+    }
+
+    /// The legality parameters of the member conditions: `(t − d, ℓ)`.
+    pub fn legality(&self) -> LegalityParams {
+        LegalityParams::new(self.t - self.d, self.ell).expect("ℓ ≥ 1 by construction")
+    }
+
+    /// Theorem 8 with `x = t − d`: `S^d_t[ℓ]` contains the all-vectors
+    /// condition iff `ℓ > t − d`. The paper requires `ℓ ≤ t − d` for the
+    /// condition-based algorithm to beat the unconditioned bound.
+    pub const fn contains_trivial_condition(&self) -> bool {
+        self.ell > self.t - self.d
+    }
+
+    /// Set inclusion `S^d_t[ℓ] ⊆ S^d'_t[ℓ']` between hierarchy members over
+    /// the **same** `t` (Theorems 4 and 6 through `x = t − d`).
+    ///
+    /// Returns `None` when the fault bounds differ (the hierarchies are per
+    /// system).
+    pub fn included_in(&self, other: &SdtParams) -> Option<bool> {
+        if self.t != other.t {
+            return None;
+        }
+        Some(lattice::implies(self.legality(), other.legality()))
+    }
+
+    /// The ℓ-fixed hierarchy `S^0_t[ℓ] ⊂ … ⊂ S^t_t[ℓ]`.
+    pub fn degree_chain(t: usize, ell: usize) -> Result<Vec<SdtParams>, ParamsError> {
+        (0..=t).map(|d| SdtParams::new(t, d, ell)).collect()
+    }
+
+    /// The d-fixed hierarchy `S^d_t[1] ⊂ … ⊂ S^d_t[max_ell]`.
+    pub fn ell_chain(t: usize, d: usize, max_ell: usize) -> Result<Vec<SdtParams>, ParamsError> {
+        (1..=max_ell.max(1)).map(|ell| SdtParams::new(t, d, ell)).collect()
+    }
+}
+
+impl fmt::Display for SdtParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S^{}_{}[ℓ={}]", self.d, self.t, self.ell)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(SdtParams::new(3, 4, 1).is_err());
+        assert!(SdtParams::new(3, 3, 0).is_err());
+        assert!(SdtParams::new(3, 3, 1).is_ok());
+    }
+
+    #[test]
+    fn legality_is_t_minus_d() {
+        let s = SdtParams::new(5, 2, 3).unwrap();
+        assert_eq!(s.legality(), LegalityParams::new(3, 3).unwrap());
+        assert_eq!(s.t(), 5);
+        assert_eq!(s.degree(), 2);
+        assert_eq!(s.ell(), 3);
+    }
+
+    #[test]
+    fn degree_chain_is_increasing() {
+        let chain = SdtParams::degree_chain(4, 2).unwrap();
+        assert_eq!(chain.len(), 5);
+        for w in chain.windows(2) {
+            assert_eq!(w[0].included_in(&w[1]), Some(true));
+            assert_eq!(w[1].included_in(&w[0]), Some(false));
+        }
+    }
+
+    #[test]
+    fn ell_chain_is_increasing() {
+        let chain = SdtParams::ell_chain(4, 1, 4).unwrap();
+        assert_eq!(chain.len(), 4);
+        for w in chain.windows(2) {
+            assert_eq!(w[0].included_in(&w[1]), Some(true));
+            assert_eq!(w[1].included_in(&w[0]), Some(false));
+        }
+    }
+
+    #[test]
+    fn inclusion_across_different_t_is_undefined() {
+        let a = SdtParams::new(3, 1, 1).unwrap();
+        let b = SdtParams::new(4, 1, 1).unwrap();
+        assert_eq!(a.included_in(&b), None);
+    }
+
+    #[test]
+    fn trivial_condition_enters_at_t_minus_ell_plus_1() {
+        // t = 4, ℓ = 2: trivial condition appears for d ≥ 3.
+        let chain = SdtParams::degree_chain(4, 2).unwrap();
+        let flags: Vec<bool> = chain.iter().map(|s| s.contains_trivial_condition()).collect();
+        assert_eq!(flags, vec![false, false, false, true, true]);
+    }
+
+    #[test]
+    fn display_reads_like_the_paper() {
+        let s = SdtParams::new(4, 2, 1).unwrap();
+        assert_eq!(s.to_string(), "S^2_4[ℓ=1]");
+    }
+}

@@ -1,0 +1,606 @@
+//! The (x, ℓ)-legality checker (Definition 2) and the extension of `h_ℓ`
+//! to views (Theorem 1 / Definition 4).
+//!
+//! A condition `C` is *(x, ℓ)-legal* with respect to a recognizing function
+//! `h_ℓ` when three properties hold:
+//!
+//! 1. **Validity** — `∀ I ∈ C`: `h_ℓ(I) ⊆ val(I)` and
+//!    `1 ≤ |h_ℓ(I)| ≤ min(ℓ, |val(I)|)`;
+//! 2. **Density** — `∀ I ∈ C`: `Σ_{v ∈ h_ℓ(I)} #_v(I) > x` (the decodable
+//!    values survive `x` crashes);
+//! 3. **Distance** — for every finite subset `{I_1, …, I_z} ⊆ C` with
+//!    `d_G(I_1, …, I_z) ≤ x`, the intersecting vector `⋂_{1..z} I_j`
+//!    contains **more than** `x − d_G(I_1, …, I_z)` entries whose value lies
+//!    in `⋂_{1..z} h_ℓ(I_j)`.
+//!
+//! (Density is the `z = 1` instance of distance, per the paper's footnote 4;
+//! the checker treats it separately to report sharper violations. For
+//! `ℓ = 1` the three properties reduce to the *x-legality* of
+//! Mostefaoui–Rajsbaum–Raynal \[20\]: two vectors decoding to different
+//! values must be at Hamming distance greater than `x`.)
+//!
+//! Checking the distance property naively enumerates every subset of `C`;
+//! [`check`] prunes the enumeration by the monotonicity of `d_G` (adding a
+//! vector never decreases it), which makes exhaustive verification practical
+//! for the condition sizes used in tests and in the paper's examples.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use setagree_types::{InputVector, ProposalValue, View};
+
+use crate::condition::Condition;
+use crate::error::ParamsError;
+use crate::recognizing::RecognizingFn;
+
+/// The pair `(x, ℓ)` parameterizing legality: `x` is the number of missing
+/// entries (crashes) to tolerate, ℓ the maximum number of values an input
+/// vector may encode.
+///
+/// # Example
+///
+/// ```
+/// use setagree_conditions::LegalityParams;
+///
+/// let p = LegalityParams::new(2, 1)?;
+/// assert_eq!(p.x(), 2);
+/// assert_eq!(p.ell(), 1);
+/// assert!(LegalityParams::new(2, 0).is_err(), "ℓ = 0 is meaningless");
+/// # Ok::<(), setagree_conditions::ParamsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LegalityParams {
+    x: usize,
+    ell: usize,
+}
+
+impl LegalityParams {
+    /// Creates the pair `(x, ℓ)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamsError::ZeroEll`] if `ell == 0`.
+    pub fn new(x: usize, ell: usize) -> Result<Self, ParamsError> {
+        if ell == 0 {
+            return Err(ParamsError::ZeroEll);
+        }
+        Ok(LegalityParams { x, ell })
+    }
+
+    /// The crash tolerance `x`.
+    pub const fn x(&self) -> usize {
+        self.x
+    }
+
+    /// The agreement width ℓ.
+    pub const fn ell(&self) -> usize {
+        self.ell
+    }
+
+    /// Theorems 8 and 9: the condition containing **all** input vectors is
+    /// (x, ℓ)-legal iff `ℓ > x`. When this returns `true` the condition
+    /// carries no information and cannot speed up an algorithm.
+    pub const fn admits_all_vectors(&self) -> bool {
+        self.ell > self.x
+    }
+}
+
+impl fmt::Display for LegalityParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(x = {}, ℓ = {})", self.x, self.ell)
+    }
+}
+
+/// A witnessed violation of one of the three legality properties.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LegalityViolation<V> {
+    /// `h_ℓ(I)` decoded a value that `I` does not propose.
+    ValueNotProposed {
+        /// The offending vector.
+        vector: InputVector<V>,
+        /// The decoded value absent from the vector.
+        value: V,
+    },
+    /// `h_ℓ(I)` is empty or larger than `min(ℓ, |val(I)|)`.
+    WrongDecodeSize {
+        /// The offending vector.
+        vector: InputVector<V>,
+        /// `|h_ℓ(I)|`.
+        got: usize,
+        /// `min(ℓ, |val(I)|)`.
+        max_allowed: usize,
+    },
+    /// `Σ_{v ∈ h_ℓ(I)} #_v(I) ≤ x`: the decodable values do not survive `x`
+    /// crashes.
+    Density {
+        /// The offending vector.
+        vector: InputVector<V>,
+        /// The achieved count.
+        count: usize,
+        /// The required strict lower bound (`x`).
+        bound: usize,
+    },
+    /// A subset of vectors with `d_G ≤ x` whose intersecting vector holds
+    /// too few commonly-decodable values.
+    Distance {
+        /// The offending subset.
+        vectors: Vec<InputVector<V>>,
+        /// `d_G` of the subset.
+        dg: usize,
+        /// The achieved count of `⋂ h_ℓ(I_j)` values in the intersecting
+        /// vector.
+        count: usize,
+        /// The required strict lower bound (`x − d_G`).
+        bound: usize,
+    },
+}
+
+impl<V: fmt::Debug> fmt::Display for LegalityViolation<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LegalityViolation::ValueNotProposed { vector, value } => {
+                write!(f, "decoded value {value:?} is not proposed in {vector:?}")
+            }
+            LegalityViolation::WrongDecodeSize { vector, got, max_allowed } => write!(
+                f,
+                "decoded set of {vector:?} has {got} values, expected between 1 and {max_allowed}"
+            ),
+            LegalityViolation::Density { vector, count, bound } => write!(
+                f,
+                "density violated on {vector:?}: decodable values occupy {count} entries, need more than {bound}"
+            ),
+            LegalityViolation::Distance { vectors, dg, count, bound } => write!(
+                f,
+                "distance violated on a subset of {} vectors (d_G = {dg}): common decodable values occupy {count} intersecting entries, need more than {bound}",
+                vectors.len()
+            ),
+        }
+    }
+}
+
+impl<V: fmt::Debug> std::error::Error for LegalityViolation<V> {}
+
+/// Checks validity and density of a single vector (the per-vector half of
+/// Definition 2).
+///
+/// # Errors
+///
+/// Returns the first violated property.
+pub fn check_vector<V: ProposalValue>(
+    vector: &InputVector<V>,
+    h: &impl RecognizingFn<V>,
+    params: LegalityParams,
+) -> Result<BTreeSet<V>, LegalityViolation<V>> {
+    let decoded = h.decode(vector);
+    let distinct = vector.distinct_count();
+    let max_allowed = params.ell().min(distinct);
+    if decoded.is_empty() || decoded.len() > max_allowed {
+        return Err(LegalityViolation::WrongDecodeSize {
+            vector: vector.clone(),
+            got: decoded.len(),
+            max_allowed,
+        });
+    }
+    if let Some(bad) = decoded.iter().find(|v| vector.count_of(v) == 0) {
+        return Err(LegalityViolation::ValueNotProposed {
+            vector: vector.clone(),
+            value: bad.clone(),
+        });
+    }
+    let count = vector.count_in(&decoded);
+    if count <= params.x() {
+        return Err(LegalityViolation::Density {
+            vector: vector.clone(),
+            count,
+            bound: params.x(),
+        });
+    }
+    Ok(decoded)
+}
+
+/// Exhaustively checks that `condition` is (x, ℓ)-legal with respect to the
+/// recognizing function `h` (Definition 2).
+///
+/// The distance property is checked over **every** subset of the condition
+/// whose generalized distance is at most `x`; subsets beyond that bound are
+/// pruned (adding a vector never decreases `d_G`), which keeps exhaustive
+/// checking tractable for explicitly enumerated conditions.
+///
+/// # Errors
+///
+/// Returns the first violation found, with the offending vector(s).
+///
+/// # Example
+///
+/// ```
+/// use setagree_conditions::{legality, Condition, LegalityParams, MaxEll};
+/// use setagree_types::InputVector;
+///
+/// // Both vectors repeat their maximum twice: (1,1)-legal under max_1.
+/// let c = Condition::from_vectors(vec![
+///     InputVector::new(vec![2, 2, 1]),
+///     InputVector::new(vec![3, 3, 1]),
+/// ]).unwrap();
+/// let params = LegalityParams::new(1, 1)?;
+/// assert!(legality::check(&c, &MaxEll::new(1), params).is_ok());
+/// # Ok::<(), setagree_conditions::ParamsError>(())
+/// ```
+pub fn check<V: ProposalValue>(
+    condition: &Condition<V>,
+    h: &impl RecognizingFn<V>,
+    params: LegalityParams,
+) -> Result<(), LegalityViolation<V>> {
+    let vectors: Vec<&InputVector<V>> = condition.iter().collect();
+    let mut decoded: Vec<BTreeSet<V>> = Vec::with_capacity(vectors.len());
+    for v in &vectors {
+        decoded.push(check_vector(v, h, params)?);
+    }
+
+    // Distance over subsets of size ≥ 2, with d_G pruning. The running
+    // state of a branch is (intersecting view, ⋂ h_ℓ) of the chosen subset.
+    let n = condition.system_size();
+    for start in 0..vectors.len() {
+        let seed_view: View<V> = vectors[start].to_view();
+        explore_subsets(
+            &vectors,
+            &decoded,
+            params,
+            n,
+            start,
+            &mut vec![start],
+            seed_view,
+            decoded[start].clone(),
+        )?;
+    }
+    Ok(())
+}
+
+/// Convenience wrapper around [`check`] returning a boolean.
+pub fn is_legal<V: ProposalValue>(
+    condition: &Condition<V>,
+    h: &impl RecognizingFn<V>,
+    params: LegalityParams,
+) -> bool {
+    check(condition, h, params).is_ok()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn explore_subsets<V: ProposalValue>(
+    vectors: &[&InputVector<V>],
+    decoded: &[BTreeSet<V>],
+    params: LegalityParams,
+    n: usize,
+    last: usize,
+    chosen: &mut Vec<usize>,
+    inter: View<V>,
+    common_h: BTreeSet<V>,
+) -> Result<(), LegalityViolation<V>> {
+    for next in (last + 1)..vectors.len() {
+        // Extend the intersecting view with the candidate vector.
+        let candidate = vectors[next];
+        let new_inter = View::from_options(
+            inter
+                .iter()
+                .zip(candidate.iter())
+                .map(|(kept, v)| match kept {
+                    Some(k) if k == v => Some(k.clone()),
+                    _ => None,
+                })
+                .collect(),
+        );
+        let dg = n - (new_inter.len() - new_inter.count_bottom());
+        if dg > params.x() {
+            // d_G only grows along a branch: every superset that includes
+            // this candidate via this branch is exempt from the property.
+            continue;
+        }
+        let new_common: BTreeSet<V> = common_h
+            .intersection(&decoded[next])
+            .cloned()
+            .collect();
+        let count = new_inter.count_in(&new_common);
+        let bound = params.x() - dg;
+        chosen.push(next);
+        if count <= bound {
+            let offenders = chosen.iter().map(|&i| vectors[i].clone()).collect();
+            return Err(LegalityViolation::Distance {
+                vectors: offenders,
+                dg,
+                count,
+                bound,
+            });
+        }
+        explore_subsets(
+            vectors, decoded, params, n, next, chosen, new_inter, new_common,
+        )?;
+        chosen.pop();
+    }
+    Ok(())
+}
+
+/// The Definition-4 extension of `h_ℓ` to views: for a view `J`,
+///
+/// ```text
+/// h_ℓ(J) = ⋂_{I ∈ C, J ≤ I} h_ℓ(I)  ∩  val(J)
+/// ```
+///
+/// Returns `None` when no vector of the condition contains `J` (i.e. the
+/// predicate `P(J)` of Figure 2 is false), in which case `h_ℓ(J)` is left
+/// undefined by the paper.
+///
+/// Theorem 1 guarantees that for an (x, ℓ)-legal condition and a view with
+/// `#_⊥(J) ≤ x`, the result is non-empty and has at most ℓ values.
+pub fn decode_view<V: ProposalValue>(
+    condition: &Condition<V>,
+    h: &impl RecognizingFn<V>,
+    view: &View<V>,
+) -> Option<BTreeSet<V>> {
+    let observed = view.distinct_values();
+    let mut acc: Option<BTreeSet<V>> = None;
+    for i in condition.completions_of(view) {
+        let hi = h.decode(i);
+        acc = Some(match acc {
+            None => hi.intersection(&observed).cloned().collect(),
+            Some(prev) => prev.intersection(&hi).cloned().collect(),
+        });
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recognizing::{MaxEll, TableFn};
+
+    fn v(entries: &[u32]) -> InputVector<u32> {
+        InputVector::new(entries.to_vec())
+    }
+
+    fn p(x: usize, ell: usize) -> LegalityParams {
+        LegalityParams::new(x, ell).unwrap()
+    }
+
+    #[test]
+    fn params_accessors_and_display() {
+        let params = p(3, 2);
+        assert_eq!(params.x(), 3);
+        assert_eq!(params.ell(), 2);
+        assert_eq!(params.to_string(), "(x = 3, ℓ = 2)");
+    }
+
+    #[test]
+    fn params_reject_zero_ell() {
+        assert_eq!(LegalityParams::new(1, 0), Err(ParamsError::ZeroEll));
+    }
+
+    #[test]
+    fn all_vectors_frontier_is_ell_greater_than_x() {
+        assert!(p(0, 1).admits_all_vectors());
+        assert!(p(1, 2).admits_all_vectors());
+        assert!(!p(1, 1).admits_all_vectors());
+        assert!(!p(2, 2).admits_all_vectors());
+    }
+
+    #[test]
+    fn check_vector_accepts_dense_decoding() {
+        let i = v(&[5, 5, 5, 1]);
+        let decoded = check_vector(&i, &MaxEll::new(1), p(2, 1)).unwrap();
+        assert_eq!(decoded, [5].into_iter().collect());
+    }
+
+    #[test]
+    fn check_vector_rejects_sparse_decoding() {
+        let i = v(&[5, 1, 1, 1]);
+        let err = check_vector(&i, &MaxEll::new(1), p(2, 1)).unwrap_err();
+        assert!(matches!(err, LegalityViolation::Density { count: 1, bound: 2, .. }));
+    }
+
+    #[test]
+    fn check_vector_rejects_foreign_value() {
+        let i = v(&[1, 1]);
+        let h = TableFn::from_entries(vec![(i.clone(), [9].into_iter().collect())]);
+        let err = check_vector(&i, &h, p(0, 1)).unwrap_err();
+        assert!(matches!(err, LegalityViolation::ValueNotProposed { value: 9, .. }));
+    }
+
+    #[test]
+    fn check_vector_rejects_empty_decode() {
+        let i = v(&[1, 1]);
+        let h: TableFn<u32> = TableFn::new();
+        let err = check_vector(&i, &h, p(0, 1)).unwrap_err();
+        assert!(matches!(err, LegalityViolation::WrongDecodeSize { got: 0, .. }));
+    }
+
+    #[test]
+    fn check_vector_rejects_oversized_decode() {
+        let i = v(&[1, 2, 2]);
+        let h = TableFn::from_entries(vec![(i.clone(), [1, 2].into_iter().collect())]);
+        let err = check_vector(&i, &h, p(0, 1)).unwrap_err();
+        assert!(matches!(
+            err,
+            LegalityViolation::WrongDecodeSize { got: 2, max_allowed: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn decode_size_capped_by_distinct_values() {
+        // ℓ = 3 but only one distinct value: decode of size 1 is the max.
+        let i = v(&[4, 4, 4]);
+        assert!(check_vector(&i, &MaxEll::new(3), p(1, 3)).is_ok());
+    }
+
+    /// The ℓ = 1 sanity check from [20]: two vectors with different decoded
+    /// values at Hamming distance ≤ x violate the distance property.
+    #[test]
+    fn close_vectors_with_different_values_are_illegal() {
+        // Both vectors are dense (their decoded value appears 3 > x = 2
+        // times) but they are at d_H = 2 ≤ x with disjoint decoded sets.
+        let i1 = v(&[1, 1, 1, 2, 9]);
+        let i2 = v(&[1, 2, 2, 2, 9]);
+        let c = Condition::from_vectors(vec![i1.clone(), i2.clone()]).unwrap();
+        let h = TableFn::from_entries(vec![
+            (i1, [1].into_iter().collect()),
+            (i2, [2].into_iter().collect()),
+        ]);
+        let err = check(&c, &h, p(2, 1)).unwrap_err();
+        assert!(matches!(err, LegalityViolation::Distance { dg: 2, count: 0, bound: 0, .. }));
+    }
+
+    #[test]
+    fn distant_vectors_with_different_values_are_legal() {
+        // d_H = 3 > x = 2: the distance property is vacuous for the pair.
+        let c = Condition::from_vectors(vec![v(&[1, 1, 1]), v(&[2, 2, 2])]).unwrap();
+        let h = TableFn::from_entries(vec![
+            (v(&[1, 1, 1]), [1].into_iter().collect()),
+            (v(&[2, 2, 2]), [2].into_iter().collect()),
+        ]);
+        assert!(check(&c, &h, p(2, 1)).is_ok());
+    }
+
+    /// Distance must hold for the *common* value count in the intersecting
+    /// vector, not just non-emptiness. (For ℓ = 1 with a shared decoded
+    /// value, density already implies distance — the interesting case needs
+    /// ℓ ≥ 2, where the commonly-decodable set ⋂h is a strict subset of
+    /// each h and its surviving copies can dip below the bound.)
+    #[test]
+    fn common_value_with_too_few_surviving_copies_is_illegal() {
+        // x = 3, ℓ = 2. h(I1) = {5,4}, h(I2) = {5,3}: ⋂h = {5}, and 5 has a
+        // single copy. d_H = 2 so the bound is x − 2 = 1, but count(5) = 1.
+        let i1 = v(&[5, 4, 4, 4, 3, 9]);
+        let i2 = v(&[5, 4, 3, 4, 3, 3]);
+        assert_eq!(setagree_types::distance::hamming(&i1, &i2), 2);
+        let c = Condition::from_vectors(vec![i1.clone(), i2.clone()]).unwrap();
+        let h = TableFn::from_entries(vec![
+            (i1, [5, 4].into_iter().collect()),
+            (i2, [5, 3].into_iter().collect()),
+        ]);
+        let err = check(&c, &h, p(3, 2)).unwrap_err();
+        assert!(matches!(err, LegalityViolation::Distance { dg: 2, count: 1, bound: 1, .. }));
+    }
+
+    /// Symmetric triple at small mutual distance: legal for x = 4 — the
+    /// checker must explore (and accept) the triple, not just pairs.
+    #[test]
+    fn symmetric_triple_is_explored_and_legal() {
+        let a = v(&[9, 9, 9, 9, 9, 0, 0, 5]);
+        let b = v(&[9, 9, 9, 9, 0, 9, 0, 5]);
+        let c3 = v(&[9, 9, 9, 0, 9, 9, 0, 5]);
+        // pairs: d_H = 2; triple: d_G = 3; density: five 9s > x = 4.
+        // x = 4: pair bound 2, pair intersecting count(9) = 4 > 2 ✓;
+        //        triple bound 1, triple intersecting (9,9,9,⊥,⊥,⊥,0,5): count 3 > 1 ✓.
+        let cnd = Condition::from_vectors(vec![a.clone(), b.clone(), c3.clone()]).unwrap();
+        let h = TableFn::from_entries(vec![
+            (a, [9].into_iter().collect()),
+            (b, [9].into_iter().collect()),
+            (c3, [9].into_iter().collect()),
+        ]);
+        assert!(check(&cnd, &h, p(4, 1)).is_ok());
+    }
+
+    /// A genuinely triple-only distance violation, constructed directly.
+    #[test]
+    fn triple_only_distance_violation_is_caught() {
+        // Shared tail gives density and pairwise slack; decoded sets intersect
+        // pairwise but not jointly.
+        // Tail: both 1, 2, 3 appear 3 times in every vector (columns 3..11).
+        let tail: Vec<u32> = vec![1, 1, 1, 2, 2, 2, 3, 3, 3];
+        let mk = |head: [u32; 2]| {
+            let mut e = head.to_vec();
+            e.extend_from_slice(&tail);
+            InputVector::new(e)
+        };
+        let g1 = mk([1, 2]); // decodes {1, 2}
+        let g2 = mk([2, 3]); // decodes {2, 3}
+        let g3 = mk([3, 1]); // decodes {3, 1}
+        let h = TableFn::from_entries(vec![
+            (g1.clone(), [1, 2].into_iter().collect()),
+            (g2.clone(), [2, 3].into_iter().collect()),
+            (g3.clone(), [3, 1].into_iter().collect()),
+        ]);
+        let cnd = Condition::from_vectors(vec![g1, g2, g3]).unwrap();
+        // Densities: e.g. g1 count{1,2} = 2 + 3 + 3 = 8 > x for x ≤ 7.
+        // Pairs: d_H = 2; ⋂h(g1,g2) = {2}; intersecting vector keeps the tail →
+        // count(2) = 3 (+ possibly heads ⊥) → need 3 > x − 2 → ok for x ≤ 4.
+        // Triple: d_G = 2 (the two head columns); ⋂h = ∅ → count 0 > x − 2 fails
+        // for x ≥ 2.
+        let err = check(&cnd, &h, p(2, 2)).unwrap_err();
+        match err {
+            LegalityViolation::Distance { vectors, dg, count, bound } => {
+                assert_eq!(vectors.len(), 3, "violation needs the full triple");
+                assert_eq!(dg, 2);
+                assert_eq!(count, 0);
+                assert_eq!(bound, 0);
+            }
+            other => panic!("expected a distance violation, got {other:?}"),
+        }
+        // And every pair alone is fine: removing any vector restores legality.
+        for skip in 0..3 {
+            let vecs: Vec<InputVector<u32>> = cnd.iter().cloned().collect();
+            let pair: Vec<InputVector<u32>> = vecs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != skip)
+                .map(|(_, v)| v.clone())
+                .collect();
+            let sub = Condition::from_vectors(pair).unwrap();
+            assert!(check(&sub, &h, p(2, 2)).is_ok(), "pair {skip} should be legal");
+        }
+    }
+
+    #[test]
+    fn empty_condition_is_legal() {
+        let c: Condition<u32> = Condition::new(3);
+        assert!(is_legal(&c, &MaxEll::new(1), p(2, 1)));
+    }
+
+    #[test]
+    fn decode_view_intersects_completions() {
+        let i1 = v(&[5, 5, 1]);
+        let i2 = v(&[5, 5, 2]);
+        let c = Condition::from_vectors(vec![i1.clone(), i2.clone()]).unwrap();
+        let h = MaxEll::new(1);
+        let j = View::from_options(vec![Some(5), Some(5), None]);
+        // Both completions decode to {5}; 5 is observed.
+        assert_eq!(decode_view(&c, &h, &j), Some([5].into_iter().collect()));
+    }
+
+    #[test]
+    fn decode_view_none_without_completion() {
+        let c = Condition::from_vectors(vec![v(&[5, 5, 1])]).unwrap();
+        let j = View::from_options(vec![Some(4), None, None]);
+        assert_eq!(decode_view(&c, &MaxEll::new(1), &j), None);
+    }
+
+    #[test]
+    fn decode_view_restricted_to_observed_values() {
+        // The completion decodes {5}, but 5 is not observed in J: empty set.
+        let c = Condition::from_vectors(vec![v(&[5, 1, 1])]).unwrap();
+        let j = View::from_options(vec![None, Some(1), Some(1)]);
+        assert_eq!(decode_view(&c, &MaxEll::new(1), &j), Some(BTreeSet::new()));
+    }
+
+    /// Theorem 1: for an (x, ℓ)-legal condition and a view with ≤ x bottoms
+    /// contained in some vector, the decoded set is non-empty and ≤ ℓ.
+    #[test]
+    fn theorem_1_on_a_small_legal_condition() {
+        let params = p(1, 1);
+        let c = Condition::from_vectors(vec![v(&[7, 7, 1]), v(&[7, 7, 2]), v(&[9, 9, 9])]).unwrap();
+        let h = MaxEll::new(1);
+        assert!(check(&c, &h, params).is_ok());
+        for i in c.iter() {
+            // Erase each single entry (x = 1) and decode the view.
+            for erase in 0..3 {
+                let mut entries: Vec<Option<u32>> =
+                    i.iter().cloned().map(Some).collect();
+                entries[erase] = None;
+                let view = View::from_options(entries);
+                let decoded = decode_view(&c, &h, &view).expect("P(J) holds");
+                assert!(!decoded.is_empty(), "Theorem 1 non-emptiness");
+                assert!(decoded.len() <= params.ell(), "Theorem 1 upper bound");
+            }
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Condition oracles: the interface through which agreement protocols
+//! consult a condition.
+//!
+//! The synchronous algorithm of Figure 2 needs exactly two operations on
+//! its condition `C` during the first round:
+//!
+//! * the predicate `P(V_i)` — does some vector of `C` contain the view
+//!   `V_i`? (line 6 vs line 7);
+//! * the decoding `h_ℓ(V_i)` of Definition 4, from which the candidate
+//!   decision `max(h_ℓ(V_i))` is taken.
+//!
+//! [`ConditionOracle`] abstracts those operations so protocols work with
+//! explicitly enumerated conditions (`ExplicitOracle`), the analytic
+//! maximal condition ([`MaxCondition`]), or the
+//! trivial all-vectors condition ([`TrivialOracle`]).
+
+use std::collections::BTreeSet;
+
+use setagree_types::{ProposalValue, View};
+
+use crate::condition::Condition;
+use crate::error::ParamsError;
+use crate::legality::{self, LegalityParams};
+use crate::max_condition::MaxCondition;
+use crate::recognizing::RecognizingFn;
+
+/// A condition `C` together with its recognizing function, consulted
+/// through views.
+///
+/// Implementors must answer consistently: `decode_view` returns `Some` iff
+/// `matches` returns `true`, and for an (x, ℓ)-legal condition the decoded
+/// set obeys Theorem 1 (non-empty with at most ℓ values whenever the view
+/// has at most `x` missing entries and a completion in `C`).
+pub trait ConditionOracle<V: ProposalValue> {
+    /// The legality parameters `(x, ℓ)` the condition is designed for.
+    fn params(&self) -> LegalityParams;
+
+    /// The predicate `P(J)`: does some `I ∈ C` satisfy `J ≤ I`?
+    fn matches(&self, view: &View<V>) -> bool;
+
+    /// The Definition-4 decoding `h_ℓ(J) = ⋂_{I ∈ C, J ≤ I} h_ℓ(I) ∩ val(J)`,
+    /// or `None` when `P(J)` is false.
+    fn decode_view(&self, view: &View<V>) -> Option<BTreeSet<V>>;
+}
+
+impl<V: ProposalValue, O: ConditionOracle<V> + ?Sized> ConditionOracle<V> for &O {
+    fn params(&self) -> LegalityParams {
+        (**self).params()
+    }
+    fn matches(&self, view: &View<V>) -> bool {
+        (**self).matches(view)
+    }
+    fn decode_view(&self, view: &View<V>) -> Option<BTreeSet<V>> {
+        (**self).decode_view(view)
+    }
+}
+
+/// An oracle over an explicitly enumerated [`Condition`] and recognizing
+/// function. Queries cost `O(|C| · n)`.
+///
+/// # Example
+///
+/// ```
+/// use setagree_conditions::{Condition, ConditionOracle, ExplicitOracle, LegalityParams, MaxEll};
+/// use setagree_types::{InputVector, View};
+///
+/// let c = Condition::from_vectors(vec![
+///     InputVector::new(vec![4, 4, 1]),
+///     InputVector::new(vec![4, 4, 2]),
+/// ]).unwrap();
+/// let oracle = ExplicitOracle::new(c, MaxEll::new(1), LegalityParams::new(1, 1)?);
+/// let j = View::from_options(vec![Some(4), Some(4), None]);
+/// assert!(oracle.matches(&j));
+/// assert_eq!(oracle.decode_view(&j), Some([4].into_iter().collect()));
+/// # Ok::<(), setagree_conditions::ParamsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExplicitOracle<V: Ord, H> {
+    condition: Condition<V>,
+    h: H,
+    params: LegalityParams,
+}
+
+impl<V: ProposalValue, H: RecognizingFn<V>> ExplicitOracle<V, H> {
+    /// Wraps a condition and its recognizing function.
+    ///
+    /// The constructor does **not** verify legality (that is
+    /// [`legality::check`]'s job and may be expensive); protocols built on
+    /// an illegal condition lose their agreement guarantees, not safety of
+    /// this type.
+    pub fn new(condition: Condition<V>, h: H, params: LegalityParams) -> Self {
+        ExplicitOracle { condition, h, params }
+    }
+
+    /// The underlying condition.
+    pub fn condition(&self) -> &Condition<V> {
+        &self.condition
+    }
+
+    /// The underlying recognizing function.
+    pub fn recognizing_fn(&self) -> &H {
+        &self.h
+    }
+}
+
+impl<V: ProposalValue, H: RecognizingFn<V>> ConditionOracle<V> for ExplicitOracle<V, H> {
+    fn params(&self) -> LegalityParams {
+        self.params
+    }
+
+    fn matches(&self, view: &View<V>) -> bool {
+        self.condition.matches_view(view)
+    }
+
+    fn decode_view(&self, view: &View<V>) -> Option<BTreeSet<V>> {
+        legality::decode_view(&self.condition, &self.h, view)
+    }
+}
+
+/// The all-vectors condition `C_all`, which is (x, ℓ)-legal iff `ℓ > x`
+/// (Theorems 8 and 9).
+///
+/// Running the synchronous algorithm with this oracle reproduces the
+/// classical unconditioned `⌊t/k⌋ + 1`-round behaviour (the paper's remark
+/// after the round-complexity formula).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrivialOracle {
+    inner: MaxCondition,
+}
+
+impl TrivialOracle {
+    /// Creates the all-vectors oracle for parameters with `ℓ > x`.
+    ///
+    /// Over systems with `n > x`, `C_all` coincides with the maximal
+    /// `max_ℓ` condition (every vector's top-ℓ values occupy at least
+    /// `min(ℓ, n) > x` entries), so the oracle delegates to the analytic
+    /// [`MaxCondition`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamsError::TrivialConditionNotLegal`] if `ℓ ≤ x` — by
+    /// Theorem 9 the all-vectors condition is not (x, ℓ)-legal then.
+    pub fn new(params: LegalityParams) -> Result<Self, ParamsError> {
+        if !params.admits_all_vectors() {
+            return Err(ParamsError::TrivialConditionNotLegal {
+                x: params.x(),
+                ell: params.ell(),
+            });
+        }
+        Ok(TrivialOracle {
+            inner: MaxCondition::new(params),
+        })
+    }
+}
+
+impl<V: ProposalValue> ConditionOracle<V> for TrivialOracle {
+    fn params(&self) -> LegalityParams {
+        self.inner.params()
+    }
+
+    fn matches(&self, view: &View<V>) -> bool {
+        self.inner.matches(view)
+    }
+
+    fn decode_view(&self, view: &View<V>) -> Option<BTreeSet<V>> {
+        self.inner.decode_view(view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recognizing::MaxEll;
+    use setagree_types::InputVector;
+
+    fn p(x: usize, ell: usize) -> LegalityParams {
+        LegalityParams::new(x, ell).unwrap()
+    }
+
+    #[test]
+    fn explicit_oracle_answers_both_queries() {
+        let c = Condition::from_vectors(vec![InputVector::new(vec![4u32, 4, 1])]).unwrap();
+        let oracle = ExplicitOracle::new(c, MaxEll::new(1), p(1, 1));
+        let hit = View::from_options(vec![Some(4), None, None]);
+        let miss = View::from_options(vec![Some(5), None, None]);
+        assert!(oracle.matches(&hit));
+        assert!(!oracle.matches(&miss));
+        assert_eq!(oracle.decode_view(&hit), Some([4].into_iter().collect()));
+        assert_eq!(oracle.decode_view(&miss), None);
+        assert_eq!(ConditionOracle::<u32>::params(&oracle), p(1, 1));
+    }
+
+    #[test]
+    fn explicit_oracle_accessors() {
+        let c = Condition::from_vectors(vec![InputVector::new(vec![4u32, 4])]).unwrap();
+        let oracle = ExplicitOracle::new(c.clone(), MaxEll::new(1), p(1, 1));
+        assert_eq!(oracle.condition(), &c);
+        assert_eq!(oracle.recognizing_fn(), &MaxEll::new(1));
+    }
+
+    #[test]
+    fn trivial_oracle_requires_ell_above_x() {
+        assert!(TrivialOracle::new(p(1, 2)).is_ok());
+        assert!(TrivialOracle::new(p(1, 1)).is_err());
+        assert!(TrivialOracle::new(p(2, 1)).is_err());
+    }
+
+    #[test]
+    fn trivial_oracle_matches_everything_with_enough_processes() {
+        let oracle = TrivialOracle::new(p(1, 2)).unwrap();
+        // Any full vector matches.
+        let full: View<u32> = InputVector::new(vec![1, 2, 3]).into();
+        assert!(oracle.matches(&full));
+        // Views with bottoms over n > x match too.
+        let j = View::from_options(vec![None, Some(7), None]);
+        assert!(oracle.matches(&j));
+        let decoded = oracle.decode_view(&full).unwrap();
+        assert!(!decoded.is_empty() && decoded.len() <= 2);
+    }
+
+    #[test]
+    fn oracle_by_reference_delegates() {
+        let oracle = TrivialOracle::new(p(0, 1)).unwrap();
+        let by_ref: &dyn ConditionOracle<u32> = &oracle;
+        let full: View<u32> = InputVector::new(vec![5, 5]).into();
+        assert!(by_ref.matches(&full));
+        assert!((&oracle as &TrivialOracle).decode_view(&full).is_some());
+    }
+}

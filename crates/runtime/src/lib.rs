@@ -1,0 +1,276 @@
+//! A real-thread synchronous runtime: one OS thread per process, crossbeam
+//! channels as links, and a barrier realizing the round structure.
+//!
+//! This crate runs the *same* [`SyncProtocol`] implementations as the
+//! deterministic simulator in `setagree-sync`, on actual concurrency:
+//! each process is a thread, each link a channel, and each round a pair of
+//! barrier crossings (sends happen before the first crossing, receives and
+//! local computation between the two). Crash injection honours the same
+//! [`FailurePattern`] — including ordered-send prefixes — so an execution
+//! here is observationally identical to the simulator's, which the
+//! integration tests assert by comparing whole [`Trace`]s.
+//!
+//! Use the simulator for experiments (faster, no thread overhead); use
+//! this runtime to demonstrate the protocols really are message-passing
+//! programs and not artifacts of a sequential executor.
+//!
+//! # Example
+//!
+//! ```
+//! use setagree_core::FloodSet;
+//! use setagree_runtime::run_threaded;
+//! use setagree_sync::FailurePattern;
+//!
+//! let procs: Vec<_> = [3u32, 9, 1, 4].into_iter().map(|v| FloodSet::new(2, 1, v)).collect();
+//! let trace = run_threaded(procs, &FailurePattern::none(4), 10)?;
+//! assert_eq!(trace.decided_values(), [9].into_iter().collect());
+//! # Ok::<(), setagree_runtime::ThreadedError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use setagree_sync::{FailurePattern, Outcome, Step, SyncProtocol, Trace};
+use setagree_types::ProcessId;
+
+/// Error running a threaded execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ThreadedError {
+    /// Some process neither decided nor crashed within the round limit.
+    RoundLimitExceeded {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// Process count and failure-pattern system size differ.
+    SystemSizeMismatch {
+        /// Protocol instances supplied.
+        processes: usize,
+        /// Pattern system size.
+        pattern: usize,
+    },
+    /// A process thread panicked.
+    ProcessPanicked {
+        /// The panicking process.
+        process: ProcessId,
+    },
+}
+
+impl fmt::Display for ThreadedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThreadedError::RoundLimitExceeded { limit } => {
+                write!(f, "execution exceeded the {limit}-round limit without termination")
+            }
+            ThreadedError::SystemSizeMismatch { processes, pattern } => write!(
+                f,
+                "{processes} protocol instances but the failure pattern is over {pattern} processes"
+            ),
+            ThreadedError::ProcessPanicked { process } => {
+                write!(f, "thread of {process} panicked")
+            }
+        }
+    }
+}
+
+impl Error for ThreadedError {}
+
+/// A round-`r` message from `from`.
+#[derive(Debug, Clone)]
+struct Envelope<M> {
+    round: usize,
+    from: ProcessId,
+    msg: M,
+}
+
+/// Runs the protocol instances on one thread each, rounds realized by a
+/// barrier, links by channels, under the failure pattern.
+///
+/// # Errors
+///
+/// Mirrors the simulator: size mismatches and round-limit violations, plus
+/// [`ThreadedError::ProcessPanicked`] if a protocol implementation panics.
+pub fn run_threaded<P>(
+    processes: Vec<P>,
+    pattern: &FailurePattern,
+    max_rounds: usize,
+) -> Result<Trace<P::Output>, ThreadedError>
+where
+    P: SyncProtocol + Send + 'static,
+    P::Msg: Send,
+    P::Output: Send,
+{
+    let n = processes.len();
+    if n != pattern.system_size() {
+        return Err(ThreadedError::SystemSizeMismatch {
+            processes: n,
+            pattern: pattern.system_size(),
+        });
+    }
+
+    type Links<M> = (Vec<Sender<Envelope<M>>>, Vec<Receiver<Envelope<M>>>);
+    let (senders, receivers): Links<P::Msg> = (0..n).map(|_| unbounded()).unzip();
+    let senders = Arc::new(senders);
+    // Settled processes (decided or crashed) stop receiving; the flag flips
+    // only in the compute half of a round, strictly barrier-separated from
+    // the send half that reads it.
+    let settled: Arc<Vec<AtomicBool>> = Arc::new((0..n).map(|_| AtomicBool::new(false)).collect());
+    let settled_count = Arc::new(AtomicU64::new(0));
+    let delivered = Arc::new(AtomicU64::new(0));
+    let barrier = Arc::new(Barrier::new(n));
+
+    let mut handles = Vec::with_capacity(n);
+    for (i, mut proto) in processes.into_iter().enumerate() {
+        let me = ProcessId::new(i);
+        let spec = pattern.spec(me);
+        let rx = receivers[i].clone();
+        let senders = Arc::clone(&senders);
+        let settled = Arc::clone(&settled);
+        let settled_count = Arc::clone(&settled_count);
+        let delivered = Arc::clone(&delivered);
+        let barrier = Arc::clone(&barrier);
+
+        handles.push(thread::spawn(move || -> Outcome<P::Output> {
+            let mut outcome: Option<Outcome<P::Output>> = None;
+            for round in 1..=max_rounds {
+                let active = outcome.is_none();
+
+                // Send phase: broadcast in the predetermined p_1 … p_n
+                // order, truncated to the crash prefix if this is the
+                // crash round.
+                if active {
+                    let reach = match spec {
+                        Some(s) if s.round == round => s.after_sends,
+                        _ => n,
+                    };
+                    let msg = proto.message(round);
+                    for recipient in 0..reach.min(n) {
+                        if settled[recipient].load(Ordering::SeqCst) {
+                            continue;
+                        }
+                        delivered.fetch_add(1, Ordering::SeqCst);
+                        senders[recipient]
+                            .send(Envelope { round, from: me, msg: msg.clone() })
+                            .expect("receiver outlives the round");
+                    }
+                }
+                barrier.wait(); // all sends of this round are in flight
+
+                if active {
+                    // Crash takes effect before local computation.
+                    if spec.map(|s| s.round == round).unwrap_or(false) {
+                        outcome = Some(Outcome::Crashed { round });
+                        settled[i].store(true, Ordering::SeqCst);
+                        settled_count.fetch_add(1, Ordering::SeqCst);
+                    } else {
+                        // Receive phase: drain, order by sender like the
+                        // paper's deterministic delivery, then compute.
+                        let mut inbox: Vec<Envelope<P::Msg>> = rx.try_iter().collect();
+                        debug_assert!(inbox.iter().all(|e| e.round == round));
+                        inbox.sort_by_key(|e| e.from);
+                        for env in inbox {
+                            proto.receive(env.round, env.from, env.msg);
+                        }
+                        if let Step::Decide(value) = proto.compute(round) {
+                            outcome = Some(Outcome::Decided { value, round });
+                            settled[i].store(true, Ordering::SeqCst);
+                            settled_count.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                }
+                barrier.wait(); // all compute phases (and settled flags) done
+
+                if settled_count.load(Ordering::SeqCst) as usize == n {
+                    break;
+                }
+            }
+            outcome.unwrap_or(Outcome::Undecided)
+        }));
+    }
+
+    let mut outcomes = Vec::with_capacity(n);
+    for (i, handle) in handles.into_iter().enumerate() {
+        match handle.join() {
+            Ok(outcome) => outcomes.push(outcome),
+            Err(_) => return Err(ThreadedError::ProcessPanicked { process: ProcessId::new(i) }),
+        }
+    }
+    if outcomes.iter().any(|o| matches!(o, Outcome::Undecided)) {
+        return Err(ThreadedError::RoundLimitExceeded { limit: max_rounds });
+    }
+    let rounds_executed = outcomes
+        .iter()
+        .map(|o| match o {
+            Outcome::Decided { round, .. } | Outcome::Crashed { round } => *round,
+            Outcome::Undecided => 0,
+        })
+        .max()
+        .unwrap_or(0);
+    Ok(Trace::from_parts(
+        outcomes,
+        rounds_executed,
+        delivered.load(Ordering::SeqCst),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setagree_core::FloodSet;
+    use setagree_sync::{run_protocol, CrashSpec};
+
+    fn floods(t: usize, k: usize, inputs: &[u32]) -> Vec<FloodSet<u32>> {
+        inputs.iter().map(|&v| FloodSet::new(t, k, v)).collect()
+    }
+
+    #[test]
+    fn failure_free_matches_simulator() {
+        let inputs = [3u32, 9, 1, 4];
+        let pattern = FailurePattern::none(4);
+        let threaded = run_threaded(floods(2, 1, &inputs), &pattern, 10).unwrap();
+        let simulated = run_protocol(floods(2, 1, &inputs), &pattern, 10).unwrap();
+        assert_eq!(threaded, simulated);
+    }
+
+    #[test]
+    fn prefix_crashes_match_simulator() {
+        let inputs = [9u32, 1, 1, 1, 1];
+        let mut pattern = FailurePattern::none(5);
+        pattern.crash(ProcessId::new(0), CrashSpec::new(1, 2)).unwrap();
+        pattern.crash(ProcessId::new(4), CrashSpec::new(2, 0)).unwrap();
+        let threaded = run_threaded(floods(2, 1, &inputs), &pattern, 10).unwrap();
+        let simulated = run_protocol(floods(2, 1, &inputs), &pattern, 10).unwrap();
+        assert_eq!(threaded, simulated);
+    }
+
+    #[test]
+    fn size_mismatch_is_reported() {
+        let err = run_threaded(floods(1, 1, &[1, 2]), &FailurePattern::none(3), 5).unwrap_err();
+        assert_eq!(err, ThreadedError::SystemSizeMismatch { processes: 2, pattern: 3 });
+    }
+
+    #[test]
+    fn round_limit_is_reported() {
+        #[derive(Debug)]
+        struct Stubborn;
+        impl SyncProtocol for Stubborn {
+            type Msg = ();
+            type Output = u32;
+            fn message(&mut self, _round: usize) {}
+            fn receive(&mut self, _round: usize, _from: ProcessId, _msg: ()) {}
+            fn compute(&mut self, _round: usize) -> Step<u32> {
+                Step::Continue
+            }
+        }
+        let err = run_threaded(vec![Stubborn, Stubborn], &FailurePattern::none(2), 3).unwrap_err();
+        assert_eq!(err, ThreadedError::RoundLimitExceeded { limit: 3 });
+    }
+}

@@ -1,0 +1,451 @@
+//! The deterministic round executor.
+//!
+//! [`run_protocol`] drives `n` [`SyncProtocol`] instances through rounds of
+//! send / receive / compute under a [`FailurePattern`], implementing the
+//! paper's model faithfully:
+//!
+//! * broadcasts go out in the predetermined order `p_1, …, p_n`; a process
+//!   crashing in round `r` with prefix `a` delivers that round's message to
+//!   `p_1, …, p_a` only, and nothing afterwards;
+//! * a message sent in round `r` is received in round `r`;
+//! * receives are delivered in sender order, then the compute phase runs;
+//! * a process whose compute phase returns [`Step::Decide`] stops
+//!   participating (its sends for that round already happened — the
+//!   forward-then-return shape of Figure 2's lines 13–14).
+
+use std::error::Error;
+use std::fmt;
+
+use setagree_types::ProcessId;
+
+use crate::adversary::{FailurePattern, UnorderedFailurePattern};
+use crate::protocol::{Step, SyncProtocol};
+use crate::trace::{Outcome, Trace};
+
+/// Error running an execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// Some process had not decided after `limit` rounds — the protocol
+    /// under test violates termination (or the limit is too small).
+    RoundLimitExceeded {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The failure pattern is over a different system size than the
+    /// process vector.
+    SystemSizeMismatch {
+        /// Number of protocol instances supplied.
+        processes: usize,
+        /// System size of the failure pattern.
+        pattern: usize,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::RoundLimitExceeded { limit } => {
+                write!(f, "execution exceeded the {limit}-round limit without termination")
+            }
+            EngineError::SystemSizeMismatch { processes, pattern } => write!(
+                f,
+                "{processes} protocol instances but the failure pattern is over {pattern} processes"
+            ),
+        }
+    }
+}
+
+impl Error for EngineError {}
+
+/// How a crashing sender's last round of messages is delivered — the
+/// model knob Section 6.2 discusses.
+pub(crate) trait DeliveryPolicy {
+    /// System size.
+    fn system_size(&self) -> usize;
+    /// The round during which `id` crashes, if it is faulty.
+    fn crash_round(&self, id: ProcessId) -> Option<usize>;
+    /// Whether `sender`'s round-`round` broadcast reaches `recipient`,
+    /// given that this is the sender's crash round.
+    fn delivers_while_crashing(
+        &self,
+        sender: ProcessId,
+        round: usize,
+        recipient: ProcessId,
+    ) -> bool;
+}
+
+impl DeliveryPolicy for FailurePattern {
+    fn system_size(&self) -> usize {
+        FailurePattern::system_size(self)
+    }
+    fn crash_round(&self, id: ProcessId) -> Option<usize> {
+        self.spec(id).map(|s| s.round)
+    }
+    fn delivers_while_crashing(
+        &self,
+        sender: ProcessId,
+        _round: usize,
+        recipient: ProcessId,
+    ) -> bool {
+        // The paper's model: ordered sends, so the crash loses a suffix.
+        let prefix = self.spec(sender).map(|s| s.after_sends).unwrap_or(0);
+        recipient.index() < prefix
+    }
+}
+
+impl DeliveryPolicy for UnorderedFailurePattern {
+    fn system_size(&self) -> usize {
+        UnorderedFailurePattern::system_size(self)
+    }
+    fn crash_round(&self, id: ProcessId) -> Option<usize> {
+        self.spec(id).map(|s| s.round)
+    }
+    fn delivers_while_crashing(
+        &self,
+        sender: ProcessId,
+        _round: usize,
+        recipient: ProcessId,
+    ) -> bool {
+        self.spec(sender)
+            .map(|s| s.delivered_to.contains(recipient))
+            .unwrap_or(false)
+    }
+}
+
+/// Runs the protocol instances (one per process, in process order) under
+/// the failure pattern, for at most `max_rounds` rounds — in the paper's
+/// **ordered-send** model (a crash loses a suffix of the broadcast).
+///
+/// # Errors
+///
+/// * [`EngineError::SystemSizeMismatch`] if `processes.len()` differs from
+///   the pattern's system size;
+/// * [`EngineError::RoundLimitExceeded`] if some process neither decided
+///   nor crashed within `max_rounds` (the returned error intentionally
+///   carries no partial trace: a protocol that does not terminate within
+///   its proven bound is a bug, not a result).
+///
+/// # Example
+///
+/// See the [crate-level example](crate).
+pub fn run_protocol<P: SyncProtocol>(
+    processes: Vec<P>,
+    pattern: &FailurePattern,
+    max_rounds: usize,
+) -> Result<Trace<P::Output>, EngineError> {
+    run_with_policy(processes, pattern, max_rounds)
+}
+
+/// Runs under the **standard** synchronous model instead (Attiya–Welch /
+/// Lynch): a process that crashes during its send phase loses an
+/// *arbitrary subset* of that round's messages, not a suffix. Round-1
+/// views are then no longer totally ordered by containment — the ablation
+/// that shows the paper's ordered-send assumption is load-bearing for the
+/// Figure 2 agreement argument.
+///
+/// # Errors
+///
+/// As [`run_protocol`].
+pub fn run_protocol_unordered<P: SyncProtocol>(
+    processes: Vec<P>,
+    pattern: &UnorderedFailurePattern,
+    max_rounds: usize,
+) -> Result<Trace<P::Output>, EngineError> {
+    run_with_policy(processes, pattern, max_rounds)
+}
+
+pub(crate) fn run_with_policy<P: SyncProtocol, D: DeliveryPolicy>(
+    processes: Vec<P>,
+    policy: &D,
+    max_rounds: usize,
+) -> Result<Trace<P::Output>, EngineError> {
+    let n = processes.len();
+    if n != policy.system_size() {
+        return Err(EngineError::SystemSizeMismatch {
+            processes: n,
+            pattern: policy.system_size(),
+        });
+    }
+
+    let mut procs = processes;
+    let mut outcomes: Vec<Option<Outcome<P::Output>>> = (0..n).map(|_| None).collect();
+    let mut messages_delivered: u64 = 0;
+    let mut rounds_executed = 0;
+
+    for round in 1..=max_rounds {
+        let active: Vec<usize> = (0..n).filter(|&i| outcomes[i].is_none()).collect();
+        if active.is_empty() {
+            break;
+        }
+        rounds_executed = round;
+
+        // Send phase: collect each active process's broadcast.
+        let mut sends: Vec<(usize, P::Msg, bool)> = Vec::with_capacity(active.len());
+        for &i in &active {
+            let crashing_now = policy.crash_round(ProcessId::new(i)) == Some(round);
+            // A process crashing mid-send still "sends" from the
+            // protocol's point of view (part of the broadcast is lost).
+            let msg = procs[i].message(round);
+            sends.push((i, msg, crashing_now));
+        }
+
+        // Receive phase: deliveries in sender order, to processes that are
+        // still participating this round.
+        for &(sender, ref msg, crashing_now) in &sends {
+            for recipient in 0..n {
+                if outcomes[recipient].is_some() {
+                    continue;
+                }
+                if crashing_now
+                    && !policy.delivers_while_crashing(
+                        ProcessId::new(sender),
+                        round,
+                        ProcessId::new(recipient),
+                    )
+                {
+                    continue;
+                }
+                procs[recipient].receive(round, ProcessId::new(sender), msg.clone());
+                messages_delivered += 1;
+            }
+        }
+
+        // Crashes of this round take effect before the compute phase: a
+        // process that crashed mid-send performs no local computation.
+        for &i in &active {
+            if policy.crash_round(ProcessId::new(i)) == Some(round) {
+                outcomes[i] = Some(Outcome::Crashed { round });
+            }
+        }
+
+        // Compute phase.
+        for &i in &active {
+            if outcomes[i].is_some() {
+                continue;
+            }
+            if let Step::Decide(value) = procs[i].compute(round) {
+                outcomes[i] = Some(Outcome::Decided { value, round });
+            }
+        }
+    }
+
+    if outcomes.iter().any(|o| o.is_none()) {
+        return Err(EngineError::RoundLimitExceeded { limit: max_rounds });
+    }
+    let outcomes = outcomes.into_iter().map(|o| o.expect("checked above")).collect();
+    Ok(Trace::new(outcomes, rounds_executed, messages_delivered))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::CrashSpec;
+    use setagree_types::View;
+
+    /// Test protocol: floods the set of known inputs for `rounds` rounds,
+    /// then decides the full view it assembled (exposes delivery order and
+    /// prefix semantics to the tests).
+    #[derive(Debug)]
+    struct Flood {
+        n: usize,
+        rounds: usize,
+        view: View<u32>,
+    }
+
+    impl Flood {
+        fn new(me: usize, n: usize, input: u32, rounds: usize) -> Self {
+            let mut view = View::all_bottom(n);
+            view.set(ProcessId::new(me), input);
+            Flood { n, rounds, view }
+        }
+    }
+
+    impl SyncProtocol for Flood {
+        type Msg = View<u32>;
+        type Output = View<u32>;
+
+        fn message(&mut self, _round: usize) -> View<u32> {
+            self.view.clone()
+        }
+
+        fn receive(&mut self, _round: usize, _from: ProcessId, msg: View<u32>) {
+            for i in 0..self.n {
+                if let Some(v) = msg.get(ProcessId::new(i)) {
+                    self.view.set(ProcessId::new(i), *v);
+                }
+            }
+        }
+
+        fn compute(&mut self, round: usize) -> Step<View<u32>> {
+            if round >= self.rounds {
+                Step::Decide(self.view.clone())
+            } else {
+                Step::Continue
+            }
+        }
+    }
+
+    fn flood_system(n: usize, rounds: usize) -> Vec<Flood> {
+        (0..n).map(|i| Flood::new(i, n, (i + 1) as u32, rounds)).collect()
+    }
+
+    #[test]
+    fn failure_free_round_one_views_are_full() {
+        let trace = run_protocol(flood_system(4, 1), &FailurePattern::none(4), 5).unwrap();
+        for o in trace.outcomes() {
+            let view = o.decided_value().unwrap();
+            assert_eq!(view.count_bottom(), 0);
+        }
+        assert_eq!(trace.rounds_executed(), 1);
+        // 4 senders × 4 recipients.
+        assert_eq!(trace.messages_delivered(), 16);
+    }
+
+    #[test]
+    fn initial_crash_leaves_bottom_entry() {
+        let pattern = FailurePattern::initial(4, [ProcessId::new(2)]).unwrap();
+        let trace = run_protocol(flood_system(4, 1), &pattern, 5).unwrap();
+        for (i, o) in trace.outcomes().iter().enumerate() {
+            if i == 2 {
+                assert!(o.is_crashed());
+                continue;
+            }
+            let view = o.decided_value().unwrap();
+            assert_eq!(view.get(ProcessId::new(2)), None, "p3 never spoke");
+            assert_eq!(view.count_bottom(), 1);
+        }
+    }
+
+    #[test]
+    fn prefix_crash_delivers_to_prefix_only() {
+        // p1 crashes in round 1 after reaching p1 and p2.
+        let mut pattern = FailurePattern::none(4);
+        pattern.crash(ProcessId::new(0), CrashSpec::new(1, 2)).unwrap();
+        let trace = run_protocol(flood_system(4, 1), &pattern, 5).unwrap();
+        // p2 heard p1's input (prefix includes index 1)…
+        let v2 = trace.outcome(ProcessId::new(1)).decided_value().unwrap();
+        assert_eq!(v2.get(ProcessId::new(0)), Some(&1));
+        // …but p3 and p4 did not.
+        for i in [2, 3] {
+            let v = trace.outcome(ProcessId::new(i)).decided_value().unwrap();
+            assert_eq!(v.get(ProcessId::new(0)), None);
+        }
+    }
+
+    #[test]
+    fn round_one_views_are_ordered_by_containment() {
+        // The paper's key structural property under ordered sends: any two
+        // round-1 views are comparable. Exercise several prefixes at once.
+        let mut pattern = FailurePattern::none(5);
+        pattern.crash(ProcessId::new(0), CrashSpec::new(1, 1)).unwrap();
+        pattern.crash(ProcessId::new(4), CrashSpec::new(1, 3)).unwrap();
+        let trace = run_protocol(flood_system(5, 1), &pattern, 5).unwrap();
+        let views: Vec<View<u32>> = trace
+            .outcomes()
+            .iter()
+            .filter_map(|o| o.decided_value().cloned())
+            .collect();
+        for a in &views {
+            for b in &views {
+                assert!(
+                    a.is_contained_in(b) || b.is_contained_in(a),
+                    "round-1 views must form a containment chain: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crash_in_later_round_stops_participation() {
+        let mut pattern = FailurePattern::none(3);
+        pattern.crash(ProcessId::new(1), CrashSpec::new(2, 0)).unwrap();
+        let trace = run_protocol(flood_system(3, 3), &pattern, 5).unwrap();
+        assert!(trace.outcome(ProcessId::new(1)).is_crashed());
+        assert_eq!(trace.outcome(ProcessId::new(1)).decision_round(), None);
+        // Others still decide at round 3.
+        assert_eq!(trace.outcome(ProcessId::new(0)).decision_round(), Some(3));
+    }
+
+    #[test]
+    fn decided_process_stops_sending() {
+        /// Decides in round 1, while others flood for 2 rounds; a decided
+        /// process must not contribute round-2 messages.
+        #[derive(Debug)]
+        struct CountRecv {
+            quit_early: bool,
+            round2_msgs: usize,
+        }
+        impl SyncProtocol for CountRecv {
+            type Msg = ();
+            type Output = usize;
+            fn message(&mut self, _round: usize) {}
+            fn receive(&mut self, round: usize, _from: ProcessId, _msg: ()) {
+                if round == 2 {
+                    self.round2_msgs += 1;
+                }
+            }
+            fn compute(&mut self, round: usize) -> Step<usize> {
+                if self.quit_early || round == 2 {
+                    Step::Decide(self.round2_msgs)
+                } else {
+                    Step::Continue
+                }
+            }
+        }
+        let procs = vec![
+            CountRecv { quit_early: true, round2_msgs: 0 },
+            CountRecv { quit_early: false, round2_msgs: 0 },
+            CountRecv { quit_early: false, round2_msgs: 0 },
+        ];
+        let trace = run_protocol(procs, &FailurePattern::none(3), 5).unwrap();
+        // p1 decided in round 1; p2 and p3 receive only each other in round 2.
+        assert_eq!(*trace.outcome(ProcessId::new(1)).decided_value().unwrap(), 2);
+        assert_eq!(*trace.outcome(ProcessId::new(2)).decided_value().unwrap(), 2);
+    }
+
+    #[test]
+    fn round_limit_is_reported() {
+        /// Never decides.
+        #[derive(Debug)]
+        struct Stubborn;
+        impl SyncProtocol for Stubborn {
+            type Msg = ();
+            type Output = u32;
+            fn message(&mut self, _round: usize) {}
+            fn receive(&mut self, _round: usize, _from: ProcessId, _msg: ()) {}
+            fn compute(&mut self, _round: usize) -> Step<u32> {
+                Step::Continue
+            }
+        }
+        let err = run_protocol(vec![Stubborn, Stubborn], &FailurePattern::none(2), 3).unwrap_err();
+        assert_eq!(err, EngineError::RoundLimitExceeded { limit: 3 });
+    }
+
+    #[test]
+    fn system_size_mismatch_is_reported() {
+        let err = run_protocol(flood_system(3, 1), &FailurePattern::none(4), 3).unwrap_err();
+        assert_eq!(err, EngineError::SystemSizeMismatch { processes: 3, pattern: 4 });
+    }
+
+    #[test]
+    fn everyone_crashed_terminates_cleanly() {
+        // All but one crash initially; the survivor decides alone.
+        let pattern =
+            FailurePattern::initial(3, [ProcessId::new(0), ProcessId::new(1)]).unwrap();
+        let trace = run_protocol(flood_system(3, 1), &pattern, 5).unwrap();
+        assert_eq!(trace.crashed_count(), 2);
+        assert_eq!(trace.decided_count(), 1);
+        let view = trace.outcome(ProcessId::new(2)).decided_value().unwrap();
+        assert_eq!(view.count_bottom(), 2);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let mut pattern = FailurePattern::none(4);
+        pattern.crash(ProcessId::new(3), CrashSpec::new(1, 2)).unwrap();
+        let a = run_protocol(flood_system(4, 2), &pattern, 5).unwrap();
+        let b = run_protocol(flood_system(4, 2), &pattern, 5).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,221 @@
+//! Distances between input vectors.
+//!
+//! Implements the metric toolbox of Section 2.1:
+//!
+//! * [`hamming`] — `d_H(J_1, J_2)`, the number of entries in which two
+//!   vectors differ;
+//! * [`generalized`] — `d_G(J_1, …, J_z)`, the number of distinct entries
+//!   for which at least two of the vectors differ (reduces to `d_H` for two
+//!   vectors);
+//! * [`intersecting_vector`] — `⋂_{1..z} I_j`, the view containing the
+//!   `n − d_G` entries on which all vectors agree, `⊥` elsewhere.
+
+use crate::value::ProposalValue;
+use crate::vector::InputVector;
+use crate::view::View;
+
+/// The Hamming distance `d_H(a, b)`: the number of entries in which `a` and
+/// `b` differ.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+///
+/// # Example
+///
+/// ```
+/// use setagree_types::{distance, InputVector};
+///
+/// let a = InputVector::new(vec![1, 2, 3]);
+/// let b = InputVector::new(vec![1, 9, 9]);
+/// assert_eq!(distance::hamming(&a, &b), 2);
+/// ```
+pub fn hamming<V: ProposalValue>(a: &InputVector<V>, b: &InputVector<V>) -> usize {
+    assert_eq!(a.len(), b.len(), "vectors over different systems");
+    a.iter().zip(b.iter()).filter(|(x, y)| x != y).count()
+}
+
+/// The generalized distance `d_G(I_1, …, I_z)`: the number of entry
+/// positions at which at least two of the vectors differ.
+///
+/// For two vectors this is exactly the Hamming distance; for one vector (or
+/// an empty set) it is `0`.
+///
+/// # Panics
+///
+/// Panics if the vectors do not all have the same length.
+///
+/// # Example
+///
+/// The paper's own example:
+/// `d_G([a,a,e,b,b], [a,a,e,c,c], [a,f,e,b,c]) = 3` — positions 2, 4, 5
+/// (1-based) are contested.
+///
+/// ```
+/// use setagree_types::{distance, InputVector};
+///
+/// let i1 = InputVector::new(vec!['a', 'a', 'e', 'b', 'b']);
+/// let i2 = InputVector::new(vec!['a', 'a', 'e', 'c', 'c']);
+/// let i3 = InputVector::new(vec!['a', 'f', 'e', 'b', 'c']);
+/// assert_eq!(distance::generalized(&[&i1, &i2, &i3]), 3);
+/// ```
+pub fn generalized<V: ProposalValue>(vectors: &[&InputVector<V>]) -> usize {
+    let Some((first, rest)) = vectors.split_first() else {
+        return 0;
+    };
+    let n = first.len();
+    for v in rest {
+        assert_eq!(v.len(), n, "vectors over different systems");
+    }
+    (0..n)
+        .filter(|&pos| {
+            let pivot = &first.as_slice()[pos];
+            rest.iter().any(|v| &v.as_slice()[pos] != pivot)
+        })
+        .count()
+}
+
+/// The intersecting vector `⋂_{1..z} I_j`: a view whose entry at position
+/// `p` is the common value if all vectors agree at `p`, and `⊥` otherwise.
+///
+/// By construction the view has exactly `n − d_G(I_1, …, I_z)` non-`⊥`
+/// entries.
+///
+/// # Panics
+///
+/// Panics if `vectors` is empty or the vectors have different lengths.
+///
+/// # Example
+///
+/// ```
+/// use setagree_types::{distance, InputVector, View};
+///
+/// let i1 = InputVector::new(vec![1, 2, 3]);
+/// let i2 = InputVector::new(vec![1, 9, 3]);
+/// let inter = distance::intersecting_vector(&[&i1, &i2]);
+/// assert_eq!(inter, View::from_options(vec![Some(1), None, Some(3)]));
+/// ```
+pub fn intersecting_vector<V: ProposalValue>(vectors: &[&InputVector<V>]) -> View<V> {
+    let (first, rest) = vectors
+        .split_first()
+        .expect("intersecting vector of an empty set is undefined");
+    let n = first.len();
+    for v in rest {
+        assert_eq!(v.len(), n, "vectors over different systems");
+    }
+    View::from_options(
+        (0..n)
+            .map(|pos| {
+                let pivot = &first.as_slice()[pos];
+                if rest.iter().all(|v| &v.as_slice()[pos] == pivot) {
+                    Some(pivot.clone())
+                } else {
+                    None
+                }
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(entries: &[u32]) -> InputVector<u32> {
+        InputVector::new(entries.to_vec())
+    }
+
+    #[test]
+    fn hamming_of_identical_vectors_is_zero() {
+        let a = v(&[1, 2, 3]);
+        assert_eq!(hamming(&a, &a), 0);
+    }
+
+    #[test]
+    fn hamming_counts_differences() {
+        assert_eq!(hamming(&v(&[1, 2, 3]), &v(&[3, 2, 1])), 2);
+        assert_eq!(hamming(&v(&[1, 1]), &v(&[2, 2])), 2);
+    }
+
+    #[test]
+    fn hamming_is_symmetric() {
+        let a = v(&[1, 5, 5, 2]);
+        let b = v(&[1, 4, 5, 3]);
+        assert_eq!(hamming(&a, &b), hamming(&b, &a));
+    }
+
+    #[test]
+    #[should_panic(expected = "different systems")]
+    fn hamming_rejects_length_mismatch() {
+        let _ = hamming(&v(&[1]), &v(&[1, 2]));
+    }
+
+    #[test]
+    fn generalized_on_two_vectors_is_hamming() {
+        let a = v(&[1, 2, 3, 4]);
+        let b = v(&[1, 9, 3, 8]);
+        assert_eq!(generalized(&[&a, &b]), hamming(&a, &b));
+    }
+
+    #[test]
+    fn generalized_on_singleton_or_empty_is_zero() {
+        let a = v(&[1, 2]);
+        assert_eq!(generalized(&[&a]), 0);
+        assert_eq!(generalized::<u32>(&[]), 0);
+    }
+
+    #[test]
+    fn generalized_matches_paper_example() {
+        // d_G((a,a,e,b,b), (a,a,e,c,c), (a,f,e,b,c)) = 3
+        let i1 = InputVector::new(vec!['a', 'a', 'e', 'b', 'b']);
+        let i2 = InputVector::new(vec!['a', 'a', 'e', 'c', 'c']);
+        let i3 = InputVector::new(vec!['a', 'f', 'e', 'b', 'c']);
+        assert_eq!(generalized(&[&i1, &i2, &i3]), 3);
+    }
+
+    #[test]
+    fn generalized_is_monotone_in_the_set() {
+        // Adding a vector can only grow the number of contested positions.
+        let i1 = v(&[1, 1, 1, 1]);
+        let i2 = v(&[1, 1, 2, 2]);
+        let i3 = v(&[9, 1, 2, 2]);
+        let d12 = generalized(&[&i1, &i2]);
+        let d123 = generalized(&[&i1, &i2, &i3]);
+        assert!(d123 >= d12);
+        assert_eq!(d12, 2);
+        assert_eq!(d123, 3);
+    }
+
+    #[test]
+    fn intersecting_vector_has_n_minus_dg_entries() {
+        let i1 = v(&[1, 2, 3, 4]);
+        let i2 = v(&[1, 9, 3, 8]);
+        let inter = intersecting_vector(&[&i1, &i2]);
+        let dg = generalized(&[&i1, &i2]);
+        assert_eq!(inter.len() - inter.count_bottom(), i1.len() - dg);
+    }
+
+    #[test]
+    fn intersecting_vector_of_singleton_is_full() {
+        let i = v(&[4, 5, 6]);
+        let inter = intersecting_vector(&[&i]);
+        assert_eq!(inter.to_vector(), Some(i));
+    }
+
+    #[test]
+    fn intersecting_vector_is_contained_in_every_vector() {
+        let i1 = v(&[1, 2, 3, 4, 5]);
+        let i2 = v(&[1, 0, 3, 0, 5]);
+        let i3 = v(&[1, 2, 3, 0, 5]);
+        let inter = intersecting_vector(&[&i1, &i2, &i3]);
+        for i in [&i1, &i2, &i3] {
+            assert!(inter.is_contained_in_vector(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty set is undefined")]
+    fn intersecting_vector_rejects_empty_input() {
+        let _ = intersecting_vector::<u32>(&[]);
+    }
+}

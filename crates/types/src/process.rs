@@ -1,0 +1,317 @@
+//! Process identities.
+//!
+//! The system consists of a finite set of `n` processes `Π = {p_1, …, p_n}`
+//! (Section 2.1 of the paper). A [`ProcessId`] is a zero-based index into
+//! that set; [`ProcessSet`] is a compact set of process identities used by
+//! the simulator substrates to track crashed/decided processes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The identity of one process among `n`.
+///
+/// Internally zero-based (`ProcessId::new(0)` is the paper's `p_1`); the
+/// [`fmt::Display`] implementation prints the paper's one-based name so that
+/// traces read like the paper.
+///
+/// # Example
+///
+/// ```
+/// use setagree_types::ProcessId;
+///
+/// let p = ProcessId::new(0);
+/// assert_eq!(p.index(), 0);
+/// assert_eq!(p.to_string(), "p1");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ProcessId(usize);
+
+impl ProcessId {
+    /// Creates the identity of the process with the given zero-based index.
+    pub const fn new(index: usize) -> Self {
+        ProcessId(index)
+    }
+
+    /// Returns the zero-based index of this process.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+
+    /// Iterates over the identities of all `n` processes, in the paper's
+    /// predetermined order `p_1, p_2, …, p_n`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use setagree_types::ProcessId;
+    ///
+    /// let ids: Vec<_> = ProcessId::all(3).collect();
+    /// assert_eq!(ids, vec![ProcessId::new(0), ProcessId::new(1), ProcessId::new(2)]);
+    /// ```
+    pub fn all(n: usize) -> impl DoubleEndedIterator<Item = ProcessId> + ExactSizeIterator {
+        (0..n).map(ProcessId)
+    }
+}
+
+impl From<usize> for ProcessId {
+    fn from(index: usize) -> Self {
+        ProcessId(index)
+    }
+}
+
+impl From<ProcessId> for usize {
+    fn from(id: ProcessId) -> Self {
+        id.0
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0 + 1)
+    }
+}
+
+/// A set of process identities over a fixed universe of `n` processes.
+///
+/// Backed by a boolean membership vector: O(1) insert/contains, O(n)
+/// iteration — the right trade-off for simulator bookkeeping where `n` is
+/// small and membership tests are hot.
+///
+/// # Example
+///
+/// ```
+/// use setagree_types::{ProcessId, ProcessSet};
+///
+/// let mut crashed = ProcessSet::empty(4);
+/// crashed.insert(ProcessId::new(2));
+/// assert!(crashed.contains(ProcessId::new(2)));
+/// assert!(!crashed.contains(ProcessId::new(0)));
+/// assert_eq!(crashed.len(), 1);
+/// assert_eq!(crashed.complement().len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProcessSet {
+    members: Vec<bool>,
+}
+
+impl ProcessSet {
+    /// Creates an empty set over a universe of `n` processes.
+    pub fn empty(n: usize) -> Self {
+        ProcessSet {
+            members: vec![false; n],
+        }
+    }
+
+    /// Creates the full set containing all `n` processes.
+    pub fn full(n: usize) -> Self {
+        ProcessSet {
+            members: vec![true; n],
+        }
+    }
+
+    /// The size `n` of the process universe (not the cardinality of the set).
+    pub fn universe(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The number of processes in the set.
+    pub fn len(&self) -> usize {
+        self.members.iter().filter(|&&m| m).count()
+    }
+
+    /// Returns `true` if no process is in the set.
+    pub fn is_empty(&self) -> bool {
+        !self.members.iter().any(|&m| m)
+    }
+
+    /// Inserts a process; returns `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the universe.
+    pub fn insert(&mut self, id: ProcessId) -> bool {
+        let slot = &mut self.members[id.index()];
+        let fresh = !*slot;
+        *slot = true;
+        fresh
+    }
+
+    /// Removes a process; returns `true` if it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the universe.
+    pub fn remove(&mut self, id: ProcessId) -> bool {
+        let slot = &mut self.members[id.index()];
+        let present = *slot;
+        *slot = false;
+        present
+    }
+
+    /// Returns `true` if the process is in the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the universe.
+    pub fn contains(&self, id: ProcessId) -> bool {
+        self.members[id.index()]
+    }
+
+    /// Iterates over the members in increasing process order.
+    pub fn iter(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.members
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(|(i, _)| ProcessId(i))
+    }
+
+    /// The set of processes *not* in this set (e.g. `UP_r`, the processes
+    /// that have not crashed by the end of round `r`).
+    pub fn complement(&self) -> ProcessSet {
+        ProcessSet {
+            members: self.members.iter().map(|&m| !m).collect(),
+        }
+    }
+
+    /// The union of two sets over the same universe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn union(&self, other: &ProcessSet) -> ProcessSet {
+        assert_eq!(
+            self.universe(),
+            other.universe(),
+            "process sets over different universes"
+        );
+        ProcessSet {
+            members: self
+                .members
+                .iter()
+                .zip(&other.members)
+                .map(|(&a, &b)| a || b)
+                .collect(),
+        }
+    }
+}
+
+impl FromIterator<ProcessId> for ProcessSet {
+    /// Collects process ids into a set whose universe is just large enough
+    /// to hold the largest id.
+    fn from_iter<I: IntoIterator<Item = ProcessId>>(iter: I) -> Self {
+        let ids: Vec<ProcessId> = iter.into_iter().collect();
+        let n = ids.iter().map(|id| id.index() + 1).max().unwrap_or(0);
+        let mut set = ProcessSet::empty(n);
+        for id in ids {
+            set.insert(id);
+        }
+        set
+    }
+}
+
+impl Extend<ProcessId> for ProcessSet {
+    fn extend<I: IntoIterator<Item = ProcessId>>(&mut self, iter: I) {
+        for id in iter {
+            self.insert(id);
+        }
+    }
+}
+
+impl fmt::Display for ProcessSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for id in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{id}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_id_display_is_one_based() {
+        assert_eq!(ProcessId::new(0).to_string(), "p1");
+        assert_eq!(ProcessId::new(9).to_string(), "p10");
+    }
+
+    #[test]
+    fn all_yields_n_ids_in_order() {
+        let ids: Vec<_> = ProcessId::all(4).collect();
+        assert_eq!(ids.len(), 4);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn empty_and_full_sets() {
+        let e = ProcessSet::empty(5);
+        let f = ProcessSet::full(5);
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert_eq!(f.len(), 5);
+        assert_eq!(e.complement(), f);
+        assert_eq!(f.complement(), e);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = ProcessSet::empty(3);
+        assert!(s.insert(ProcessId::new(1)));
+        assert!(!s.insert(ProcessId::new(1)), "double insert reports false");
+        assert!(s.contains(ProcessId::new(1)));
+        assert!(s.remove(ProcessId::new(1)));
+        assert!(!s.remove(ProcessId::new(1)), "double remove reports false");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn union_merges_members() {
+        let mut a = ProcessSet::empty(4);
+        let mut b = ProcessSet::empty(4);
+        a.insert(ProcessId::new(0));
+        b.insert(ProcessId::new(3));
+        let u = a.union(&b);
+        assert_eq!(u.len(), 2);
+        assert!(u.contains(ProcessId::new(0)) && u.contains(ProcessId::new(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "different universes")]
+    fn union_rejects_mismatched_universes() {
+        let _ = ProcessSet::empty(3).union(&ProcessSet::empty(4));
+    }
+
+    #[test]
+    fn from_iterator_sizes_universe() {
+        let s: ProcessSet = [ProcessId::new(2), ProcessId::new(0)].into_iter().collect();
+        assert_eq!(s.universe(), 3);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn display_lists_members() {
+        let s: ProcessSet = [ProcessId::new(0), ProcessId::new(2)].into_iter().collect();
+        assert_eq!(s.to_string(), "{p1, p3}");
+    }
+
+    #[test]
+    fn iter_is_in_increasing_order() {
+        let mut s = ProcessSet::empty(6);
+        for i in [5, 1, 3] {
+            s.insert(ProcessId::new(i));
+        }
+        let got: Vec<_> = s.iter().map(|p| p.index()).collect();
+        assert_eq!(got, vec![1, 3, 5]);
+    }
+}

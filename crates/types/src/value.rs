@@ -1,0 +1,129 @@
+//! Proposal values.
+//!
+//! The framework is generic over the type of proposed values: anything that
+//! is cloneable, totally ordered and debuggable qualifies (the total order
+//! is what the paper's deterministic extraction functions `max_ℓ`/`min_ℓ`
+//! rely on). The [`Value`] newtype is a convenient concrete choice used by
+//! the examples, tests and benchmarks of this workspace.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The bound required of a proposable value.
+///
+/// This is a *trait alias*: it is blanket-implemented for every type that
+/// satisfies the bound, so user types never implement it by hand.
+///
+/// The total order ([`Ord`]) is load-bearing: the paper's canonical
+/// recognizing functions `max_ℓ` and `min_ℓ` (Section 2.3) extract the ℓ
+/// greatest (resp. smallest) values of an input vector, and the synchronous
+/// algorithm of Figure 2 reduces value classes with `max`.
+///
+/// # Example
+///
+/// ```
+/// fn takes_value<V: setagree_types::ProposalValue>(v: V) -> V { v }
+/// takes_value(42u64);
+/// takes_value("strings work too");
+/// ```
+pub trait ProposalValue: Clone + Ord + fmt::Debug {}
+
+impl<T: Clone + Ord + fmt::Debug> ProposalValue for T {}
+
+/// A concrete proposal value: a thin, ordered wrapper around `u32`.
+///
+/// `Value` exists so that examples, tests and benchmarks share one obvious
+/// value type without committing the framework to it — every public API in
+/// this workspace is generic over [`ProposalValue`].
+///
+/// # Example
+///
+/// ```
+/// use setagree_types::Value;
+///
+/// let v = Value::new(7);
+/// assert_eq!(v.get(), 7);
+/// assert_eq!(Value::from(7u32), v);
+/// assert_eq!(v.to_string(), "7");
+/// assert!(Value::new(3) < Value::new(4));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Value(u32);
+
+impl Value {
+    /// Creates a new value.
+    pub const fn new(raw: u32) -> Self {
+        Value(raw)
+    }
+
+    /// Returns the wrapped integer.
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for Value {
+    fn from(raw: u32) -> Self {
+        Value(raw)
+    }
+}
+
+impl From<Value> for u32 {
+    fn from(v: Value) -> Self {
+        v.0
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_roundtrips_through_u32() {
+        for raw in [0u32, 1, 17, u32::MAX] {
+            assert_eq!(u32::from(Value::from(raw)), raw);
+            assert_eq!(Value::new(raw).get(), raw);
+        }
+    }
+
+    #[test]
+    fn value_order_matches_integer_order() {
+        assert!(Value::new(1) < Value::new(2));
+        assert!(Value::new(2) > Value::new(1));
+        assert_eq!(Value::new(5).max(Value::new(9)), Value::new(9));
+    }
+
+    #[test]
+    fn value_display_is_the_integer() {
+        assert_eq!(Value::new(123).to_string(), "123");
+    }
+
+    #[test]
+    fn value_default_is_zero() {
+        assert_eq!(Value::default(), Value::new(0));
+    }
+
+    #[test]
+    fn common_types_are_proposal_values() {
+        fn assert_pv<V: ProposalValue>() {}
+        assert_pv::<Value>();
+        assert_pv::<u64>();
+        assert_pv::<String>();
+        assert_pv::<(u8, u8)>();
+    }
+
+    #[test]
+    fn value_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Value>();
+    }
+}

@@ -1,0 +1,50 @@
+//! Quickstart: solve 2-set agreement among 8 processes with a
+//! condition-based speedup.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use setagree::conditions::MaxCondition;
+use setagree::core::{run_condition_based, ConditionBasedConfig};
+use setagree::sync::FailurePattern;
+use setagree::types::InputVector;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A system of n = 8 processes, at most t = 4 crashes, deciding at most
+    // k = 2 values. We instantiate the algorithm with the maximal
+    // (x, ℓ) = (t − d, ℓ) = (2, 1)-legal condition: "some value appears in
+    // more than 2 entries".
+    let config = ConditionBasedConfig::builder(8, 4, 2)
+        .condition_degree(2)
+        .ell(1)
+        .build()?;
+    let oracle = MaxCondition::new(config.legality());
+
+    println!("configuration: {config}");
+    println!("condition:     {oracle} (d = {}, so x = t − d = {})", config.d(), config.legality().x());
+    println!();
+
+    // Scenario 1: the proposals satisfy the condition (7 is dominant).
+    let favourable = InputVector::new(vec![7u32, 7, 7, 7, 2, 7, 1, 7]);
+    let report = run_condition_based(&config, &oracle, &favourable, &FailurePattern::none(8))?;
+    println!("input {favourable} — in condition");
+    println!("  decided {:?} in {:?} rounds (classical bound: {})",
+        report.decided_values(),
+        report.decision_round(),
+        config.rounds_outside_condition());
+    assert!(report.satisfies_all());
+
+    // Scenario 2: scattered proposals (outside the condition) — the
+    // algorithm falls back to the classical ⌊t/k⌋ + 1 bound, never worse.
+    let scattered = InputVector::new(vec![1u32, 2, 3, 4, 5, 6, 7, 8]);
+    let report = run_condition_based(&config, &oracle, &scattered, &FailurePattern::none(8))?;
+    println!("input {scattered} — outside condition");
+    println!("  decided {:?} in {:?} rounds (bound: {})",
+        report.decided_values(),
+        report.decision_round(),
+        config.rounds_outside_condition());
+    assert!(report.satisfies_all());
+
+    Ok(())
+}

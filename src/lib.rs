@@ -1,0 +1,47 @@
+//! # setagree — condition-based k-set agreement
+//!
+//! A full reproduction of Bonnet & Raynal, *Conditions for Set Agreement
+//! with an Application to Synchronous Systems* (ICDCS 2008), as a Rust
+//! workspace. This facade crate re-exports the public API of every
+//! sub-crate:
+//!
+//! * [`types`] — input vectors, views, distances (Section 2.1);
+//! * [`conditions`] — the (x, ℓ)-legality framework, maximal conditions,
+//!   counting, the lattice of Theorems 4–9 (Sections 2, 3, 5);
+//! * [`sync`] — the synchronous round-based simulator (Section 6.2);
+//! * [`core`] — the condition-based synchronous k-set agreement algorithm
+//!   of Figure 2, baselines and the early-deciding extension (Sections 6–8);
+//! * [`asynchronous`] — the shared-memory substrate and the asynchronous
+//!   condition-based ℓ-set agreement algorithm (Section 4);
+//! * [`runtime`] — a real-thread, channel-based synchronous runtime.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use setagree::conditions::{LegalityParams, MaxCondition};
+//! use setagree::core::{run_condition_based, ConditionBasedConfig};
+//! use setagree::sync::FailurePattern;
+//! use setagree::types::InputVector;
+//!
+//! // A system of n = 6 processes, at most t = 3 crashes, deciding k = 2 values,
+//! // helped by the maximal (x = t - d, ℓ)-legal condition with d = 2, ℓ = 1.
+//! let config = ConditionBasedConfig::builder(6, 3, 2)
+//!     .condition_degree(2)
+//!     .ell(1)
+//!     .build()
+//!     .expect("valid parameters");
+//! let condition = MaxCondition::new(LegalityParams::new(1, 1).unwrap());
+//! let input = InputVector::new(vec![5u32, 5, 1, 2, 5, 5]);
+//! let report = run_condition_based(&config, &condition, &input, &FailurePattern::none(6))
+//!     .expect("execution succeeds");
+//! assert!(report.decided_values().len() <= 2);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use setagree_async as asynchronous;
+pub use setagree_conditions as conditions;
+pub use setagree_core as core;
+pub use setagree_runtime as runtime;
+pub use setagree_sync as sync;
+pub use setagree_types as types;

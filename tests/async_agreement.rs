@@ -1,0 +1,134 @@
+//! Integration tests for the asynchronous side (Section 4): the
+//! condition-based ℓ-set agreement on simulated shared memory under
+//! proptest-generated inputs, schedules and crash sets.
+
+use proptest::prelude::*;
+
+use setagree::asynchronous::{run_async, run_message_passing, AsyncCrashes};
+use setagree::conditions::{LegalityParams, MaxCondition};
+use setagree::types::{InputVector, ProcessId};
+
+#[derive(Debug, Clone)]
+struct AsyncScenario {
+    x: usize,
+    ell: usize,
+    input: InputVector<u32>,
+    crashes: AsyncCrashes,
+    seed: u64,
+}
+
+fn async_scenario() -> impl Strategy<Value = AsyncScenario> {
+    (5usize..=10)
+        .prop_flat_map(|n| (Just(n), 1usize..n.min(4), 1usize..=2))
+        .prop_flat_map(|(n, x, ell)| {
+            let inputs = proptest::collection::vec(1u32..=5, n);
+            let crash_set = proptest::collection::vec((0usize..n, 0u64..=2), 0..=x);
+            (Just(x), Just(ell), inputs, crash_set, any::<u64>())
+        })
+        .prop_map(|(x, ell, entries, crash_set, seed)| {
+            let mut crashes = AsyncCrashes::none();
+            let mut victims = std::collections::BTreeSet::new();
+            for (idx, steps) in crash_set {
+                if victims.len() >= x || !victims.insert(idx) {
+                    continue;
+                }
+                crashes = crashes.crash_after(ProcessId::new(idx), steps);
+            }
+            AsyncScenario {
+                x,
+                ell,
+                input: InputVector::new(entries),
+                crashes,
+                seed,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// Safety always: at most ℓ distinct values decided, all proposed —
+    /// whatever the schedule, crashes, and condition membership.
+    #[test]
+    fn async_safety_universal(s in async_scenario()) {
+        let params = LegalityParams::new(s.x, s.ell).expect("ℓ ≥ 1");
+        let oracle = MaxCondition::new(params);
+        let report = run_async(&oracle, s.x, &s.input, &s.crashes, s.seed);
+        prop_assert!(
+            report.decided_values().len() <= s.ell,
+            "agreement: {report}"
+        );
+        let proposed = s.input.distinct_values();
+        for v in report.decided_values() {
+            prop_assert!(proposed.contains(&v), "validity");
+        }
+    }
+
+    /// Liveness when the paper promises it: input in the condition and at
+    /// most x crashes ⇒ every correct process decides.
+    #[test]
+    fn async_termination_in_condition(s in async_scenario()) {
+        let params = LegalityParams::new(s.x, s.ell).expect("ℓ ≥ 1");
+        let oracle = MaxCondition::new(params);
+        prop_assume!(oracle.contains(&s.input));
+        let report = run_async(&oracle, s.x, &s.input, &s.crashes, s.seed);
+        prop_assert!(report.all_correct_decided(), "termination: {report}");
+    }
+
+    /// The message-passing substrate keeps the Section 4 guarantees for
+    /// inputs in the condition, under proptest-generated schedules.
+    #[test]
+    fn message_passing_in_condition_guarantees(s in async_scenario()) {
+        let params = LegalityParams::new(s.x, s.ell).expect("ℓ ≥ 1");
+        let oracle = MaxCondition::new(params);
+        prop_assume!(oracle.contains(&s.input));
+        let report = run_message_passing(&oracle, s.x, &s.input, &s.crashes, s.seed);
+        prop_assert!(report.all_correct_decided(), "termination: {report}");
+        prop_assert!(
+            report.decided_values().len() <= s.ell,
+            "agreement within the condition: {report}"
+        );
+        let proposed = s.input.distinct_values();
+        for v in report.decided_values() {
+            prop_assert!(proposed.contains(&v), "validity");
+        }
+    }
+
+    /// Snapshot containment in action: deciders' values always nest within
+    /// the ℓ-sized decoded set of the *least-informed* decider — checked
+    /// indirectly by |decided| ≤ ℓ even under maximal asynchrony (all
+    /// crash budgets zero steps except the writers').
+    #[test]
+    fn async_agreement_under_initial_crashes(
+        entries in proptest::collection::vec(1u32..=3, 6),
+        seed in any::<u64>(),
+    ) {
+        let params = LegalityParams::new(2, 2).expect("valid");
+        let oracle = MaxCondition::new(params);
+        let input = InputVector::new(entries);
+        let crashes = AsyncCrashes::none()
+            .crash_after(ProcessId::new(4), 0)
+            .crash_after(ProcessId::new(5), 0);
+        let report = run_async(&oracle, 2, &input, &crashes, seed);
+        prop_assert!(report.decided_values().len() <= 2);
+    }
+}
+
+/// The wait-free corner of Figure 1: with x = n − 1 and ℓ = n every
+/// process may decide its own value; the trivial condition suffices and
+/// each process decides after its first qualifying snapshot.
+#[test]
+fn wait_free_n_set_agreement() {
+    let n = 5;
+    let params = LegalityParams::new(n - 1, n).unwrap();
+    let oracle = MaxCondition::new(params);
+    let input = InputVector::new(vec![5u32, 4, 3, 2, 1]);
+    // Everyone but p1 crashes before writing: p1 must still decide.
+    let mut crashes = AsyncCrashes::none();
+    for i in 1..n {
+        crashes = crashes.crash_after(ProcessId::new(i), 0);
+    }
+    let report = run_async(&oracle, n - 1, &input, &crashes, 11);
+    assert!(report.all_correct_decided());
+    assert_eq!(report.outcome(ProcessId::new(0)).decided_value(), Some(&5));
+}

@@ -1,0 +1,78 @@
+//! The deterministic simulator and the real-thread runtime are
+//! observationally equivalent: same decisions, same rounds, same message
+//! counts, on the same protocols and failure patterns.
+
+use proptest::prelude::*;
+
+use setagree::conditions::MaxCondition;
+use setagree::core::{ConditionBased, ConditionBasedConfig, EarlyDeciding, FloodSet};
+use setagree::runtime::run_threaded;
+use setagree::sync::{run_protocol, CrashSpec, FailurePattern};
+use setagree::types::{InputVector, ProcessId};
+
+fn pattern_strategy(n: usize, t: usize) -> impl Strategy<Value = FailurePattern> {
+    proptest::collection::vec((0usize..n, 1usize..=4, 0usize..=n), 0..=t).prop_map(
+        move |crashes| {
+            let mut pattern = FailurePattern::none(n);
+            let mut victims = std::collections::BTreeSet::new();
+            for (idx, round, prefix) in crashes {
+                if victims.len() >= t || !victims.insert(idx) {
+                    continue;
+                }
+                pattern
+                    .crash(ProcessId::new(idx), CrashSpec::new(round, prefix))
+                    .expect("valid");
+            }
+            pattern
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn floodset_equivalence(
+        entries in proptest::collection::vec(1u32..=9, 6),
+        pattern in pattern_strategy(6, 3),
+    ) {
+        let build = || entries.iter().map(|&v| FloodSet::new(3, 2, v)).collect::<Vec<_>>();
+        let simulated = run_protocol(build(), &pattern, 10).expect("simulator");
+        let threaded = run_threaded(build(), &pattern, 10).expect("runtime");
+        prop_assert_eq!(simulated, threaded);
+    }
+
+    #[test]
+    fn condition_based_equivalence(
+        entries in proptest::collection::vec(1u32..=5, 8),
+        pattern in pattern_strategy(8, 4),
+    ) {
+        let config = ConditionBasedConfig::builder(8, 4, 2)
+            .condition_degree(2)
+            .ell(2)
+            .build()
+            .expect("valid");
+        let oracle = MaxCondition::new(config.legality());
+        let input = InputVector::new(entries.clone());
+        let build = || {
+            ProcessId::all(8)
+                .map(|id| ConditionBased::new(config, id, *input.get(id), oracle))
+                .collect::<Vec<_>>()
+        };
+        let limit = config.round_limit();
+        let simulated = run_protocol(build(), &pattern, limit).expect("simulator");
+        let threaded = run_threaded(build(), &pattern, limit).expect("runtime");
+        prop_assert_eq!(simulated, threaded);
+    }
+
+    #[test]
+    fn early_deciding_equivalence(
+        entries in proptest::collection::vec(1u32..=9, 6),
+        pattern in pattern_strategy(6, 4),
+    ) {
+        let build = || entries.iter().map(|&v| EarlyDeciding::new(6, 4, 2, v)).collect::<Vec<_>>();
+        let simulated = run_protocol(build(), &pattern, 10).expect("simulator");
+        let threaded = run_threaded(build(), &pattern, 10).expect("runtime");
+        prop_assert_eq!(simulated, threaded);
+    }
+}

@@ -1,0 +1,188 @@
+//! Ablation of the paper's model choice (Section 6.2): the Figure 2
+//! algorithm relies on round-1 broadcasts going out in a *predetermined
+//! order*, so that a crash loses a **suffix** and all views are totally
+//! ordered by containment. Under the standard synchronous model — where a
+//! crash loses an *arbitrary subset* — the containment chain breaks, and
+//! with it the agreement argument: this file exhibits a concrete execution
+//! in which the algorithm, run unmodified, violates consensus.
+
+use setagree::conditions::{legality, Condition, ExplicitOracle, MaxEll};
+use setagree::core::{ConditionBased, ConditionBasedConfig};
+use setagree::sync::{
+    run_protocol, run_protocol_unordered, CrashSpec, FailurePattern, Step, SubsetCrash,
+    SyncProtocol, UnorderedFailurePattern,
+};
+use setagree::types::{InputVector, ProcessId, ProcessSet, View};
+
+/// A one-round protocol that just reports its assembled view.
+#[derive(Debug)]
+struct ViewCollector {
+    view: View<u32>,
+}
+
+impl ViewCollector {
+    fn new(me: usize, n: usize, input: u32) -> Self {
+        let mut view = View::all_bottom(n);
+        view.set(ProcessId::new(me), input);
+        ViewCollector { view }
+    }
+}
+
+impl SyncProtocol for ViewCollector {
+    type Msg = u32;
+    type Output = View<u32>;
+    fn message(&mut self, _round: usize) -> u32 {
+        self.view
+            .iter()
+            .flatten()
+            .next()
+            .copied()
+            .expect("own value present")
+    }
+    fn receive(&mut self, _round: usize, from: ProcessId, msg: u32) {
+        self.view.set(from, msg);
+    }
+    fn compute(&mut self, _round: usize) -> Step<View<u32>> {
+        Step::Decide(self.view.clone())
+    }
+}
+
+fn collectors(inputs: &[u32]) -> Vec<ViewCollector> {
+    inputs
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| ViewCollector::new(i, inputs.len(), v))
+        .collect()
+}
+
+/// Under ordered sends, every pair of round-1 views is comparable; under
+/// subset loss, incomparable views are reachable.
+#[test]
+fn containment_breaks_without_ordered_sends() {
+    let inputs = [6u32, 5, 3, 3];
+    // Ordered: p1 and p2 both crash with prefixes — all views comparable.
+    for p1_prefix in 0..=4 {
+        for p2_prefix in 0..=4 {
+            let mut pattern = FailurePattern::none(4);
+            pattern.crash(ProcessId::new(0), CrashSpec::new(1, p1_prefix)).unwrap();
+            pattern.crash(ProcessId::new(1), CrashSpec::new(1, p2_prefix)).unwrap();
+            let trace = run_protocol(collectors(&inputs), &pattern, 3).unwrap();
+            let views: Vec<View<u32>> = trace
+                .outcomes()
+                .iter()
+                .filter_map(|o| o.decided_value().cloned())
+                .collect();
+            for a in &views {
+                for b in &views {
+                    assert!(
+                        a.is_contained_in(b) || b.is_contained_in(a),
+                        "ordered sends must give a containment chain"
+                    );
+                }
+            }
+        }
+    }
+
+    // Unordered: p1 reaches only p3, p2 reaches only p4 → p3 and p4 hold
+    // incomparable views.
+    let mut pattern = UnorderedFailurePattern::none(4);
+    let mut only_p3 = ProcessSet::empty(4);
+    only_p3.insert(ProcessId::new(2));
+    let mut only_p4 = ProcessSet::empty(4);
+    only_p4.insert(ProcessId::new(3));
+    pattern.crash(ProcessId::new(0), SubsetCrash::new(1, only_p3)).unwrap();
+    pattern.crash(ProcessId::new(1), SubsetCrash::new(1, only_p4)).unwrap();
+    let trace = run_protocol_unordered(collectors(&inputs), &pattern, 3).unwrap();
+    let v3 = trace.outcome(ProcessId::new(2)).decided_value().unwrap();
+    let v4 = trace.outcome(ProcessId::new(3)).decided_value().unwrap();
+    assert!(
+        !v3.is_contained_in(v4) && !v4.is_contained_in(v3),
+        "subset loss must produce incomparable views: {v3} vs {v4}"
+    );
+}
+
+/// The bespoke two-vector condition used to break the algorithm: legal for
+/// (x, ℓ) = (1, 1), decoding 6 from one vector and 5 from the other.
+fn split_condition() -> ExplicitOracle<u32, MaxEll> {
+    let i6 = InputVector::new(vec![6u32, 6, 3, 3]);
+    let i5 = InputVector::new(vec![5u32, 5, 3, 3]);
+    let cond = Condition::from_vectors(vec![i6, i5]).unwrap();
+    let params = setagree::conditions::LegalityParams::new(1, 1).unwrap();
+    assert!(legality::check(&cond, &MaxEll::new(1), params).is_ok());
+    ExplicitOracle::new(cond, MaxEll::new(1), params)
+}
+
+fn algorithm_processes(
+    config: ConditionBasedConfig,
+    inputs: &[u32],
+) -> Vec<ConditionBased<u32, ExplicitOracle<u32, MaxEll>>> {
+    inputs
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| ConditionBased::new(config, ProcessId::new(i), v, split_condition()))
+        .collect()
+}
+
+/// The headline ablation: the identical algorithm, condition and crash
+/// *count* — consensus holds under every ordered pattern, and is violated
+/// under a subset-loss pattern.
+#[test]
+fn figure_2_needs_the_ordered_send_model() {
+    // n = 4, t = 2, k = 1 (consensus), d = 1, ℓ = 1 → x = 1.
+    let config = ConditionBasedConfig::builder(4, 2, 1)
+        .condition_degree(1)
+        .ell(1)
+        .build()
+        .unwrap();
+    let inputs = [6u32, 5, 3, 3];
+
+    // Ordered model: sweep every prefix pair for the two crashers.
+    for p1_prefix in 0..=4 {
+        for p2_prefix in 0..=4 {
+            let mut pattern = FailurePattern::none(4);
+            pattern.crash(ProcessId::new(0), CrashSpec::new(1, p1_prefix)).unwrap();
+            pattern.crash(ProcessId::new(1), CrashSpec::new(1, p2_prefix)).unwrap();
+            let trace =
+                run_protocol(algorithm_processes(config, &inputs), &pattern, 10).unwrap();
+            assert!(
+                trace.decided_values().len() <= 1,
+                "consensus must hold under ordered sends (prefixes {p1_prefix}/{p2_prefix}): {:?}",
+                trace.decided_values()
+            );
+        }
+    }
+
+    // Standard model: p1's 6 reaches only p3, p2's 5 reaches only p4.
+    let mut pattern = UnorderedFailurePattern::none(4);
+    let mut only_p3 = ProcessSet::empty(4);
+    only_p3.insert(ProcessId::new(2));
+    let mut only_p4 = ProcessSet::empty(4);
+    only_p4.insert(ProcessId::new(3));
+    pattern.crash(ProcessId::new(0), SubsetCrash::new(1, only_p3)).unwrap();
+    pattern.crash(ProcessId::new(1), SubsetCrash::new(1, only_p4)).unwrap();
+    let trace =
+        run_protocol_unordered(algorithm_processes(config, &inputs), &pattern, 10).unwrap();
+    assert_eq!(
+        trace.decided_values().len(),
+        2,
+        "the very same algorithm must split under subset loss: {:?}",
+        trace.decided_values()
+    );
+    assert_eq!(trace.decided_values(), [5, 6].into_iter().collect());
+}
+
+/// Ordered patterns embed into the unordered model (the prefix becomes the
+/// delivered set): running either way gives identical traces.
+#[test]
+fn ordered_patterns_embed_into_unordered_model() {
+    let inputs = [6u32, 5, 3, 3];
+    for p1_prefix in 0..=4 {
+        let mut ordered = FailurePattern::none(4);
+        ordered.crash(ProcessId::new(0), CrashSpec::new(1, p1_prefix)).unwrap();
+        ordered.crash(ProcessId::new(3), CrashSpec::new(2, 2)).unwrap();
+        let unordered: UnorderedFailurePattern = (&ordered).into();
+        let a = run_protocol(collectors(&inputs), &ordered, 3).unwrap();
+        let b = run_protocol_unordered(collectors(&inputs), &unordered, 3).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,237 @@
+//! Integration tests for the paper's headline claims: the round-complexity
+//! properties of Section 6.1 (Lemmas 1 and 2, Theorem 10), validity
+//! (Theorem 11) and agreement (Theorem 12) of the Figure 2 algorithm,
+//! exercised across parameter sweeps and adversary classes.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use setagree::conditions::MaxCondition;
+use setagree::core::{run_condition_based, run_floodset, ConditionBasedConfig};
+use setagree::sync::{CrashSpec, FailurePattern};
+use setagree::types::{InputVector, ProcessId};
+
+/// All (n, t, k, d, ℓ) combinations used by the sweeps: every row respects
+/// the paper's constraints ℓ ≤ k and ℓ ≤ t − d.
+fn grid() -> Vec<ConditionBasedConfig> {
+    let mut out = Vec::new();
+    for (n, t) in [(6usize, 3usize), (8, 4), (9, 5), (12, 7)] {
+        for k in 1..=3 {
+            for d in 1..t {
+                for ell in 1..=k.min(t - d) {
+                    if let Ok(config) = ConditionBasedConfig::builder(n, t, k)
+                        .condition_degree(d)
+                        .ell(ell)
+                        .build()
+                    {
+                        out.push(config);
+                    }
+                }
+            }
+        }
+    }
+    assert!(!out.is_empty());
+    out
+}
+
+fn in_condition_input<R: Rng>(config: &ConditionBasedConfig, rng: &mut R) -> InputVector<u32> {
+    let x = config.legality().x();
+    let ell = config.ell();
+    let heavy: Vec<u32> = (0..ell as u32).map(|i| 900 + i).collect();
+    let mut entries: Vec<u32> = (0..=x).map(|s| heavy[s % ell]).collect();
+    while entries.len() < config.n() {
+        entries.push(rng.gen_range(1..=50));
+    }
+    for i in (1..entries.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        entries.swap(i, j);
+    }
+    InputVector::new(entries)
+}
+
+fn out_of_condition_input(config: &ConditionBasedConfig) -> InputVector<u32> {
+    // All distinct: top-ℓ occupies ℓ ≤ x entries.
+    InputVector::new((1..=config.n() as u32).collect())
+}
+
+/// Lemma 1(i): input in the condition and at most t − d crashes by the end
+/// of round 1 → no process executes more than two rounds.
+#[test]
+fn lemma_1_two_round_fast_path() {
+    let mut rng = SmallRng::seed_from_u64(101);
+    for config in grid() {
+        let oracle = MaxCondition::new(config.legality());
+        let input = in_condition_input(&config, &mut rng);
+        assert!(oracle.contains(&input));
+
+        let t_minus_d = config.t() - config.d();
+        for crashes in 0..=t_minus_d {
+            let mut pattern = FailurePattern::none(config.n());
+            for i in 0..crashes {
+                pattern
+                    .crash(
+                        ProcessId::new(config.n() - 1 - i),
+                        CrashSpec::new(1, rng.gen_range(0..=config.n())),
+                    )
+                    .unwrap();
+            }
+            let report = run_condition_based(&config, &oracle, &input, &pattern).unwrap();
+            assert!(report.satisfies_all(), "{config}, {crashes} crashes");
+            assert_eq!(
+                report.decision_round(),
+                Some(2),
+                "{config}: Lemma 1(i) promises exactly the 2-round fast path"
+            );
+        }
+    }
+}
+
+/// Lemma 1(ii): input in the condition, arbitrary ≤ t crashes →
+/// at most max(2, ⌊(d+ℓ−1)/k⌋ + 1) rounds.
+#[test]
+fn lemma_1_general_bound() {
+    let mut rng = SmallRng::seed_from_u64(202);
+    for config in grid() {
+        let oracle = MaxCondition::new(config.legality());
+        let input = in_condition_input(&config, &mut rng);
+        for seed in 0..6u64 {
+            let pattern = FailurePattern::random(
+                config.n(),
+                config.t(),
+                config.rounds_outside_condition(),
+                &mut SmallRng::seed_from_u64(seed),
+            );
+            let report = run_condition_based(&config, &oracle, &input, &pattern).unwrap();
+            assert!(report.satisfies_all(), "{config} seed {seed}");
+            assert!(
+                report.decision_round().unwrap() <= config.condition_decision_round(),
+                "{config} seed {seed}: Lemma 1(ii) bound violated ({:?} > {})",
+                report.decision_round(),
+                config.condition_decision_round()
+            );
+        }
+    }
+}
+
+/// Lemma 2(i): input outside the condition but more than t − d initial
+/// crashes → still the fast ⌊(d+ℓ−1)/k⌋ + 1 bound.
+#[test]
+fn lemma_2_initial_crashes_shortcut() {
+    for config in grid() {
+        let oracle = MaxCondition::new(config.legality());
+        let input = out_of_condition_input(&config);
+        let t_minus_d = config.t() - config.d();
+        let crashes = t_minus_d + 1;
+        if crashes > config.t() {
+            continue;
+        }
+        let pattern = FailurePattern::initial(
+            config.n(),
+            (0..crashes).map(|i| ProcessId::new(config.n() - 1 - i)),
+        )
+        .unwrap();
+        let report = run_condition_based(&config, &oracle, &input, &pattern).unwrap();
+        assert!(report.satisfies_all(), "{config}");
+        assert!(
+            report.decision_round().unwrap() <= config.condition_decision_round(),
+            "{config}: Lemma 2(i) bound violated"
+        );
+    }
+}
+
+/// Lemma 2(ii) / Theorem 10: never more than ⌊t/k⌋ + 1 rounds, whatever
+/// the input and adversary.
+#[test]
+fn theorem_10_global_bound() {
+    let mut rng = SmallRng::seed_from_u64(303);
+    for config in grid() {
+        let oracle = MaxCondition::new(config.legality());
+        for input in [in_condition_input(&config, &mut rng), out_of_condition_input(&config)] {
+            for seed in 0..4u64 {
+                let pattern = FailurePattern::random(
+                    config.n(),
+                    config.t(),
+                    config.rounds_outside_condition() + 1,
+                    &mut SmallRng::seed_from_u64(seed * 7 + 1),
+                );
+                let report = run_condition_based(&config, &oracle, &input, &pattern).unwrap();
+                assert!(
+                    report.decision_round().unwrap_or(0) <= config.final_decision_round(),
+                    "{config} seed {seed}: global bound violated"
+                );
+                assert!(report.satisfies_termination(), "{config} seed {seed}");
+            }
+        }
+    }
+}
+
+/// Theorem 11 (validity) and Theorem 12 (agreement) under the staircase
+/// adversary used in the paper's own lower-bound argument.
+#[test]
+fn theorems_11_and_12_under_staircase() {
+    let mut rng = SmallRng::seed_from_u64(404);
+    for config in grid() {
+        let oracle = MaxCondition::new(config.legality());
+        for input in [in_condition_input(&config, &mut rng), out_of_condition_input(&config)] {
+            let pattern = FailurePattern::staircase(config.n(), config.t(), config.k());
+            let report = run_condition_based(&config, &oracle, &input, &pattern).unwrap();
+            assert!(report.satisfies_validity(), "{config}: Theorem 11");
+            assert!(
+                report.satisfies_agreement(),
+                "{config}: Theorem 12 — decided {:?} with k = {}",
+                report.decided_values(),
+                config.k()
+            );
+        }
+    }
+}
+
+/// The condition-based algorithm is never slower than the flood-set
+/// baseline, and strictly faster on in-condition inputs whenever the
+/// formula says so.
+#[test]
+fn condition_beats_baseline_in_condition() {
+    let mut rng = SmallRng::seed_from_u64(505);
+    for config in grid() {
+        let oracle = MaxCondition::new(config.legality());
+        let input = in_condition_input(&config, &mut rng);
+        let pattern = FailurePattern::none(config.n());
+        let cb = run_condition_based(&config, &oracle, &input, &pattern).unwrap();
+        let base = run_floodset(config.n(), config.t(), config.k(), &input, &pattern).unwrap();
+        let cb_rounds = cb.decision_round().unwrap();
+        let base_rounds = base.decision_round().unwrap();
+        assert!(cb_rounds <= base_rounds.max(2), "{config}: slower than baseline");
+        if config.rounds_outside_condition() > 2 {
+            assert!(
+                cb_rounds < base_rounds,
+                "{config}: expected a strict speedup ({cb_rounds} vs {base_rounds})"
+            );
+        }
+    }
+}
+
+/// The consensus special case ([22]): k = 1, ℓ = 1 decides in d + 1 rounds
+/// in-condition and t + 1 otherwise.
+#[test]
+fn consensus_special_case_matches_mrr() {
+    let mut rng = SmallRng::seed_from_u64(606);
+    let config = ConditionBasedConfig::builder(8, 5, 1)
+        .condition_degree(3)
+        .ell(1)
+        .build()
+        .unwrap();
+    let oracle = MaxCondition::new(config.legality());
+    assert_eq!(config.rounds_in_condition(), 4); // d + 1
+    assert_eq!(config.rounds_outside_condition(), 6); // t + 1
+
+    let inside = in_condition_input(&config, &mut rng);
+    let pattern = FailurePattern::staircase(8, 5, 1);
+    let report = run_condition_based(&config, &oracle, &inside, &pattern).unwrap();
+    assert!(report.decision_round().unwrap() <= 4);
+    assert_eq!(report.decided_values().len(), 1, "consensus decides one value");
+
+    let outside = out_of_condition_input(&config);
+    let report = run_condition_based(&config, &oracle, &outside, &FailurePattern::none(8)).unwrap();
+    assert_eq!(report.decision_round(), Some(6));
+    assert_eq!(report.decided_values().len(), 1);
+}
