@@ -120,7 +120,10 @@ impl<V: ProposalValue, O: ConditionOracle<V>> MessagePassingSystem<V, O> {
             });
             for to in 0..n {
                 if to != id.index() {
-                    in_flight.push_back(InFlight { to, msg: MpMessage { view: view.clone() } });
+                    in_flight.push_back(InFlight {
+                        to,
+                        msg: MpMessage { view: view.clone() },
+                    });
                 }
             }
         }
@@ -186,7 +189,9 @@ impl<V: ProposalValue, O: ConditionOracle<V>> MessagePassingSystem<V, O> {
                     if other != to {
                         self.in_flight.push_back(InFlight {
                             to: other,
-                            msg: MpMessage { view: view_after.clone() },
+                            msg: MpMessage {
+                                view: view_after.clone(),
+                            },
                         });
                     }
                 }
@@ -209,7 +214,10 @@ impl<V: ProposalValue, O: ConditionOracle<V>> MessagePassingSystem<V, O> {
                     AsyncOutcome::Crashed
                 } else {
                     match &p.decided {
-                        Some(v) => AsyncOutcome::Decided { value: v.clone(), steps: p.steps },
+                        Some(v) => AsyncOutcome::Decided {
+                            value: v.clone(),
+                            steps: p.steps,
+                        },
                         None if p.blocked => AsyncOutcome::Blocked,
                         None => AsyncOutcome::Unfinished,
                     }
@@ -305,8 +313,7 @@ mod tests {
     fn failure_free_terminates_with_ell_values() {
         let inp = input(&[9, 9, 8, 8, 1]);
         for seed in 0..40 {
-            let report =
-                run_message_passing(&oracle(2, 2), 2, &inp, &AsyncCrashes::none(), seed);
+            let report = run_message_passing(&oracle(2, 2), 2, &inp, &AsyncCrashes::none(), seed);
             assert!(report.all_correct_decided(), "seed {seed}: {report}");
             assert!(
                 report.decided_values().len() <= 2,
@@ -323,8 +330,7 @@ mod tests {
     fn consensus_grade_agreement() {
         let inp = input(&[7, 7, 7, 2, 3, 7]);
         for seed in 0..40 {
-            let report =
-                run_message_passing(&oracle(2, 1), 2, &inp, &AsyncCrashes::none(), seed);
+            let report = run_message_passing(&oracle(2, 1), 2, &inp, &AsyncCrashes::none(), seed);
             assert!(report.all_correct_decided(), "seed {seed}");
             assert!(report.decided_values().len() <= 1, "seed {seed}");
         }
@@ -368,8 +374,12 @@ mod tests {
         // Contrast: the shared-memory substrate stays safe on the same
         // out-of-condition input under every schedule.
         for seed in 0..40 {
-            let sm = crate::scheduler::run_async(&oracle(1, 1), 1, &inp, &AsyncCrashes::none(), seed);
-            assert!(sm.decided_values().len() <= 1, "seed {seed}: snapshots keep MP-safety");
+            let sm =
+                crate::scheduler::run_async(&oracle(1, 1), 1, &inp, &AsyncCrashes::none(), seed);
+            assert!(
+                sm.decided_values().len() <= 1,
+                "seed {seed}: snapshots keep MP-safety"
+            );
         }
     }
 

@@ -45,7 +45,10 @@ pub struct AsyncReport<V> {
 
 impl<V: ProposalValue> AsyncReport<V> {
     pub(crate) fn new(outcomes: Vec<AsyncOutcome<V>>, total_steps: u64) -> Self {
-        AsyncReport { outcomes, total_steps }
+        AsyncReport {
+            outcomes,
+            total_steps,
+        }
     }
 
     /// Per-process outcomes, indexed by process.

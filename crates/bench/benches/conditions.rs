@@ -53,5 +53,10 @@ fn bench_counting(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_legality_check, bench_decode_view, bench_counting);
+criterion_group!(
+    benches,
+    bench_legality_check,
+    bench_decode_view,
+    bench_counting
+);
 criterion_main!(benches);

@@ -1,6 +1,6 @@
-//! Criterion benches for the protocols: end-to-end runs of the Figure 2
-//! algorithm vs the baselines on the simulator, scaling with `n`, plus the
-//! asynchronous algorithm and the threaded runtime.
+//! Criterion benches for the protocols: end-to-end [`Scenario`] runs of
+//! the Figure 2 algorithm vs the baselines on the simulator, scaling with
+//! `n`, plus the asynchronous algorithm and the threaded executor.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
@@ -9,12 +9,8 @@ use rand::SeedableRng;
 use setagree_async::{run_async, run_message_passing, AsyncCrashes};
 use setagree_bench::{in_condition_input, out_of_condition_input, spread_input};
 use setagree_conditions::MaxCondition;
-use setagree_core::{
-    run_condition_based, run_early_condition_based, run_early_deciding, run_floodset,
-    ConditionBasedConfig, FloodSet,
-};
-use setagree_runtime::run_threaded;
-use setagree_sync::{run_protocol, FailurePattern};
+use setagree_core::{ConditionBasedConfig, Executor, ProtocolSpec, Scenario, ScenarioSuite};
+use setagree_sync::FailurePattern;
 
 fn config_for(n: usize) -> ConditionBasedConfig {
     // t ≈ n/2, k = 2, d = t − 2, ℓ = 2 — a representative operating point.
@@ -32,14 +28,17 @@ fn bench_condition_based(c: &mut Criterion) {
     for n in [8usize, 16, 32, 64] {
         let config = config_for(n);
         let oracle = MaxCondition::new(config.legality());
-        let inside = in_condition_input(n, config.legality(), &mut rng);
-        let outside = out_of_condition_input(n, config.legality());
-        let pattern = FailurePattern::none(n);
+        let inside = Scenario::condition_based(config, oracle)
+            .input(in_condition_input(n, config.legality(), &mut rng))
+            .pattern(FailurePattern::none(n));
+        let outside = Scenario::condition_based(config, oracle)
+            .input(out_of_condition_input(n, config.legality()))
+            .pattern(FailurePattern::none(n));
         group.bench_with_input(BenchmarkId::new("in_condition", n), &n, |b, _| {
-            b.iter(|| run_condition_based(&config, &oracle, &inside, &pattern).unwrap());
+            b.iter(|| inside.run().unwrap());
         });
         group.bench_with_input(BenchmarkId::new("out_of_condition", n), &n, |b, _| {
-            b.iter(|| run_condition_based(&config, &oracle, &outside, &pattern).unwrap());
+            b.iter(|| outside.run().unwrap());
         });
     }
     group.finish();
@@ -49,13 +48,13 @@ fn bench_baselines(c: &mut Criterion) {
     let mut group = c.benchmark_group("baseline_run");
     for n in [8usize, 16, 32, 64] {
         let t = n / 2;
-        let input = spread_input(n);
-        let pattern = FailurePattern::none(n);
+        let floodset = Scenario::flood_set(n, t, 2).input(spread_input(n));
+        let early = Scenario::early_deciding(n, t, 2).input(spread_input(n));
         group.bench_with_input(BenchmarkId::new("floodset", n), &n, |b, _| {
-            b.iter(|| run_floodset(n, t, 2, &input, &pattern).unwrap());
+            b.iter(|| floodset.run().unwrap());
         });
         group.bench_with_input(BenchmarkId::new("early_deciding", n), &n, |b, _| {
-            b.iter(|| run_early_deciding(n, t, 2, &input, &pattern).unwrap());
+            b.iter(|| early.run().unwrap());
         });
     }
     group.finish();
@@ -83,35 +82,62 @@ fn bench_early_condition(c: &mut Criterion) {
     for n in [8usize, 16, 32] {
         let config = config_for(n);
         let oracle = MaxCondition::new(config.legality());
-        let outside = out_of_condition_input(n, config.legality());
-        let pattern = FailurePattern::none(n);
+        let scenario = Scenario::early_condition_based(config, oracle)
+            .input(out_of_condition_input(n, config.legality()))
+            .pattern(FailurePattern::none(n));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| run_early_condition_based(&config, &oracle, &outside, &pattern).unwrap());
+            b.iter(|| scenario.run().unwrap());
         });
     }
     group.finish();
 }
 
-fn bench_simulator_vs_threads(c: &mut Criterion) {
+fn bench_executors(c: &mut Criterion) {
     let mut group = c.benchmark_group("executor");
     let n = 16;
     let t = 8;
-    let input = spread_input(n);
-    let pattern = FailurePattern::none(n);
+    let simulator = Scenario::flood_set(n, t, 2).input(spread_input(n));
+    let threaded = Scenario::flood_set(n, t, 2)
+        .input(spread_input(n))
+        .executor(Executor::Threaded);
     group.bench_function("simulator_floodset", |b| {
-        b.iter(|| {
-            let procs: Vec<FloodSet<u32>> =
-                input.iter().map(|&v| FloodSet::new(t, 2, v)).collect();
-            run_protocol(procs, &pattern, 12).unwrap()
-        });
+        b.iter(|| simulator.run().unwrap());
     });
     group.bench_function("threaded_floodset", |b| {
-        b.iter(|| {
-            let procs: Vec<FloodSet<u32>> =
-                input.iter().map(|&v| FloodSet::new(t, 2, v)).collect();
-            run_threaded(procs, &pattern, 12).unwrap()
-        });
+        b.iter(|| threaded.run().unwrap());
     });
+    group.finish();
+}
+
+fn bench_suite_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("suite_batch");
+    let mut rng = SmallRng::seed_from_u64(13);
+    for n in [16usize, 32] {
+        let config = config_for(n);
+        let t = n / 2;
+        let oracle = MaxCondition::new(config.legality());
+        // Identical workload in both variants: only the scheduling differs.
+        let inputs: Vec<_> = (0..8)
+            .map(|_| in_condition_input(n, config.legality(), &mut rng))
+            .collect();
+        let build = || {
+            ScenarioSuite::new()
+                .spec(ProtocolSpec::condition_based(config, oracle))
+                .spec(ProtocolSpec::flood_set(n, t, 2))
+                .spec(ProtocolSpec::early_deciding(n, t, 2))
+                .inputs(inputs.clone())
+                .pattern(FailurePattern::none(n))
+                .pattern(FailurePattern::staircase(n, t, 2))
+        };
+        let suite = build();
+        group.bench_with_input(BenchmarkId::new("parallel", n), &n, |b, _| {
+            b.iter(|| suite.run());
+        });
+        let sequential = build().threads(1);
+        group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, _| {
+            b.iter(|| sequential.run());
+        });
+    }
     group.finish();
 }
 
@@ -121,6 +147,7 @@ criterion_group!(
     bench_baselines,
     bench_async,
     bench_early_condition,
-    bench_simulator_vs_threads
+    bench_executors,
+    bench_suite_batch
 );
 criterion_main!(benches);

@@ -92,8 +92,8 @@ fn main() {
     ]);
     // Diagonal incomparability: Theorems 14 (Table 1) and 15.
     let (t1, h1) = witness::table_1();
-    let t14_ok = legality::check(&t1, &h1, p11).is_ok()
-        && witness::find_recognizing(&t1, p22).is_none();
+    let t14_ok =
+        legality::check(&t1, &h1, p11).is_ok() && witness::find_recognizing(&t1, p22).is_none();
     arrows.row(vec![
         "F(1,1) ∦ F(2,2)".into(),
         "Th 14".into(),
@@ -103,8 +103,8 @@ fn main() {
     let p32 = LegalityParams::new(3, 2).unwrap();
     let p33 = LegalityParams::new(3, 3).unwrap();
     let (w15, h15) = witness::theorem_15_witness(7, p32);
-    let t15_ok = legality::check(&w15, &h15, p33).is_ok()
-        && witness::find_recognizing(&w15, p32).is_none();
+    let t15_ok =
+        legality::check(&w15, &h15, p33).is_ok() && witness::find_recognizing(&w15, p32).is_none();
     arrows.row(vec![
         "F(3,3) ⊄ F(3,2)".into(),
         "Th 15".into(),

@@ -22,16 +22,30 @@ fn main() {
         let cells: Vec<String> = vec![
             format!(
                 "({})",
-                vector.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(", ")
+                vector
+                    .iter()
+                    .map(|c| c.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
             ),
-            format!("{{{}}}", decoded.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(", ")),
+            format!(
+                "{{{}}}",
+                decoded
+                    .iter()
+                    .map(|c| c.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
         ];
         t.row(cells);
     }
     println!("{t}");
 
     let legal_11 = legality::check(&cond, &h, p11).is_ok();
-    println!("(1,1)-legality with the printed h: {}", if legal_11 { "VERIFIED" } else { "FAILED" });
+    println!(
+        "(1,1)-legality with the printed h: {}",
+        if legal_11 { "VERIFIED" } else { "FAILED" }
+    );
 
     let rediscovered = witness::find_recognizing(&cond, p11).is_some();
     println!("(1,1)-recognizing function rediscovered by exhaustive search: {rediscovered}");
@@ -39,7 +53,11 @@ fn main() {
     let legal_22 = witness::find_recognizing(&cond, p22);
     println!(
         "(2,2)-legality (Theorem 14 says NO): {}",
-        if legal_22.is_none() { "no recognizing function exists — VERIFIED" } else { "FAILED" }
+        if legal_22.is_none() {
+            "no recognizing function exists — VERIFIED"
+        } else {
+            "FAILED"
+        }
     );
     assert!(legal_11 && rediscovered && legal_22.is_none());
 }

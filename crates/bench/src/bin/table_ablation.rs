@@ -3,6 +3,8 @@
 //! 1. **Ordered round-1 sends** (the paper's model) vs the standard
 //!    arbitrary-subset model: the very same Figure 2 algorithm violates
 //!    consensus under subset loss (containment of views is load-bearing).
+//!    Both models run through the same [`Scenario`] API — the adversary
+//!    is data ([`Adversary::Ordered`] vs [`Adversary::Unordered`]).
 //! 2. **Condition vs no condition**: instantiating the algorithm with the
 //!    trivial all-vectors condition (footnote 6) regresses the fast path
 //!    to the classical bound.
@@ -14,13 +16,8 @@
 //! ```
 
 use setagree_conditions::{Condition, ExplicitOracle, LegalityParams, MaxCondition, MaxEll};
-use setagree_core::{
-    run_condition_based, run_early_condition_based, ConditionBased, ConditionBasedConfig,
-};
-use setagree_sync::{
-    run_protocol, run_protocol_unordered, CrashSpec, FailurePattern, SubsetCrash,
-    UnorderedFailurePattern,
-};
+use setagree_core::{ConditionBasedConfig, ProtocolSpec, Scenario, ScenarioSuite};
+use setagree_sync::{CrashSpec, FailurePattern, SubsetCrash, UnorderedFailurePattern};
 use setagree_types::{InputVector, ProcessId, ProcessSet};
 
 use setagree_bench::{in_condition_input, out_of_condition_input, Table};
@@ -33,7 +30,8 @@ fn main() {
     early_combination_ablation();
 }
 
-/// Ablation 1: ordered vs arbitrary-subset sends.
+/// Ablation 1: ordered vs arbitrary-subset sends — same algorithm, same
+/// condition, same crash count; only the adversary model changes.
 fn ordered_sends_ablation() {
     let config = ConditionBasedConfig::builder(4, 2, 1)
         .condition_degree(1)
@@ -46,33 +44,47 @@ fn ordered_sends_ablation() {
     let params = LegalityParams::new(1, 1).expect("valid");
     let oracle = ExplicitOracle::new(cond, MaxEll::new(1), params);
     let input = InputVector::new(vec![6u32, 5, 3, 3]);
-    let build = || -> Vec<ConditionBased<u32, _>> {
-        ProcessId::all(4)
-            .map(|id| ConditionBased::new(config, id, *input.get(id), oracle.clone()))
-            .collect()
-    };
+    let scenario = Scenario::condition_based(config, oracle.clone()).input(input.clone());
 
-    // Ordered model, worst case over all prefix pairs.
-    let mut ordered_worst = 0;
-    for p1 in 0..=4 {
-        for p2 in 0..=4 {
-            let mut pattern = FailurePattern::none(4);
-            pattern.crash(ProcessId::new(0), CrashSpec::new(1, p1)).unwrap();
-            pattern.crash(ProcessId::new(1), CrashSpec::new(1, p2)).unwrap();
-            let trace = run_protocol(build(), &pattern, 10).expect("runs");
-            ordered_worst = ordered_worst.max(trace.decided_values().len());
-        }
-    }
+    // Ordered model, worst case over all prefix pairs — one suite over
+    // the 25-pattern grid.
+    let outcome = ScenarioSuite::new()
+        .spec(ProtocolSpec::condition_based(config, oracle))
+        .input(input)
+        .patterns((0..=4).flat_map(|p1| {
+            (0..=4).map(move |p2| {
+                let mut pattern = FailurePattern::none(4);
+                pattern
+                    .crash(ProcessId::new(0), CrashSpec::new(1, p1))
+                    .unwrap();
+                pattern
+                    .crash(ProcessId::new(1), CrashSpec::new(1, p2))
+                    .unwrap();
+                pattern.into()
+            })
+        }))
+        .run();
+    assert_eq!(outcome.failures().count(), 0, "every prefix pair must run");
+    let ordered_worst = outcome
+        .reports()
+        .map(|r| r.decided_values().len())
+        .max()
+        .expect("25 prefix pairs ran");
 
-    // Standard model: split deliveries.
+    // Standard model: split deliveries — the same scenario, an unordered
+    // adversary.
     let mut only_p3 = ProcessSet::empty(4);
     only_p3.insert(ProcessId::new(2));
     let mut only_p4 = ProcessSet::empty(4);
     only_p4.insert(ProcessId::new(3));
     let mut pattern = UnorderedFailurePattern::none(4);
-    pattern.crash(ProcessId::new(0), SubsetCrash::new(1, only_p3)).unwrap();
-    pattern.crash(ProcessId::new(1), SubsetCrash::new(1, only_p4)).unwrap();
-    let unordered = run_protocol_unordered(build(), &pattern, 10).expect("runs");
+    pattern
+        .crash(ProcessId::new(0), SubsetCrash::new(1, only_p3))
+        .unwrap();
+    pattern
+        .crash(ProcessId::new(1), SubsetCrash::new(1, only_p4))
+        .unwrap();
+    let unordered = scenario.pattern(pattern).run().expect("runs");
 
     println!("Ablation 1 — send discipline (n=4, t=2, k=1, same algorithm & condition)");
     println!();
@@ -80,12 +92,20 @@ fn ordered_sends_ablation() {
     t.row(vec![
         "ordered prefix (paper)".into(),
         ordered_worst.to_string(),
-        if ordered_worst <= 1 { "holds".into() } else { "VIOLATED".to_string() },
+        if ordered_worst <= 1 {
+            "holds".into()
+        } else {
+            "VIOLATED".to_string()
+        },
     ]);
     t.row(vec![
         "arbitrary subset (standard)".into(),
         unordered.decided_values().len().to_string(),
-        if unordered.decided_values().len() <= 1 { "holds".into() } else { "VIOLATED".into() },
+        if unordered.satisfies_agreement() {
+            "holds".into()
+        } else {
+            "VIOLATED".into()
+        },
     ]);
     println!("{t}");
     assert_eq!(ordered_worst, 1);
@@ -110,12 +130,16 @@ fn condition_ablation() {
     let input = in_condition_input(10, real.legality(), &mut rng);
     let pattern = FailurePattern::none(10);
 
-    let with_cond =
-        run_condition_based(&real, &MaxCondition::new(real.legality()), &input, &pattern)
-            .expect("runs");
-    let with_trivial =
-        run_condition_based(&trivial, &MaxCondition::new(trivial.legality()), &input, &pattern)
-            .expect("runs");
+    let with_cond = Scenario::condition_based(real, MaxCondition::new(real.legality()))
+        .input(input.clone())
+        .pattern(pattern.clone())
+        .run()
+        .expect("runs");
+    let with_trivial = Scenario::condition_based(trivial, MaxCondition::new(trivial.legality()))
+        .input(input)
+        .pattern(pattern)
+        .run()
+        .expect("runs");
 
     println!("Ablation 2 — condition vs trivial condition (n=10, t=6, k=2, input ∈ C)");
     println!();
@@ -143,12 +167,16 @@ fn condition_ablation() {
     // condition still fast-paths its members.
     let staircase = FailurePattern::staircase(10, 6, 2);
     let inside2 = in_condition_input(10, real.legality(), &mut rng);
-    let with_cond =
-        run_condition_based(&real, &MaxCondition::new(real.legality()), &inside2, &staircase)
-            .expect("runs");
-    let with_trivial =
-        run_condition_based(&trivial, &MaxCondition::new(trivial.legality()), &inside2, &staircase)
-            .expect("runs");
+    let with_cond = Scenario::condition_based(real, MaxCondition::new(real.legality()))
+        .input(inside2.clone())
+        .pattern(staircase.clone())
+        .run()
+        .expect("runs");
+    let with_trivial = Scenario::condition_based(trivial, MaxCondition::new(trivial.legality()))
+        .input(inside2)
+        .pattern(staircase)
+        .run()
+        .expect("runs");
     assert!(with_cond.satisfies_all() && with_trivial.satisfies_all());
     let mut t = Table::new(vec!["instantiation", "rounds (staircase crashes)"]);
     t.row(vec![
@@ -180,13 +208,18 @@ fn early_combination_ablation() {
     println!();
     let mut t = Table::new(vec!["f", "Figure 2", "+ early decision", "adaptive bound"]);
     for f in [0usize, 2, 4] {
-        let pattern = FailurePattern::initial(
-            12,
-            (0..f).map(|i| ProcessId::new(11 - i)),
-        )
-        .expect("valid");
-        let plain = run_condition_based(&config, &oracle, &outside, &pattern).expect("runs");
-        let early = run_early_condition_based(&config, &oracle, &outside, &pattern).expect("runs");
+        let pattern =
+            FailurePattern::initial(12, (0..f).map(|i| ProcessId::new(11 - i))).expect("valid");
+        let plain = Scenario::condition_based(config, oracle)
+            .input(outside.clone())
+            .pattern(pattern.clone())
+            .run()
+            .expect("runs");
+        let early = Scenario::early_condition_based(config, oracle)
+            .input(outside.clone())
+            .pattern(pattern)
+            .run()
+            .expect("runs");
         assert!(plain.satisfies_all() && early.satisfies_all());
         assert!(early.within_predicted_rounds());
         t.row(vec![

@@ -22,7 +22,15 @@ fn main() {
     let n = 8;
     let seeds = 25u64;
     let mut table = Table::new(vec![
-        "x", "ℓ", "input", "crashes", "runs", "terminated", "max |decided|", "blocked", "ok",
+        "x",
+        "ℓ",
+        "input",
+        "crashes",
+        "runs",
+        "terminated",
+        "max |decided|",
+        "blocked",
+        "ok",
     ]);
     let mut all_ok = true;
     let mut rng = SmallRng::seed_from_u64(0xA57C);
@@ -106,7 +114,15 @@ fn main() {
     println!();
     println!("Message-passing substrate (reliable channels, adversarial delivery):");
     println!();
-    let mut mp = Table::new(vec!["x", "ℓ", "crashes", "runs", "terminated", "max |decided|", "ok"]);
+    let mut mp = Table::new(vec![
+        "x",
+        "ℓ",
+        "crashes",
+        "runs",
+        "terminated",
+        "max |decided|",
+        "ok",
+    ]);
     let mut mp_ok = true;
     for (x, ell) in [(1usize, 1usize), (2, 2)] {
         let params = LegalityParams::new(x, ell).unwrap();

@@ -2,7 +2,7 @@
 //! can decide in `min(⌊f/k⌋ + 2, ⌊t/k⌋ + 1)` rounds where `f` is the
 //! number of *actual* crashes — the adaptive bound of \[12\] the paper's
 //! extension targets. Sweeps `f` and compares the early-deciding protocol
-//! against the fixed flood-set baseline.
+//! against the fixed flood-set baseline, one [`ScenarioSuite`] per `f`.
 //!
 //! ```text
 //! cargo run -p setagree-bench --bin table_early
@@ -11,7 +11,7 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use setagree_core::{run_early_deciding, run_floodset};
+use setagree_core::{ProtocolKind, ProtocolSpec, ScenarioSuite};
 use setagree_sync::{CrashSpec, FailurePattern};
 use setagree_types::{InputVector, ProcessId};
 
@@ -22,43 +22,47 @@ fn main() {
     let t = 8;
     let k = 2;
     let mut table = Table::new(vec![
-        "f", "bound min(⌊f/k⌋+2, ⌊t/k⌋+1)", "early worst", "floodset", "ok",
+        "f",
+        "bound min(⌊f/k⌋+2, ⌊t/k⌋+1)",
+        "early worst",
+        "floodset",
+        "ok",
     ]);
     let mut all_ok = true;
 
     for f in 0..=t {
         let bound = (f / k + 2).min(t / k + 1);
-        let mut worst = 0;
-        for seed in 0..10u64 {
-            let input = shuffled_input(n, seed);
-            let pattern = crash_f(n, f, seed);
-            let report = run_early_deciding(n, t, k, &input, &pattern).expect("run");
-            assert!(report.satisfies_all(), "properties at f = {f}, seed {seed}");
-            worst = worst.max(report.decision_round().unwrap_or(0));
+
+        // Early-deciding and flood-set, over shuffled inputs × exactly-f
+        // adversaries — including the adaptive worst case: k silent
+        // crashes per round keep the early rule from firing as long as
+        // crashes last.
+        let outcome = ScenarioSuite::new()
+            .spec(ProtocolSpec::early_deciding(n, t, k))
+            .spec(ProtocolSpec::flood_set(n, t, k))
+            .inputs((0..10).map(|seed| shuffled_input(n, seed)))
+            .patterns((0..10u64).map(|seed| crash_f(n, f, seed).into()))
+            .pattern(silent_staircase(n, f, k))
+            .run();
+        assert!(outcome.all_satisfy_properties(), "properties at f = {f}");
+
+        let mut early_worst = 0;
+        let mut floodset_worst = 0;
+        for report in outcome.reports() {
+            let rounds = report.decision_round().unwrap_or(0);
+            match report.protocol() {
+                ProtocolKind::EarlyDeciding => early_worst = early_worst.max(rounds),
+                _ => floodset_worst = floodset_worst.max(rounds),
+            }
         }
-        // The adaptive-bound adversary: k silent crashes per round keep
-        // the early rule from firing as long as crashes last.
-        {
-            let input = shuffled_input(n, 0);
-            let pattern = silent_staircase(n, f, k);
-            let report = run_early_deciding(n, t, k, &input, &pattern).expect("run");
-            assert!(report.satisfies_all(), "properties at f = {f} (silent staircase)");
-            worst = worst.max(report.decision_round().unwrap_or(0));
-        }
-        let baseline = {
-            let input = shuffled_input(n, 0);
-            run_floodset(n, t, k, &input, &crash_f(n, f, 0))
-                .expect("baseline")
-                .decision_round()
-                .unwrap_or(0)
-        };
-        let ok = worst <= bound;
+
+        let ok = early_worst <= bound;
         all_ok &= ok;
         table.row(vec![
             f.to_string(),
             bound.to_string(),
-            worst.to_string(),
-            baseline.to_string(),
+            early_worst.to_string(),
+            floodset_worst.to_string(),
             if ok { "ok".into() } else { "FAIL".into() },
         ]);
     }
@@ -90,7 +94,9 @@ fn silent_staircase(n: usize, f: usize, k: usize) -> FailurePattern {
     for i in 0..f {
         let victim = ProcessId::new(n - 1 - i);
         let round = i / k + 1;
-        pattern.crash(victim, CrashSpec::new(round, 0)).expect("valid");
+        pattern
+            .crash(victim, CrashSpec::new(round, 0))
+            .expect("valid");
     }
     pattern
 }
@@ -104,7 +110,9 @@ fn crash_f(n: usize, f: usize, seed: u64) -> FailurePattern {
         let victim = ProcessId::new(n - 1 - i);
         let round = rng.gen_range(1..=3);
         let prefix = rng.gen_range(0..=n);
-        pattern.crash(victim, CrashSpec::new(round, prefix)).expect("valid");
+        pattern
+            .crash(victim, CrashSpec::new(round, prefix))
+            .expect("valid");
     }
     pattern
 }

@@ -30,7 +30,11 @@ fn main() {
     println!();
     let chain = SdtParams::degree_chain(t, ell).expect("valid chain");
     let mut table = Table::new(vec![
-        "member", "(x, ℓ)", "trivial ∈", "NB over ref", "R in-condition",
+        "member",
+        "(x, ℓ)",
+        "trivial ∈",
+        "NB over ref",
+        "R in-condition",
     ]);
     let mut last_nb = 0u128;
     let mut last_rounds = 0usize;
@@ -63,7 +67,10 @@ fn main() {
     let deg_ok = chain
         .windows(2)
         .all(|w| w[0].included_in(&w[1]) == Some(true) && w[1].included_in(&w[0]) == Some(false));
-    incl.row(vec![format!("S^d_{t}[ℓ={ell}], d = 0..{t}"), verify(deg_ok)]);
+    incl.row(vec![
+        format!("S^d_{t}[ℓ={ell}], d = 0..{t}"),
+        verify(deg_ok),
+    ]);
     let ell_chain = SdtParams::ell_chain(t, 1, n_ref).expect("valid chain");
     let ell_ok = ell_chain
         .windows(2)
@@ -74,5 +81,9 @@ fn main() {
 }
 
 fn verify(ok: bool) -> String {
-    if ok { "VERIFIED".into() } else { "FAILED".into() }
+    if ok {
+        "VERIFIED".into()
+    } else {
+        "FAILED".into()
+    }
 }

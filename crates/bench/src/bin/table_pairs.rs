@@ -4,8 +4,9 @@
 //! (`k = 1`: `d + 1` rounds, \[22\]) and one-shot set agreement
 //! (`k = d + 1`: formula 1, clamped to the loop's first decision round 2).
 //!
-//! Measured rounds are worst-cased over a staircase adversary and several
-//! random in-condition inputs.
+//! Each (d, k) cell is a [`ScenarioSuite`]: several random in-condition
+//! inputs × {failure-free, staircase, bound-attaining, random}
+//! adversaries, worst-cased over the whole grid.
 //!
 //! ```text
 //! cargo run -p setagree-bench --bin table_pairs
@@ -15,7 +16,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use setagree_conditions::MaxCondition;
-use setagree_core::{run_condition_based, ConditionBasedConfig};
+use setagree_core::{ConditionBasedConfig, ProtocolSpec, ScenarioSuite};
 use setagree_sync::FailurePattern;
 
 use setagree_bench::{in_condition_input, Table};
@@ -46,26 +47,27 @@ fn main() {
             let oracle = MaxCondition::new(config.legality());
             let formula = d / k + 1;
 
-            let mut worst = 0;
-            for seed in 0..8u64 {
-                let input = in_condition_input(n, config.legality(), &mut rng);
-                let patterns = [
-                    FailurePattern::none(n),
-                    FailurePattern::staircase(n, t, k),
-                    // The bound-attaining adversary: more than t − d
-                    // initial crashes force every survivor onto the
-                    // too-many-failures path, which decides exactly at
-                    // round ⌊(d+ℓ−1)/k⌋ + 1 (Lemma 2(i) tightness).
-                    tmf_forcing(n, t, d),
-                    FailurePattern::random(n, t, t / k + 1, &mut SmallRng::seed_from_u64(seed)),
-                ];
-                for pattern in patterns {
-                    let report = run_condition_based(&config, &oracle, &input, &pattern)
-                        .expect("run succeeds");
-                    assert!(report.satisfies_all(), "properties at d={d}, k={k}");
-                    worst = worst.max(report.decision_round().unwrap_or(0));
-                }
-            }
+            let outcome = ScenarioSuite::new()
+                .spec(ProtocolSpec::condition_based(config, oracle))
+                .inputs((0..8).map(|_| in_condition_input(n, config.legality(), &mut rng)))
+                .pattern(FailurePattern::none(n))
+                .pattern(FailurePattern::staircase(n, t, k))
+                // The bound-attaining adversary: more than t − d initial
+                // crashes force every survivor onto the too-many-failures
+                // path, which decides exactly at round ⌊(d+ℓ−1)/k⌋ + 1
+                // (Lemma 2(i) tightness).
+                .pattern(tmf_forcing(n, t, d))
+                .patterns((0..8u64).map(|seed| {
+                    FailurePattern::random(n, t, t / k + 1, &mut SmallRng::seed_from_u64(seed))
+                        .into()
+                }))
+                .run();
+            assert!(
+                outcome.all_satisfy_properties(),
+                "properties at d={d}, k={k}"
+            );
+            let worst = outcome.worst_decision_round().expect("somebody decides");
+
             // The loop's first decision opportunity is round 2, and the
             // tmf-forcing adversary attains the bound exactly.
             let bound = formula.max(2);

@@ -3,14 +3,11 @@
 //! algorithm across scenarios, against the closed-form predictions, with
 //! the flood-set baseline alongside.
 //!
-//! Scenarios per configuration:
-//!
-//! * `in/none`      — input ∈ C, failure-free             → 2 rounds;
-//! * `in/few`       — input ∈ C, ≤ t−d round-1 crashes    → 2 rounds;
-//! * `in/stair`     — input ∈ C, staircase crashes        → ≤ ⌊(d+ℓ−1)/k⌋+1;
-//! * `out/none`     — input ∉ C, failure-free             → ≤ ⌊t/k⌋+1;
-//! * `out/initial`  — input ∉ C, > t−d initial crashes    → ≤ ⌊(d+ℓ−1)/k⌋+1;
-//! * `floodset`     — unconditioned baseline              → ⌊t/k⌋+1.
+//! Each configuration expands to a [`ScenarioSuite`] grid —
+//! {Figure 2, flood-set} × {in-condition, out-of-condition} × {failure
+//! free, ≤ t−d crashes, staircase, > t−d initial crashes} — and every
+//! case is checked against the bound the paper's case analysis predicts
+//! for it.
 //!
 //! ```text
 //! cargo run -p setagree-bench --bin table_rounds
@@ -20,7 +17,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use setagree_conditions::MaxCondition;
-use setagree_core::{run_condition_based, run_floodset, ConditionBasedConfig};
+use setagree_core::{ConditionBasedConfig, ProtocolSpec, ScenarioSuite};
 use setagree_sync::{CrashSpec, FailurePattern};
 use setagree_types::ProcessId;
 
@@ -29,7 +26,7 @@ use setagree_bench::{in_condition_input, out_of_condition_input, Table};
 fn main() {
     let mut rng = SmallRng::seed_from_u64(0xB0A2);
     let mut table = Table::new(vec![
-        "n", "t", "k", "d", "ℓ", "scenario", "rounds", "bound", "k-agree", "ok",
+        "n", "t", "k", "d", "ℓ", "protocol", "input", "pattern", "rounds", "bound", "k-agree", "ok",
     ]);
     let mut all_ok = true;
 
@@ -44,6 +41,10 @@ fn main() {
         (16, 9, 3, 6, 3),
     ];
 
+    let protocol_names = ["figure-2", "floodset"];
+    let input_names = ["in", "out"];
+    let pattern_names = ["none", "few", "stair", "initial"];
+
     for &(n, t, k, d, ell) in grid {
         let config = ConditionBasedConfig::builder(n, t, k)
             .condition_degree(d)
@@ -53,53 +54,44 @@ fn main() {
         let oracle = MaxCondition::new(config.legality());
         let t_minus_d = t - d;
 
-        let inside = in_condition_input(n, config.legality(), &mut rng);
-        let outside = out_of_condition_input(n, config.legality());
+        let outcome = ScenarioSuite::new()
+            .spec(ProtocolSpec::condition_based(config, oracle))
+            .spec(ProtocolSpec::flood_set(n, t, k))
+            .input(in_condition_input(n, config.legality(), &mut rng))
+            .input(out_of_condition_input(n, config.legality()))
+            .pattern(FailurePattern::none(n))
+            .pattern(few_crashes(n, t_minus_d))
+            .pattern(FailurePattern::staircase(n, t, k))
+            .pattern(initial_crashes(n, t_minus_d + 1))
+            .run();
+        all_ok &= outcome.all_ok();
 
-        // Scenario: in-condition, failure-free.
-        let scenarios: Vec<(&str, _, FailurePattern)> = vec![
-            ("in/none", &inside, FailurePattern::none(n)),
-            ("in/few", &inside, few_crashes(n, t_minus_d)),
-            ("in/stair", &inside, FailurePattern::staircase(n, t, k)),
-            ("out/none", &outside, FailurePattern::none(n)),
-            ("out/initial", &outside, initial_crashes(n, t_minus_d + 1)),
-        ];
-        for (name, input, pattern) in scenarios {
-            let report = run_condition_based(&config, &oracle, input, &pattern)
-                .expect("run succeeds");
-            let rounds = report.decision_round().unwrap_or(0);
+        for case in outcome.cases() {
+            let report = case.result.as_ref().expect("grid cases are valid");
             let ok = report.satisfies_all() && report.within_predicted_rounds();
-            all_ok &= ok;
             table.row(vec![
                 n.to_string(),
                 t.to_string(),
                 k.to_string(),
-                d.to_string(),
-                ell.to_string(),
-                name.to_string(),
-                rounds.to_string(),
+                if case.spec_index == 0 {
+                    d.to_string()
+                } else {
+                    "-".into()
+                },
+                if case.spec_index == 0 {
+                    ell.to_string()
+                } else {
+                    "-".into()
+                },
+                protocol_names[case.spec_index].into(),
+                input_names[case.input_index].into(),
+                pattern_names[case.pattern_index.expect("patterns set")].into(),
+                report.decision_round().unwrap_or(0).to_string(),
                 format!("≤ {}", report.predicted_rounds()),
                 report.decided_values().len().to_string(),
                 verdict(ok),
             ]);
         }
-
-        // Baseline: flood-set at ⌊t/k⌋ + 1.
-        let base = run_floodset(n, t, k, &outside, &FailurePattern::none(n)).expect("baseline");
-        let ok = base.satisfies_all() && base.within_predicted_rounds();
-        all_ok &= ok;
-        table.row(vec![
-            n.to_string(),
-            t.to_string(),
-            k.to_string(),
-            "-".into(),
-            "-".into(),
-            "floodset".into(),
-            base.decision_round().unwrap_or(0).to_string(),
-            format!("= {}", base.predicted_rounds()),
-            base.decided_values().len().to_string(),
-            verdict(ok),
-        ]);
     }
 
     println!("Round complexity of condition-based k-set agreement (Figure 2) vs baseline");
@@ -132,5 +124,9 @@ fn initial_crashes(n: usize, count: usize) -> FailurePattern {
 }
 
 fn verdict(ok: bool) -> String {
-    if ok { "ok".into() } else { "FAIL".into() }
+    if ok {
+        "ok".into()
+    } else {
+        "FAIL".into()
+    }
 }

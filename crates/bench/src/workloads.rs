@@ -20,7 +20,10 @@ pub fn in_condition_input<R: Rng + ?Sized>(
     let x = params.x();
     let ell = params.ell();
     assert!(x < n, "density x + 1 = {} unreachable with n = {n}", x + 1);
-    assert!(ell <= x + 1, "ℓ heavy values need at least ℓ of the x + 1 dense entries");
+    assert!(
+        ell <= x + 1,
+        "ℓ heavy values need at least ℓ of the x + 1 dense entries"
+    );
 
     // Heavy values live above the noise band [1, 100].
     let heavy: Vec<u32> = (0..ell as u32).map(|i| 1000 + i).collect();

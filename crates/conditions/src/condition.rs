@@ -176,7 +176,10 @@ impl<V: ProposalValue> Condition<V> {
     /// Returns [`ConditionError::LengthMismatch`] if the system sizes differ.
     pub fn intersection(&self, other: &Condition<V>) -> Result<Condition<V>, ConditionError> {
         if self.n != other.n {
-            return Err(ConditionError::LengthMismatch { expected: self.n, got: other.n });
+            return Err(ConditionError::LengthMismatch {
+                expected: self.n,
+                got: other.n,
+            });
         }
         Ok(Condition {
             n: self.n,
@@ -191,7 +194,10 @@ impl<V: ProposalValue> Condition<V> {
     /// Returns [`ConditionError::LengthMismatch`] if the system sizes differ.
     pub fn difference(&self, other: &Condition<V>) -> Result<Condition<V>, ConditionError> {
         if self.n != other.n {
-            return Err(ConditionError::LengthMismatch { expected: self.n, got: other.n });
+            return Err(ConditionError::LengthMismatch {
+                expected: self.n,
+                got: other.n,
+            });
         }
         Ok(Condition {
             n: self.n,
@@ -240,7 +246,13 @@ mod tests {
     fn insert_rejects_wrong_length() {
         let mut c = Condition::new(2);
         let err = c.insert(v(&[1, 2, 3])).unwrap_err();
-        assert_eq!(err, ConditionError::LengthMismatch { expected: 2, got: 3 });
+        assert_eq!(
+            err,
+            ConditionError::LengthMismatch {
+                expected: 2,
+                got: 3
+            }
+        );
     }
 
     #[test]

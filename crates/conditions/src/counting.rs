@@ -38,10 +38,7 @@ pub fn binomial(n: usize, k: usize) -> u128 {
     let k = k.min(n - k);
     let mut acc: u128 = 1;
     for i in 0..k {
-        acc = acc
-            .checked_mul((n - i) as u128)
-            .expect("binomial overflow")
-            / (i as u128 + 1);
+        acc = acc.checked_mul((n - i) as u128).expect("binomial overflow") / (i as u128 + 1);
     }
     acc
 }
@@ -58,7 +55,11 @@ pub fn surjections(n: usize, j: usize) -> u128 {
     let mut acc: i128 = 0;
     for i in 0..=j {
         let term = (binomial(j, i) as i128)
-            .checked_mul(((j - i) as i128).checked_pow(n as u32).expect("pow overflow"))
+            .checked_mul(
+                ((j - i) as i128)
+                    .checked_pow(n as u32)
+                    .expect("pow overflow"),
+            )
             .expect("surjection overflow");
         if i % 2 == 0 {
             acc += term;
@@ -87,7 +88,9 @@ pub fn nb_x_1(n: usize, m: u32, x: usize) -> u128 {
     let mut total: u128 = 0;
     for gamma in 1..=m as u128 {
         for c in (x + 1)..=n {
-            let below = (gamma - 1).checked_pow((n - c) as u32).expect("pow overflow");
+            let below = (gamma - 1)
+                .checked_pow((n - c) as u32)
+                .expect("pow overflow");
             total += binomial(n, c) * below;
         }
     }

@@ -33,7 +33,10 @@ impl fmt::Display for ParamsError {
         match self {
             ParamsError::ZeroEll => write!(f, "the agreement width ℓ must be at least 1"),
             ParamsError::DegreeExceedsFaults { degree, t } => {
-                write!(f, "condition degree d = {degree} exceeds the fault bound t = {t}")
+                write!(
+                    f,
+                    "condition degree d = {degree} exceeds the fault bound t = {t}"
+                )
             }
             ParamsError::TrivialConditionNotLegal { x, ell } => write!(
                 f,
@@ -86,7 +89,10 @@ mod tests {
 
     #[test]
     fn condition_error_messages() {
-        let e = ConditionError::LengthMismatch { expected: 4, got: 2 };
+        let e = ConditionError::LengthMismatch {
+            expected: 4,
+            got: 2,
+        };
         assert!(e.to_string().contains('4'));
         assert!(e.to_string().contains('2'));
     }

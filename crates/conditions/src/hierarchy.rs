@@ -102,7 +102,9 @@ impl SdtParams {
 
     /// The d-fixed hierarchy `S^d_t[1] ⊂ … ⊂ S^d_t[max_ell]`.
     pub fn ell_chain(t: usize, d: usize, max_ell: usize) -> Result<Vec<SdtParams>, ParamsError> {
-        (1..=max_ell.max(1)).map(|ell| SdtParams::new(t, d, ell)).collect()
+        (1..=max_ell.max(1))
+            .map(|ell| SdtParams::new(t, d, ell))
+            .collect()
     }
 }
 
@@ -163,7 +165,10 @@ mod tests {
     fn trivial_condition_enters_at_t_minus_ell_plus_1() {
         // t = 4, ℓ = 2: trivial condition appears for d ≥ 3.
         let chain = SdtParams::degree_chain(4, 2).unwrap();
-        let flags: Vec<bool> = chain.iter().map(|s| s.contains_trivial_condition()).collect();
+        let flags: Vec<bool> = chain
+            .iter()
+            .map(|s| s.contains_trivial_condition())
+            .collect();
         assert_eq!(flags, vec![false, false, false, true, true]);
     }
 

@@ -83,9 +83,7 @@ pub fn join(a: LegalityParams, b: LegalityParams) -> LegalityParams {
 /// `(n−1, 1)` is wait-free consensus.
 pub fn wait_free_line(n: usize) -> impl Iterator<Item = LegalityParams> {
     assert!(n >= 1, "need at least one process");
-    (1..=n).map(move |ell| {
-        LegalityParams::new(n - 1, ell).expect("ℓ ≥ 1 by construction")
-    })
+    (1..=n).map(move |ell| LegalityParams::new(n - 1, ell).expect("ℓ ≥ 1 by construction"))
 }
 
 /// The *x-resilience line*: parameters `(x, ℓ)` for fixed `x` and

@@ -297,10 +297,7 @@ fn explore_subsets<V: ProposalValue>(
             // this candidate via this branch is exempt from the property.
             continue;
         }
-        let new_common: BTreeSet<V> = common_h
-            .intersection(&decoded[next])
-            .cloned()
-            .collect();
+        let new_common: BTreeSet<V> = common_h.intersection(&decoded[next]).cloned().collect();
         let count = new_inter.count_in(&new_common);
         let bound = params.x() - dg;
         chosen.push(next);
@@ -395,7 +392,14 @@ mod tests {
     fn check_vector_rejects_sparse_decoding() {
         let i = v(&[5, 1, 1, 1]);
         let err = check_vector(&i, &MaxEll::new(1), p(2, 1)).unwrap_err();
-        assert!(matches!(err, LegalityViolation::Density { count: 1, bound: 2, .. }));
+        assert!(matches!(
+            err,
+            LegalityViolation::Density {
+                count: 1,
+                bound: 2,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -403,7 +407,10 @@ mod tests {
         let i = v(&[1, 1]);
         let h = TableFn::from_entries(vec![(i.clone(), [9].into_iter().collect())]);
         let err = check_vector(&i, &h, p(0, 1)).unwrap_err();
-        assert!(matches!(err, LegalityViolation::ValueNotProposed { value: 9, .. }));
+        assert!(matches!(
+            err,
+            LegalityViolation::ValueNotProposed { value: 9, .. }
+        ));
     }
 
     #[test]
@@ -411,7 +418,10 @@ mod tests {
         let i = v(&[1, 1]);
         let h: TableFn<u32> = TableFn::new();
         let err = check_vector(&i, &h, p(0, 1)).unwrap_err();
-        assert!(matches!(err, LegalityViolation::WrongDecodeSize { got: 0, .. }));
+        assert!(matches!(
+            err,
+            LegalityViolation::WrongDecodeSize { got: 0, .. }
+        ));
     }
 
     #[test]
@@ -421,7 +431,11 @@ mod tests {
         let err = check_vector(&i, &h, p(0, 1)).unwrap_err();
         assert!(matches!(
             err,
-            LegalityViolation::WrongDecodeSize { got: 2, max_allowed: 1, .. }
+            LegalityViolation::WrongDecodeSize {
+                got: 2,
+                max_allowed: 1,
+                ..
+            }
         ));
     }
 
@@ -446,7 +460,15 @@ mod tests {
             (i2, [2].into_iter().collect()),
         ]);
         let err = check(&c, &h, p(2, 1)).unwrap_err();
-        assert!(matches!(err, LegalityViolation::Distance { dg: 2, count: 0, bound: 0, .. }));
+        assert!(matches!(
+            err,
+            LegalityViolation::Distance {
+                dg: 2,
+                count: 0,
+                bound: 0,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -478,7 +500,15 @@ mod tests {
             (i2, [5, 3].into_iter().collect()),
         ]);
         let err = check(&c, &h, p(3, 2)).unwrap_err();
-        assert!(matches!(err, LegalityViolation::Distance { dg: 2, count: 1, bound: 1, .. }));
+        assert!(matches!(
+            err,
+            LegalityViolation::Distance {
+                dg: 2,
+                count: 1,
+                bound: 1,
+                ..
+            }
+        ));
     }
 
     /// Symmetric triple at small mutual distance: legal for x = 4 — the
@@ -528,7 +558,12 @@ mod tests {
         // for x ≥ 2.
         let err = check(&cnd, &h, p(2, 2)).unwrap_err();
         match err {
-            LegalityViolation::Distance { vectors, dg, count, bound } => {
+            LegalityViolation::Distance {
+                vectors,
+                dg,
+                count,
+                bound,
+            } => {
                 assert_eq!(vectors.len(), 3, "violation needs the full triple");
                 assert_eq!(dg, 2);
                 assert_eq!(count, 0);
@@ -546,7 +581,10 @@ mod tests {
                 .map(|(_, v)| v.clone())
                 .collect();
             let sub = Condition::from_vectors(pair).unwrap();
-            assert!(check(&sub, &h, p(2, 2)).is_ok(), "pair {skip} should be legal");
+            assert!(
+                check(&sub, &h, p(2, 2)).is_ok(),
+                "pair {skip} should be legal"
+            );
         }
     }
 
@@ -593,8 +631,7 @@ mod tests {
         for i in c.iter() {
             // Erase each single entry (x = 1) and decode the view.
             for erase in 0..3 {
-                let mut entries: Vec<Option<u32>> =
-                    i.iter().cloned().map(Some).collect();
+                let mut entries: Vec<Option<u32>> = i.iter().cloned().map(Some).collect();
                 entries[erase] = None;
                 let view = View::from_options(entries);
                 let decoded = decode_view(&c, &h, &view).expect("P(J) holds");

@@ -89,7 +89,11 @@ impl<V: ProposalValue, H: RecognizingFn<V>> ExplicitOracle<V, H> {
     /// an illegal condition lose their agreement guarantees, not safety of
     /// this type.
     pub fn new(condition: Condition<V>, h: H, params: LegalityParams) -> Self {
-        ExplicitOracle { condition, h, params }
+        ExplicitOracle {
+            condition,
+            h,
+            params,
+        }
     }
 
     /// The underlying condition.

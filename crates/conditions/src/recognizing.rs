@@ -271,10 +271,9 @@ mod tests {
 
     #[test]
     fn table_from_iterator() {
-        let h: TableFn<u32> =
-            vec![(v(&[1, 1]), [1u32].into_iter().collect::<BTreeSet<_>>())]
-                .into_iter()
-                .collect();
+        let h: TableFn<u32> = vec![(v(&[1, 1]), [1u32].into_iter().collect::<BTreeSet<_>>())]
+            .into_iter()
+            .collect();
         assert_eq!(h.len(), 1);
         assert_eq!(h.iter().count(), 1);
     }

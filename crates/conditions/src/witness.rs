@@ -49,7 +49,8 @@ pub fn table_1() -> (Condition<char>, TableFn<char>) {
     let mut table = TableFn::new();
     for (entries, decoded) in rows {
         let vector = InputVector::new(entries.to_vec());
-        cond.insert(vector.clone()).expect("length 4 by construction");
+        cond.insert(vector.clone())
+            .expect("length 4 by construction");
         table.insert(vector, [decoded].into_iter().collect());
     }
     (cond, table)
@@ -89,9 +90,7 @@ pub fn find_recognizing<V: ProposalValue>(
 
     let mut assigned: Vec<BTreeSet<V>> = Vec::with_capacity(vectors.len());
     if backtrack(&vectors, &candidates, params, &mut assigned) {
-        Some(TableFn::from_entries(
-            vectors.into_iter().zip(assigned),
-        ))
+        Some(TableFn::from_entries(vectors.into_iter().zip(assigned)))
     } else {
         None
     }
@@ -143,7 +142,10 @@ fn backtrack<V: ProposalValue>(
         let prefix = Condition::from_vectors(vectors[..=next].to_vec())
             .expect("uniform lengths by construction");
         let table = TableFn::from_entries(
-            vectors[..=next].iter().cloned().zip(assigned.iter().cloned()),
+            vectors[..=next]
+                .iter()
+                .cloned()
+                .zip(assigned.iter().cloned()),
         );
         if legality::check(&prefix, &table, params).is_ok()
             && backtrack(vectors, candidates, params, assigned)
@@ -220,10 +222,7 @@ fn top_multiplicity_sum<V: ProposalValue>(vector: &InputVector<V>, ell: usize) -
 /// # Panics
 ///
 /// Panics unless `ℓ + 1 ≤ x` and `n ≥ x + 2` (the regime of Theorem 15).
-pub fn theorem_15_witness(
-    n: usize,
-    params: LegalityParams,
-) -> (Condition<u32>, TableFn<u32>) {
+pub fn theorem_15_witness(n: usize, params: LegalityParams) -> (Condition<u32>, TableFn<u32>) {
     let x = params.x();
     let ell = params.ell();
     assert!(ell < x, "Theorem 15 needs ℓ + 1 ≤ x");
@@ -239,7 +238,8 @@ pub fn theorem_15_witness(
         let mut entries = vec![i; d];
         entries.extend((1..=tail_len as u32).collect::<Vec<u32>>());
         let vector = InputVector::new(entries);
-        cond.insert(vector.clone()).expect("length n by construction");
+        cond.insert(vector.clone())
+            .expect("length n by construction");
         table.insert(vector, decoded.clone());
     }
     (cond, table)
@@ -300,10 +300,7 @@ mod tests {
         // Not (x+1, ℓ)-legal: no function exists. The witness can be large;
         // restrict to a small sub-condition that already fails (every
         // vector individually fails density at x+1).
-        let sub = Condition::from_vectors(
-            w.iter().take(3).cloned().collect::<Vec<_>>(),
-        )
-        .unwrap();
+        let sub = Condition::from_vectors(w.iter().take(3).cloned().collect::<Vec<_>>()).unwrap();
         assert!(find_recognizing(&sub, p(2, 1)).is_none());
     }
 
@@ -315,8 +312,7 @@ mod tests {
         // (x, ℓ+1)-legal with max_{ℓ+1}.
         assert!(legality::check(&w, &MaxEll::new(2), p(2, 2)).is_ok());
         // Not (x, ℓ)-legal: density alone kills every vector.
-        let sub =
-            Condition::from_vectors(w.iter().take(3).cloned().collect::<Vec<_>>()).unwrap();
+        let sub = Condition::from_vectors(w.iter().take(3).cloned().collect::<Vec<_>>()).unwrap();
         assert!(find_recognizing(&sub, params).is_none());
     }
 

@@ -61,7 +61,10 @@ impl<V: ProposalValue> FloodSet<V> {
     /// Panics if `target_round == 0`.
     pub fn with_target_round(target_round: usize, value: V) -> Self {
         assert!(target_round > 0, "rounds are 1-based");
-        FloodSet { target_round, estimate: value }
+        FloodSet {
+            target_round,
+            estimate: value,
+        }
     }
 
     /// The round at which this process decides: `⌊t/k⌋ + 1`.
@@ -100,7 +103,11 @@ impl<V: ProposalValue> SyncProtocol for FloodSet<V> {
 
 impl<V: fmt::Display> fmt::Display for FloodSet<V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "floodset(est = {}, decides @ r{})", self.estimate, self.target_round)
+        write!(
+            f,
+            "floodset(est = {}, decides @ r{})",
+            self.estimate, self.target_round
+        )
     }
 }
 
@@ -116,7 +123,8 @@ mod tests {
 
     #[test]
     fn consensus_converges_to_max() {
-        let trace = run_protocol(system(2, 1, &[3, 9, 1, 4]), &FailurePattern::none(4), 10).unwrap();
+        let trace =
+            run_protocol(system(2, 1, &[3, 9, 1, 4]), &FailurePattern::none(4), 10).unwrap();
         assert_eq!(trace.decided_values(), [9].into_iter().collect());
         assert_eq!(trace.last_decision_round(), Some(3));
     }
@@ -125,8 +133,7 @@ mod tests {
     fn k_set_decides_by_t_over_k_plus_1() {
         // t = 4, k = 2 → 3 rounds.
         let inputs: Vec<u32> = (1..=8).collect();
-        let trace =
-            run_protocol(system(4, 2, &inputs), &FailurePattern::none(8), 10).unwrap();
+        let trace = run_protocol(system(4, 2, &inputs), &FailurePattern::none(8), 10).unwrap();
         assert_eq!(trace.last_decision_round(), Some(3));
         assert!(trace.decided_values().len() <= 2);
     }
@@ -169,8 +176,12 @@ mod tests {
         // p1 knows 9 and reaches only p2 in round 1; p2 reaches only p3 in
         // round 2 — too late for a 2-round protocol to flush.
         let mut pattern = FailurePattern::none(4);
-        pattern.crash(ProcessId::new(0), CrashSpec::new(1, 2)).unwrap();
-        pattern.crash(ProcessId::new(1), CrashSpec::new(2, 3)).unwrap();
+        pattern
+            .crash(ProcessId::new(0), CrashSpec::new(1, 2))
+            .unwrap();
+        pattern
+            .crash(ProcessId::new(1), CrashSpec::new(2, 3))
+            .unwrap();
         let procs: Vec<ShortFlood> = [9u32, 1, 1, 1]
             .into_iter()
             .map(|v| ShortFlood(FloodSet::new(2, 1, v)))

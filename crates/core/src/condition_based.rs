@@ -76,7 +76,11 @@ impl<V: ProposalValue, O: ConditionOracle<V>> ConditionBased<V, O> {
     ///
     /// Panics if `me` is outside the system.
     pub fn new(config: ConditionBasedConfig, me: ProcessId, proposal: V, oracle: O) -> Self {
-        assert!(me.index() < config.n(), "{me} outside a system of {}", config.n());
+        assert!(
+            me.index() < config.n(),
+            "{me} outside a system of {}",
+            config.n()
+        );
         let mut view = View::all_bottom(config.n());
         view.set(me, proposal);
         ConditionBased {
@@ -106,7 +110,11 @@ impl<V: ProposalValue, O: ConditionOracle<V>> ConditionBased<V, O> {
 
     /// The state triple, exposed for tests and ablation studies.
     pub fn state(&self) -> (Option<&V>, Option<&V>, Option<&V>) {
-        (self.v_cond.as_ref(), self.v_tmf.as_ref(), self.v_out.as_ref())
+        (
+            self.v_cond.as_ref(),
+            self.v_tmf.as_ref(),
+            self.v_out.as_ref(),
+        )
     }
 
     /// Line 6–8: classify the round-1 view and prime one state slot.
@@ -263,7 +271,12 @@ mod tests {
     ) -> Vec<ConditionBased<u32, MaxCondition>> {
         (0..cfg.n())
             .map(|i| {
-                ConditionBased::new(cfg, ProcessId::new(i), *input.get(ProcessId::new(i)), oracle)
+                ConditionBased::new(
+                    cfg,
+                    ProcessId::new(i),
+                    *input.get(ProcessId::new(i)),
+                    oracle,
+                )
             })
             .collect()
     }
@@ -292,9 +305,16 @@ mod tests {
         // ⌊t/k⌋ + 1 = 2 here — make it distinguishable: use k = 1.
         let cfg1 = config(6, 3, 1, 2, 1);
         let oracle1 = MaxCondition::new(cfg1.legality());
-        let trace1 =
-            run_protocol(processes(cfg1, oracle1, &input), &FailurePattern::none(6), 10).unwrap();
-        assert_eq!(trace1.last_decision_round(), Some(cfg1.final_decision_round()));
+        let trace1 = run_protocol(
+            processes(cfg1, oracle1, &input),
+            &FailurePattern::none(6),
+            10,
+        )
+        .unwrap();
+        assert_eq!(
+            trace1.last_decision_round(),
+            Some(cfg1.final_decision_round())
+        );
         assert_eq!(trace1.decided_values().len(), 1, "consensus: one value");
         assert!(trace.rounds_executed() <= cfg.final_decision_round());
     }
@@ -319,11 +339,9 @@ mod tests {
         let cfg = config(6, 3, 2, 2, 1);
         let oracle = MaxCondition::new(cfg.legality());
         let input = InputVector::new(vec![1, 2, 3, 4, 5, 6]); // outside C
-        let pattern = FailurePattern::initial(
-            6,
-            [ProcessId::new(0), ProcessId::new(1), ProcessId::new(2)],
-        )
-        .unwrap();
+        let pattern =
+            FailurePattern::initial(6, [ProcessId::new(0), ProcessId::new(1), ProcessId::new(2)])
+                .unwrap();
         let trace = run_protocol(processes(cfg, oracle, &input), &pattern, 10).unwrap();
         assert!(trace.all_correct_decided());
         assert!(

@@ -59,10 +59,16 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroK => write!(f, "k must be at least 1"),
             ConfigError::ZeroEll => write!(f, "ℓ must be at least 1"),
             ConfigError::EllExceedsK { ell, k } => {
-                write!(f, "condition width ℓ = {ell} exceeds the agreement degree k = {k}")
+                write!(
+                    f,
+                    "condition width ℓ = {ell} exceeds the agreement degree k = {k}"
+                )
             }
             ConfigError::DegreeExceedsFaults { d, t } => {
-                write!(f, "condition degree d = {d} exceeds the fault bound t = {t}")
+                write!(
+                    f,
+                    "condition degree d = {d} exceeds the fault bound t = {t}"
+                )
             }
             ConfigError::TrivialConditionRegime { ell, t_minus_d } => write!(
                 f,
@@ -183,7 +189,9 @@ impl ConditionBasedConfig {
 
     /// A safe engine round limit for executions of this configuration.
     pub fn round_limit(&self) -> usize {
-        self.final_decision_round().max(self.condition_decision_round()) + 2
+        self.final_decision_round()
+            .max(self.condition_decision_round())
+            + 2
     }
 }
 
@@ -236,7 +244,14 @@ impl ConfigBuilder {
     ///
     /// See [`ConfigError`] for each rejected combination.
     pub fn build(self) -> Result<ConditionBasedConfig, ConfigError> {
-        let ConfigBuilder { n, t, k, d, ell, permit_trivial } = self;
+        let ConfigBuilder {
+            n,
+            t,
+            k,
+            d,
+            ell,
+            permit_trivial,
+        } = self;
         if t == 0 || t >= n {
             return Err(ConfigError::BadFaultBound { n, t });
         }
@@ -253,7 +268,10 @@ impl ConfigBuilder {
             return Err(ConfigError::DegreeExceedsFaults { d, t });
         }
         if ell + d > t && !permit_trivial {
-            return Err(ConfigError::TrivialConditionRegime { ell, t_minus_d: t - d });
+            return Err(ConfigError::TrivialConditionRegime {
+                ell,
+                t_minus_d: t - d,
+            });
         }
         Ok(ConditionBasedConfig { n, t, k, d, ell })
     }
@@ -298,7 +316,9 @@ mod tests {
             Err(ConfigError::EllExceedsK { .. })
         ));
         assert!(matches!(
-            ConditionBasedConfig::builder(8, 4, 2).condition_degree(5).build(),
+            ConditionBasedConfig::builder(8, 4, 2)
+                .condition_degree(5)
+                .build(),
             Err(ConfigError::DegreeExceedsFaults { .. })
         ));
     }
@@ -306,7 +326,11 @@ mod tests {
     #[test]
     fn trivial_regime_needs_opt_in() {
         // t = 2, d = 2 → t − d = 0 < ℓ = 1.
-        let builder = || ConditionBasedConfig::builder(6, 2, 2).condition_degree(2).ell(1);
+        let builder = || {
+            ConditionBasedConfig::builder(6, 2, 2)
+                .condition_degree(2)
+                .ell(1)
+        };
         assert!(matches!(
             builder().build(),
             Err(ConfigError::TrivialConditionRegime { .. })

@@ -81,7 +81,11 @@ impl<V: ProposalValue, O: ConditionOracle<V>> EarlyConditionBased<V, O> {
     ///
     /// Panics if `me` is outside the system.
     pub fn new(config: ConditionBasedConfig, me: ProcessId, proposal: V, oracle: O) -> Self {
-        assert!(me.index() < config.n(), "{me} outside a system of {}", config.n());
+        assert!(
+            me.index() < config.n(),
+            "{me} outside a system of {}",
+            config.n()
+        );
         let mut view = View::all_bottom(config.n());
         view.set(me, proposal);
         EarlyConditionBased {
@@ -172,7 +176,12 @@ impl<V: ProposalValue, O: ConditionOracle<V>> SyncProtocol for EarlyConditionBas
                 debug_assert_eq!(round, 1);
                 self.view.set(from, v);
             }
-            EcbMessage::State { cond, tmf, out, deciding } => {
+            EcbMessage::State {
+                cond,
+                tmf,
+                out,
+                deciding,
+            } => {
                 fn fold<V: Ord>(acc: &mut Option<V>, v: Option<V>) {
                     if v > *acc {
                         *acc = v;
@@ -283,8 +292,7 @@ mod tests {
     fn in_condition_fast_path_is_preserved() {
         let cfg = config(8, 4, 2, 2, 1);
         let input = InputVector::new(vec![7, 7, 7, 1, 2, 7, 7, 7]);
-        let trace =
-            run_protocol(processes(cfg, &input), &FailurePattern::none(8), 10).unwrap();
+        let trace = run_protocol(processes(cfg, &input), &FailurePattern::none(8), 10).unwrap();
         assert!(trace.all_correct_decided());
         assert_eq!(trace.last_decision_round(), Some(2));
         assert_eq!(trace.decided_values(), [7].into_iter().collect());
@@ -296,8 +304,7 @@ mod tests {
         // adaptive rule cuts it to 2.
         let cfg = config(12, 6, 2, 4, 1);
         let input = InputVector::new((1..=12u32).collect::<Vec<_>>());
-        let trace =
-            run_protocol(processes(cfg, &input), &FailurePattern::none(12), 10).unwrap();
+        let trace = run_protocol(processes(cfg, &input), &FailurePattern::none(12), 10).unwrap();
         assert!(trace.all_correct_decided());
         assert!(trace.decided_values().len() <= 2);
         assert_eq!(trace.last_decision_round(), Some(2));
@@ -334,12 +341,19 @@ mod tests {
         for seed in 0..40u64 {
             let mut rng = SmallRng::seed_from_u64(seed);
             let input = InputVector::new(
-                (0..10).map(|i| (i * 7 + seed as u32) % 6 + 1).collect::<Vec<u32>>(),
+                (0..10)
+                    .map(|i| (i * 7 + seed as u32) % 6 + 1)
+                    .collect::<Vec<u32>>(),
             );
             let pattern = FailurePattern::random(10, 5, 4, &mut rng);
             let plain: Vec<ConditionBased<u32, MaxCondition>> = (0..10)
                 .map(|i| {
-                    ConditionBased::new(cfg, ProcessId::new(i), *input.get(ProcessId::new(i)), oracle)
+                    ConditionBased::new(
+                        cfg,
+                        ProcessId::new(i),
+                        *input.get(ProcessId::new(i)),
+                        oracle,
+                    )
                 })
                 .collect();
             let plain_trace = run_protocol(plain, &pattern, cfg.round_limit()).unwrap();
@@ -364,7 +378,9 @@ mod tests {
             let mut rng = SmallRng::seed_from_u64(seed ^ 0xEC8);
             let cfg = config(9, 4, 2, 2, 2);
             let input = InputVector::new(
-                (0..9).map(|i| (i * 5 + seed as u32) % 7 + 1).collect::<Vec<u32>>(),
+                (0..9)
+                    .map(|i| (i * 5 + seed as u32) % 7 + 1)
+                    .collect::<Vec<u32>>(),
             );
             let pattern = FailurePattern::random(9, 4, 4, &mut rng);
             let trace = run_protocol(processes(cfg, &input), &pattern, 10).unwrap();

@@ -152,14 +152,16 @@ mod tests {
 
     fn system(n: usize, t: usize, k: usize, inputs: &[u32]) -> Vec<EarlyDeciding<u32>> {
         assert_eq!(inputs.len(), n);
-        inputs.iter().map(|&v| EarlyDeciding::new(n, t, k, v)).collect()
+        inputs
+            .iter()
+            .map(|&v| EarlyDeciding::new(n, t, k, v))
+            .collect()
     }
 
     #[test]
     fn failure_free_decides_in_two_rounds() {
         let inputs = [5u32, 3, 8, 6, 7];
-        let trace =
-            run_protocol(system(5, 3, 1, &inputs), &FailurePattern::none(5), 10).unwrap();
+        let trace = run_protocol(system(5, 3, 1, &inputs), &FailurePattern::none(5), 10).unwrap();
         assert_eq!(trace.last_decision_round(), Some(2));
         assert_eq!(trace.decided_values(), [3].into_iter().collect());
     }
@@ -168,8 +170,7 @@ mod tests {
     fn early_bound_tracks_actual_crashes() {
         // f = 2 initial crashes, k = 1, t = 4: bound min(f+2, t+1) = 4.
         let inputs = [5u32, 3, 8, 6, 7, 1];
-        let pattern =
-            FailurePattern::initial(6, [ProcessId::new(2), ProcessId::new(5)]).unwrap();
+        let pattern = FailurePattern::initial(6, [ProcessId::new(2), ProcessId::new(5)]).unwrap();
         let trace = run_protocol(system(6, 4, 1, &inputs), &pattern, 10).unwrap();
         assert!(trace.all_correct_decided());
         assert!(
@@ -227,7 +228,9 @@ mod tests {
         // round 2; the prefix that heard it must still terminate correctly.
         let inputs = [1u32, 5, 5, 5];
         let mut pattern = FailurePattern::none(4);
-        pattern.crash(ProcessId::new(0), CrashSpec::new(2, 2)).unwrap();
+        pattern
+            .crash(ProcessId::new(0), CrashSpec::new(2, 2))
+            .unwrap();
         let trace = run_protocol(system(4, 2, 1, &inputs), &pattern, 10).unwrap();
         assert!(trace.all_correct_decided());
         assert_eq!(trace.decided_values(), [1].into_iter().collect());

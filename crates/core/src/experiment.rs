@@ -1,0 +1,1043 @@
+//! The unified experiment API: describe **what** to run — a
+//! [`ProtocolSpec`], an input vector, an adversary — and **where** to run
+//! it — an [`Executor`] — then call [`Scenario::run`] for a [`Report`].
+//!
+//! This replaces the four parallel `run_*` helpers and the per-backend
+//! entry points (`run_protocol`, `run_threaded`) with one front door:
+//!
+//! ```
+//! use setagree_conditions::MaxCondition;
+//! use setagree_core::{ConditionBasedConfig, Executor, Scenario};
+//! use setagree_sync::FailurePattern;
+//!
+//! let config = ConditionBasedConfig::builder(6, 3, 2)
+//!     .condition_degree(2)
+//!     .ell(1)
+//!     .build()?;
+//! let report = Scenario::condition_based(config, MaxCondition::new(config.legality()))
+//!     .input(vec![5u32, 5, 1, 2, 5, 5])
+//!     .pattern(FailurePattern::none(6))
+//!     .executor(Executor::Simulator)
+//!     .run()?;
+//! assert!(report.satisfies_all());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! The same scenario runs unchanged on real OS threads
+//! (`Executor::Threaded`) or under the standard arbitrary-subset crash
+//! model (an [`Adversary::Unordered`] pattern) — the executor and the
+//! adversary are data, not code paths the caller has to reimplement.
+
+use std::error::Error;
+use std::fmt;
+use std::marker::PhantomData;
+
+use serde::{Deserialize, Serialize};
+
+use setagree_conditions::{ConditionOracle, LegalityParams, MaxCondition};
+use setagree_runtime::{run_threaded, ThreadedError};
+use setagree_sync::{
+    run_protocol, run_protocol_unordered, EngineError, FailurePattern, SyncProtocol, Trace,
+    UnorderedFailurePattern,
+};
+use setagree_types::{InputVector, ProcessId, ProposalValue};
+
+use crate::baselines::FloodSet;
+use crate::condition_based::ConditionBased;
+use crate::config::ConditionBasedConfig;
+use crate::early_condition::EarlyConditionBased;
+use crate::early_deciding::EarlyDeciding;
+use crate::report::Report;
+
+/// Everything that can go wrong preparing or running a scenario — the
+/// single error type absorbing the former `RunError`, `EngineError` and
+/// `ThreadedError`.
+///
+/// Backend errors are *flattened* into matching variants rather than
+/// wrapped (no `source()` chain): that keeps the type `Clone + Eq`,
+/// which the suite's positioned per-case failures and equality-based
+/// tests rely on. Backend variants this crate predates surface as
+/// [`ExperimentError::Internal`] carrying the original message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExperimentError {
+    /// [`Scenario::run`] was called before [`Scenario::input`].
+    MissingInput,
+    /// The input vector's length does not match the protocol's `n`.
+    InputSizeMismatch {
+        /// Expected system size.
+        expected: usize,
+        /// Input vector length.
+        got: usize,
+    },
+    /// The spec's agreement degree is zero (`k ≥ 1` is required; the
+    /// condition-based specs already reject this in `ConfigBuilder`).
+    ZeroK,
+    /// The failure pattern schedules more crashes than `t`.
+    TooManyCrashes {
+        /// The fault bound `t`.
+        t: usize,
+        /// Crashes scheduled.
+        scheduled: usize,
+    },
+    /// The oracle's legality parameters disagree with the configuration's
+    /// `(t − d, ℓ)` — the algorithm's guarantees presuppose they match.
+    OracleMismatch {
+        /// What the configuration requires.
+        expected: LegalityParams,
+        /// What the oracle reports.
+        got: LegalityParams,
+    },
+    /// Some process neither decided nor crashed within the round limit.
+    RoundLimitExceeded {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// Process count and failure-pattern system size differ.
+    SystemSizeMismatch {
+        /// Protocol instances supplied.
+        processes: usize,
+        /// Pattern system size.
+        pattern: usize,
+    },
+    /// A process thread panicked (threaded executor only).
+    ProcessPanicked {
+        /// The panicking process.
+        process: ProcessId,
+    },
+    /// The executor cannot realize the requested adversary (the threaded
+    /// runtime implements only the paper's ordered-send model).
+    UnsupportedAdversary {
+        /// The executor that was asked.
+        executor: Executor,
+    },
+    /// An engine or runtime error this crate predates (the backends'
+    /// error enums are `#[non_exhaustive]`); carries the original
+    /// message rather than mislabelling it.
+    Internal {
+        /// The backend error's own description.
+        message: String,
+    },
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::MissingInput => {
+                write!(
+                    f,
+                    "the scenario has no input vector (call .input(...) before .run())"
+                )
+            }
+            ExperimentError::InputSizeMismatch { expected, got } => {
+                write!(
+                    f,
+                    "input vector has {got} entries, the system has {expected}"
+                )
+            }
+            ExperimentError::ZeroK => write!(f, "the agreement degree k must be at least 1"),
+            ExperimentError::TooManyCrashes { t, scheduled } => {
+                write!(
+                    f,
+                    "failure pattern schedules {scheduled} crashes, bound is t = {t}"
+                )
+            }
+            ExperimentError::OracleMismatch { expected, got } => write!(
+                f,
+                "oracle is built for {got} but the configuration requires {expected}"
+            ),
+            ExperimentError::RoundLimitExceeded { limit } => {
+                write!(
+                    f,
+                    "execution exceeded the {limit}-round limit without termination"
+                )
+            }
+            ExperimentError::SystemSizeMismatch { processes, pattern } => write!(
+                f,
+                "{processes} protocol instances but the failure pattern is over {pattern} processes"
+            ),
+            ExperimentError::ProcessPanicked { process } => {
+                write!(f, "thread of {process} panicked")
+            }
+            ExperimentError::UnsupportedAdversary { executor } => write!(
+                f,
+                "executor {executor} implements only the paper's ordered-send adversary"
+            ),
+            ExperimentError::Internal { message } => write!(f, "backend error: {message}"),
+        }
+    }
+}
+
+impl Error for ExperimentError {}
+
+impl From<EngineError> for ExperimentError {
+    fn from(e: EngineError) -> Self {
+        match e {
+            EngineError::RoundLimitExceeded { limit } => {
+                ExperimentError::RoundLimitExceeded { limit }
+            }
+            EngineError::SystemSizeMismatch { processes, pattern } => {
+                ExperimentError::SystemSizeMismatch { processes, pattern }
+            }
+            other => ExperimentError::Internal {
+                message: other.to_string(),
+            },
+        }
+    }
+}
+
+impl From<ThreadedError> for ExperimentError {
+    fn from(e: ThreadedError) -> Self {
+        match e {
+            ThreadedError::RoundLimitExceeded { limit } => {
+                ExperimentError::RoundLimitExceeded { limit }
+            }
+            ThreadedError::SystemSizeMismatch { processes, pattern } => {
+                ExperimentError::SystemSizeMismatch { processes, pattern }
+            }
+            ThreadedError::ProcessPanicked { process } => {
+                ExperimentError::ProcessPanicked { process }
+            }
+            other => ExperimentError::Internal {
+                message: other.to_string(),
+            },
+        }
+    }
+}
+
+/// Where a scenario executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Executor {
+    /// The deterministic in-process round simulator (fast; the default).
+    #[default]
+    Simulator,
+    /// The real-thread runtime: one OS thread per process, channels as
+    /// links. Observationally identical to the simulator on ordered
+    /// patterns — which `tests/executor_equivalence.rs` asserts.
+    Threaded,
+}
+
+impl fmt::Display for Executor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Executor::Simulator => write!(f, "simulator"),
+            Executor::Threaded => write!(f, "threaded"),
+        }
+    }
+}
+
+/// The crash adversary of a scenario: the paper's ordered-send model, or
+/// the standard arbitrary-subset model used by the ablations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Adversary {
+    /// Ordered sends: a crash loses a *suffix* of the broadcast
+    /// (Section 6.2 — the model the Figure 2 guarantees assume).
+    Ordered(FailurePattern),
+    /// Arbitrary-subset loss: the standard synchronous model, under which
+    /// the Figure 2 agreement argument does **not** hold (the ablation of
+    /// `tests/model_ablation.rs`). Simulator only.
+    Unordered(UnorderedFailurePattern),
+}
+
+impl Adversary {
+    /// The system size the pattern is defined over.
+    pub fn system_size(&self) -> usize {
+        match self {
+            Adversary::Ordered(p) => p.system_size(),
+            Adversary::Unordered(p) => p.system_size(),
+        }
+    }
+
+    /// The number of faulty processes.
+    pub fn fault_count(&self) -> usize {
+        match self {
+            Adversary::Ordered(p) => p.fault_count(),
+            Adversary::Unordered(p) => p.fault_count(),
+        }
+    }
+
+    /// The ordered pattern, when this adversary is in the paper's model.
+    pub fn as_ordered(&self) -> Option<&FailurePattern> {
+        match self {
+            Adversary::Ordered(p) => Some(p),
+            Adversary::Unordered(_) => None,
+        }
+    }
+}
+
+impl From<FailurePattern> for Adversary {
+    fn from(p: FailurePattern) -> Self {
+        Adversary::Ordered(p)
+    }
+}
+
+impl From<UnorderedFailurePattern> for Adversary {
+    fn from(p: UnorderedFailurePattern) -> Self {
+        Adversary::Unordered(p)
+    }
+}
+
+/// Which algorithm a scenario ran — carried by every [`Report`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ProtocolKind {
+    /// The Figure 2 condition-based algorithm.
+    ConditionBased,
+    /// The Section 8 early-deciding condition-based combination.
+    EarlyConditionBased,
+    /// The \[Gafni–Guerraoui–Pochon\] early-deciding baseline.
+    EarlyDeciding,
+    /// The classical flood-set baseline.
+    FloodSet,
+}
+
+impl fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolKind::ConditionBased => write!(f, "condition-based"),
+            ProtocolKind::EarlyConditionBased => write!(f, "early-condition-based"),
+            ProtocolKind::EarlyDeciding => write!(f, "early-deciding"),
+            ProtocolKind::FloodSet => write!(f, "floodset"),
+        }
+    }
+}
+
+#[derive(Clone)]
+enum SpecKind<O> {
+    ConditionBased {
+        config: ConditionBasedConfig,
+        oracle: O,
+    },
+    EarlyConditionBased {
+        config: ConditionBasedConfig,
+        oracle: O,
+    },
+    EarlyDeciding {
+        n: usize,
+        t: usize,
+        k: usize,
+    },
+    FloodSet {
+        n: usize,
+        t: usize,
+        k: usize,
+        target_round: Option<usize>,
+    },
+}
+
+/// Builds the process vector for a spec and hands it to a runner
+/// expression — the single protocol-dispatch point shared by the
+/// simulator and threaded executors, so a new [`SpecKind`] variant needs
+/// exactly one arm here and cannot drift between backends.
+macro_rules! dispatch_spec {
+    ($spec:expr, $input:expr, |$procs:ident| $run:expr) => {
+        match &$spec.kind {
+            SpecKind::ConditionBased { config, oracle } => {
+                let $procs = condition_processes(config, oracle, $input);
+                $run
+            }
+            SpecKind::EarlyConditionBased { config, oracle } => {
+                let $procs = early_condition_processes(config, oracle, $input);
+                $run
+            }
+            SpecKind::EarlyDeciding { n, t, k } => {
+                let $procs = early_deciding_processes(*n, *t, *k, $input);
+                $run
+            }
+            SpecKind::FloodSet {
+                t, k, target_round, ..
+            } => {
+                let $procs = flood_processes(*t, *k, *target_round, $input);
+                $run
+            }
+        }
+    };
+}
+
+/// The algorithm a scenario runs, with its parameters and (for the
+/// condition-based variants) the oracle wiring.
+///
+/// `V` is the proposal-value type; `O` the oracle, defaulting to the
+/// analytic [`MaxCondition`].
+pub struct ProtocolSpec<V, O = MaxCondition> {
+    kind: SpecKind<O>,
+    _values: PhantomData<fn() -> V>,
+}
+
+impl<O: Clone, V> Clone for ProtocolSpec<V, O> {
+    fn clone(&self) -> Self {
+        ProtocolSpec {
+            kind: self.kind.clone(),
+            _values: PhantomData,
+        }
+    }
+}
+
+impl<V, O> fmt::Debug for ProtocolSpec<V, O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ProtocolSpec({}, n={}, t={}, k={})",
+            self.protocol(),
+            self.n(),
+            self.t(),
+            self.k()
+        )
+    }
+}
+
+impl<V, O> ProtocolSpec<V, O> {
+    /// The Figure 2 condition-based algorithm with `oracle` deciding
+    /// condition membership.
+    pub fn condition_based(config: ConditionBasedConfig, oracle: O) -> Self {
+        ProtocolSpec {
+            kind: SpecKind::ConditionBased { config, oracle },
+            _values: PhantomData,
+        }
+    }
+
+    /// The Section 8 combination: Figure 2 plus the early-decision rule.
+    pub fn early_condition_based(config: ConditionBasedConfig, oracle: O) -> Self {
+        ProtocolSpec {
+            kind: SpecKind::EarlyConditionBased { config, oracle },
+            _values: PhantomData,
+        }
+    }
+
+    /// Which algorithm this spec selects.
+    pub fn protocol(&self) -> ProtocolKind {
+        match &self.kind {
+            SpecKind::ConditionBased { .. } => ProtocolKind::ConditionBased,
+            SpecKind::EarlyConditionBased { .. } => ProtocolKind::EarlyConditionBased,
+            SpecKind::EarlyDeciding { .. } => ProtocolKind::EarlyDeciding,
+            SpecKind::FloodSet { .. } => ProtocolKind::FloodSet,
+        }
+    }
+
+    /// The system size `n`.
+    pub fn n(&self) -> usize {
+        match &self.kind {
+            SpecKind::ConditionBased { config, .. }
+            | SpecKind::EarlyConditionBased { config, .. } => config.n(),
+            SpecKind::EarlyDeciding { n, .. } | SpecKind::FloodSet { n, .. } => *n,
+        }
+    }
+
+    /// The fault bound `t`.
+    pub fn t(&self) -> usize {
+        match &self.kind {
+            SpecKind::ConditionBased { config, .. }
+            | SpecKind::EarlyConditionBased { config, .. } => config.t(),
+            SpecKind::EarlyDeciding { t, .. } | SpecKind::FloodSet { t, .. } => *t,
+        }
+    }
+
+    /// The agreement degree `k`.
+    pub fn k(&self) -> usize {
+        match &self.kind {
+            SpecKind::ConditionBased { config, .. }
+            | SpecKind::EarlyConditionBased { config, .. } => config.k(),
+            SpecKind::EarlyDeciding { k, .. } | SpecKind::FloodSet { k, .. } => *k,
+        }
+    }
+
+    /// The condition-based configuration, when this spec carries one.
+    pub fn config(&self) -> Option<&ConditionBasedConfig> {
+        match &self.kind {
+            SpecKind::ConditionBased { config, .. }
+            | SpecKind::EarlyConditionBased { config, .. } => Some(config),
+            _ => None,
+        }
+    }
+
+    /// A safe default engine round limit for this spec.
+    fn default_round_limit(&self) -> usize {
+        match &self.kind {
+            SpecKind::ConditionBased { config, .. }
+            | SpecKind::EarlyConditionBased { config, .. } => config.round_limit(),
+            SpecKind::EarlyDeciding { t, k, .. } => t / k + 3,
+            SpecKind::FloodSet {
+                t, k, target_round, ..
+            } => match target_round {
+                Some(target) => target + 2,
+                None => t / k + 3,
+            },
+        }
+    }
+}
+
+impl<V> ProtocolSpec<V, MaxCondition> {
+    /// The classical flood-set baseline (`⌊t/k⌋ + 1` rounds).
+    pub fn flood_set(n: usize, t: usize, k: usize) -> Self {
+        ProtocolSpec {
+            kind: SpecKind::FloodSet {
+                n,
+                t,
+                k,
+                target_round: None,
+            },
+            _values: PhantomData,
+        }
+    }
+
+    /// A flood-set **truncated** to decide at `target_round` regardless of
+    /// `⌊t/k⌋ + 1` — deliberately incorrect below the bound; used by the
+    /// lower-bound demonstrations, where the resulting [`Report`] shows
+    /// the agreement violation.
+    pub fn flood_set_truncated(n: usize, t: usize, k: usize, target_round: usize) -> Self {
+        ProtocolSpec {
+            kind: SpecKind::FloodSet {
+                n,
+                t,
+                k,
+                target_round: Some(target_round),
+            },
+            _values: PhantomData,
+        }
+    }
+
+    /// The early-deciding baseline
+    /// (`min(⌊f/k⌋ + 2, ⌊t/k⌋ + 1)` rounds, `f` = actual crashes).
+    pub fn early_deciding(n: usize, t: usize, k: usize) -> Self {
+        ProtocolSpec {
+            kind: SpecKind::EarlyDeciding { n, t, k },
+            _values: PhantomData,
+        }
+    }
+}
+
+/// One experiment: a protocol, an input, an adversary, an executor.
+///
+/// Build with the protocol constructors ([`Scenario::condition_based`],
+/// [`Scenario::flood_set`], …), refine with the builder methods, execute
+/// with [`Scenario::run`]. A `Scenario` is inert data: running it twice
+/// (or on two executors) replays the identical experiment.
+pub struct Scenario<V, O = MaxCondition> {
+    spec: ProtocolSpec<V, O>,
+    input: Option<InputVector<V>>,
+    adversary: Option<Adversary>,
+    round_limit: Option<usize>,
+    executor: Executor,
+}
+
+impl<V: Clone, O: Clone> Clone for Scenario<V, O> {
+    fn clone(&self) -> Self {
+        Scenario {
+            spec: self.spec.clone(),
+            input: self.input.clone(),
+            adversary: self.adversary.clone(),
+            round_limit: self.round_limit,
+            executor: self.executor,
+        }
+    }
+}
+
+impl<V: fmt::Debug, O> fmt::Debug for Scenario<V, O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scenario")
+            .field("spec", &self.spec)
+            .field("input", &self.input)
+            .field("adversary", &self.adversary)
+            .field("round_limit", &self.round_limit)
+            .field("executor", &self.executor)
+            .finish()
+    }
+}
+
+impl<V, O> Scenario<V, O> {
+    /// Wraps a prepared [`ProtocolSpec`].
+    pub fn new(spec: ProtocolSpec<V, O>) -> Self {
+        Scenario {
+            spec,
+            input: None,
+            adversary: None,
+            round_limit: None,
+            executor: Executor::default(),
+        }
+    }
+
+    /// Shorthand for [`Scenario::new`] over
+    /// [`ProtocolSpec::condition_based`].
+    pub fn condition_based(config: ConditionBasedConfig, oracle: O) -> Self {
+        Scenario::new(ProtocolSpec::condition_based(config, oracle))
+    }
+
+    /// Shorthand for [`Scenario::new`] over
+    /// [`ProtocolSpec::early_condition_based`].
+    pub fn early_condition_based(config: ConditionBasedConfig, oracle: O) -> Self {
+        Scenario::new(ProtocolSpec::early_condition_based(config, oracle))
+    }
+
+    /// Sets the input vector (one proposal per process). Required.
+    pub fn input(mut self, input: impl Into<InputVector<V>>) -> Self {
+        self.input = Some(input.into());
+        self
+    }
+
+    /// Sets the crash adversary; accepts a [`FailurePattern`] (ordered
+    /// sends, the paper's model) or an [`UnorderedFailurePattern`]
+    /// (standard model, simulator only). Defaults to failure-free.
+    pub fn pattern(mut self, adversary: impl Into<Adversary>) -> Self {
+        self.adversary = Some(adversary.into());
+        self
+    }
+
+    /// Overrides the engine round limit (default: the protocol's proven
+    /// bound plus slack).
+    pub fn round_limit(mut self, limit: usize) -> Self {
+        self.round_limit = Some(limit);
+        self
+    }
+
+    /// Selects the [`Executor`] (default: the simulator).
+    pub fn executor(mut self, executor: Executor) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// The spec this scenario runs.
+    pub fn spec(&self) -> &ProtocolSpec<V, O> {
+        &self.spec
+    }
+}
+
+impl<V> Scenario<V, MaxCondition> {
+    /// Shorthand for [`Scenario::new`] over [`ProtocolSpec::flood_set`].
+    pub fn flood_set(n: usize, t: usize, k: usize) -> Self {
+        Scenario::new(ProtocolSpec::flood_set(n, t, k))
+    }
+
+    /// Shorthand for [`Scenario::new`] over
+    /// [`ProtocolSpec::flood_set_truncated`].
+    pub fn flood_set_truncated(n: usize, t: usize, k: usize, target_round: usize) -> Self {
+        Scenario::new(ProtocolSpec::flood_set_truncated(n, t, k, target_round))
+    }
+
+    /// Shorthand for [`Scenario::new`] over
+    /// [`ProtocolSpec::early_deciding`].
+    pub fn early_deciding(n: usize, t: usize, k: usize) -> Self {
+        Scenario::new(ProtocolSpec::early_deciding(n, t, k))
+    }
+}
+
+impl<V: ProposalValue, O: ConditionOracle<V> + Clone> Scenario<V, O> {
+    /// Validates the scenario and returns the input plus the effective
+    /// adversary (failure-free when none was set).
+    fn validate(&self) -> Result<(&InputVector<V>, Adversary), ExperimentError> {
+        let n = self.spec.n();
+        let t = self.spec.t();
+        if self.spec.k() == 0 {
+            return Err(ExperimentError::ZeroK);
+        }
+        let input = self.input.as_ref().ok_or(ExperimentError::MissingInput)?;
+        if input.len() != n {
+            return Err(ExperimentError::InputSizeMismatch {
+                expected: n,
+                got: input.len(),
+            });
+        }
+        let adversary = self
+            .adversary
+            .clone()
+            .unwrap_or_else(|| Adversary::Ordered(FailurePattern::none(n)));
+        if adversary.fault_count() > t {
+            return Err(ExperimentError::TooManyCrashes {
+                t,
+                scheduled: adversary.fault_count(),
+            });
+        }
+        if let SpecKind::ConditionBased { config, oracle }
+        | SpecKind::EarlyConditionBased { config, oracle } = &self.spec.kind
+        {
+            let expected = config.legality();
+            let got = oracle.params();
+            if expected != got {
+                return Err(ExperimentError::OracleMismatch { expected, got });
+            }
+        }
+        Ok((input, adversary))
+    }
+
+    /// The round the paper's formulas predict for this scenario — the
+    /// bound [`Report::within_predicted_rounds`] is checked against.
+    ///
+    /// Ordered adversaries get the sharp case analysis (Lemmas 1–2,
+    /// Theorem 10 and the adaptive Section 8 bound); unordered ones get
+    /// the only bound that survives the model ablation, `⌊t/k⌋ + 1` — a
+    /// flood-set's bound is adversary-independent (its explicit target
+    /// round when truncated), so it is handled once, up front.
+    fn predicted_rounds(&self, input: &InputVector<V>, adversary: &Adversary) -> usize {
+        if let SpecKind::FloodSet {
+            t, k, target_round, ..
+        } = &self.spec.kind
+        {
+            return target_round.unwrap_or(t / k + 1);
+        }
+        let t = self.spec.t();
+        let k = self.spec.k();
+        let Some(pattern) = adversary.as_ordered() else {
+            return (t / k + 1).max(2);
+        };
+        match &self.spec.kind {
+            SpecKind::ConditionBased { config, oracle } => {
+                figure_2_bound(config, oracle, input, pattern)
+            }
+            SpecKind::EarlyConditionBased { config, oracle } => {
+                let adaptive = (pattern.fault_count() / config.k() + 2).max(2);
+                figure_2_bound(config, oracle, input, pattern).min(adaptive)
+            }
+            SpecKind::EarlyDeciding { t, k, .. } => (pattern.fault_count() / k + 2).min(t / k + 1),
+            SpecKind::FloodSet { .. } => unreachable!("handled before the adversary split"),
+        }
+    }
+
+    /// Runs the scenario on the deterministic simulator regardless of
+    /// the configured executor.
+    ///
+    /// Unlike [`Scenario::run`] this needs no `Send + 'static` bounds,
+    /// so it accepts oracles that cannot cross threads (e.g. an
+    /// `ExplicitOracle` over a borrowing recognizing function) — the
+    /// same capability the deprecated `run_*` helpers had.
+    ///
+    /// # Errors
+    ///
+    /// As [`Scenario::run`], minus the executor-specific failures.
+    pub fn run_simulated(&self) -> Result<Report<V>, ExperimentError> {
+        let (input, adversary) = self.validate()?;
+        let predicted = self.predicted_rounds(input, &adversary);
+        let limit = self
+            .round_limit
+            .unwrap_or_else(|| self.spec.default_round_limit());
+        let trace = dispatch_spec!(self.spec, input, |procs| run_sim(procs, &adversary, limit))?;
+        Ok(Report::new(
+            trace,
+            input.clone(),
+            self.spec.k(),
+            predicted,
+            self.spec.protocol(),
+            Executor::Simulator,
+        ))
+    }
+}
+
+impl<V, O> Scenario<V, O>
+where
+    V: ProposalValue + Send + 'static,
+    O: ConditionOracle<V> + Clone + Send + 'static,
+{
+    /// Runs the scenario on the configured executor.
+    ///
+    /// The `Send + 'static` bounds exist for the threaded arm; a
+    /// non-`Send` oracle can still run on the simulator through
+    /// [`Scenario::run_simulated`].
+    ///
+    /// # Errors
+    ///
+    /// Validation failures (sizes, crash budget, oracle wiring), engine
+    /// failures (round limit), and executor-specific failures (a panicked
+    /// process thread, an unordered adversary on the threaded runtime).
+    pub fn run(&self) -> Result<Report<V>, ExperimentError> {
+        match self.executor {
+            Executor::Simulator => self.run_simulated(),
+            Executor::Threaded => self.run_on_threads(),
+        }
+    }
+
+    fn run_on_threads(&self) -> Result<Report<V>, ExperimentError> {
+        let (input, adversary) = self.validate()?;
+        let predicted = self.predicted_rounds(input, &adversary);
+        let limit = self
+            .round_limit
+            .unwrap_or_else(|| self.spec.default_round_limit());
+        let Adversary::Ordered(pattern) = &adversary else {
+            return Err(ExperimentError::UnsupportedAdversary {
+                executor: Executor::Threaded,
+            });
+        };
+        let trace = dispatch_spec!(self.spec, input, |procs| run_threaded(
+            procs, pattern, limit
+        )
+        .map_err(ExperimentError::from))?;
+        Ok(Report::new(
+            trace,
+            input.clone(),
+            self.spec.k(),
+            predicted,
+            self.spec.protocol(),
+            Executor::Threaded,
+        ))
+    }
+}
+
+/// The Figure 2 case analysis shared by the condition-based variants.
+fn figure_2_bound<V: ProposalValue, O: ConditionOracle<V>>(
+    config: &ConditionBasedConfig,
+    oracle: &O,
+    input: &InputVector<V>,
+    pattern: &FailurePattern,
+) -> usize {
+    let in_condition = oracle.matches(&input.to_view());
+    let t_minus_d = config.t() - config.d();
+    if in_condition {
+        if pattern.crashes_by_round(1) <= t_minus_d {
+            2
+        } else {
+            config.condition_decision_round()
+        }
+    } else if pattern.initial_crash_count() > t_minus_d {
+        config.condition_decision_round()
+    } else {
+        config.final_decision_round()
+    }
+}
+
+fn condition_processes<V: ProposalValue, O: ConditionOracle<V> + Clone>(
+    config: &ConditionBasedConfig,
+    oracle: &O,
+    input: &InputVector<V>,
+) -> Vec<ConditionBased<V, O>> {
+    ProcessId::all(config.n())
+        .map(|id| ConditionBased::new(*config, id, input.get(id).clone(), oracle.clone()))
+        .collect()
+}
+
+fn early_condition_processes<V: ProposalValue, O: ConditionOracle<V> + Clone>(
+    config: &ConditionBasedConfig,
+    oracle: &O,
+    input: &InputVector<V>,
+) -> Vec<EarlyConditionBased<V, O>> {
+    ProcessId::all(config.n())
+        .map(|id| EarlyConditionBased::new(*config, id, input.get(id).clone(), oracle.clone()))
+        .collect()
+}
+
+fn early_deciding_processes<V: ProposalValue>(
+    n: usize,
+    t: usize,
+    k: usize,
+    input: &InputVector<V>,
+) -> Vec<EarlyDeciding<V>> {
+    input
+        .iter()
+        .map(|v| EarlyDeciding::new(n, t, k, v.clone()))
+        .collect()
+}
+
+fn flood_processes<V: ProposalValue>(
+    t: usize,
+    k: usize,
+    target_round: Option<usize>,
+    input: &InputVector<V>,
+) -> Vec<FloodSet<V>> {
+    input
+        .iter()
+        .map(|v| match target_round {
+            Some(target) => FloodSet::with_target_round(target, v.clone()),
+            None => FloodSet::new(t, k, v.clone()),
+        })
+        .collect()
+}
+
+fn run_sim<P: SyncProtocol>(
+    processes: Vec<P>,
+    adversary: &Adversary,
+    limit: usize,
+) -> Result<Trace<P::Output>, ExperimentError> {
+    match adversary {
+        Adversary::Ordered(pattern) => Ok(run_protocol(processes, pattern, limit)?),
+        Adversary::Unordered(pattern) => Ok(run_protocol_unordered(processes, pattern, limit)?),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setagree_sync::CrashSpec;
+    use setagree_types::ProcessSet;
+
+    fn config(n: usize, t: usize, k: usize, d: usize, ell: usize) -> ConditionBasedConfig {
+        ConditionBasedConfig::builder(n, t, k)
+            .condition_degree(d)
+            .ell(ell)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn condition_based_scenario_checks_out() {
+        let cfg = config(6, 3, 2, 2, 1);
+        let report = Scenario::condition_based(cfg, MaxCondition::new(cfg.legality()))
+            .input(vec![5u32, 5, 1, 2, 5, 5])
+            .run()
+            .unwrap();
+        assert!(report.satisfies_all());
+        assert_eq!(report.predicted_rounds(), 2);
+        assert!(report.within_predicted_rounds());
+        assert_eq!(report.protocol(), ProtocolKind::ConditionBased);
+        assert_eq!(report.executor(), Executor::Simulator);
+    }
+
+    #[test]
+    fn both_executors_agree_on_the_trace() {
+        let cfg = config(6, 3, 2, 2, 1);
+        let mut pattern = FailurePattern::none(6);
+        pattern
+            .crash(ProcessId::new(5), CrashSpec::new(1, 3))
+            .unwrap();
+        let scenario = Scenario::condition_based(cfg, MaxCondition::new(cfg.legality()))
+            .input(vec![5u32, 5, 1, 2, 5, 5])
+            .pattern(pattern);
+        let simulated = scenario.run().unwrap();
+        let threaded = scenario.executor(Executor::Threaded).run().unwrap();
+        assert_eq!(simulated.trace(), threaded.trace());
+        assert_eq!(threaded.executor(), Executor::Threaded);
+    }
+
+    #[test]
+    fn flood_set_and_early_deciding_scenarios() {
+        let report = Scenario::flood_set(4, 2, 1)
+            .input(vec![3u32, 9, 1, 4])
+            .run()
+            .unwrap();
+        assert!(report.satisfies_all());
+        assert_eq!(report.predicted_rounds(), 3);
+        assert_eq!(report.decided_values(), [9].into_iter().collect());
+
+        let report = Scenario::early_deciding(4, 2, 1)
+            .input(vec![3u32, 9, 1, 4])
+            .run()
+            .unwrap();
+        assert!(report.satisfies_all());
+        assert_eq!(report.predicted_rounds(), 2);
+        assert!(report.within_predicted_rounds());
+    }
+
+    #[test]
+    fn truncated_flood_set_reports_the_violation() {
+        // The chain adversary defeats a t-round flood-set (t + 1 is the
+        // consensus bound) — the Report shows the split honestly.
+        let n = 5;
+        let t = 3;
+        let inputs: Vec<u32> = (0..n).map(|i| if i == 0 { 9 } else { 1 }).collect();
+        let report = Scenario::flood_set_truncated(n, t, 1, t)
+            .input(inputs)
+            .pattern(FailurePattern::chain(n, t))
+            .run()
+            .unwrap();
+        assert!(
+            !report.satisfies_agreement(),
+            "t rounds must split under the chain"
+        );
+    }
+
+    #[test]
+    fn missing_input_is_reported() {
+        let err = Scenario::<u32>::flood_set(4, 2, 1).run().unwrap_err();
+        assert_eq!(err, ExperimentError::MissingInput);
+    }
+
+    #[test]
+    fn input_size_is_validated() {
+        let cfg = config(6, 3, 2, 2, 1);
+        let err = Scenario::condition_based(cfg, MaxCondition::new(cfg.legality()))
+            .input(vec![1u32, 2])
+            .run()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ExperimentError::InputSizeMismatch {
+                expected: 6,
+                got: 2
+            }
+        );
+    }
+
+    #[test]
+    fn crash_budget_is_validated() {
+        let pattern =
+            FailurePattern::initial(4, [ProcessId::new(0), ProcessId::new(1), ProcessId::new(2)])
+                .unwrap();
+        let err = Scenario::flood_set(4, 2, 1)
+            .input(vec![1u32, 2, 3, 4])
+            .pattern(pattern)
+            .run()
+            .unwrap_err();
+        assert_eq!(err, ExperimentError::TooManyCrashes { t: 2, scheduled: 3 });
+    }
+
+    #[test]
+    fn oracle_params_are_validated() {
+        let cfg = config(6, 3, 2, 2, 1); // requires (x, ℓ) = (1, 1)
+        let wrong = MaxCondition::new(LegalityParams::new(2, 1).unwrap());
+        let err = Scenario::condition_based(cfg, wrong)
+            .input(vec![5u32, 5, 1, 2, 5, 5])
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, ExperimentError::OracleMismatch { .. }));
+        assert!(err.to_string().contains("requires"));
+    }
+
+    #[test]
+    fn unordered_adversary_runs_on_the_simulator_only() {
+        let mut delivered = ProcessSet::empty(4);
+        delivered.insert(ProcessId::new(2));
+        let mut pattern = UnorderedFailurePattern::none(4);
+        pattern
+            .crash(
+                ProcessId::new(0),
+                setagree_sync::SubsetCrash::new(1, delivered),
+            )
+            .unwrap();
+
+        let scenario = Scenario::flood_set(4, 2, 1)
+            .input(vec![3u32, 9, 1, 4])
+            .pattern(pattern);
+        let report = scenario.run().unwrap();
+        assert!(report.satisfies_termination());
+
+        let err = scenario.executor(Executor::Threaded).run().unwrap_err();
+        assert_eq!(
+            err,
+            ExperimentError::UnsupportedAdversary {
+                executor: Executor::Threaded
+            }
+        );
+    }
+
+    #[test]
+    fn zero_k_is_rejected_not_a_panic() {
+        let err = Scenario::flood_set(4, 2, 0)
+            .input(vec![1u32, 2, 3, 4])
+            .run()
+            .unwrap_err();
+        assert_eq!(err, ExperimentError::ZeroK);
+        let err = Scenario::early_deciding(4, 2, 0)
+            .input(vec![1u32, 2, 3, 4])
+            .run()
+            .unwrap_err();
+        assert_eq!(err, ExperimentError::ZeroK);
+    }
+
+    #[test]
+    fn round_limit_override_is_honoured() {
+        let err = Scenario::flood_set(4, 2, 1)
+            .input(vec![3u32, 9, 1, 4])
+            .round_limit(1)
+            .run()
+            .unwrap_err();
+        assert_eq!(err, ExperimentError::RoundLimitExceeded { limit: 1 });
+    }
+
+    #[test]
+    fn error_conversions_and_display() {
+        let e: ExperimentError = EngineError::RoundLimitExceeded { limit: 5 }.into();
+        assert_eq!(e, ExperimentError::RoundLimitExceeded { limit: 5 });
+        let e: ExperimentError = ThreadedError::ProcessPanicked {
+            process: ProcessId::new(1),
+        }
+        .into();
+        assert!(e.to_string().contains("panicked"));
+        assert!(ExperimentError::MissingInput.to_string().contains("input"));
+    }
+}

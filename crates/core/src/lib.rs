@@ -15,30 +15,43 @@
 //!   \[Gafni–Guerraoui–Pochon 2005\], deciding in
 //!   `min(⌊f/k⌋ + 2, ⌊t/k⌋ + 1)` rounds where `f` is the number of actual
 //!   crashes (the extension sketched in the paper's Section 8).
-//! * [`runner`] — one-call execution helpers producing a [`RunReport`]
-//!   that checks termination/validity/agreement and compares measured
-//!   rounds against the paper's formulas.
+//! * [`experiment`] — the unified **experiment API**: a [`Scenario`]
+//!   describes one run (protocol spec, input, adversary, executor) and
+//!   produces a [`Report`] checking termination/validity/agreement and
+//!   comparing measured rounds against the paper's formulas;
+//! * [`suite`] — [`ScenarioSuite`], the batch layer running cartesian
+//!   grids of scenarios across worker threads.
 //!
-//! # Example
+//! # Quickstart
 //!
 //! ```
-//! use setagree_conditions::{LegalityParams, MaxCondition};
-//! use setagree_core::{run_condition_based, ConditionBasedConfig};
+//! use setagree_conditions::MaxCondition;
+//! use setagree_core::{ConditionBasedConfig, Executor, Scenario};
 //! use setagree_sync::FailurePattern;
-//! use setagree_types::InputVector;
 //!
 //! // n = 6, t = 3, k = 2, condition of degree d = 2 with ℓ = 1.
 //! let config = ConditionBasedConfig::builder(6, 3, 2)
 //!     .condition_degree(2)
 //!     .ell(1)
 //!     .build()?;
+//! // The oracle's legality parameters come from the configuration —
+//! // (x, ℓ) = (t − d, ℓ) = (1, 1) here — so they cannot drift apart.
 //! let oracle = MaxCondition::new(config.legality());
-//! let input = InputVector::new(vec![5u32, 5, 1, 2, 5, 5]); // in C_max(1, 1)
-//! let report = run_condition_based(&config, &oracle, &input, &FailurePattern::none(6))?;
+//! let report = Scenario::condition_based(config, oracle)
+//!     .input(vec![5u32, 5, 1, 2, 5, 5]) // in C_max(1, 1)
+//!     .pattern(FailurePattern::none(6))
+//!     .run()?;
 //! assert!(report.satisfies_agreement());
 //! assert!(report.satisfies_validity());
 //! // Input in condition, no crashes: everyone decides in two rounds.
 //! assert_eq!(report.trace().last_decision_round(), Some(2));
+//!
+//! // The identical scenario on real OS threads:
+//! let threaded = Scenario::condition_based(config, oracle)
+//!     .input(vec![5u32, 5, 1, 2, 5, 5])
+//!     .executor(Executor::Threaded)
+//!     .run()?;
+//! assert!(threaded.satisfies_all());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -50,15 +63,22 @@ pub mod condition_based;
 pub mod config;
 pub mod early_condition;
 pub mod early_deciding;
+pub mod experiment;
 pub mod report;
 pub mod runner;
+pub mod suite;
 
 pub use baselines::FloodSet;
 pub use condition_based::{CbMessage, ConditionBased};
 pub use config::{ConditionBasedConfig, ConfigBuilder, ConfigError};
 pub use early_condition::{EarlyConditionBased, EcbMessage};
 pub use early_deciding::EarlyDeciding;
+pub use experiment::{Adversary, Executor, ExperimentError, ProtocolKind, ProtocolSpec, Scenario};
+pub use report::Report;
+#[allow(deprecated)]
 pub use report::RunReport;
+#[allow(deprecated)]
 pub use runner::{
     run_condition_based, run_early_condition_based, run_early_deciding, run_floodset, RunError,
 };
+pub use suite::{ScenarioSuite, SuiteCase, SuiteReport};

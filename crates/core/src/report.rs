@@ -1,5 +1,7 @@
 //! Execution reports: one run of an agreement protocol, with the paper's
-//! properties checked against the trace.
+//! properties checked against the trace — the single result type every
+//! [`Scenario`](crate::Scenario) run produces, whatever the protocol and
+//! executor.
 
 use std::collections::BTreeSet;
 use std::fmt;
@@ -9,25 +11,56 @@ use serde::{Deserialize, Serialize};
 use setagree_sync::Trace;
 use setagree_types::{InputVector, ProposalValue};
 
+use crate::experiment::{Executor, ProtocolKind};
+
 /// The outcome of one run: the trace plus the parameters needed to check
 /// termination, validity and agreement, and to compare measured rounds
-/// against predicted bounds.
+/// against predicted bounds — annotated with which protocol produced it
+/// and which executor ran it.
 #[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct RunReport<V: Ord> {
+pub struct Report<V: Ord> {
     trace: Trace<V>,
     input: InputVector<V>,
     k: usize,
     predicted_rounds: usize,
+    protocol: ProtocolKind,
+    executor: Executor,
 }
 
-impl<V: ProposalValue> RunReport<V> {
+/// Former name of [`Report`].
+#[deprecated(
+    since = "0.2.0",
+    note = "renamed to `Report`; produced by `Scenario::run`"
+)]
+pub type RunReport<V> = Report<V>;
+
+impl<V: ProposalValue> Report<V> {
     pub(crate) fn new(
         trace: Trace<V>,
         input: InputVector<V>,
         k: usize,
         predicted_rounds: usize,
+        protocol: ProtocolKind,
+        executor: Executor,
     ) -> Self {
-        RunReport { trace, input, k, predicted_rounds }
+        Report {
+            trace,
+            input,
+            k,
+            predicted_rounds,
+            protocol,
+            executor,
+        }
+    }
+
+    /// Which algorithm produced this report.
+    pub fn protocol(&self) -> ProtocolKind {
+        self.protocol
+    }
+
+    /// Which executor ran the scenario.
+    pub fn executor(&self) -> Executor {
+        self.executor
     }
 
     /// The raw execution trace.
@@ -92,11 +125,13 @@ impl<V: ProposalValue> RunReport<V> {
     }
 }
 
-impl<V: ProposalValue + fmt::Debug> fmt::Display for RunReport<V> {
+impl<V: ProposalValue + fmt::Debug> fmt::Display for Report<V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "decided {:?} in {:?} round(s) [predicted ≤ {}] — termination {} validity {} agreement {}",
+            "{} on {}: decided {:?} in {:?} round(s) [predicted ≤ {}] — termination {} validity {} agreement {}",
+            self.protocol,
+            self.executor,
             self.decided_values(),
             self.decision_round(),
             self.predicted_rounds,
@@ -125,11 +160,18 @@ mod tests {
         }
     }
 
-    fn report(decisions: &[u32], k: usize, predicted: usize) -> RunReport<u32> {
+    fn report(decisions: &[u32], k: usize, predicted: usize) -> Report<u32> {
         let procs: Vec<Fixed> = decisions.iter().map(|&v| Fixed(v)).collect();
         let n = procs.len();
         let trace = run_protocol(procs, &FailurePattern::none(n), 5).unwrap();
-        RunReport::new(trace, InputVector::new(decisions.to_vec()), k, predicted)
+        Report::new(
+            trace,
+            InputVector::new(decisions.to_vec()),
+            k,
+            predicted,
+            ProtocolKind::FloodSet,
+            Executor::Simulator,
+        )
     }
 
     #[test]
@@ -157,7 +199,14 @@ mod tests {
         // construction; check the negative path via a doctored input.
         let procs = vec![Fixed(9), Fixed(9)];
         let trace = run_protocol(procs, &FailurePattern::none(2), 5).unwrap();
-        let r = RunReport::new(trace, InputVector::new(vec![1u32, 2]), 1, 1);
+        let r = Report::new(
+            trace,
+            InputVector::new(vec![1u32, 2]),
+            1,
+            1,
+            ProtocolKind::FloodSet,
+            Executor::Simulator,
+        );
         assert!(!r.satisfies_validity());
     }
 

@@ -1,171 +1,78 @@
-//! One-call execution helpers: build the `n` protocol instances, run them
-//! under a failure pattern, and wrap the trace in a [`RunReport`] with the
-//! paper's predicted round bound for the scenario.
-
-use std::error::Error;
-use std::fmt;
+//! Deprecated one-call execution helpers, kept as thin shims over the
+//! unified [`Scenario`] API.
+//!
+//! Migration table:
+//!
+//! | old | new |
+//! |---|---|
+//! | `run_condition_based(&cfg, &oracle, &input, &pattern)` | `Scenario::condition_based(cfg, oracle).input(input).pattern(pattern).run()` |
+//! | `run_early_condition_based(&cfg, &oracle, &input, &pattern)` | `Scenario::early_condition_based(cfg, oracle).input(input).pattern(pattern).run()` |
+//! | `run_early_deciding(n, t, k, &input, &pattern)` | `Scenario::early_deciding(n, t, k).input(input).pattern(pattern).run()` |
+//! | `run_floodset(n, t, k, &input, &pattern)` | `Scenario::flood_set(n, t, k).input(input).pattern(pattern).run()` |
+//!
+//! Batch sweeps that used to loop over these helpers belong in a
+//! [`ScenarioSuite`](crate::ScenarioSuite).
 
 use setagree_conditions::ConditionOracle;
-use setagree_sync::{run_protocol, EngineError, FailurePattern};
-use setagree_types::{InputVector, ProcessId, ProposalValue};
+use setagree_sync::FailurePattern;
+use setagree_types::{InputVector, ProposalValue};
 
-use crate::baselines::FloodSet;
-use crate::condition_based::ConditionBased;
 use crate::config::ConditionBasedConfig;
-use crate::early_condition::EarlyConditionBased;
-use crate::early_deciding::EarlyDeciding;
-use crate::report::RunReport;
+use crate::experiment::{ExperimentError, Scenario};
+use crate::report::Report;
 
-/// Error running an experiment.
-#[derive(Debug, Clone, PartialEq, Eq)]
-#[non_exhaustive]
-pub enum RunError {
-    /// The input vector's length does not match the configuration's `n`.
-    InputSizeMismatch {
-        /// Expected system size.
-        expected: usize,
-        /// Input vector length.
-        got: usize,
-    },
-    /// The failure pattern schedules more crashes than `t`.
-    TooManyCrashes {
-        /// The fault bound `t`.
-        t: usize,
-        /// Crashes scheduled.
-        scheduled: usize,
-    },
-    /// The oracle's legality parameters disagree with the configuration's
-    /// `(t − d, ℓ)` — the algorithm's guarantees presuppose they match.
-    OracleMismatch {
-        /// What the configuration requires.
-        expected: setagree_conditions::LegalityParams,
-        /// What the oracle reports.
-        got: setagree_conditions::LegalityParams,
-    },
-    /// The engine failed (round limit or system size mismatch).
-    Engine(EngineError),
-}
-
-impl fmt::Display for RunError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            RunError::InputSizeMismatch { expected, got } => {
-                write!(f, "input vector has {got} entries, the system has {expected}")
-            }
-            RunError::TooManyCrashes { t, scheduled } => {
-                write!(f, "failure pattern schedules {scheduled} crashes, bound is t = {t}")
-            }
-            RunError::OracleMismatch { expected, got } => write!(
-                f,
-                "oracle is built for {got} but the configuration requires {expected}"
-            ),
-            RunError::Engine(e) => write!(f, "engine: {e}"),
-        }
-    }
-}
-
-impl Error for RunError {
-    fn source(&self) -> Option<&(dyn Error + 'static)> {
-        match self {
-            RunError::Engine(e) => Some(e),
-            _ => None,
-        }
-    }
-}
-
-impl From<EngineError> for RunError {
-    fn from(e: EngineError) -> Self {
-        RunError::Engine(e)
-    }
-}
+/// Former error type of the `run_*` helpers.
+#[deprecated(since = "0.2.0", note = "absorbed into `ExperimentError`")]
+pub type RunError = ExperimentError;
 
 /// Runs the Figure 2 condition-based algorithm on `input` under `pattern`.
-///
-/// The report's predicted bound follows the paper's case analysis
-/// (Lemmas 1–2): two rounds when the input is in the condition and at most
-/// `t − d` processes crash in round 1; `⌊(d+ℓ−1)/k⌋ + 1` when the input is
-/// in the condition, or when more than `t − d` processes crash initially;
-/// `⌊t/k⌋ + 1` otherwise. (Rounds clamp to ≥ 2, the loop's first decision
-/// opportunity.)
 ///
 /// # Errors
 ///
 /// Size mismatches, over-budget failure patterns, and engine failures.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Scenario::condition_based(config, oracle).input(input).pattern(pattern).run()`"
+)]
 pub fn run_condition_based<V, O>(
     config: &ConditionBasedConfig,
     oracle: &O,
     input: &InputVector<V>,
     pattern: &FailurePattern,
-) -> Result<RunReport<V>, RunError>
+) -> Result<Report<V>, ExperimentError>
 where
     V: ProposalValue,
     O: ConditionOracle<V> + Clone,
 {
-    validate(config.n(), config.t(), input, pattern)?;
-    validate_oracle(config, oracle)?;
-    let in_condition = oracle.matches(&input.to_view());
-    let processes: Vec<ConditionBased<V, O>> = ProcessId::all(config.n())
-        .map(|id| ConditionBased::new(*config, id, input.get(id).clone(), oracle.clone()))
-        .collect();
-    let trace = run_protocol(processes, pattern, config.round_limit())?;
-
-    let round_1_crashes = pattern.crashes_by_round(1);
-    let t_minus_d = config.t() - config.d();
-    let predicted = if in_condition {
-        if round_1_crashes <= t_minus_d {
-            2
-        } else {
-            config.condition_decision_round()
-        }
-    } else if pattern.initial_crash_count() > t_minus_d {
-        config.condition_decision_round()
-    } else {
-        config.final_decision_round()
-    };
-    Ok(RunReport::new(trace, input.clone(), config.k(), predicted))
+    Scenario::condition_based(*config, oracle.clone())
+        .input(input.clone())
+        .pattern(pattern.clone())
+        .run_simulated()
 }
 
-/// Runs the Section 8 extension — the early-deciding condition-based
-/// algorithm — with the combined predicted bound
-/// `min( Figure 2 bound , max(2, ⌊f/k⌋ + 2) )`.
+/// Runs the Section 8 early-deciding condition-based combination.
 ///
 /// # Errors
 ///
 /// Size mismatches, over-budget failure patterns, and engine failures.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Scenario::early_condition_based(config, oracle).input(input).pattern(pattern).run()`"
+)]
 pub fn run_early_condition_based<V, O>(
     config: &ConditionBasedConfig,
     oracle: &O,
     input: &InputVector<V>,
     pattern: &FailurePattern,
-) -> Result<RunReport<V>, RunError>
+) -> Result<Report<V>, ExperimentError>
 where
     V: ProposalValue,
     O: ConditionOracle<V> + Clone,
 {
-    validate(config.n(), config.t(), input, pattern)?;
-    validate_oracle(config, oracle)?;
-    let in_condition = oracle.matches(&input.to_view());
-    let processes: Vec<EarlyConditionBased<V, O>> = ProcessId::all(config.n())
-        .map(|id| EarlyConditionBased::new(*config, id, input.get(id).clone(), oracle.clone()))
-        .collect();
-    let trace = run_protocol(processes, pattern, config.round_limit())?;
-
-    let round_1_crashes = pattern.crashes_by_round(1);
-    let t_minus_d = config.t() - config.d();
-    let figure_2_bound = if in_condition {
-        if round_1_crashes <= t_minus_d {
-            2
-        } else {
-            config.condition_decision_round()
-        }
-    } else if pattern.initial_crash_count() > t_minus_d {
-        config.condition_decision_round()
-    } else {
-        config.final_decision_round()
-    };
-    let adaptive = (pattern.fault_count() / config.k() + 2).max(2);
-    let predicted = figure_2_bound.min(adaptive);
-    Ok(RunReport::new(trace, input.clone(), config.k(), predicted))
+    Scenario::early_condition_based(*config, oracle.clone())
+        .input(input.clone())
+        .pattern(pattern.clone())
+        .run_simulated()
 }
 
 /// Runs the flood-set baseline (`⌊t/k⌋ + 1` rounds).
@@ -173,18 +80,21 @@ where
 /// # Errors
 ///
 /// Size mismatches, over-budget failure patterns, and engine failures.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Scenario::flood_set(n, t, k).input(input).pattern(pattern).run()`"
+)]
 pub fn run_floodset<V: ProposalValue>(
     n: usize,
     t: usize,
     k: usize,
     input: &InputVector<V>,
     pattern: &FailurePattern,
-) -> Result<RunReport<V>, RunError> {
-    validate(n, t, input, pattern)?;
-    let processes: Vec<FloodSet<V>> = input.iter().map(|v| FloodSet::new(t, k, v.clone())).collect();
-    let predicted = t / k + 1;
-    let trace = run_protocol(processes, pattern, predicted + 2)?;
-    Ok(RunReport::new(trace, input.clone(), k, predicted))
+) -> Result<Report<V>, ExperimentError> {
+    Scenario::flood_set(n, t, k)
+        .input(input.clone())
+        .pattern(pattern.clone())
+        .run_simulated()
 }
 
 /// Runs the early-deciding protocol
@@ -193,149 +103,86 @@ pub fn run_floodset<V: ProposalValue>(
 /// # Errors
 ///
 /// Size mismatches, over-budget failure patterns, and engine failures.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Scenario::early_deciding(n, t, k).input(input).pattern(pattern).run()`"
+)]
 pub fn run_early_deciding<V: ProposalValue>(
     n: usize,
     t: usize,
     k: usize,
     input: &InputVector<V>,
     pattern: &FailurePattern,
-) -> Result<RunReport<V>, RunError> {
-    validate(n, t, input, pattern)?;
-    let processes: Vec<EarlyDeciding<V>> = input
-        .iter()
-        .map(|v| EarlyDeciding::new(n, t, k, v.clone()))
-        .collect();
-    let f = pattern.fault_count();
-    let predicted = (f / k + 2).min(t / k + 1);
-    let trace = run_protocol(processes, pattern, t / k + 3)?;
-    Ok(RunReport::new(trace, input.clone(), k, predicted))
-}
-
-fn validate_oracle<V: ProposalValue, O: ConditionOracle<V>>(
-    config: &ConditionBasedConfig,
-    oracle: &O,
-) -> Result<(), RunError> {
-    let expected = config.legality();
-    let got = oracle.params();
-    if expected != got {
-        return Err(RunError::OracleMismatch { expected, got });
-    }
-    Ok(())
-}
-
-fn validate<V: ProposalValue>(
-    n: usize,
-    t: usize,
-    input: &InputVector<V>,
-    pattern: &FailurePattern,
-) -> Result<(), RunError> {
-    if input.len() != n {
-        return Err(RunError::InputSizeMismatch { expected: n, got: input.len() });
-    }
-    if pattern.fault_count() > t {
-        return Err(RunError::TooManyCrashes { t, scheduled: pattern.fault_count() });
-    }
-    Ok(())
+) -> Result<Report<V>, ExperimentError> {
+    Scenario::early_deciding(n, t, k)
+        .input(input.clone())
+        .pattern(pattern.clone())
+        .run_simulated()
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use setagree_conditions::MaxCondition;
 
-    fn config(n: usize, t: usize, k: usize, d: usize, ell: usize) -> ConditionBasedConfig {
-        ConditionBasedConfig::builder(n, t, k)
-            .condition_degree(d)
-            .ell(ell)
+    /// The shims must produce byte-for-byte the reports the new API does.
+    #[test]
+    fn shims_match_the_scenario_api() {
+        let config = ConditionBasedConfig::builder(6, 3, 2)
+            .condition_degree(2)
+            .ell(1)
             .build()
-            .unwrap()
-    }
-
-    #[test]
-    fn condition_based_report_checks_out() {
-        let cfg = config(6, 3, 2, 2, 1);
-        let oracle = MaxCondition::new(cfg.legality());
+            .unwrap();
+        let oracle = MaxCondition::new(config.legality());
         let input = InputVector::new(vec![5u32, 5, 1, 2, 5, 5]);
-        let report =
-            run_condition_based(&cfg, &oracle, &input, &FailurePattern::none(6)).unwrap();
-        assert!(report.satisfies_all());
-        assert_eq!(report.predicted_rounds(), 2);
-        assert!(report.within_predicted_rounds());
+        let pattern = FailurePattern::staircase(6, 3, 2);
+
+        let shim = run_condition_based(&config, &oracle, &input, &pattern).unwrap();
+        let scenario = Scenario::condition_based(config, oracle)
+            .input(input.clone())
+            .pattern(pattern.clone())
+            .run()
+            .unwrap();
+        assert_eq!(shim.trace(), scenario.trace());
+        assert_eq!(shim.predicted_rounds(), scenario.predicted_rounds());
+
+        let shim = run_floodset(6, 3, 2, &input, &pattern).unwrap();
+        let scenario = Scenario::flood_set(6, 3, 2)
+            .input(input.clone())
+            .pattern(pattern.clone())
+            .run()
+            .unwrap();
+        assert_eq!(shim.trace(), scenario.trace());
+
+        let shim = run_early_deciding(6, 3, 2, &input, &pattern).unwrap();
+        let scenario = Scenario::early_deciding(6, 3, 2)
+            .input(input.clone())
+            .pattern(pattern.clone())
+            .run()
+            .unwrap();
+        assert_eq!(shim.trace(), scenario.trace());
+        assert_eq!(shim.predicted_rounds(), scenario.predicted_rounds());
+
+        let shim = run_early_condition_based(&config, &oracle, &input, &pattern).unwrap();
+        let scenario = Scenario::early_condition_based(config, oracle)
+            .input(input)
+            .pattern(pattern)
+            .run()
+            .unwrap();
+        assert_eq!(shim.trace(), scenario.trace());
+        assert_eq!(shim.predicted_rounds(), scenario.predicted_rounds());
     }
 
     #[test]
-    fn out_of_condition_prediction_is_classical() {
-        let cfg = config(6, 3, 1, 2, 1);
-        let oracle = MaxCondition::new(cfg.legality());
-        let input = InputVector::new(vec![1u32, 2, 3, 4, 5, 6]);
-        let report =
-            run_condition_based(&cfg, &oracle, &input, &FailurePattern::none(6)).unwrap();
-        assert_eq!(report.predicted_rounds(), 3 + 1);
-        assert!(report.within_predicted_rounds());
-        assert!(report.satisfies_all());
-    }
-
-    #[test]
-    fn floodset_runner() {
-        let input = InputVector::new(vec![3u32, 9, 1, 4]);
-        let report = run_floodset(4, 2, 1, &input, &FailurePattern::none(4)).unwrap();
-        assert!(report.satisfies_all());
-        assert_eq!(report.predicted_rounds(), 3);
-        assert_eq!(report.decided_values(), [9].into_iter().collect());
-    }
-
-    #[test]
-    fn early_deciding_runner() {
-        let input = InputVector::new(vec![3u32, 9, 1, 4]);
-        let report = run_early_deciding(4, 2, 1, &input, &FailurePattern::none(4)).unwrap();
-        assert!(report.satisfies_all());
-        assert_eq!(report.predicted_rounds(), 2);
-        assert!(report.within_predicted_rounds());
-    }
-
-    #[test]
-    fn input_size_is_validated() {
-        let cfg = config(6, 3, 2, 2, 1);
-        let oracle = MaxCondition::new(cfg.legality());
+    fn shims_propagate_unified_errors() {
         let input = InputVector::new(vec![1u32, 2]);
         assert!(matches!(
-            run_condition_based(&cfg, &oracle, &input, &FailurePattern::none(6)),
-            Err(RunError::InputSizeMismatch { expected: 6, got: 2 })
+            run_floodset(4, 2, 1, &input, &FailurePattern::none(4)),
+            Err(ExperimentError::InputSizeMismatch {
+                expected: 4,
+                got: 2
+            })
         ));
-    }
-
-    #[test]
-    fn crash_budget_is_validated() {
-        let input = InputVector::new(vec![1u32, 2, 3, 4]);
-        let pattern = FailurePattern::initial(
-            4,
-            [ProcessId::new(0), ProcessId::new(1), ProcessId::new(2)],
-        )
-        .unwrap();
-        assert!(matches!(
-            run_floodset(4, 2, 1, &input, &pattern),
-            Err(RunError::TooManyCrashes { t: 2, scheduled: 3 })
-        ));
-    }
-
-    #[test]
-    fn oracle_params_are_validated() {
-        let cfg = config(6, 3, 2, 2, 1); // requires (x, ℓ) = (1, 1)
-        let wrong = MaxCondition::new(setagree_conditions::LegalityParams::new(2, 1).unwrap());
-        let input = InputVector::new(vec![5u32, 5, 1, 2, 5, 5]);
-        let err = run_condition_based(&cfg, &wrong, &input, &FailurePattern::none(6)).unwrap_err();
-        assert!(matches!(err, RunError::OracleMismatch { .. }));
-        assert!(err.to_string().contains("requires"));
-        let err =
-            run_early_condition_based(&cfg, &wrong, &input, &FailurePattern::none(6)).unwrap_err();
-        assert!(matches!(err, RunError::OracleMismatch { .. }));
-    }
-
-    #[test]
-    fn error_display_and_source() {
-        let e = RunError::Engine(EngineError::RoundLimitExceeded { limit: 5 });
-        assert!(e.to_string().contains("engine"));
-        assert!(Error::source(&e).is_some());
-        assert!(Error::source(&RunError::TooManyCrashes { t: 1, scheduled: 2 }).is_none());
     }
 }

@@ -1,0 +1,512 @@
+//! Batched experiments: a [`ScenarioSuite`] runs the cartesian grid
+//! *specs × inputs × patterns* and returns one [`SuiteReport`].
+//!
+//! Cases are independent, so the suite fans them out across OS threads
+//! (work-stealing over a shared counter; `std::thread::scope`, no
+//! external runtime). Results come back in deterministic grid order
+//! regardless of scheduling, so a suite run is replayable data like a
+//! single [`Scenario`] run.
+//!
+//! ```
+//! use setagree_conditions::MaxCondition;
+//! use setagree_core::{ConditionBasedConfig, ProtocolSpec, ScenarioSuite};
+//! use setagree_sync::FailurePattern;
+//!
+//! let config = ConditionBasedConfig::builder(6, 3, 2)
+//!     .condition_degree(2)
+//!     .ell(1)
+//!     .build()?;
+//! let suite = ScenarioSuite::new()
+//!     .spec(ProtocolSpec::condition_based(config, MaxCondition::new(config.legality())))
+//!     .spec(ProtocolSpec::flood_set(6, 3, 2))
+//!     .input(vec![5u32, 5, 1, 2, 5, 5])
+//!     .pattern(FailurePattern::none(6))
+//!     .pattern(FailurePattern::staircase(6, 3, 2));
+//! let outcome = suite.run();
+//! assert_eq!(outcome.len(), 4); // 2 specs × 1 input × 2 patterns
+//! assert!(outcome.all_satisfy_properties());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::fmt;
+use std::num::NonZeroUsize;
+use std::panic;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+use setagree_conditions::{ConditionOracle, MaxCondition};
+use setagree_types::{InputVector, ProposalValue};
+
+use crate::experiment::{Adversary, Executor, ExperimentError, ProtocolSpec, Scenario};
+use crate::report::Report;
+
+/// A cartesian batch of scenarios sharing an executor.
+pub struct ScenarioSuite<V, O = MaxCondition> {
+    specs: Vec<ProtocolSpec<V, O>>,
+    inputs: Vec<InputVector<V>>,
+    patterns: Vec<Adversary>,
+    executor: Executor,
+    round_limit: Option<usize>,
+    threads: Option<usize>,
+}
+
+impl<V, O> Default for ScenarioSuite<V, O> {
+    fn default() -> Self {
+        ScenarioSuite {
+            specs: Vec::new(),
+            inputs: Vec::new(),
+            patterns: Vec::new(),
+            executor: Executor::default(),
+            round_limit: None,
+            threads: None,
+        }
+    }
+}
+
+impl<V: fmt::Debug, O> fmt::Debug for ScenarioSuite<V, O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScenarioSuite")
+            .field("specs", &self.specs)
+            .field("inputs", &self.inputs.len())
+            .field("patterns", &self.patterns.len())
+            .field("executor", &self.executor)
+            .finish()
+    }
+}
+
+impl<V, O> ScenarioSuite<V, O> {
+    /// An empty suite (simulator executor, parallel execution).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one protocol spec to the grid.
+    pub fn spec(mut self, spec: ProtocolSpec<V, O>) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Adds several protocol specs.
+    pub fn specs(mut self, specs: impl IntoIterator<Item = ProtocolSpec<V, O>>) -> Self {
+        self.specs.extend(specs);
+        self
+    }
+
+    /// Adds one input vector to the grid.
+    pub fn input(mut self, input: impl Into<InputVector<V>>) -> Self {
+        self.inputs.push(input.into());
+        self
+    }
+
+    /// Adds several input vectors.
+    pub fn inputs(mut self, inputs: impl IntoIterator<Item = InputVector<V>>) -> Self {
+        self.inputs.extend(inputs);
+        self
+    }
+
+    /// Adds one adversary to the grid. When a suite has no patterns at
+    /// all, every spec runs failure-free.
+    pub fn pattern(mut self, pattern: impl Into<Adversary>) -> Self {
+        self.patterns.push(pattern.into());
+        self
+    }
+
+    /// Adds several adversaries.
+    pub fn patterns(mut self, patterns: impl IntoIterator<Item = Adversary>) -> Self {
+        self.patterns.extend(patterns);
+        self
+    }
+
+    /// Selects the executor every case runs on.
+    pub fn executor(mut self, executor: Executor) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// Overrides the engine round limit for every case.
+    pub fn round_limit(mut self, limit: usize) -> Self {
+        self.round_limit = Some(limit);
+        self
+    }
+
+    /// Caps the suite's worker threads (`1` forces sequential execution;
+    /// default: the machine's available parallelism).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// The number of cases the grid expands to.
+    pub fn len(&self) -> usize {
+        self.specs.len() * self.inputs.len() * self.patterns.len().max(1)
+    }
+
+    /// Whether the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<V, O> ScenarioSuite<V, O>
+where
+    V: ProposalValue + Send + Sync + 'static,
+    O: ConditionOracle<V> + Clone + Send + Sync + 'static,
+{
+    /// Expands the grid and runs every case, in parallel, returning the
+    /// outcomes in grid order (pattern fastest, then input, then spec).
+    ///
+    /// A case whose protocol or oracle panics is contained as a
+    /// positioned [`ExperimentError::Internal`]; note the process's
+    /// panic hook still prints each caught panic to stderr (the suite
+    /// deliberately does not swap the global hook, which would race
+    /// with unrelated threads).
+    pub fn run(&self) -> SuiteReport<V> {
+        let pattern_count = self.patterns.len().max(1);
+        let input_count = self.inputs.len();
+        let total = self.len();
+        let worker_count = self
+            .threads
+            .unwrap_or_else(|| {
+                let parallelism = thread::available_parallelism()
+                    .map(NonZeroUsize::get)
+                    .unwrap_or(1);
+                match self.executor {
+                    // Each threaded case spawns one OS thread per process;
+                    // divide the worker pool by the largest system size so
+                    // the total thread count stays near the machine's
+                    // parallelism instead of multiplying with it. An
+                    // explicit `.threads(...)` overrides this.
+                    Executor::Threaded => {
+                        let max_n = self.specs.iter().map(ProtocolSpec::n).max().unwrap_or(1);
+                        (parallelism / max_n.max(1)).max(1)
+                    }
+                    _ => parallelism,
+                }
+            })
+            .min(total.max(1));
+
+        let run_case = |case: usize| -> SuiteCase<V> {
+            let pattern_index = case % pattern_count;
+            let input_index = (case / pattern_count) % input_count;
+            let spec_index = case / (pattern_count * input_count);
+            let mut scenario = Scenario::new(self.specs[spec_index].clone())
+                .input(self.inputs[input_index].clone())
+                .executor(self.executor);
+            if let Some(pattern) = self.patterns.get(pattern_index) {
+                scenario = scenario.pattern(pattern.clone());
+            }
+            if let Some(limit) = self.round_limit {
+                scenario = scenario.round_limit(limit);
+            }
+            // A panicking protocol/oracle must cost its own cell, not the
+            // whole grid — mirroring how the threaded executor already
+            // degrades (per-case ProcessPanicked).
+            let result = panic::catch_unwind(panic::AssertUnwindSafe(|| scenario.run()))
+                .unwrap_or_else(|payload| {
+                    let message = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "opaque panic payload".into());
+                    Err(ExperimentError::Internal {
+                        message: format!("case panicked: {message}"),
+                    })
+                });
+            SuiteCase {
+                spec_index,
+                input_index,
+                pattern_index: self.patterns.get(pattern_index).map(|_| pattern_index),
+                result,
+            }
+        };
+
+        let mut cases: Vec<Option<SuiteCase<V>>> = (0..total).map(|_| None).collect();
+        if worker_count <= 1 {
+            for (case, slot) in cases.iter_mut().enumerate() {
+                *slot = Some(run_case(case));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            thread::scope(|scope| {
+                let handles: Vec<_> = (0..worker_count)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut local = Vec::new();
+                            loop {
+                                let case = next.fetch_add(1, Ordering::Relaxed);
+                                if case >= total {
+                                    break;
+                                }
+                                local.push((case, run_case(case)));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    for (case, outcome) in handle.join().expect("suite worker panicked") {
+                        cases[case] = Some(outcome);
+                    }
+                }
+            });
+        }
+        SuiteReport {
+            cases: cases
+                .into_iter()
+                .map(|c| c.expect("every case ran"))
+                .collect(),
+        }
+    }
+}
+
+/// One grid cell of a suite run.
+#[derive(Debug)]
+pub struct SuiteCase<V: Ord> {
+    /// Index into the suite's specs.
+    pub spec_index: usize,
+    /// Index into the suite's inputs.
+    pub input_index: usize,
+    /// Index into the suite's patterns (`None` for the implicit
+    /// failure-free run of a pattern-less suite).
+    pub pattern_index: Option<usize>,
+    /// The case's report, or why it could not run.
+    pub result: Result<Report<V>, ExperimentError>,
+}
+
+impl<V: ProposalValue> SuiteCase<V> {
+    /// The report, if the case ran.
+    pub fn report(&self) -> Option<&Report<V>> {
+        self.result.as_ref().ok()
+    }
+}
+
+/// The outcome of a [`ScenarioSuite`] run: every case, in grid order.
+#[derive(Debug)]
+pub struct SuiteReport<V: Ord> {
+    cases: Vec<SuiteCase<V>>,
+}
+
+impl<V: ProposalValue> SuiteReport<V> {
+    /// All cases, in grid order.
+    pub fn cases(&self) -> &[SuiteCase<V>] {
+        &self.cases
+    }
+
+    /// The number of cases.
+    pub fn len(&self) -> usize {
+        self.cases.len()
+    }
+
+    /// Whether the suite expanded to no cases.
+    pub fn is_empty(&self) -> bool {
+        self.cases.is_empty()
+    }
+
+    /// Iterates over the successful reports.
+    pub fn reports(&self) -> impl Iterator<Item = &Report<V>> {
+        self.cases.iter().filter_map(SuiteCase::report)
+    }
+
+    /// The errors of failed cases, with their grid position.
+    pub fn failures(&self) -> impl Iterator<Item = (&SuiteCase<V>, &ExperimentError)> {
+        self.cases
+            .iter()
+            .filter_map(|c| c.result.as_ref().err().map(|e| (c, e)))
+    }
+
+    /// Every case ran and satisfied termination, validity and agreement.
+    /// False on an empty grid — zero cases verified nothing.
+    pub fn all_satisfy_properties(&self) -> bool {
+        !self.is_empty()
+            && self
+                .cases
+                .iter()
+                .all(|c| c.report().is_some_and(Report::satisfies_all))
+    }
+
+    /// Every case ran within its predicted round bound. False on an
+    /// empty grid — zero cases verified nothing.
+    pub fn all_within_bounds(&self) -> bool {
+        !self.is_empty()
+            && self
+                .cases
+                .iter()
+                .all(|c| c.report().is_some_and(Report::within_predicted_rounds))
+    }
+
+    /// [`SuiteReport::all_satisfy_properties`] and
+    /// [`SuiteReport::all_within_bounds`] at once — what the table
+    /// binaries print as their verdict. Like its two components, false
+    /// on an empty grid: a suite that accidentally expanded to zero
+    /// cases (e.g. a forgotten `.input(...)`) must not read as a pass.
+    pub fn all_ok(&self) -> bool {
+        self.all_satisfy_properties() && self.all_within_bounds()
+    }
+
+    /// The worst measured decision round across all successful cases.
+    pub fn worst_decision_round(&self) -> Option<usize> {
+        self.reports().filter_map(Report::decision_round).max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ConditionBasedConfig;
+    use setagree_sync::FailurePattern;
+
+    fn config() -> ConditionBasedConfig {
+        ConditionBasedConfig::builder(6, 3, 2)
+            .condition_degree(2)
+            .ell(1)
+            .build()
+            .unwrap()
+    }
+
+    fn suite() -> ScenarioSuite<u32> {
+        let cfg = config();
+        ScenarioSuite::new()
+            .spec(ProtocolSpec::condition_based(
+                cfg,
+                MaxCondition::new(cfg.legality()),
+            ))
+            .spec(ProtocolSpec::flood_set(6, 3, 2))
+            .spec(ProtocolSpec::early_deciding(6, 3, 2))
+            .input(vec![5u32, 5, 1, 2, 5, 5])
+            .input(vec![1u32, 2, 3, 4, 5, 6])
+            .pattern(FailurePattern::none(6))
+            .pattern(FailurePattern::staircase(6, 3, 2))
+    }
+
+    #[test]
+    fn grid_order_is_deterministic() {
+        let outcome = suite().run();
+        assert_eq!(outcome.len(), 3 * 2 * 2);
+        assert!(outcome.all_ok());
+        for (i, case) in outcome.cases().iter().enumerate() {
+            assert_eq!(case.pattern_index, Some(i % 2));
+            assert_eq!(case.input_index, (i / 2) % 2);
+            assert_eq!(case.spec_index, i / 4);
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let parallel = suite().run();
+        let sequential = suite().threads(1).run();
+        assert_eq!(parallel.len(), sequential.len());
+        for (p, s) in parallel.cases().iter().zip(sequential.cases()) {
+            let (p, s) = (p.report().unwrap(), s.report().unwrap());
+            assert_eq!(p.trace(), s.trace());
+            assert_eq!(p.predicted_rounds(), s.predicted_rounds());
+        }
+    }
+
+    #[test]
+    fn pattern_less_suites_run_failure_free() {
+        let outcome = ScenarioSuite::<u32>::new()
+            .spec(ProtocolSpec::flood_set(4, 2, 1))
+            .input(vec![3u32, 9, 1, 4])
+            .run();
+        assert_eq!(outcome.len(), 1);
+        assert_eq!(outcome.cases()[0].pattern_index, None);
+        assert!(outcome.all_ok());
+        assert_eq!(outcome.worst_decision_round(), Some(3));
+    }
+
+    #[test]
+    fn failures_are_positioned_not_panicked() {
+        let outcome = ScenarioSuite::<u32>::new()
+            .spec(ProtocolSpec::flood_set(4, 2, 1))
+            .input(vec![3u32, 9, 1]) // wrong arity
+            .run();
+        assert_eq!(outcome.failures().count(), 1);
+        assert!(!outcome.all_satisfy_properties());
+        let (case, err) = outcome.failures().next().unwrap();
+        assert_eq!(case.spec_index, 0);
+        assert_eq!(
+            *err,
+            ExperimentError::InputSizeMismatch {
+                expected: 4,
+                got: 3
+            }
+        );
+    }
+
+    #[test]
+    fn empty_grids_are_not_ok() {
+        let outcome = ScenarioSuite::<u32>::new()
+            .spec(ProtocolSpec::flood_set(4, 2, 1))
+            .pattern(FailurePattern::none(4))
+            .run(); // no inputs: zero cases
+        assert!(outcome.is_empty());
+        assert!(
+            !outcome.all_ok(),
+            "a suite that ran nothing must not read as a pass"
+        );
+        assert!(!outcome.all_satisfy_properties());
+        assert!(!outcome.all_within_bounds());
+    }
+
+    #[test]
+    fn panicking_case_costs_its_cell_not_the_grid() {
+        use setagree_conditions::{ConditionOracle, LegalityParams};
+        use setagree_types::View;
+        use std::collections::BTreeSet;
+
+        /// Panics on inputs containing 13; behaves like nothing otherwise.
+        #[derive(Debug, Clone, Copy)]
+        struct Grenade;
+        impl ConditionOracle<u32> for Grenade {
+            fn params(&self) -> LegalityParams {
+                LegalityParams::new(1, 1).unwrap()
+            }
+            fn matches(&self, view: &View<u32>) -> bool {
+                assert!(!view.iter().flatten().any(|&v| v == 13), "oracle bug on 13");
+                true
+            }
+            fn decode_view(&self, view: &View<u32>) -> Option<BTreeSet<u32>> {
+                view.iter()
+                    .flatten()
+                    .max()
+                    .map(|&v| [v].into_iter().collect())
+            }
+        }
+
+        let cfg = ConditionBasedConfig::builder(4, 2, 1)
+            .condition_degree(1)
+            .ell(1)
+            .build()
+            .unwrap();
+        let outcome = ScenarioSuite::new()
+            .spec(ProtocolSpec::condition_based(cfg, Grenade))
+            .input(vec![5u32, 5, 5, 5])
+            .input(vec![13u32, 13, 13, 13]) // detonates
+            .run();
+        assert_eq!(outcome.len(), 2);
+        assert!(
+            outcome.cases()[0].report().is_some(),
+            "healthy cell survives"
+        );
+        let (case, err) = outcome.failures().next().unwrap();
+        assert_eq!(case.input_index, 1);
+        assert!(
+            matches!(err, ExperimentError::Internal { message } if message.contains("panicked"))
+        );
+        assert!(!outcome.all_ok());
+    }
+
+    #[test]
+    fn threaded_executor_works_in_batch() {
+        let outcome = ScenarioSuite::<u32>::new()
+            .spec(ProtocolSpec::flood_set(4, 2, 1))
+            .input(vec![3u32, 9, 1, 4])
+            .executor(Executor::Threaded)
+            .run();
+        assert!(outcome.all_ok());
+        assert_eq!(
+            outcome.reports().next().unwrap().executor(),
+            Executor::Threaded
+        );
+    }
+}

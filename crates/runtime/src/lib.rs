@@ -12,16 +12,32 @@
 //!
 //! Use the simulator for experiments (faster, no thread overhead); use
 //! this runtime to demonstrate the protocols really are message-passing
-//! programs and not artifacts of a sequential executor.
+//! programs and not artifacts of a sequential executor. Most callers
+//! should not invoke [`run_threaded`] directly: select
+//! `Executor::Threaded` on a `setagree_core` `Scenario` instead.
 //!
 //! # Example
 //!
 //! ```
-//! use setagree_core::FloodSet;
 //! use setagree_runtime::run_threaded;
-//! use setagree_sync::FailurePattern;
+//! use setagree_sync::{FailurePattern, Step, SyncProtocol};
+//! use setagree_types::ProcessId;
 //!
-//! let procs: Vec<_> = [3u32, 9, 1, 4].into_iter().map(|v| FloodSet::new(2, 1, v)).collect();
+//! /// A three-round max-flood: decides the largest input it heard.
+//! struct MaxFlood { best: u32 }
+//! impl SyncProtocol for MaxFlood {
+//!     type Msg = u32;
+//!     type Output = u32;
+//!     fn message(&mut self, _round: usize) -> u32 { self.best }
+//!     fn receive(&mut self, _round: usize, _from: ProcessId, msg: u32) {
+//!         self.best = self.best.max(msg);
+//!     }
+//!     fn compute(&mut self, round: usize) -> Step<u32> {
+//!         if round >= 3 { Step::Decide(self.best) } else { Step::Continue }
+//!     }
+//! }
+//!
+//! let procs: Vec<_> = [3u32, 9, 1, 4].into_iter().map(|best| MaxFlood { best }).collect();
 //! let trace = run_threaded(procs, &FailurePattern::none(4), 10)?;
 //! assert_eq!(trace.decided_values(), [9].into_iter().collect());
 //! # Ok::<(), setagree_runtime::ThreadedError>(())
@@ -32,6 +48,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::panic;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::thread;
@@ -68,7 +85,10 @@ impl fmt::Display for ThreadedError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ThreadedError::RoundLimitExceeded { limit } => {
-                write!(f, "execution exceeded the {limit}-round limit without termination")
+                write!(
+                    f,
+                    "execution exceeded the {limit}-round limit without termination"
+                )
             }
             ThreadedError::SystemSizeMismatch { processes, pattern } => write!(
                 f,
@@ -138,10 +158,15 @@ where
         let delivered = Arc::clone(&delivered);
         let barrier = Arc::clone(&barrier);
 
-        handles.push(thread::spawn(move || -> Outcome<P::Output> {
+        // A panicking protocol must not deadlock the barrier: every
+        // protocol call is wrapped in `catch_unwind`, and a panicked
+        // worker keeps crossing barriers (silent, like a crashed process)
+        // until the execution winds down, then reports `Err`.
+        handles.push(thread::spawn(move || -> Result<Outcome<P::Output>, ()> {
             let mut outcome: Option<Outcome<P::Output>> = None;
+            let mut panicked = false;
             for round in 1..=max_rounds {
-                let active = outcome.is_none();
+                let active = outcome.is_none() && !panicked;
 
                 // Send phase: broadcast in the predetermined p_1 … p_n
                 // order, truncated to the crash prefix if this is the
@@ -151,38 +176,62 @@ where
                         Some(s) if s.round == round => s.after_sends,
                         _ => n,
                     };
-                    let msg = proto.message(round);
-                    for recipient in 0..reach.min(n) {
-                        if settled[recipient].load(Ordering::SeqCst) {
-                            continue;
+                    let sent = panic::catch_unwind(panic::AssertUnwindSafe(|| {
+                        let msg = proto.message(round);
+                        for recipient in 0..reach.min(n) {
+                            if settled[recipient].load(Ordering::SeqCst) {
+                                continue;
+                            }
+                            delivered.fetch_add(1, Ordering::SeqCst);
+                            senders[recipient]
+                                .send(Envelope {
+                                    round,
+                                    from: me,
+                                    msg: msg.clone(),
+                                })
+                                .expect("receiver outlives the round");
                         }
-                        delivered.fetch_add(1, Ordering::SeqCst);
-                        senders[recipient]
-                            .send(Envelope { round, from: me, msg: msg.clone() })
-                            .expect("receiver outlives the round");
-                    }
+                    }));
+                    panicked = sent.is_err();
                 }
                 barrier.wait(); // all sends of this round are in flight
 
                 if active {
-                    // Crash takes effect before local computation.
-                    if spec.map(|s| s.round == round).unwrap_or(false) {
+                    if panicked {
+                        // The settled flag flips only in this compute
+                        // half, barrier-separated from the send half that
+                        // reads it — same discipline as a crash.
+                        settled[i].store(true, Ordering::SeqCst);
+                        settled_count.fetch_add(1, Ordering::SeqCst);
+                    } else if spec.map(|s| s.round == round).unwrap_or(false) {
+                        // Crash takes effect before local computation.
                         outcome = Some(Outcome::Crashed { round });
                         settled[i].store(true, Ordering::SeqCst);
                         settled_count.fetch_add(1, Ordering::SeqCst);
                     } else {
                         // Receive phase: drain, order by sender like the
                         // paper's deterministic delivery, then compute.
-                        let mut inbox: Vec<Envelope<P::Msg>> = rx.try_iter().collect();
-                        debug_assert!(inbox.iter().all(|e| e.round == round));
-                        inbox.sort_by_key(|e| e.from);
-                        for env in inbox {
-                            proto.receive(env.round, env.from, env.msg);
-                        }
-                        if let Step::Decide(value) = proto.compute(round) {
-                            outcome = Some(Outcome::Decided { value, round });
-                            settled[i].store(true, Ordering::SeqCst);
-                            settled_count.fetch_add(1, Ordering::SeqCst);
+                        let step = panic::catch_unwind(panic::AssertUnwindSafe(|| {
+                            let mut inbox: Vec<Envelope<P::Msg>> = rx.try_iter().collect();
+                            debug_assert!(inbox.iter().all(|e| e.round == round));
+                            inbox.sort_by_key(|e| e.from);
+                            for env in inbox {
+                                proto.receive(env.round, env.from, env.msg);
+                            }
+                            proto.compute(round)
+                        }));
+                        match step {
+                            Ok(Step::Decide(value)) => {
+                                outcome = Some(Outcome::Decided { value, round });
+                                settled[i].store(true, Ordering::SeqCst);
+                                settled_count.fetch_add(1, Ordering::SeqCst);
+                            }
+                            Ok(Step::Continue) => {}
+                            Err(_) => {
+                                panicked = true;
+                                settled[i].store(true, Ordering::SeqCst);
+                                settled_count.fetch_add(1, Ordering::SeqCst);
+                            }
                         }
                     }
                 }
@@ -192,15 +241,23 @@ where
                     break;
                 }
             }
-            outcome.unwrap_or(Outcome::Undecided)
+            if panicked {
+                Err(())
+            } else {
+                Ok(outcome.unwrap_or(Outcome::Undecided))
+            }
         }));
     }
 
     let mut outcomes = Vec::with_capacity(n);
     for (i, handle) in handles.into_iter().enumerate() {
         match handle.join() {
-            Ok(outcome) => outcomes.push(outcome),
-            Err(_) => return Err(ThreadedError::ProcessPanicked { process: ProcessId::new(i) }),
+            Ok(Ok(outcome)) => outcomes.push(outcome),
+            Ok(Err(())) | Err(_) => {
+                return Err(ThreadedError::ProcessPanicked {
+                    process: ProcessId::new(i),
+                })
+            }
         }
     }
     if outcomes.iter().any(|o| matches!(o, Outcome::Undecided)) {
@@ -224,11 +281,42 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use setagree_core::FloodSet;
     use setagree_sync::{run_protocol, CrashSpec};
 
-    fn floods(t: usize, k: usize, inputs: &[u32]) -> Vec<FloodSet<u32>> {
-        inputs.iter().map(|&v| FloodSet::new(t, k, v)).collect()
+    /// A local max-flooding protocol (the crate cannot dev-depend on
+    /// `setagree-core`'s `FloodSet` — core depends on this crate for the
+    /// `Executor::Threaded` backend). Floods the best value seen and
+    /// decides it after `rounds` rounds.
+    #[derive(Debug)]
+    struct MaxFlood {
+        rounds: usize,
+        best: u32,
+    }
+
+    impl SyncProtocol for MaxFlood {
+        type Msg = u32;
+        type Output = u32;
+        fn message(&mut self, _round: usize) -> u32 {
+            self.best
+        }
+        fn receive(&mut self, _round: usize, _from: ProcessId, msg: u32) {
+            self.best = self.best.max(msg);
+        }
+        fn compute(&mut self, round: usize) -> Step<u32> {
+            if round >= self.rounds {
+                Step::Decide(self.best)
+            } else {
+                Step::Continue
+            }
+        }
+    }
+
+    fn floods(t: usize, k: usize, inputs: &[u32]) -> Vec<MaxFlood> {
+        let rounds = t / k + 1;
+        inputs
+            .iter()
+            .map(|&v| MaxFlood { rounds, best: v })
+            .collect()
     }
 
     #[test]
@@ -244,17 +332,60 @@ mod tests {
     fn prefix_crashes_match_simulator() {
         let inputs = [9u32, 1, 1, 1, 1];
         let mut pattern = FailurePattern::none(5);
-        pattern.crash(ProcessId::new(0), CrashSpec::new(1, 2)).unwrap();
-        pattern.crash(ProcessId::new(4), CrashSpec::new(2, 0)).unwrap();
+        pattern
+            .crash(ProcessId::new(0), CrashSpec::new(1, 2))
+            .unwrap();
+        pattern
+            .crash(ProcessId::new(4), CrashSpec::new(2, 0))
+            .unwrap();
         let threaded = run_threaded(floods(2, 1, &inputs), &pattern, 10).unwrap();
         let simulated = run_protocol(floods(2, 1, &inputs), &pattern, 10).unwrap();
         assert_eq!(threaded, simulated);
     }
 
     #[test]
+    fn panicking_process_reports_instead_of_deadlocking() {
+        /// Panics in compute on the second process, decides elsewhere.
+        #[derive(Debug)]
+        struct Volatile {
+            explode: bool,
+        }
+        impl SyncProtocol for Volatile {
+            type Msg = ();
+            type Output = u32;
+            fn message(&mut self, _round: usize) {}
+            fn receive(&mut self, _round: usize, _from: ProcessId, _msg: ()) {}
+            fn compute(&mut self, _round: usize) -> Step<u32> {
+                if self.explode {
+                    panic!("protocol bug");
+                }
+                Step::Decide(7)
+            }
+        }
+        let procs = vec![
+            Volatile { explode: false },
+            Volatile { explode: true },
+            Volatile { explode: false },
+        ];
+        let err = run_threaded(procs, &FailurePattern::none(3), 5).unwrap_err();
+        assert_eq!(
+            err,
+            ThreadedError::ProcessPanicked {
+                process: ProcessId::new(1)
+            }
+        );
+    }
+
+    #[test]
     fn size_mismatch_is_reported() {
         let err = run_threaded(floods(1, 1, &[1, 2]), &FailurePattern::none(3), 5).unwrap_err();
-        assert_eq!(err, ThreadedError::SystemSizeMismatch { processes: 2, pattern: 3 });
+        assert_eq!(
+            err,
+            ThreadedError::SystemSizeMismatch {
+                processes: 2,
+                pattern: 3
+            }
+        );
     }
 
     #[test]

@@ -40,7 +40,10 @@ impl CrashSpec {
 
     /// An initial crash: the process never takes a step.
     pub const fn initial() -> Self {
-        CrashSpec { round: 1, after_sends: 0 }
+        CrashSpec {
+            round: 1,
+            after_sends: 0,
+        }
     }
 }
 
@@ -77,7 +80,11 @@ impl fmt::Display for PatternError {
             PatternError::ZeroRound { process } => {
                 write!(f, "{process} cannot crash in round 0 (rounds are 1-based)")
             }
-            PatternError::PrefixTooLong { process, after_sends, n } => write!(
+            PatternError::PrefixTooLong {
+                process,
+                after_sends,
+                n,
+            } => write!(
                 f,
                 "{process} cannot deliver {after_sends} sends in a system of {n} processes"
             ),
@@ -119,7 +126,10 @@ impl FailurePattern {
     /// Panics if `n == 0`.
     pub fn none(n: usize) -> Self {
         assert!(n > 0, "a system needs at least one process");
-        FailurePattern { n, crashes: BTreeMap::new() }
+        FailurePattern {
+            n,
+            crashes: BTreeMap::new(),
+        }
     }
 
     /// The system size `n`.
@@ -134,7 +144,10 @@ impl FailurePattern {
     /// Rejects zero rounds, prefixes longer than `n`, and foreign ids.
     pub fn crash(&mut self, id: ProcessId, spec: CrashSpec) -> Result<(), PatternError> {
         if id.index() >= self.n {
-            return Err(PatternError::UnknownProcess { process: id, n: self.n });
+            return Err(PatternError::UnknownProcess {
+                process: id,
+                n: self.n,
+            });
         }
         if spec.round == 0 {
             return Err(PatternError::ZeroRound { process: id });
@@ -184,7 +197,10 @@ impl FailurePattern {
     /// # Errors
     ///
     /// Propagates [`PatternError::UnknownProcess`].
-    pub fn initial(n: usize, ids: impl IntoIterator<Item = ProcessId>) -> Result<Self, PatternError> {
+    pub fn initial(
+        n: usize,
+        ids: impl IntoIterator<Item = ProcessId>,
+    ) -> Result<Self, PatternError> {
         let mut pattern = FailurePattern::none(n);
         for id in ids {
             pattern.crash(id, CrashSpec::initial())?;
@@ -299,7 +315,10 @@ impl SubsetCrash {
     /// Crash during `round`, delivering that round's broadcast to exactly
     /// the given recipients.
     pub fn new(round: usize, delivered_to: ProcessSet) -> Self {
-        SubsetCrash { round, delivered_to }
+        SubsetCrash {
+            round,
+            delivered_to,
+        }
     }
 }
 
@@ -335,7 +354,10 @@ impl UnorderedFailurePattern {
     /// Panics if `n == 0`.
     pub fn none(n: usize) -> Self {
         assert!(n > 0, "a system needs at least one process");
-        UnorderedFailurePattern { n, crashes: BTreeMap::new() }
+        UnorderedFailurePattern {
+            n,
+            crashes: BTreeMap::new(),
+        }
     }
 
     /// The system size `n`.
@@ -351,7 +373,10 @@ impl UnorderedFailurePattern {
     /// foreign ids.
     pub fn crash(&mut self, id: ProcessId, spec: SubsetCrash) -> Result<(), PatternError> {
         if id.index() >= self.n {
-            return Err(PatternError::UnknownProcess { process: id, n: self.n });
+            return Err(PatternError::UnknownProcess {
+                process: id,
+                n: self.n,
+            });
         }
         if spec.round == 0 {
             return Err(PatternError::ZeroRound { process: id });

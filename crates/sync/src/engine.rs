@@ -46,7 +46,10 @@ impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::RoundLimitExceeded { limit } => {
-                write!(f, "execution exceeded the {limit}-round limit without termination")
+                write!(
+                    f,
+                    "execution exceeded the {limit}-round limit without termination"
+                )
             }
             EngineError::SystemSizeMismatch { processes, pattern } => write!(
                 f,
@@ -233,7 +236,10 @@ pub(crate) fn run_with_policy<P: SyncProtocol, D: DeliveryPolicy>(
     if outcomes.iter().any(|o| o.is_none()) {
         return Err(EngineError::RoundLimitExceeded { limit: max_rounds });
     }
-    let outcomes = outcomes.into_iter().map(|o| o.expect("checked above")).collect();
+    let outcomes = outcomes
+        .into_iter()
+        .map(|o| o.expect("checked above"))
+        .collect();
     Ok(Trace::new(outcomes, rounds_executed, messages_delivered))
 }
 
@@ -287,7 +293,9 @@ mod tests {
     }
 
     fn flood_system(n: usize, rounds: usize) -> Vec<Flood> {
-        (0..n).map(|i| Flood::new(i, n, (i + 1) as u32, rounds)).collect()
+        (0..n)
+            .map(|i| Flood::new(i, n, (i + 1) as u32, rounds))
+            .collect()
     }
 
     #[test]
@@ -321,7 +329,9 @@ mod tests {
     fn prefix_crash_delivers_to_prefix_only() {
         // p1 crashes in round 1 after reaching p1 and p2.
         let mut pattern = FailurePattern::none(4);
-        pattern.crash(ProcessId::new(0), CrashSpec::new(1, 2)).unwrap();
+        pattern
+            .crash(ProcessId::new(0), CrashSpec::new(1, 2))
+            .unwrap();
         let trace = run_protocol(flood_system(4, 1), &pattern, 5).unwrap();
         // p2 heard p1's input (prefix includes index 1)…
         let v2 = trace.outcome(ProcessId::new(1)).decided_value().unwrap();
@@ -338,8 +348,12 @@ mod tests {
         // The paper's key structural property under ordered sends: any two
         // round-1 views are comparable. Exercise several prefixes at once.
         let mut pattern = FailurePattern::none(5);
-        pattern.crash(ProcessId::new(0), CrashSpec::new(1, 1)).unwrap();
-        pattern.crash(ProcessId::new(4), CrashSpec::new(1, 3)).unwrap();
+        pattern
+            .crash(ProcessId::new(0), CrashSpec::new(1, 1))
+            .unwrap();
+        pattern
+            .crash(ProcessId::new(4), CrashSpec::new(1, 3))
+            .unwrap();
         let trace = run_protocol(flood_system(5, 1), &pattern, 5).unwrap();
         let views: Vec<View<u32>> = trace
             .outcomes()
@@ -359,7 +373,9 @@ mod tests {
     #[test]
     fn crash_in_later_round_stops_participation() {
         let mut pattern = FailurePattern::none(3);
-        pattern.crash(ProcessId::new(1), CrashSpec::new(2, 0)).unwrap();
+        pattern
+            .crash(ProcessId::new(1), CrashSpec::new(2, 0))
+            .unwrap();
         let trace = run_protocol(flood_system(3, 3), &pattern, 5).unwrap();
         assert!(trace.outcome(ProcessId::new(1)).is_crashed());
         assert_eq!(trace.outcome(ProcessId::new(1)).decision_round(), None);
@@ -394,14 +410,29 @@ mod tests {
             }
         }
         let procs = vec![
-            CountRecv { quit_early: true, round2_msgs: 0 },
-            CountRecv { quit_early: false, round2_msgs: 0 },
-            CountRecv { quit_early: false, round2_msgs: 0 },
+            CountRecv {
+                quit_early: true,
+                round2_msgs: 0,
+            },
+            CountRecv {
+                quit_early: false,
+                round2_msgs: 0,
+            },
+            CountRecv {
+                quit_early: false,
+                round2_msgs: 0,
+            },
         ];
         let trace = run_protocol(procs, &FailurePattern::none(3), 5).unwrap();
         // p1 decided in round 1; p2 and p3 receive only each other in round 2.
-        assert_eq!(*trace.outcome(ProcessId::new(1)).decided_value().unwrap(), 2);
-        assert_eq!(*trace.outcome(ProcessId::new(2)).decided_value().unwrap(), 2);
+        assert_eq!(
+            *trace.outcome(ProcessId::new(1)).decided_value().unwrap(),
+            2
+        );
+        assert_eq!(
+            *trace.outcome(ProcessId::new(2)).decided_value().unwrap(),
+            2
+        );
     }
 
     #[test]
@@ -425,14 +456,19 @@ mod tests {
     #[test]
     fn system_size_mismatch_is_reported() {
         let err = run_protocol(flood_system(3, 1), &FailurePattern::none(4), 3).unwrap_err();
-        assert_eq!(err, EngineError::SystemSizeMismatch { processes: 3, pattern: 4 });
+        assert_eq!(
+            err,
+            EngineError::SystemSizeMismatch {
+                processes: 3,
+                pattern: 4
+            }
+        );
     }
 
     #[test]
     fn everyone_crashed_terminates_cleanly() {
         // All but one crash initially; the survivor decides alone.
-        let pattern =
-            FailurePattern::initial(3, [ProcessId::new(0), ProcessId::new(1)]).unwrap();
+        let pattern = FailurePattern::initial(3, [ProcessId::new(0), ProcessId::new(1)]).unwrap();
         let trace = run_protocol(flood_system(3, 1), &pattern, 5).unwrap();
         assert_eq!(trace.crashed_count(), 2);
         assert_eq!(trace.decided_count(), 1);
@@ -443,7 +479,9 @@ mod tests {
     #[test]
     fn deterministic_replay() {
         let mut pattern = FailurePattern::none(4);
-        pattern.crash(ProcessId::new(3), CrashSpec::new(1, 2)).unwrap();
+        pattern
+            .crash(ProcessId::new(3), CrashSpec::new(1, 2))
+            .unwrap();
         let a = run_protocol(flood_system(4, 2), &pattern, 5).unwrap();
         let b = run_protocol(flood_system(4, 2), &pattern, 5).unwrap();
         assert_eq!(a, b);

@@ -49,7 +49,9 @@ pub mod engine;
 pub mod protocol;
 pub mod trace;
 
-pub use adversary::{CrashSpec, FailurePattern, PatternError, SubsetCrash, UnorderedFailurePattern};
+pub use adversary::{
+    CrashSpec, FailurePattern, PatternError, SubsetCrash, UnorderedFailurePattern,
+};
 pub use engine::{run_protocol, run_protocol_unordered, EngineError};
 pub use protocol::{Step, SyncProtocol};
 pub use trace::{Outcome, Trace};

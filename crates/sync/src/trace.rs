@@ -67,7 +67,11 @@ impl<Out: Clone + Ord> Trace<Out> {
         rounds_executed: usize,
         messages_delivered: u64,
     ) -> Self {
-        Trace { outcomes, rounds_executed, messages_delivered }
+        Trace {
+            outcomes,
+            rounds_executed,
+            messages_delivered,
+        }
     }
 
     /// Assembles a trace from parts. Intended for alternative executors
@@ -119,18 +123,26 @@ impl<Out: Clone + Ord> Trace<Out> {
     /// The latest decision round among deciders, or `None` if nobody
     /// decided.
     pub fn last_decision_round(&self) -> Option<usize> {
-        self.outcomes.iter().filter_map(|o| o.decision_round()).max()
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.decision_round())
+            .max()
     }
 
     /// The earliest decision round, or `None`.
     pub fn first_decision_round(&self) -> Option<usize> {
-        self.outcomes.iter().filter_map(|o| o.decision_round()).min()
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.decision_round())
+            .min()
     }
 
     /// Returns `true` if every non-crashed process decided (the paper's
     /// termination property).
     pub fn all_correct_decided(&self) -> bool {
-        self.outcomes.iter().all(|o| !matches!(o, Outcome::Undecided))
+        self.outcomes
+            .iter()
+            .all(|o| !matches!(o, Outcome::Undecided))
     }
 
     /// The number of processes that decided.
@@ -160,7 +172,9 @@ impl<Out: Clone + Ord + fmt::Debug> fmt::Display for Trace<Out> {
         for (i, o) in self.outcomes.iter().enumerate() {
             let id = ProcessId::new(i);
             match o {
-                Outcome::Decided { value, round } => writeln!(f, "  {id}: decided {value:?} @ r{round}")?,
+                Outcome::Decided { value, round } => {
+                    writeln!(f, "  {id}: decided {value:?} @ r{round}")?
+                }
                 Outcome::Crashed { round } => writeln!(f, "  {id}: crashed @ r{round}")?,
                 Outcome::Undecided => writeln!(f, "  {id}: undecided")?,
             }

@@ -41,7 +41,10 @@ impl<V: ProposalValue> InputVector<V> {
     ///
     /// Panics if `entries` is empty: the paper assumes `n ≥ 1`.
     pub fn new(entries: Vec<V>) -> Self {
-        assert!(!entries.is_empty(), "an input vector needs at least one entry");
+        assert!(
+            !entries.is_empty(),
+            "an input vector needs at least one entry"
+        );
         InputVector { entries }
     }
 

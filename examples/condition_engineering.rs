@@ -12,10 +12,8 @@
 //! cargo run --example condition_engineering
 //! ```
 
-use setagree::conditions::{
-    legality, witness, Condition, ExplicitOracle, LegalityParams, TableFn,
-};
-use setagree::core::{run_condition_based, ConditionBasedConfig};
+use setagree::conditions::{legality, witness, Condition, ExplicitOracle, LegalityParams, TableFn};
+use setagree::core::{ConditionBasedConfig, Scenario};
 use setagree::sync::{CrashSpec, FailurePattern};
 use setagree::types::{InputVector, ProcessId};
 
@@ -72,7 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut pattern = FailurePattern::none(5);
     pattern.crash(ProcessId::new(4), CrashSpec::new(1, 1))?;
     pattern.crash(ProcessId::new(1), CrashSpec::new(2, 3))?;
-    let report = run_condition_based(&config, &oracle, vote, &pattern)?;
+    let report = Scenario::condition_based(config, oracle)
+        .input(vote.clone())
+        .pattern(pattern.clone())
+        .run()?;
     println!("vote {vote} under {pattern}:");
     println!("  {report}");
     assert!(report.satisfies_all());

@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("The ℓ-fixed hierarchy S^d_{t}[ℓ=2] and what each member buys you");
     println!("(reference system: n = {n}, m = {m}, agreement degree k = {k})");
     println!();
-    println!("{:<12} {:<12} {:>14} {:>10} {:>9}", "member", "(x, ℓ)", "|C_max|", "R in C", "trivial?");
+    println!(
+        "{:<12} {:<12} {:>14} {:>10} {:>9}",
+        "member", "(x, ℓ)", "|C_max|", "R in C", "trivial?"
+    );
     for s in SdtParams::degree_chain(t, 2)? {
         let params = s.legality();
         let size = counting::nb(n, m, params);

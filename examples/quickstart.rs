@@ -1,13 +1,12 @@
 //! Quickstart: solve 2-set agreement among 8 processes with a
-//! condition-based speedup.
+//! condition-based speedup, through the unified `Scenario` API.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
 use setagree::conditions::MaxCondition;
-use setagree::core::{run_condition_based, ConditionBasedConfig};
-use setagree::sync::FailurePattern;
+use setagree::core::{ConditionBasedConfig, Scenario};
 use setagree::types::InputVector;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -22,28 +21,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let oracle = MaxCondition::new(config.legality());
 
     println!("configuration: {config}");
-    println!("condition:     {oracle} (d = {}, so x = t − d = {})", config.d(), config.legality().x());
+    println!(
+        "condition:     {oracle} (d = {}, so x = t − d = {})",
+        config.d(),
+        config.legality().x()
+    );
     println!();
 
     // Scenario 1: the proposals satisfy the condition (7 is dominant).
+    // No .pattern(...) means a failure-free run.
     let favourable = InputVector::new(vec![7u32, 7, 7, 7, 2, 7, 1, 7]);
-    let report = run_condition_based(&config, &oracle, &favourable, &FailurePattern::none(8))?;
+    let report = Scenario::condition_based(config, oracle)
+        .input(favourable.clone())
+        .run()?;
     println!("input {favourable} — in condition");
-    println!("  decided {:?} in {:?} rounds (classical bound: {})",
+    println!(
+        "  decided {:?} in {:?} rounds (classical bound: {})",
         report.decided_values(),
         report.decision_round(),
-        config.rounds_outside_condition());
+        config.rounds_outside_condition()
+    );
     assert!(report.satisfies_all());
 
     // Scenario 2: scattered proposals (outside the condition) — the
     // algorithm falls back to the classical ⌊t/k⌋ + 1 bound, never worse.
     let scattered = InputVector::new(vec![1u32, 2, 3, 4, 5, 6, 7, 8]);
-    let report = run_condition_based(&config, &oracle, &scattered, &FailurePattern::none(8))?;
+    let report = Scenario::condition_based(config, oracle)
+        .input(scattered.clone())
+        .run()?;
     println!("input {scattered} — outside condition");
-    println!("  decided {:?} in {:?} rounds (bound: {})",
+    println!(
+        "  decided {:?} in {:?} rounds (bound: {})",
         report.decided_values(),
         report.decision_round(),
-        config.rounds_outside_condition());
+        config.rounds_outside_condition()
+    );
     assert!(report.satisfies_all());
 
     Ok(())

@@ -14,7 +14,7 @@
 //! ```
 
 use setagree::conditions::MaxCondition;
-use setagree::core::{run_condition_based, ConditionBasedConfig};
+use setagree::core::{ConditionBasedConfig, Scenario};
 use setagree::sync::{CrashSpec, FailurePattern};
 use setagree::types::{InputVector, ProcessId};
 
@@ -37,7 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("replica proposals: {proposals}");
     println!(
         "dominant epoch present: {}",
-        if oracle.contains(&proposals) { "yes (input ∈ C)" } else { "no" }
+        if oracle.contains(&proposals) {
+            "yes (input ∈ C)"
+        } else {
+            "no"
+        }
     );
 
     // Two replicas crash while broadcasting (prefix deliveries), a third
@@ -49,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("failure pattern:   {pattern}");
     println!();
 
-    let report = run_condition_based(&config, &oracle, &proposals, &pattern)?;
+    let report = Scenario::condition_based(config, oracle)
+        .input(proposals.clone())
+        .pattern(pattern)
+        .run()?;
     println!("{report}");
     println!();
     for (i, outcome) in report.trace().outcomes().iter().enumerate() {

@@ -26,7 +26,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Readings in tenths of a degree: the fleet clusters on 215 and 216.
     let readings = InputVector::new(vec![215u32, 216, 215, 216, 215, 214, 216, 215, 216]);
     println!("sensor readings: {readings}");
-    println!("condition {oracle}: {}", if oracle.contains(&readings) { "satisfied" } else { "violated" });
+    println!(
+        "condition {oracle}: {}",
+        if oracle.contains(&readings) {
+            "satisfied"
+        } else {
+            "violated"
+        }
+    );
 
     // Two nodes die: one before writing anything, one right after its write.
     let crashes = AsyncCrashes::none()
@@ -42,8 +49,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             report.total_steps(),
             report
         );
-        assert!(report.all_correct_decided(), "termination under ≤ x crashes");
-        assert!(report.decided_values().len() <= ell, "at most ℓ reference readings");
+        assert!(
+            report.all_correct_decided(),
+            "termination under ≤ x crashes"
+        );
+        assert!(
+            report.decided_values().len() <= ell,
+            "at most ℓ reference readings"
+        );
         for v in report.decided_values() {
             assert!(readings.distinct_values().contains(&v), "validity");
         }

@@ -1,15 +1,14 @@
-//! Run the condition-based algorithm on real OS threads with crossbeam
-//! channels, and confirm the execution is observationally identical to the
-//! deterministic simulator.
+//! Run the condition-based algorithm on real OS threads, and confirm the
+//! execution is observationally identical to the deterministic simulator
+//! — the same `Scenario`, run on both `Executor`s.
 //!
 //! ```text
 //! cargo run --example threaded_demo
 //! ```
 
 use setagree::conditions::MaxCondition;
-use setagree::core::{ConditionBased, ConditionBasedConfig};
-use setagree::runtime::run_threaded;
-use setagree::sync::{run_protocol, CrashSpec, FailurePattern};
+use setagree::core::{ConditionBasedConfig, Executor, Scenario};
+use setagree::sync::{CrashSpec, FailurePattern};
 use setagree::types::{InputVector, ProcessId};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -23,19 +22,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut pattern = FailurePattern::none(6);
     pattern.crash(ProcessId::new(4), CrashSpec::new(1, 3))?;
 
-    let build = || -> Vec<ConditionBased<u32, MaxCondition>> {
-        ProcessId::all(6)
-            .map(|id| ConditionBased::new(config, id, *input.get(id), oracle))
-            .collect()
-    };
+    let scenario = Scenario::condition_based(config, oracle)
+        .input(input)
+        .pattern(pattern);
 
     println!("running {config} on 6 OS threads (one crash mid-broadcast)…");
-    let threaded = run_threaded(build(), &pattern, config.round_limit())?;
+    let threaded = scenario.clone().executor(Executor::Threaded).run()?;
     println!("{threaded}");
 
-    let simulated = run_protocol(build(), &pattern, config.round_limit())?;
+    let simulated = scenario.executor(Executor::Simulator).run()?;
     assert_eq!(
-        threaded, simulated,
+        threaded.trace(),
+        simulated.trace(),
         "threaded execution must match the deterministic simulator"
     );
     println!("threaded trace ≡ simulator trace (same decisions, rounds and deliveries) ✓");

@@ -17,25 +17,37 @@
 //!
 //! # Quickstart
 //!
+//! Experiments go through the unified [`Scenario`](core::Scenario) API:
+//! pick a protocol, give it an input and an adversary, choose an
+//! [`Executor`](core::Executor), and run.
+//!
 //! ```
-//! use setagree::conditions::{LegalityParams, MaxCondition};
-//! use setagree::core::{run_condition_based, ConditionBasedConfig};
+//! use setagree::conditions::MaxCondition;
+//! use setagree::core::{ConditionBasedConfig, Scenario};
 //! use setagree::sync::FailurePattern;
-//! use setagree::types::InputVector;
 //!
 //! // A system of n = 6 processes, at most t = 3 crashes, deciding k = 2 values,
-//! // helped by the maximal (x = t - d, ℓ)-legal condition with d = 2, ℓ = 1.
+//! // helped by the maximal (x, ℓ) = (t − d, ℓ)-legal condition with d = 2, ℓ = 1.
 //! let config = ConditionBasedConfig::builder(6, 3, 2)
 //!     .condition_degree(2)
 //!     .ell(1)
 //!     .build()
 //!     .expect("valid parameters");
-//! let condition = MaxCondition::new(LegalityParams::new(1, 1).unwrap());
-//! let input = InputVector::new(vec![5u32, 5, 1, 2, 5, 5]);
-//! let report = run_condition_based(&config, &condition, &input, &FailurePattern::none(6))
+//! // The oracle's legality parameters derive from the configuration, so
+//! // the two cannot disagree.
+//! let condition = MaxCondition::new(config.legality());
+//! let report = Scenario::condition_based(config, condition)
+//!     .input(vec![5u32, 5, 1, 2, 5, 5])
+//!     .pattern(FailurePattern::none(6))
+//!     .run()
 //!     .expect("execution succeeds");
+//! assert!(report.satisfies_all());
 //! assert!(report.decided_values().len() <= 2);
 //! ```
+//!
+//! Batch sweeps over protocols × inputs × adversaries go through
+//! [`ScenarioSuite`](core::ScenarioSuite), which fans the grid out across
+//! worker threads.
 
 #![forbid(unsafe_code)]
 

@@ -1,78 +1,137 @@
 //! The deterministic simulator and the real-thread runtime are
 //! observationally equivalent: same decisions, same rounds, same message
-//! counts, on the same protocols and failure patterns.
+//! counts. Randomized property test over the unified `Scenario` API —
+//! one generated scenario, two `Executor`s, identical `Trace`s — across
+//! seeds, all four protocols, and proptest-generated failure patterns.
 
 use proptest::prelude::*;
 
 use setagree::conditions::MaxCondition;
-use setagree::core::{ConditionBased, ConditionBasedConfig, EarlyDeciding, FloodSet};
-use setagree::runtime::run_threaded;
-use setagree::sync::{run_protocol, CrashSpec, FailurePattern};
+use setagree::core::{
+    ConditionBasedConfig, Executor, ProtocolKind, ProtocolSpec, Scenario, ScenarioSuite,
+};
+use setagree::sync::{CrashSpec, FailurePattern};
 use setagree::types::{InputVector, ProcessId};
 
 fn pattern_strategy(n: usize, t: usize) -> impl Strategy<Value = FailurePattern> {
-    proptest::collection::vec((0usize..n, 1usize..=4, 0usize..=n), 0..=t).prop_map(
-        move |crashes| {
-            let mut pattern = FailurePattern::none(n);
-            let mut victims = std::collections::BTreeSet::new();
-            for (idx, round, prefix) in crashes {
-                if victims.len() >= t || !victims.insert(idx) {
-                    continue;
-                }
-                pattern
-                    .crash(ProcessId::new(idx), CrashSpec::new(round, prefix))
-                    .expect("valid");
+    proptest::collection::vec((0usize..n, 1usize..=4, 0usize..=n), 0..=t).prop_map(move |crashes| {
+        let mut pattern = FailurePattern::none(n);
+        let mut victims = std::collections::BTreeSet::new();
+        for (idx, round, prefix) in crashes {
+            if victims.len() >= t || !victims.insert(idx) {
+                continue;
             }
             pattern
-        },
-    )
+                .crash(ProcessId::new(idx), CrashSpec::new(round, prefix))
+                .expect("valid");
+        }
+        pattern
+    })
+}
+
+/// One scenario for each of the four protocol specs, over the same
+/// (n, t, k, d, ℓ) = (8, 4, 2, 2, 2) system, input and pattern.
+fn scenarios(entries: Vec<u32>, pattern: &FailurePattern) -> Vec<Scenario<u32, MaxCondition>> {
+    let config = ConditionBasedConfig::builder(8, 4, 2)
+        .condition_degree(2)
+        .ell(2)
+        .build()
+        .expect("valid");
+    let oracle = MaxCondition::new(config.legality());
+    let input = InputVector::new(entries);
+    [
+        ProtocolSpec::condition_based(config, oracle),
+        ProtocolSpec::early_condition_based(config, oracle),
+        ProtocolSpec::early_deciding(8, 4, 2),
+        ProtocolSpec::flood_set(8, 4, 2),
+    ]
+    .into_iter()
+    .map(|spec| {
+        Scenario::new(spec)
+            .input(input.clone())
+            .pattern(pattern.clone())
+    })
+    .collect()
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
+    /// The headline property: for every protocol, every input and every
+    /// ordered failure pattern, `Executor::Simulator` and
+    /// `Executor::Threaded` produce the identical `Trace`.
     #[test]
-    fn floodset_equivalence(
-        entries in proptest::collection::vec(1u32..=9, 6),
-        pattern in pattern_strategy(6, 3),
-    ) {
-        let build = || entries.iter().map(|&v| FloodSet::new(3, 2, v)).collect::<Vec<_>>();
-        let simulated = run_protocol(build(), &pattern, 10).expect("simulator");
-        let threaded = run_threaded(build(), &pattern, 10).expect("runtime");
-        prop_assert_eq!(simulated, threaded);
-    }
-
-    #[test]
-    fn condition_based_equivalence(
+    fn executors_are_observationally_equivalent(
         entries in proptest::collection::vec(1u32..=5, 8),
         pattern in pattern_strategy(8, 4),
     ) {
-        let config = ConditionBasedConfig::builder(8, 4, 2)
-            .condition_degree(2)
-            .ell(2)
-            .build()
-            .expect("valid");
-        let oracle = MaxCondition::new(config.legality());
-        let input = InputVector::new(entries.clone());
-        let build = || {
-            ProcessId::all(8)
-                .map(|id| ConditionBased::new(config, id, *input.get(id), oracle))
-                .collect::<Vec<_>>()
-        };
-        let limit = config.round_limit();
-        let simulated = run_protocol(build(), &pattern, limit).expect("simulator");
-        let threaded = run_threaded(build(), &pattern, limit).expect("runtime");
-        prop_assert_eq!(simulated, threaded);
+        for scenario in scenarios(entries.clone(), &pattern) {
+            let protocol = scenario.spec().protocol();
+            let simulated = scenario
+                .clone()
+                .executor(Executor::Simulator)
+                .run()
+                .expect("simulator");
+            let threaded = scenario
+                .executor(Executor::Threaded)
+                .run()
+                .expect("threaded runtime");
+            prop_assert_eq!(
+                simulated.trace(),
+                threaded.trace(),
+                "{} diverged under {}",
+                protocol,
+                pattern
+            );
+            prop_assert_eq!(simulated.predicted_rounds(), threaded.predicted_rounds());
+            prop_assert_eq!(simulated.executor(), Executor::Simulator);
+            prop_assert_eq!(threaded.executor(), Executor::Threaded);
+        }
     }
 
+    /// Equivalence also survives the batch layer: a suite run on the
+    /// threaded executor matches the same suite on the simulator.
     #[test]
-    fn early_deciding_equivalence(
+    fn suites_agree_across_executors(
         entries in proptest::collection::vec(1u32..=9, 6),
-        pattern in pattern_strategy(6, 4),
+        pattern in pattern_strategy(6, 3),
     ) {
-        let build = || entries.iter().map(|&v| EarlyDeciding::new(6, 4, 2, v)).collect::<Vec<_>>();
-        let simulated = run_protocol(build(), &pattern, 10).expect("simulator");
-        let threaded = run_threaded(build(), &pattern, 10).expect("runtime");
-        prop_assert_eq!(simulated, threaded);
+        let build = |executor| {
+            ScenarioSuite::new()
+                .spec(ProtocolSpec::flood_set(6, 3, 2))
+                .spec(ProtocolSpec::early_deciding(6, 3, 2))
+                .input(InputVector::new(entries.clone()))
+                .pattern(pattern.clone())
+                .executor(executor)
+                .run()
+        };
+        let simulated = build(Executor::Simulator);
+        let threaded = build(Executor::Threaded);
+        prop_assert_eq!(simulated.len(), threaded.len());
+        for (s, t) in simulated.cases().iter().zip(threaded.cases()) {
+            let s = s.report().expect("simulator case");
+            let t = t.report().expect("threaded case");
+            prop_assert_eq!(s.trace(), t.trace());
+        }
     }
+}
+
+/// Protocol kinds are preserved through either executor (spot check, not
+/// property-based: the mapping is static).
+#[test]
+fn protocol_kinds_round_trip() {
+    let pattern = FailurePattern::none(8);
+    let kinds: Vec<ProtocolKind> = scenarios(vec![1, 2, 3, 4, 5, 1, 2, 3], &pattern)
+        .into_iter()
+        .map(|s| s.run().expect("runs").protocol())
+        .collect();
+    assert_eq!(
+        kinds,
+        vec![
+            ProtocolKind::ConditionBased,
+            ProtocolKind::EarlyConditionBased,
+            ProtocolKind::EarlyDeciding,
+            ProtocolKind::FloodSet,
+        ]
+    );
 }

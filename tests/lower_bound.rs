@@ -1,15 +1,17 @@
 //! Lower-bound demonstrators: the `⌊t/k⌋ + 1` bound the paper cites from
 //! Chaudhuri–Herlihy–Lynch–Tuttle is *tight* — protocols stopping one
 //! round short are incorrect, which we exhibit constructively with chain
-//! adversaries rather than prove topologically.
+//! adversaries rather than prove topologically. Truncated protocols are
+//! first-class scenarios (`Scenario::flood_set_truncated`), so the
+//! violations show up as failed agreement in an ordinary `Report`.
 //!
 //! These tests guard the simulator as much as the protocols: an engine
 //! that delivered messages too generously (or dropped the prefix
 //! semantics) would make the violations unreachable and the positive
 //! results above vacuous.
 
-use setagree::core::FloodSet;
-use setagree::sync::{run_protocol, CrashSpec, FailurePattern};
+use setagree::core::Scenario;
+use setagree::sync::{CrashSpec, FailurePattern};
 use setagree::types::ProcessId;
 
 /// For consensus (k = 1): the chain adversary defeats every flood-set
@@ -25,28 +27,29 @@ fn consensus_needs_t_plus_1_rounds() {
         // One round short: the chain keeps the 9 inside the crashed prefix
         // plus the final carrier — someone decides 1, the carrier's heir
         // decides 9.
-        let short: Vec<FloodSet<u32>> = inputs
-            .iter()
-            .map(|&v| FloodSet::with_target_round(t, v))
-            .collect();
-        let trace = run_protocol(short, &chain, t + 3).expect("short run");
+        let short = Scenario::flood_set_truncated(n, t, 1, t)
+            .input(inputs.clone())
+            .pattern(chain.clone())
+            .run()
+            .expect("short run");
         assert!(
-            trace.decided_values().len() > 1,
+            !short.satisfies_agreement(),
             "n={n}, t={t}: {t}-round floodset must split under the chain, got {:?}",
-            trace.decided_values()
+            short.decided_values()
         );
 
         // The full t + 1 rounds: consensus restored under the same chain.
-        let full: Vec<FloodSet<u32>> = inputs
-            .iter()
-            .map(|&v| FloodSet::with_target_round(t + 1, v))
-            .collect();
-        let trace = run_protocol(full, &chain, t + 3).expect("full run");
+        let full = Scenario::flood_set_truncated(n, t, 1, t + 1)
+            .input(inputs)
+            .pattern(chain)
+            .run()
+            .expect("full run");
         assert_eq!(
-            trace.decided_values().len(),
+            full.decided_values().len(),
             1,
             "n={n}, t={t}: t+1 rounds must reach consensus"
         );
+        assert!(full.satisfies_agreement());
     }
 }
 
@@ -75,37 +78,45 @@ fn two_set_agreement_needs_t_over_2_plus_1_rounds() {
     //   p1 (idx 0) reaches p1..p3  → alive recipient: p3 (idx 2).
     //   p2 (idx 1) reaches p1..p4  → alive recipients: p3, p4. p3 now knows
     //   both 9 and 8; its estimate is max = 9; 8 still also at p4.
-    pattern.crash(ProcessId::new(0), CrashSpec::new(1, 3)).unwrap();
-    pattern.crash(ProcessId::new(1), CrashSpec::new(1, 4)).unwrap();
+    pattern
+        .crash(ProcessId::new(0), CrashSpec::new(1, 3))
+        .unwrap();
+    pattern
+        .crash(ProcessId::new(1), CrashSpec::new(1, 4))
+        .unwrap();
     // Round 2: p3 whispers {9} onward to p5 only (prefix 5); p4 whispers 8
     // to p5, p6 (prefix 6). After round 2 the extremal values live only in
     // p5/p6, everyone else still believes 1.
-    pattern.crash(ProcessId::new(2), CrashSpec::new(2, 5)).unwrap();
-    pattern.crash(ProcessId::new(3), CrashSpec::new(2, 6)).unwrap();
+    pattern
+        .crash(ProcessId::new(2), CrashSpec::new(2, 5))
+        .unwrap();
+    pattern
+        .crash(ProcessId::new(3), CrashSpec::new(2, 6))
+        .unwrap();
 
     // ⌊t/k⌋ = 2 rounds: p5 decides 9, p6 decides max(8, …) and the rest
     // decide 1 → three values > k.
-    let short: Vec<FloodSet<u32>> = inputs
-        .iter()
-        .map(|&v| FloodSet::with_target_round(t / k, v))
-        .collect();
-    let trace = run_protocol(short, &pattern, t + 3).expect("short run");
+    let short = Scenario::flood_set_truncated(n, t, k, t / k)
+        .input(inputs.clone())
+        .pattern(pattern.clone())
+        .run()
+        .expect("short run");
     assert!(
-        trace.decided_values().len() > k,
+        !short.satisfies_agreement(),
         "⌊t/k⌋ rounds must violate 2-agreement, got {:?}",
-        trace.decided_values()
+        short.decided_values()
     );
 
     // ⌊t/k⌋ + 1 = 3 rounds: the correct bound holds under the same pattern.
-    let full: Vec<FloodSet<u32>> = inputs
-        .iter()
-        .map(|&v| FloodSet::with_target_round(t / k + 1, v))
-        .collect();
-    let trace = run_protocol(full, &pattern, t + 3).expect("full run");
+    let full = Scenario::flood_set_truncated(n, t, k, t / k + 1)
+        .input(inputs)
+        .pattern(pattern)
+        .run()
+        .expect("full run");
     assert!(
-        trace.decided_values().len() <= k,
+        full.satisfies_agreement(),
         "⌊t/k⌋+1 rounds must satisfy 2-agreement, got {:?}",
-        trace.decided_values()
+        full.decided_values()
     );
 }
 
@@ -117,7 +128,9 @@ fn chain_adversary_shape() {
     assert_eq!(chain.fault_count(), 4);
     for r in 1..=4 {
         assert_eq!(chain.crashes_by_round(r), r, "one crash per round");
-        let spec = chain.spec(ProcessId::new(r - 1)).expect("p_r crashes in round r");
+        let spec = chain
+            .spec(ProcessId::new(r - 1))
+            .expect("p_r crashes in round r");
         assert_eq!(spec.round, r);
         assert_eq!(spec.after_sends, r + 1);
     }

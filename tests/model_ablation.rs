@@ -7,7 +7,7 @@
 //! in which the algorithm, run unmodified, violates consensus.
 
 use setagree::conditions::{legality, Condition, ExplicitOracle, MaxEll};
-use setagree::core::{ConditionBased, ConditionBasedConfig};
+use setagree::core::{ConditionBasedConfig, Scenario};
 use setagree::sync::{
     run_protocol, run_protocol_unordered, CrashSpec, FailurePattern, Step, SubsetCrash,
     SyncProtocol, UnorderedFailurePattern,
@@ -64,8 +64,12 @@ fn containment_breaks_without_ordered_sends() {
     for p1_prefix in 0..=4 {
         for p2_prefix in 0..=4 {
             let mut pattern = FailurePattern::none(4);
-            pattern.crash(ProcessId::new(0), CrashSpec::new(1, p1_prefix)).unwrap();
-            pattern.crash(ProcessId::new(1), CrashSpec::new(1, p2_prefix)).unwrap();
+            pattern
+                .crash(ProcessId::new(0), CrashSpec::new(1, p1_prefix))
+                .unwrap();
+            pattern
+                .crash(ProcessId::new(1), CrashSpec::new(1, p2_prefix))
+                .unwrap();
             let trace = run_protocol(collectors(&inputs), &pattern, 3).unwrap();
             let views: Vec<View<u32>> = trace
                 .outcomes()
@@ -90,8 +94,12 @@ fn containment_breaks_without_ordered_sends() {
     only_p3.insert(ProcessId::new(2));
     let mut only_p4 = ProcessSet::empty(4);
     only_p4.insert(ProcessId::new(3));
-    pattern.crash(ProcessId::new(0), SubsetCrash::new(1, only_p3)).unwrap();
-    pattern.crash(ProcessId::new(1), SubsetCrash::new(1, only_p4)).unwrap();
+    pattern
+        .crash(ProcessId::new(0), SubsetCrash::new(1, only_p3))
+        .unwrap();
+    pattern
+        .crash(ProcessId::new(1), SubsetCrash::new(1, only_p4))
+        .unwrap();
     let trace = run_protocol_unordered(collectors(&inputs), &pattern, 3).unwrap();
     let v3 = trace.outcome(ProcessId::new(2)).decided_value().unwrap();
     let v4 = trace.outcome(ProcessId::new(3)).decided_value().unwrap();
@@ -112,20 +120,10 @@ fn split_condition() -> ExplicitOracle<u32, MaxEll> {
     ExplicitOracle::new(cond, MaxEll::new(1), params)
 }
 
-fn algorithm_processes(
-    config: ConditionBasedConfig,
-    inputs: &[u32],
-) -> Vec<ConditionBased<u32, ExplicitOracle<u32, MaxEll>>> {
-    inputs
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| ConditionBased::new(config, ProcessId::new(i), v, split_condition()))
-        .collect()
-}
-
 /// The headline ablation: the identical algorithm, condition and crash
 /// *count* — consensus holds under every ordered pattern, and is violated
-/// under a subset-loss pattern.
+/// under a subset-loss pattern. Both models run through the same
+/// `Scenario`; only the adversary variant changes.
 #[test]
 fn figure_2_needs_the_ordered_send_model() {
     // n = 4, t = 2, k = 1 (consensus), d = 1, ℓ = 1 → x = 1.
@@ -134,41 +132,47 @@ fn figure_2_needs_the_ordered_send_model() {
         .ell(1)
         .build()
         .unwrap();
-    let inputs = [6u32, 5, 3, 3];
+    let scenario = Scenario::condition_based(config, split_condition()).input(vec![6u32, 5, 3, 3]);
 
     // Ordered model: sweep every prefix pair for the two crashers.
     for p1_prefix in 0..=4 {
         for p2_prefix in 0..=4 {
             let mut pattern = FailurePattern::none(4);
-            pattern.crash(ProcessId::new(0), CrashSpec::new(1, p1_prefix)).unwrap();
-            pattern.crash(ProcessId::new(1), CrashSpec::new(1, p2_prefix)).unwrap();
-            let trace =
-                run_protocol(algorithm_processes(config, &inputs), &pattern, 10).unwrap();
+            pattern
+                .crash(ProcessId::new(0), CrashSpec::new(1, p1_prefix))
+                .unwrap();
+            pattern
+                .crash(ProcessId::new(1), CrashSpec::new(1, p2_prefix))
+                .unwrap();
+            let report = scenario.clone().pattern(pattern).run().unwrap();
             assert!(
-                trace.decided_values().len() <= 1,
+                report.satisfies_agreement(),
                 "consensus must hold under ordered sends (prefixes {p1_prefix}/{p2_prefix}): {:?}",
-                trace.decided_values()
+                report.decided_values()
             );
         }
     }
 
-    // Standard model: p1's 6 reaches only p3, p2's 5 reaches only p4.
+    // Standard model: p1's 6 reaches only p3, p2's 5 reaches only p4 —
+    // the same scenario, an `Adversary::Unordered` pattern.
     let mut pattern = UnorderedFailurePattern::none(4);
     let mut only_p3 = ProcessSet::empty(4);
     only_p3.insert(ProcessId::new(2));
     let mut only_p4 = ProcessSet::empty(4);
     only_p4.insert(ProcessId::new(3));
-    pattern.crash(ProcessId::new(0), SubsetCrash::new(1, only_p3)).unwrap();
-    pattern.crash(ProcessId::new(1), SubsetCrash::new(1, only_p4)).unwrap();
-    let trace =
-        run_protocol_unordered(algorithm_processes(config, &inputs), &pattern, 10).unwrap();
-    assert_eq!(
-        trace.decided_values().len(),
-        2,
+    pattern
+        .crash(ProcessId::new(0), SubsetCrash::new(1, only_p3))
+        .unwrap();
+    pattern
+        .crash(ProcessId::new(1), SubsetCrash::new(1, only_p4))
+        .unwrap();
+    let report = scenario.pattern(pattern).run().unwrap();
+    assert!(
+        !report.satisfies_agreement(),
         "the very same algorithm must split under subset loss: {:?}",
-        trace.decided_values()
+        report.decided_values()
     );
-    assert_eq!(trace.decided_values(), [5, 6].into_iter().collect());
+    assert_eq!(report.decided_values(), [5, 6].into_iter().collect());
 }
 
 /// Ordered patterns embed into the unordered model (the prefix becomes the
@@ -178,8 +182,12 @@ fn ordered_patterns_embed_into_unordered_model() {
     let inputs = [6u32, 5, 3, 3];
     for p1_prefix in 0..=4 {
         let mut ordered = FailurePattern::none(4);
-        ordered.crash(ProcessId::new(0), CrashSpec::new(1, p1_prefix)).unwrap();
-        ordered.crash(ProcessId::new(3), CrashSpec::new(2, 2)).unwrap();
+        ordered
+            .crash(ProcessId::new(0), CrashSpec::new(1, p1_prefix))
+            .unwrap();
+        ordered
+            .crash(ProcessId::new(3), CrashSpec::new(2, 2))
+            .unwrap();
         let unordered: UnorderedFailurePattern = (&ordered).into();
         let a = run_protocol(collectors(&inputs), &ordered, 3).unwrap();
         let b = run_protocol_unordered(collectors(&inputs), &unordered, 3).unwrap();

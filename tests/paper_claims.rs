@@ -7,9 +7,23 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use setagree::conditions::MaxCondition;
-use setagree::core::{run_condition_based, run_floodset, ConditionBasedConfig};
+use setagree::core::{ConditionBasedConfig, Scenario};
 use setagree::sync::{CrashSpec, FailurePattern};
 use setagree::types::{InputVector, ProcessId};
+
+/// Runs the Figure 2 algorithm on the unified Scenario API.
+fn run_cb(
+    config: &ConditionBasedConfig,
+    oracle: &MaxCondition,
+    input: &InputVector<u32>,
+    pattern: &FailurePattern,
+) -> setagree::core::Report<u32> {
+    Scenario::condition_based(*config, *oracle)
+        .input(input.clone())
+        .pattern(pattern.clone())
+        .run()
+        .expect("valid scenario")
+}
 
 /// All (n, t, k, d, ℓ) combinations used by the sweeps: every row respects
 /// the paper's constraints ℓ ≤ k and ℓ ≤ t − d.
@@ -75,7 +89,7 @@ fn lemma_1_two_round_fast_path() {
                     )
                     .unwrap();
             }
-            let report = run_condition_based(&config, &oracle, &input, &pattern).unwrap();
+            let report = run_cb(&config, &oracle, &input, &pattern);
             assert!(report.satisfies_all(), "{config}, {crashes} crashes");
             assert_eq!(
                 report.decision_round(),
@@ -101,7 +115,7 @@ fn lemma_1_general_bound() {
                 config.rounds_outside_condition(),
                 &mut SmallRng::seed_from_u64(seed),
             );
-            let report = run_condition_based(&config, &oracle, &input, &pattern).unwrap();
+            let report = run_cb(&config, &oracle, &input, &pattern);
             assert!(report.satisfies_all(), "{config} seed {seed}");
             assert!(
                 report.decision_round().unwrap() <= config.condition_decision_round(),
@@ -130,7 +144,7 @@ fn lemma_2_initial_crashes_shortcut() {
             (0..crashes).map(|i| ProcessId::new(config.n() - 1 - i)),
         )
         .unwrap();
-        let report = run_condition_based(&config, &oracle, &input, &pattern).unwrap();
+        let report = run_cb(&config, &oracle, &input, &pattern);
         assert!(report.satisfies_all(), "{config}");
         assert!(
             report.decision_round().unwrap() <= config.condition_decision_round(),
@@ -146,7 +160,10 @@ fn theorem_10_global_bound() {
     let mut rng = SmallRng::seed_from_u64(303);
     for config in grid() {
         let oracle = MaxCondition::new(config.legality());
-        for input in [in_condition_input(&config, &mut rng), out_of_condition_input(&config)] {
+        for input in [
+            in_condition_input(&config, &mut rng),
+            out_of_condition_input(&config),
+        ] {
             for seed in 0..4u64 {
                 let pattern = FailurePattern::random(
                     config.n(),
@@ -154,7 +171,7 @@ fn theorem_10_global_bound() {
                     config.rounds_outside_condition() + 1,
                     &mut SmallRng::seed_from_u64(seed * 7 + 1),
                 );
-                let report = run_condition_based(&config, &oracle, &input, &pattern).unwrap();
+                let report = run_cb(&config, &oracle, &input, &pattern);
                 assert!(
                     report.decision_round().unwrap_or(0) <= config.final_decision_round(),
                     "{config} seed {seed}: global bound violated"
@@ -172,9 +189,12 @@ fn theorems_11_and_12_under_staircase() {
     let mut rng = SmallRng::seed_from_u64(404);
     for config in grid() {
         let oracle = MaxCondition::new(config.legality());
-        for input in [in_condition_input(&config, &mut rng), out_of_condition_input(&config)] {
+        for input in [
+            in_condition_input(&config, &mut rng),
+            out_of_condition_input(&config),
+        ] {
             let pattern = FailurePattern::staircase(config.n(), config.t(), config.k());
-            let report = run_condition_based(&config, &oracle, &input, &pattern).unwrap();
+            let report = run_cb(&config, &oracle, &input, &pattern);
             assert!(report.satisfies_validity(), "{config}: Theorem 11");
             assert!(
                 report.satisfies_agreement(),
@@ -196,11 +216,18 @@ fn condition_beats_baseline_in_condition() {
         let oracle = MaxCondition::new(config.legality());
         let input = in_condition_input(&config, &mut rng);
         let pattern = FailurePattern::none(config.n());
-        let cb = run_condition_based(&config, &oracle, &input, &pattern).unwrap();
-        let base = run_floodset(config.n(), config.t(), config.k(), &input, &pattern).unwrap();
+        let cb = run_cb(&config, &oracle, &input, &pattern);
+        let base = Scenario::flood_set(config.n(), config.t(), config.k())
+            .input(input.clone())
+            .pattern(pattern.clone())
+            .run()
+            .unwrap();
         let cb_rounds = cb.decision_round().unwrap();
         let base_rounds = base.decision_round().unwrap();
-        assert!(cb_rounds <= base_rounds.max(2), "{config}: slower than baseline");
+        assert!(
+            cb_rounds <= base_rounds.max(2),
+            "{config}: slower than baseline"
+        );
         if config.rounds_outside_condition() > 2 {
             assert!(
                 cb_rounds < base_rounds,
@@ -226,12 +253,16 @@ fn consensus_special_case_matches_mrr() {
 
     let inside = in_condition_input(&config, &mut rng);
     let pattern = FailurePattern::staircase(8, 5, 1);
-    let report = run_condition_based(&config, &oracle, &inside, &pattern).unwrap();
+    let report = run_cb(&config, &oracle, &inside, &pattern);
     assert!(report.decision_round().unwrap() <= 4);
-    assert_eq!(report.decided_values().len(), 1, "consensus decides one value");
+    assert_eq!(
+        report.decided_values().len(),
+        1,
+        "consensus decides one value"
+    );
 
     let outside = out_of_condition_input(&config);
-    let report = run_condition_based(&config, &oracle, &outside, &FailurePattern::none(8)).unwrap();
+    let report = run_cb(&config, &oracle, &outside, &FailurePattern::none(8));
     assert_eq!(report.decision_round(), Some(6));
     assert_eq!(report.decided_values().len(), 1);
 }

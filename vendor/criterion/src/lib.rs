@@ -1,0 +1,239 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion 0.5 API the workspace's
+//! benches use — `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_function`/`bench_with_input`, `BenchmarkId`, `black_box` — over
+//! a plain wall-clock measurement loop. No statistics, no plots: each
+//! benchmark is warmed up briefly, then timed and reported as ns/iter.
+//!
+//! Under `--test` (what `cargo test --benches` passes) every benchmark
+//! body runs exactly once, so benches double as smoke tests.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export site for `std::hint::black_box`, like criterion's.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode,
+            measure: Duration::from_millis(120),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            measure: self.measure,
+            report: None,
+        };
+        f(&mut bencher);
+        report(&id.0, bencher.report);
+        self
+    }
+
+    /// Prints the closing line `criterion_main!` expects to emit.
+    pub fn final_summary(&mut self) {
+        eprintln!(
+            "benchmarks complete{}",
+            if self.test_mode { " (test mode)" } else { "" }
+        );
+    }
+}
+
+fn report(name: &str, measurement: Option<(u64, Duration)>) {
+    match measurement {
+        Some((iters, total)) if iters > 0 => {
+            let ns = total.as_nanos() as f64 / iters as f64;
+            eprintln!("  {name:<40} {ns:>14.1} ns/iter  ({iters} iters)");
+        }
+        _ => eprintln!("  {name:<40} ran"),
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark identified by `id` within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            measure: self.criterion.measure,
+            report: None,
+        };
+        f(&mut bencher);
+        report(&format!("{}/{}", self.name, id.0), bencher.report);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            measure: self.criterion.measure,
+            report: None,
+        };
+        f(&mut bencher, input);
+        report(&format!("{}/{}", self.name, id.0), bencher.report);
+        self
+    }
+
+    /// Ends the group (reporting already happened per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// Just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the body.
+#[derive(Debug)]
+pub struct Bencher {
+    test_mode: bool,
+    measure: Duration,
+    report: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing (iterations, total time) for the report.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            self.report = Some((1, Duration::ZERO));
+            return;
+        }
+        // Warm-up and calibration: run until ~10% of the budget is spent.
+        let warmup = self.measure / 10;
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < warmup || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed() / warm_iters.max(1) as u32;
+        let target =
+            ((self.measure.as_nanos() / per_iter.as_nanos().max(1)) as u64).clamp(10, 1_000_000);
+        let start = Instant::now();
+        for _ in 0..target {
+            black_box(routine());
+        }
+        self.report = Some((target, start.elapsed()));
+    }
+}
+
+/// Bundles benchmark functions into a group runner, like criterion's.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(criterion: &mut $crate::Criterion) {
+            $( $target(criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $( $group(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion {
+            test_mode: true,
+            measure: Duration::from_millis(1),
+        };
+        let mut ran = 0u32;
+        c.bench_function("probe", |b| b.iter(|| ran += 1));
+        assert!(ran >= 1);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 8).0, "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").0, "x");
+    }
+}

@@ -1,0 +1,168 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides the one facility the threaded runtime uses: an unbounded
+//! MPMC channel whose `Sender` *and* `Receiver` are clonable, with
+//! non-blocking `try_iter` draining. Backed by a `Mutex<VecDeque>`; the
+//! runtime's barrier discipline means the lock is never contended on a
+//! hot path.
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer multi-consumer channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    /// The sending half; clonable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; clonable (crossbeam channels are MPMC).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    /// The message could not be sent (all receivers dropped); carries the
+    /// message back.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `msg`; an unbounded channel never blocks.
+        ///
+        /// # Errors
+        ///
+        /// Never fails in this shim (queue storage is shared with the
+        /// receivers, so it outlives both halves); the `Result` mirrors
+        /// crossbeam's signature.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.shared
+                .queue
+                .lock()
+                .expect("channel lock poisoned")
+                .push_back(msg);
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// A non-blocking iterator over the messages currently queued.
+        pub fn try_iter(&self) -> TryIter<'_, T> {
+            TryIter { receiver: self }
+        }
+    }
+
+    /// Iterator returned by [`Receiver::try_iter`].
+    pub struct TryIter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> fmt::Debug for TryIter<'_, T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("TryIter { .. }")
+        }
+    }
+
+    impl<T> Iterator for TryIter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver
+                .shared
+                .queue
+                .lock()
+                .expect("channel lock poisoned")
+                .pop_front()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn send_and_drain() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(rx.try_iter().count(), 0);
+    }
+
+    #[test]
+    fn clones_share_the_queue() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        let rx2 = rx.clone();
+        tx2.send(7).unwrap();
+        assert_eq!(rx2.try_iter().next(), Some(7));
+        assert_eq!(rx.try_iter().next(), None);
+    }
+
+    #[test]
+    fn crosses_threads() {
+        let (tx, rx) = unbounded();
+        let handle = std::thread::spawn(move || tx.send(99).unwrap());
+        handle.join().unwrap();
+        assert_eq!(rx.try_iter().next(), Some(99));
+    }
+}

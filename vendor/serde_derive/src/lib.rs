@@ -1,0 +1,19 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline `serde`
+//! stand-in: the workspace derives the traits for forward compatibility
+//! but never serializes through them, so the derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the blanket impl in the `serde` shim covers every
+/// type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the blanket impl in the `serde` shim covers every
+/// type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
