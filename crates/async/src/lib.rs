@@ -27,6 +27,41 @@
 //! linearized memory operation), so linearizability holds by construction
 //! while the seeded [`Scheduler`] adversary controls interleaving and
 //! crashes.
+//!
+//! # Driving the asynchronous protocols
+//!
+//! Experiments run through the unified `Scenario`/`Executor` API of
+//! `setagree-core`: the two asynchronous runtimes are the
+//! `Executor::AsyncSharedMemory { seed }` and
+//! `Executor::AsyncMessagePassing { seed }` executors, crash schedules
+//! are [`AsyncCrashes`] adversaries, and results come back as the same
+//! unified `Report` the synchronous protocols produce (with the raw
+//! [`AsyncReport`] still reachable through it). The seed is executor
+//! state — the spec and input stay inert, replayable data:
+//!
+//! ```
+//! use setagree_async::AsyncCrashes;
+//! use setagree_conditions::{LegalityParams, MaxCondition};
+//! use setagree_core::{Executor, Scenario};
+//! use setagree_types::ProcessId;
+//!
+//! let params = LegalityParams::new(2, 2)?; // tolerate x = 2 crashes, decide ≤ ℓ = 2 values
+//! let report = Scenario::async_set_agreement(5, params, MaxCondition::new(params))
+//!     .input(vec![9u32, 9, 8, 8, 1]) // top-2 {9, 8} cover > x entries: in C_max
+//!     .pattern(AsyncCrashes::none().crash_after(ProcessId::new(4), 1))
+//!     .executor(Executor::AsyncSharedMemory { seed: 7 })
+//!     .run()?;
+//! assert!(report.satisfies_all());
+//! assert!(report.decided_values().len() <= 2);
+//! let raw = report.async_report().expect("asynchronous execution");
+//! assert_eq!(raw.crashed_count(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! The former one-call helpers `run_async` / `run_message_passing` remain
+//! as deprecated shims over the same engines ([`execute_shared_memory`],
+//! [`execute_message_passing`]) and replay identical executions for
+//! identical seeds.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
@@ -38,7 +73,13 @@ pub mod report;
 pub mod scheduler;
 
 pub use memory::SharedMemory;
-pub use message_passing::{run_message_passing, MessagePassingSystem, MpMessage};
+#[allow(deprecated)]
+pub use message_passing::run_message_passing;
+pub use message_passing::{
+    default_delivery_budget, execute_message_passing, MessagePassingSystem, MpMessage,
+};
 pub use process::{AsyncPhase, CondSetAgreement};
 pub use report::{AsyncOutcome, AsyncReport};
-pub use scheduler::{run_async, AsyncCrashes, Scheduler};
+#[allow(deprecated)]
+pub use scheduler::run_async;
+pub use scheduler::{default_step_budget, execute_shared_memory, AsyncCrashes, Scheduler};

@@ -34,6 +34,40 @@
 //! shared-memory substrate in [`memory`](crate::memory). The paper's
 //! Section 4 claims (solvability *under the condition*) are what this
 //! module reproduces natively in the message-passing model.
+//!
+//! # Adversary model and seeding
+//!
+//! The adversary controls *delivery order*: at every tick it picks any
+//! in-flight message and delivers it (reliable channels — no loss, no
+//! duplication, unbounded reordering). The seeded runner draws that pick
+//! from a `u64`-seeded RNG, so the same `(seed, input, crashes, budget)`
+//! replays the byte-identical execution; the seed lives in the executor
+//! (`Executor::AsyncMessagePassing { seed }`) of the unified experiment
+//! API. Crashes *silence* a process once enough messages have been
+//! delivered to it (its earlier sends may still arrive: crash faults,
+//! not omission faults); a zero budget cancels even its initial
+//! broadcast. A global delivery budget bounds the run, and processes
+//! still waiting at exhaustion are reported as
+//! [`AsyncOutcome::Unfinished`](crate::AsyncOutcome). As with the
+//! shared-memory scheduler, outcome *distributions* over seed ranges
+//! depend on the RNG stream — assert model guarantees across seeds, not
+//! exact per-seed outcomes.
+//!
+//! # Example
+//!
+//! ```
+//! use setagree_conditions::{LegalityParams, MaxCondition};
+//! use setagree_core::{Executor, Scenario};
+//!
+//! let params = LegalityParams::new(1, 1)?;
+//! let report = Scenario::async_set_agreement(4, params, MaxCondition::new(params))
+//!     .input(vec![5u32, 5, 5, 2])
+//!     .executor(Executor::AsyncMessagePassing { seed: 42 })
+//!     .run()?;
+//! assert!(report.satisfies_all());
+//! assert!(report.decided_values().len() <= 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 use std::collections::VecDeque;
 
@@ -79,7 +113,7 @@ struct InFlight<V> {
 /// # Example
 ///
 /// ```
-/// use setagree_async::message_passing::run_message_passing;
+/// use setagree_async::message_passing::{default_delivery_budget, execute_message_passing};
 /// use setagree_async::AsyncCrashes;
 /// use setagree_conditions::{LegalityParams, MaxCondition};
 /// use setagree_types::InputVector;
@@ -87,7 +121,8 @@ struct InFlight<V> {
 /// let params = LegalityParams::new(1, 1).unwrap();
 /// let oracle = MaxCondition::new(params);
 /// let input = InputVector::new(vec![5u32, 5, 5, 2]);
-/// let report = run_message_passing(&oracle, 1, &input, &AsyncCrashes::none(), 42);
+/// let report = execute_message_passing(
+///     &oracle, 1, &input, &AsyncCrashes::none(), 42, default_delivery_budget(4));
 /// assert!(report.all_correct_decided());
 /// assert!(report.decided_values().len() <= 1);
 /// ```
@@ -236,19 +271,33 @@ fn remove_nth<T>(queue: &mut VecDeque<T>, n: usize) -> Option<T> {
     queue.remove(idx)
 }
 
-/// One-call helper mirroring [`run_async`](crate::run_async): runs the
-/// message-passing algorithm under a seeded delivery adversary.
+/// The default global delivery budget for an `n`-process run: `n·(n−1)`
+/// initial broadcasts plus decider re-broadcasts and waiting slack;
+/// `n² × 32` covers every schedule comfortably.
+pub fn default_delivery_budget(n: usize) -> u64 {
+    (n as u64).pow(2) * 32 + 128
+}
+
+/// The message-passing engine entry point, mirroring
+/// [`execute_shared_memory`](crate::scheduler::execute_shared_memory):
+/// runs the algorithm under a seeded delivery adversary with an explicit
+/// delivery budget.
 ///
 /// `crashes` uses the same schedule type as the shared-memory runner; a
 /// process is silenced once `steps` of its messages have been delivered
 /// *to* it (crash timing in an async message-passing system is only
 /// meaningful relative to deliveries).
-pub fn run_message_passing<V, O>(
+///
+/// This is the backend behind `Executor::AsyncMessagePassing { seed }` in
+/// `setagree-core`; experiments should go through that API rather than
+/// call this directly.
+pub fn execute_message_passing<V, O>(
     oracle: &O,
     x: usize,
     input: &InputVector<V>,
     crashes: &crate::scheduler::AsyncCrashes,
     seed: u64,
+    max_deliveries: u64,
 ) -> AsyncReport<V>
 where
     V: ProposalValue,
@@ -277,9 +326,8 @@ where
     }
 
     let mut rng = SmallRng::seed_from_u64(seed);
-    let budget = (n as u64).pow(2) * 32 + 128;
     let mut steps = 0u64;
-    while steps < budget && system.in_flight_count() > 0 {
+    while steps < max_deliveries && system.in_flight_count() > 0 {
         // Late crashes: silence processes whose delivery budget ran out.
         for id in ProcessId::all(n) {
             if let Some(b) = crashes.budget(id) {
@@ -295,7 +343,43 @@ where
     system.into_report()
 }
 
+/// One-call helper: [`execute_message_passing`] with the default budget.
+///
+/// # Errors
+///
+/// Infallible; the unified entry point reports failures through
+/// `ExperimentError` instead.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Scenario::async_set_agreement(n, params, oracle).input(input)\
+            .pattern(crashes).executor(Executor::AsyncMessagePassing { seed }).run()`"
+)]
+pub fn run_message_passing<V, O>(
+    oracle: &O,
+    x: usize,
+    input: &InputVector<V>,
+    crashes: &crate::scheduler::AsyncCrashes,
+    seed: u64,
+) -> AsyncReport<V>
+where
+    V: ProposalValue,
+    O: ConditionOracle<V> + Clone,
+{
+    execute_message_passing(
+        oracle,
+        x,
+        input,
+        crashes,
+        seed,
+        default_delivery_budget(input.len()),
+    )
+}
+
 #[cfg(test)]
+// The tests drive the deprecated `run_message_passing` shim on purpose:
+// it must keep replaying the engine's executions byte-for-byte until it
+// is removed, so exercising it here keeps its budget wiring covered.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::scheduler::AsyncCrashes;
@@ -367,6 +451,10 @@ mod tests {
             blocked_total += report.blocked_count();
         }
         assert!(blocked_total > 0, "full views must prove non-membership");
+        // Existence claim over a seed *range*, not an exact per-seed
+        // outcome: the split only needs to be reachable somewhere in the
+        // sweep, which survives changes to the RNG stream far better
+        // than pinning the seed that exhibits it.
         assert!(
             max_decided > 1,
             "the split must be reachable — otherwise the limitation is stale"

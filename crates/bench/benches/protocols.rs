@@ -6,7 +6,6 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use setagree_async::{run_async, run_message_passing, AsyncCrashes};
 use setagree_bench::{in_condition_input, out_of_condition_input, spread_input};
 use setagree_conditions::MaxCondition;
 use setagree_core::{ConditionBasedConfig, Executor, ProtocolSpec, Scenario, ScenarioSuite};
@@ -66,12 +65,17 @@ fn bench_async(c: &mut Criterion) {
     for n in [8usize, 16, 32] {
         let params = setagree_conditions::LegalityParams::new(2, 2).unwrap();
         let oracle = MaxCondition::new(params);
-        let input = in_condition_input(n, params, &mut rng);
+        let scenario = Scenario::async_set_agreement(n, params, oracle)
+            .input(in_condition_input(n, params, &mut rng));
+        let shared = scenario
+            .clone()
+            .executor(Executor::AsyncSharedMemory { seed: 3 });
+        let message = scenario.executor(Executor::AsyncMessagePassing { seed: 3 });
         group.bench_with_input(BenchmarkId::new("shared_memory", n), &n, |b, _| {
-            b.iter(|| run_async(&oracle, 2, &input, &AsyncCrashes::none(), 3));
+            b.iter(|| shared.run().unwrap());
         });
         group.bench_with_input(BenchmarkId::new("message_passing", n), &n, |b, _| {
-            b.iter(|| run_message_passing(&oracle, 2, &input, &AsyncCrashes::none(), 3));
+            b.iter(|| message.run().unwrap());
         });
     }
     group.finish();

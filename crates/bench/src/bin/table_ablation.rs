@@ -3,8 +3,8 @@
 //! 1. **Ordered round-1 sends** (the paper's model) vs the standard
 //!    arbitrary-subset model: the very same Figure 2 algorithm violates
 //!    consensus under subset loss (containment of views is load-bearing).
-//!    Both models run through the same [`Scenario`] API — the adversary
-//!    is data ([`Adversary::Ordered`] vs [`Adversary::Unordered`]).
+//!    Both models run through the same `Scenario` API — the adversary
+//!    is data (`Adversary::Ordered` vs `Adversary::Unordered`).
 //! 2. **Condition vs no condition**: instantiating the algorithm with the
 //!    trivial all-vectors condition (footnote 6) regresses the fast path
 //!    to the classical bound.
@@ -226,7 +226,10 @@ fn early_combination_ablation() {
             f.to_string(),
             plain.decision_round().unwrap().to_string(),
             early.decision_round().unwrap().to_string(),
-            early.predicted_rounds().to_string(),
+            early
+                .predicted_rounds()
+                .expect("round-based run")
+                .to_string(),
         ]);
     }
     println!("{t}");

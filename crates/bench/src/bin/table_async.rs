@@ -5,12 +5,18 @@
 //! at most ℓ values decided, and honest blocking outside the condition
 //! (the impossibility is *circumvented*, not broken).
 //!
+//! Runs through the unified `Scenario`/`Executor` API: the seeded
+//! schedule adversaries are `Executor::AsyncSharedMemory { seed }` /
+//! `Executor::AsyncMessagePassing { seed }` executors, and the
+//! out-of-condition sweep is a `ScenarioSuite` grid over executors
+//! (one cell per seed).
+//!
 //! ```text
 //! cargo run -p setagree-bench --bin table_async
 //! ```
 
-use setagree_async::{run_async, run_message_passing, AsyncCrashes};
 use setagree_conditions::{LegalityParams, MaxCondition};
+use setagree_core::{AsyncCrashes, Executor, ProtocolSpec, Scenario, ScenarioSuite};
 use setagree_types::ProcessId;
 
 use rand::rngs::SmallRng;
@@ -45,13 +51,17 @@ fn main() {
             let mut blocked = 0;
             for seed in 0..seeds {
                 let input = in_condition_input(n, params, &mut rng);
-                let schedule = crash_schedule(crashes, seed);
-                let report = run_async(&oracle, x, &input, &schedule, seed);
-                if report.all_correct_decided() {
+                let report = Scenario::async_set_agreement(n, params, oracle)
+                    .input(input)
+                    .pattern(crash_schedule(crashes, seed))
+                    .executor(Executor::AsyncSharedMemory { seed })
+                    .run()
+                    .expect("valid asynchronous scenario");
+                if report.satisfies_termination() {
                     terminated += 1;
                 }
                 max_decided = max_decided.max(report.decided_values().len());
-                blocked += report.blocked_count();
+                blocked += report.async_report().expect("async run").blocked_count();
             }
             let ok = terminated == seeds as usize && max_decided <= ell && blocked == 0;
             all_ok &= ok;
@@ -71,17 +81,23 @@ fn main() {
         // Outside the condition (only expressible when ℓ ≤ x): termination
         // is forfeited — processes whose snapshot proves I ∉ C block.
         // Optimistic early snapshots (still compatible with C) may decide;
-        // agreement must hold among them regardless.
+        // agreement must hold among them regardless. One fixed input, a
+        // suite grid over seed-carrying executors: one cell per schedule.
         if ell <= x {
-            let input = out_of_condition_input(n, params);
+            let outcome = ScenarioSuite::new()
+                .spec(ProtocolSpec::async_set_agreement(n, params, oracle))
+                .input(out_of_condition_input(n, params))
+                .executors((0..seeds).map(|seed| Executor::AsyncSharedMemory { seed }))
+                .run();
             let mut blocked_total = 0;
             let mut max_decided = 0;
             let mut settled_ok = true;
-            for seed in 0..seeds {
-                let report = run_async(&oracle, x, &input, &AsyncCrashes::none(), seed);
-                blocked_total += report.blocked_count();
+            for case in outcome.cases() {
+                let report = case.result.as_ref().expect("grid cases are valid");
+                let raw = report.async_report().expect("async run");
+                blocked_total += raw.blocked_count();
                 max_decided = max_decided.max(report.decided_values().len());
-                settled_ok &= report.all_settled_or_crashed();
+                settled_ok &= raw.all_settled_or_crashed();
             }
             let ok = settled_ok && max_decided <= ell && blocked_total > 0;
             all_ok &= ok;
@@ -132,9 +148,13 @@ fn main() {
             let mut max_decided = 0;
             for seed in 0..seeds {
                 let input = in_condition_input(n, params, &mut rng);
-                let schedule = crash_schedule(crashes, seed);
-                let report = run_message_passing(&oracle, x, &input, &schedule, seed);
-                if report.all_correct_decided() {
+                let report = Scenario::async_set_agreement(n, params, oracle)
+                    .input(input)
+                    .pattern(crash_schedule(crashes, seed))
+                    .executor(Executor::AsyncMessagePassing { seed })
+                    .run()
+                    .expect("valid asynchronous scenario");
+                if report.satisfies_termination() {
                     terminated += 1;
                 }
                 max_decided = max_decided.max(report.decided_values().len());

@@ -87,7 +87,7 @@ fn main() {
                 input_names[case.input_index].into(),
                 pattern_names[case.pattern_index.expect("patterns set")].into(),
                 report.decision_round().unwrap_or(0).to_string(),
-                format!("≤ {}", report.predicted_rounds()),
+                format!("≤ {}", report.predicted_rounds().expect("round-based run")),
                 report.decided_values().len().to_string(),
                 verdict(ok),
             ]);

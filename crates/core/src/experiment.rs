@@ -27,6 +27,18 @@
 //! (`Executor::Threaded`) or under the standard arbitrary-subset crash
 //! model (an [`Adversary::Unordered`] pattern) — the executor and the
 //! adversary are data, not code paths the caller has to reimplement.
+//!
+//! The paper's **asynchronous** protocols (Section 4) are executors too:
+//! [`Executor::AsyncSharedMemory`] runs the condition-based ℓ-set
+//! agreement algorithm over simulated shared memory under a seeded
+//! scheduler adversary, [`Executor::AsyncMessagePassing`] over reliable
+//! channels under a seeded delivery adversary. Their crash schedules are
+//! [`Adversary::Async`] patterns ([`AsyncCrashes`]), and the seed lives
+//! in the executor, so a `Scenario` stays inert, replayable data across
+//! all four executors. Build asynchronous scenarios with
+//! [`Scenario::async_set_agreement`], or run a
+//! [`Scenario::condition_based`] spec directly on an async executor to
+//! compare the synchronous and asynchronous renderings of one condition.
 
 use std::error::Error;
 use std::fmt;
@@ -34,6 +46,10 @@ use std::marker::PhantomData;
 
 use serde::{Deserialize, Serialize};
 
+use setagree_async::{
+    default_delivery_budget, default_step_budget, execute_message_passing, execute_shared_memory,
+    AsyncCrashes,
+};
 use setagree_conditions::{ConditionOracle, LegalityParams, MaxCondition};
 use setagree_runtime::{run_threaded, ThreadedError};
 use setagree_sync::{
@@ -105,11 +121,33 @@ pub enum ExperimentError {
         /// The panicking process.
         process: ProcessId,
     },
-    /// The executor cannot realize the requested adversary (the threaded
-    /// runtime implements only the paper's ordered-send model).
+    /// The executor cannot realize the requested adversary: the threaded
+    /// runtime implements only the paper's ordered-send model, and the
+    /// asynchronous executors take [`Adversary::Async`] schedules (or any
+    /// failure-free pattern).
     UnsupportedAdversary {
         /// The executor that was asked.
         executor: Executor,
+    },
+    /// An asynchronous crash schedule names a process outside the
+    /// system (the engines would silently ignore it, turning a typo
+    /// into a failure-free run — mirrored after the range validation
+    /// the synchronous `FailurePattern::crash` already performs).
+    UnknownCrashVictim {
+        /// The out-of-range process.
+        victim: ProcessId,
+        /// The system size.
+        n: usize,
+    },
+    /// The executor cannot run the requested protocol: the asynchronous
+    /// executors run the condition-based specs only, and the
+    /// [`ProtocolKind::AsyncSetAgreement`] spec needs an asynchronous
+    /// executor.
+    UnsupportedProtocol {
+        /// The executor that was asked.
+        executor: Executor,
+        /// The protocol the spec selects.
+        protocol: ProtocolKind,
     },
     /// An engine or runtime error this crate predates (the backends'
     /// error enums are `#[non_exhaustive]`); carries the original
@@ -161,7 +199,18 @@ impl fmt::Display for ExperimentError {
             }
             ExperimentError::UnsupportedAdversary { executor } => write!(
                 f,
-                "executor {executor} implements only the paper's ordered-send adversary"
+                "executor {executor} cannot realize the requested adversary \
+                 (threaded: ordered-send patterns; async: AsyncCrashes or failure-free)"
+            ),
+            ExperimentError::UnknownCrashVictim { victim, n } => write!(
+                f,
+                "crash schedule names {victim} but the system has only {n} processes"
+            ),
+            ExperimentError::UnsupportedProtocol { executor, protocol } => write!(
+                f,
+                "protocol {protocol} cannot run on executor {executor} \
+                 (async executors run the condition-based specs; \
+                 async-set-agreement specs need an async executor)"
             ),
             ExperimentError::Internal { message } => write!(f, "backend error: {message}"),
         }
@@ -206,6 +255,12 @@ impl From<ThreadedError> for ExperimentError {
 }
 
 /// Where a scenario executes.
+///
+/// The first two executors run the **synchronous** round-based protocols;
+/// the last two run the paper's **asynchronous** Section 4 algorithm, and
+/// carry the adversary seed so the `Scenario` itself stays inert data:
+/// the same seed replays the byte-identical interleaving, a different
+/// seed is a different adversary over the same scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 #[non_exhaustive]
 pub enum Executor {
@@ -216,6 +271,34 @@ pub enum Executor {
     /// links. Observationally identical to the simulator on ordered
     /// patterns — which `tests/executor_equivalence.rs` asserts.
     Threaded,
+    /// The asynchronous shared-memory runtime (Section 4): single-writer
+    /// registers with atomic snapshots, a seeded scheduler picking which
+    /// process takes its next linearized step. Runs the condition-based
+    /// specs as ℓ-set agreement with `x = t − d` crash tolerance.
+    AsyncSharedMemory {
+        /// The scheduler-adversary seed.
+        seed: u64,
+    },
+    /// The asynchronous message-passing runtime (Section 4 over reliable
+    /// channels): a seeded adversary chooses delivery order. Same specs
+    /// and guarantees *within the condition* as the shared-memory
+    /// executor; see `setagree_async::message_passing` for the honest
+    /// out-of-condition limitation.
+    AsyncMessagePassing {
+        /// The delivery-adversary seed.
+        seed: u64,
+    },
+}
+
+impl Executor {
+    /// Whether this executor runs the asynchronous (step-based) model
+    /// rather than a synchronous round-based one.
+    pub fn is_async(&self) -> bool {
+        matches!(
+            self,
+            Executor::AsyncSharedMemory { .. } | Executor::AsyncMessagePassing { .. }
+        )
+    }
 }
 
 impl fmt::Display for Executor {
@@ -223,12 +306,19 @@ impl fmt::Display for Executor {
         match self {
             Executor::Simulator => write!(f, "simulator"),
             Executor::Threaded => write!(f, "threaded"),
+            Executor::AsyncSharedMemory { seed } => {
+                write!(f, "async-shared-memory(seed {seed})")
+            }
+            Executor::AsyncMessagePassing { seed } => {
+                write!(f, "async-message-passing(seed {seed})")
+            }
         }
     }
 }
 
-/// The crash adversary of a scenario: the paper's ordered-send model, or
-/// the standard arbitrary-subset model used by the ablations.
+/// The crash adversary of a scenario: the paper's ordered-send model, the
+/// standard arbitrary-subset model used by the ablations, or an
+/// asynchronous step-budget schedule for the async executors.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Adversary {
     /// Ordered sends: a crash loses a *suffix* of the broadcast
@@ -238,14 +328,23 @@ pub enum Adversary {
     /// the Figure 2 agreement argument does **not** hold (the ablation of
     /// `tests/model_ablation.rs`). Simulator only.
     Unordered(UnorderedFailurePattern),
+    /// Asynchronous crashes: each faulty process halts after a budget of
+    /// its own steps (deliveries, for message passing). Async executors
+    /// only. The schedule may exceed the condition's tolerance `x` —
+    /// stranded processes then surface as `Unfinished` outcomes rather
+    /// than a validation error, which is how experiments probe the
+    /// impossibility frontier.
+    Async(AsyncCrashes),
 }
 
 impl Adversary {
-    /// The system size the pattern is defined over.
-    pub fn system_size(&self) -> usize {
+    /// The system size the pattern is defined over (`None` for an
+    /// asynchronous schedule, which names victims without fixing `n`).
+    pub fn system_size(&self) -> Option<usize> {
         match self {
-            Adversary::Ordered(p) => p.system_size(),
-            Adversary::Unordered(p) => p.system_size(),
+            Adversary::Ordered(p) => Some(p.system_size()),
+            Adversary::Unordered(p) => Some(p.system_size()),
+            Adversary::Async(_) => None,
         }
     }
 
@@ -254,6 +353,7 @@ impl Adversary {
         match self {
             Adversary::Ordered(p) => p.fault_count(),
             Adversary::Unordered(p) => p.fault_count(),
+            Adversary::Async(c) => c.fault_count(),
         }
     }
 
@@ -261,7 +361,15 @@ impl Adversary {
     pub fn as_ordered(&self) -> Option<&FailurePattern> {
         match self {
             Adversary::Ordered(p) => Some(p),
-            Adversary::Unordered(_) => None,
+            _ => None,
+        }
+    }
+
+    /// The asynchronous schedule, when this adversary is one.
+    pub fn as_async(&self) -> Option<&AsyncCrashes> {
+        match self {
+            Adversary::Async(c) => Some(c),
+            _ => None,
         }
     }
 }
@@ -278,6 +386,12 @@ impl From<UnorderedFailurePattern> for Adversary {
     }
 }
 
+impl From<AsyncCrashes> for Adversary {
+    fn from(c: AsyncCrashes) -> Self {
+        Adversary::Async(c)
+    }
+}
+
 /// Which algorithm a scenario ran — carried by every [`Report`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 #[non_exhaustive]
@@ -290,6 +404,9 @@ pub enum ProtocolKind {
     EarlyDeciding,
     /// The classical flood-set baseline.
     FloodSet,
+    /// The Section 4 asynchronous condition-based ℓ-set agreement
+    /// algorithm (runs on the async executors only).
+    AsyncSetAgreement,
 }
 
 impl fmt::Display for ProtocolKind {
@@ -299,6 +416,7 @@ impl fmt::Display for ProtocolKind {
             ProtocolKind::EarlyConditionBased => write!(f, "early-condition-based"),
             ProtocolKind::EarlyDeciding => write!(f, "early-deciding"),
             ProtocolKind::FloodSet => write!(f, "floodset"),
+            ProtocolKind::AsyncSetAgreement => write!(f, "async-set-agreement"),
         }
     }
 }
@@ -323,6 +441,11 @@ enum SpecKind<O> {
         t: usize,
         k: usize,
         target_round: Option<usize>,
+    },
+    AsyncSetAgreement {
+        n: usize,
+        params: LegalityParams,
+        oracle: O,
     },
 }
 
@@ -350,6 +473,9 @@ macro_rules! dispatch_spec {
             } => {
                 let $procs = flood_processes(*t, *k, *target_round, $input);
                 $run
+            }
+            SpecKind::AsyncSetAgreement { .. } => {
+                unreachable!("async specs are rejected before round-based dispatch")
             }
         }
     };
@@ -405,6 +531,20 @@ impl<V, O> ProtocolSpec<V, O> {
         }
     }
 
+    /// The Section 4 asynchronous condition-based ℓ-set agreement
+    /// algorithm over `n` processes: tolerates `params.x()` crashes and
+    /// decides at most `params.ell()` values when the input is in the
+    /// oracle's `(x, ℓ)`-legal condition. Runs on the async executors
+    /// only ([`Executor::AsyncSharedMemory`] /
+    /// [`Executor::AsyncMessagePassing`]); a round-based executor reports
+    /// [`ExperimentError::UnsupportedProtocol`].
+    pub fn async_set_agreement(n: usize, params: LegalityParams, oracle: O) -> Self {
+        ProtocolSpec {
+            kind: SpecKind::AsyncSetAgreement { n, params, oracle },
+            _values: PhantomData,
+        }
+    }
+
     /// Which algorithm this spec selects.
     pub fn protocol(&self) -> ProtocolKind {
         match &self.kind {
@@ -412,6 +552,7 @@ impl<V, O> ProtocolSpec<V, O> {
             SpecKind::EarlyConditionBased { .. } => ProtocolKind::EarlyConditionBased,
             SpecKind::EarlyDeciding { .. } => ProtocolKind::EarlyDeciding,
             SpecKind::FloodSet { .. } => ProtocolKind::FloodSet,
+            SpecKind::AsyncSetAgreement { .. } => ProtocolKind::AsyncSetAgreement,
         }
     }
 
@@ -420,25 +561,31 @@ impl<V, O> ProtocolSpec<V, O> {
         match &self.kind {
             SpecKind::ConditionBased { config, .. }
             | SpecKind::EarlyConditionBased { config, .. } => config.n(),
-            SpecKind::EarlyDeciding { n, .. } | SpecKind::FloodSet { n, .. } => *n,
+            SpecKind::EarlyDeciding { n, .. }
+            | SpecKind::FloodSet { n, .. }
+            | SpecKind::AsyncSetAgreement { n, .. } => *n,
         }
     }
 
-    /// The fault bound `t`.
+    /// The fault bound: `t` for the synchronous protocols, the condition's
+    /// crash tolerance `x` for the asynchronous one.
     pub fn t(&self) -> usize {
         match &self.kind {
             SpecKind::ConditionBased { config, .. }
             | SpecKind::EarlyConditionBased { config, .. } => config.t(),
             SpecKind::EarlyDeciding { t, .. } | SpecKind::FloodSet { t, .. } => *t,
+            SpecKind::AsyncSetAgreement { params, .. } => params.x(),
         }
     }
 
-    /// The agreement degree `k`.
+    /// The agreement degree: `k` for the synchronous protocols, `ℓ` for
+    /// the asynchronous one.
     pub fn k(&self) -> usize {
         match &self.kind {
             SpecKind::ConditionBased { config, .. }
             | SpecKind::EarlyConditionBased { config, .. } => config.k(),
             SpecKind::EarlyDeciding { k, .. } | SpecKind::FloodSet { k, .. } => *k,
+            SpecKind::AsyncSetAgreement { params, .. } => params.ell(),
         }
     }
 
@@ -451,7 +598,9 @@ impl<V, O> ProtocolSpec<V, O> {
         }
     }
 
-    /// A safe default engine round limit for this spec.
+    /// A safe default engine round limit for this spec (round-based
+    /// executors; the async executors use the step budgets of
+    /// `setagree-async` instead).
     fn default_round_limit(&self) -> usize {
         match &self.kind {
             SpecKind::ConditionBased { config, .. }
@@ -463,6 +612,9 @@ impl<V, O> ProtocolSpec<V, O> {
                 Some(target) => target + 2,
                 None => t / k + 3,
             },
+            SpecKind::AsyncSetAgreement { .. } => {
+                unreachable!("async specs are rejected before round-based dispatch")
+            }
         }
     }
 }
@@ -518,6 +670,7 @@ pub struct Scenario<V, O = MaxCondition> {
     input: Option<InputVector<V>>,
     adversary: Option<Adversary>,
     round_limit: Option<usize>,
+    step_budget: Option<u64>,
     executor: Executor,
 }
 
@@ -528,6 +681,7 @@ impl<V: Clone, O: Clone> Clone for Scenario<V, O> {
             input: self.input.clone(),
             adversary: self.adversary.clone(),
             round_limit: self.round_limit,
+            step_budget: self.step_budget,
             executor: self.executor,
         }
     }
@@ -540,6 +694,7 @@ impl<V: fmt::Debug, O> fmt::Debug for Scenario<V, O> {
             .field("input", &self.input)
             .field("adversary", &self.adversary)
             .field("round_limit", &self.round_limit)
+            .field("step_budget", &self.step_budget)
             .field("executor", &self.executor)
             .finish()
     }
@@ -553,6 +708,7 @@ impl<V, O> Scenario<V, O> {
             input: None,
             adversary: None,
             round_limit: None,
+            step_budget: None,
             executor: Executor::default(),
         }
     }
@@ -569,6 +725,14 @@ impl<V, O> Scenario<V, O> {
         Scenario::new(ProtocolSpec::early_condition_based(config, oracle))
     }
 
+    /// Shorthand for [`Scenario::new`] over
+    /// [`ProtocolSpec::async_set_agreement`]. Remember to select an
+    /// asynchronous [`Executor`] — the default is the (synchronous)
+    /// simulator, which cannot run this spec.
+    pub fn async_set_agreement(n: usize, params: LegalityParams, oracle: O) -> Self {
+        Scenario::new(ProtocolSpec::async_set_agreement(n, params, oracle))
+    }
+
     /// Sets the input vector (one proposal per process). Required.
     pub fn input(mut self, input: impl Into<InputVector<V>>) -> Self {
         self.input = Some(input.into());
@@ -576,17 +740,31 @@ impl<V, O> Scenario<V, O> {
     }
 
     /// Sets the crash adversary; accepts a [`FailurePattern`] (ordered
-    /// sends, the paper's model) or an [`UnorderedFailurePattern`]
-    /// (standard model, simulator only). Defaults to failure-free.
+    /// sends, the paper's model), an [`UnorderedFailurePattern`]
+    /// (standard model, simulator only), or an [`AsyncCrashes`] schedule
+    /// (async executors only). Defaults to failure-free.
     pub fn pattern(mut self, adversary: impl Into<Adversary>) -> Self {
         self.adversary = Some(adversary.into());
         self
     }
 
-    /// Overrides the engine round limit (default: the protocol's proven
-    /// bound plus slack).
+    /// Overrides the engine round limit on the round-based executors
+    /// (default: the protocol's proven bound plus slack). Rounds and
+    /// asynchronous scheduler steps are different units, so the
+    /// asynchronous executors ignore this — bound them with
+    /// [`Scenario::step_budget`] instead; the split keeps one limit of
+    /// each kind meaningful on a scenario that runs on both models.
     pub fn round_limit(mut self, limit: usize) -> Self {
         self.round_limit = Some(limit);
+        self
+    }
+
+    /// Overrides the global step budget (deliveries, for message
+    /// passing) on the asynchronous executors (default: the generous
+    /// `setagree-async` budgets). The round-based executors ignore this
+    /// — bound them with [`Scenario::round_limit`].
+    pub fn step_budget(mut self, budget: u64) -> Self {
+        self.step_budget = Some(budget);
         self
     }
 
@@ -623,7 +801,8 @@ impl<V> Scenario<V, MaxCondition> {
 
 impl<V: ProposalValue, O: ConditionOracle<V> + Clone> Scenario<V, O> {
     /// Validates the scenario and returns the input plus the effective
-    /// adversary (failure-free when none was set).
+    /// adversary (failure-free when none was set — an [`AsyncCrashes`]
+    /// schedule on the async executors, an ordered pattern otherwise).
     fn validate(&self) -> Result<(&InputVector<V>, Adversary), ExperimentError> {
         let n = self.spec.n();
         let t = self.spec.t();
@@ -637,24 +816,47 @@ impl<V: ProposalValue, O: ConditionOracle<V> + Clone> Scenario<V, O> {
                 got: input.len(),
             });
         }
-        let adversary = self
-            .adversary
-            .clone()
-            .unwrap_or_else(|| Adversary::Ordered(FailurePattern::none(n)));
-        if adversary.fault_count() > t {
+        let adversary = self.adversary.clone().unwrap_or_else(|| {
+            if self.executor.is_async() {
+                Adversary::Async(AsyncCrashes::none())
+            } else {
+                Adversary::Ordered(FailurePattern::none(n))
+            }
+        });
+        // Async schedules are exempt from the crash budget on purpose:
+        // over-budget schedules probe the impossibility frontier, and the
+        // engine reports stranded processes honestly as `Unfinished` —
+        // but the victims must exist, or the engine would silently skip
+        // them and a mistyped schedule would test the failure-free case.
+        if let Adversary::Async(crashes) = &adversary {
+            if let Some(victim) = crashes.victims().find(|v| v.index() >= n) {
+                return Err(ExperimentError::UnknownCrashVictim { victim, n });
+            }
+        } else if adversary.fault_count() > t {
             return Err(ExperimentError::TooManyCrashes {
                 t,
                 scheduled: adversary.fault_count(),
             });
         }
-        if let SpecKind::ConditionBased { config, oracle }
-        | SpecKind::EarlyConditionBased { config, oracle } = &self.spec.kind
-        {
-            let expected = config.legality();
-            let got = oracle.params();
-            if expected != got {
-                return Err(ExperimentError::OracleMismatch { expected, got });
+        match &self.spec.kind {
+            SpecKind::ConditionBased { config, oracle }
+            | SpecKind::EarlyConditionBased { config, oracle } => {
+                let expected = config.legality();
+                let got = oracle.params();
+                if expected != got {
+                    return Err(ExperimentError::OracleMismatch { expected, got });
+                }
             }
+            SpecKind::AsyncSetAgreement { params, oracle, .. } => {
+                let got = oracle.params();
+                if *params != got {
+                    return Err(ExperimentError::OracleMismatch {
+                        expected: *params,
+                        got,
+                    });
+                }
+            }
+            _ => {}
         }
         Ok((input, adversary))
     }
@@ -689,7 +891,22 @@ impl<V: ProposalValue, O: ConditionOracle<V> + Clone> Scenario<V, O> {
             }
             SpecKind::EarlyDeciding { t, k, .. } => (pattern.fault_count() / k + 2).min(t / k + 1),
             SpecKind::FloodSet { .. } => unreachable!("handled before the adversary split"),
+            SpecKind::AsyncSetAgreement { .. } => {
+                unreachable!("async specs are rejected before round-based dispatch")
+            }
         }
+    }
+
+    /// Rejects an async spec on a round-based executor (the guard behind
+    /// the `unreachable!` arms of the round-based dispatch).
+    fn reject_async_spec(&self, executor: Executor) -> Result<(), ExperimentError> {
+        if matches!(self.spec.kind, SpecKind::AsyncSetAgreement { .. }) {
+            return Err(ExperimentError::UnsupportedProtocol {
+                executor,
+                protocol: self.spec.protocol(),
+            });
+        }
+        Ok(())
     }
 
     /// Runs the scenario on the deterministic simulator regardless of
@@ -704,6 +921,7 @@ impl<V: ProposalValue, O: ConditionOracle<V> + Clone> Scenario<V, O> {
     ///
     /// As [`Scenario::run`], minus the executor-specific failures.
     pub fn run_simulated(&self) -> Result<Report<V>, ExperimentError> {
+        self.reject_async_spec(Executor::Simulator)?;
         let (input, adversary) = self.validate()?;
         let predicted = self.predicted_rounds(input, &adversary);
         let limit = self
@@ -717,6 +935,68 @@ impl<V: ProposalValue, O: ConditionOracle<V> + Clone> Scenario<V, O> {
             predicted,
             self.spec.protocol(),
             Executor::Simulator,
+        ))
+    }
+
+    /// Runs the scenario on one of the asynchronous runtimes.
+    ///
+    /// Like [`Scenario::run_simulated`] this needs no `Send + 'static`
+    /// bounds. Supported specs: [`ProtocolSpec::async_set_agreement`]
+    /// (the native Section 4 experiment) and
+    /// [`ProtocolSpec::condition_based`] (the same condition rendered in
+    /// the asynchronous model with `x = t − d` and agreement degree ℓ).
+    /// The [`Report`]'s agreement degree is ℓ — the guarantee the
+    /// asynchronous algorithm actually offers.
+    fn run_on_async(&self, executor: Executor) -> Result<Report<V>, ExperimentError> {
+        let (input, adversary) = self.validate()?;
+        // validate() has checked the oracle's (x, ℓ) against the spec
+        // (for condition-based specs, config.legality() = (t − d, ℓ)),
+        // so the oracle's own params are the single source of truth here.
+        let oracle = match &self.spec.kind {
+            SpecKind::AsyncSetAgreement { oracle, .. }
+            | SpecKind::ConditionBased { oracle, .. } => oracle,
+            _ => {
+                return Err(ExperimentError::UnsupportedProtocol {
+                    executor,
+                    protocol: self.spec.protocol(),
+                })
+            }
+        };
+        let (x, ell) = (oracle.params().x(), oracle.params().ell());
+        let crashes = match &adversary {
+            Adversary::Async(crashes) => crashes.clone(),
+            // Any failure-free pattern means "no crashes" in every model,
+            // so shared suite grids can mix sync and async cells.
+            other if other.fault_count() == 0 => AsyncCrashes::none(),
+            _ => return Err(ExperimentError::UnsupportedAdversary { executor }),
+        };
+        let n = self.spec.n();
+        let budget = self.step_budget;
+        let async_report = match executor {
+            Executor::AsyncSharedMemory { seed } => execute_shared_memory(
+                oracle,
+                x,
+                input,
+                &crashes,
+                seed,
+                budget.unwrap_or_else(|| default_step_budget(n)),
+            ),
+            Executor::AsyncMessagePassing { seed } => execute_message_passing(
+                oracle,
+                x,
+                input,
+                &crashes,
+                seed,
+                budget.unwrap_or_else(|| default_delivery_budget(n)),
+            ),
+            _ => unreachable!("run() routes only async executors here"),
+        };
+        Ok(Report::new_async(
+            async_report,
+            input.clone(),
+            ell,
+            self.spec.protocol(),
+            executor,
         ))
     }
 }
@@ -736,15 +1016,20 @@ where
     ///
     /// Validation failures (sizes, crash budget, oracle wiring), engine
     /// failures (round limit), and executor-specific failures (a panicked
-    /// process thread, an unordered adversary on the threaded runtime).
+    /// process thread, an adversary or protocol the executor cannot
+    /// realize).
     pub fn run(&self) -> Result<Report<V>, ExperimentError> {
         match self.executor {
             Executor::Simulator => self.run_simulated(),
             Executor::Threaded => self.run_on_threads(),
+            Executor::AsyncSharedMemory { .. } | Executor::AsyncMessagePassing { .. } => {
+                self.run_on_async(self.executor)
+            }
         }
     }
 
     fn run_on_threads(&self) -> Result<Report<V>, ExperimentError> {
+        self.reject_async_spec(Executor::Threaded)?;
         let (input, adversary) = self.validate()?;
         let predicted = self.predicted_rounds(input, &adversary);
         let limit = self
@@ -847,6 +1132,9 @@ fn run_sim<P: SyncProtocol>(
     match adversary {
         Adversary::Ordered(pattern) => Ok(run_protocol(processes, pattern, limit)?),
         Adversary::Unordered(pattern) => Ok(run_protocol_unordered(processes, pattern, limit)?),
+        Adversary::Async(_) => Err(ExperimentError::UnsupportedAdversary {
+            executor: Executor::Simulator,
+        }),
     }
 }
 
@@ -872,7 +1160,7 @@ mod tests {
             .run()
             .unwrap();
         assert!(report.satisfies_all());
-        assert_eq!(report.predicted_rounds(), 2);
+        assert_eq!(report.predicted_rounds(), Some(2));
         assert!(report.within_predicted_rounds());
         assert_eq!(report.protocol(), ProtocolKind::ConditionBased);
         assert_eq!(report.executor(), Executor::Simulator);
@@ -901,7 +1189,7 @@ mod tests {
             .run()
             .unwrap();
         assert!(report.satisfies_all());
-        assert_eq!(report.predicted_rounds(), 3);
+        assert_eq!(report.predicted_rounds(), Some(3));
         assert_eq!(report.decided_values(), [9].into_iter().collect());
 
         let report = Scenario::early_deciding(4, 2, 1)
@@ -909,8 +1197,179 @@ mod tests {
             .run()
             .unwrap();
         assert!(report.satisfies_all());
-        assert_eq!(report.predicted_rounds(), 2);
+        assert_eq!(report.predicted_rounds(), Some(2));
         assert!(report.within_predicted_rounds());
+    }
+
+    #[test]
+    fn async_set_agreement_scenario_checks_out() {
+        let params = LegalityParams::new(1, 1).unwrap();
+        let scenario = Scenario::async_set_agreement(4, params, MaxCondition::new(params))
+            .input(vec![7u32, 7, 7, 2])
+            .pattern(AsyncCrashes::none().crash_after(ProcessId::new(3), 0));
+        for seed in 0..10 {
+            let report = scenario
+                .clone()
+                .executor(Executor::AsyncSharedMemory { seed })
+                .run()
+                .unwrap();
+            assert!(report.satisfies_all(), "seed {seed}: {report}");
+            assert_eq!(report.protocol(), ProtocolKind::AsyncSetAgreement);
+            assert_eq!(report.executor(), Executor::AsyncSharedMemory { seed });
+            assert_eq!(report.k(), 1);
+            assert_eq!(report.async_report().unwrap().crashed_count(), 1);
+
+            let mp = scenario
+                .clone()
+                .executor(Executor::AsyncMessagePassing { seed })
+                .run()
+                .unwrap();
+            assert!(mp.satisfies_all(), "seed {seed}: {mp}");
+        }
+    }
+
+    #[test]
+    fn condition_based_specs_run_on_async_executors() {
+        // (n, t, k, d, ℓ) = (6, 3, 2, 2, 1): asynchronously the same
+        // condition solves ℓ = 1-set agreement despite x = t − d = 1
+        // crashes. The report's agreement degree is ℓ, not the sync k.
+        let cfg = config(6, 3, 2, 2, 1);
+        let report = Scenario::condition_based(cfg, MaxCondition::new(cfg.legality()))
+            .input(vec![5u32, 5, 5, 2, 5, 5])
+            .executor(Executor::AsyncSharedMemory { seed: 3 })
+            .run()
+            .unwrap();
+        assert!(report.satisfies_all(), "{report}");
+        assert_eq!(report.k(), 1);
+        assert_eq!(report.protocol(), ProtocolKind::ConditionBased);
+        assert!(report.trace().is_none() && report.async_report().is_some());
+    }
+
+    #[test]
+    fn async_specs_are_rejected_on_round_executors() {
+        let params = LegalityParams::new(1, 1).unwrap();
+        let scenario = Scenario::async_set_agreement(4, params, MaxCondition::new(params))
+            .input(vec![7u32, 7, 7, 2]);
+        for executor in [Executor::Simulator, Executor::Threaded] {
+            let err = scenario.clone().executor(executor).run().unwrap_err();
+            assert_eq!(
+                err,
+                ExperimentError::UnsupportedProtocol {
+                    executor,
+                    protocol: ProtocolKind::AsyncSetAgreement
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn round_protocols_are_rejected_on_async_executors() {
+        let executor = Executor::AsyncMessagePassing { seed: 0 };
+        let err = Scenario::flood_set(4, 2, 1)
+            .input(vec![3u32, 9, 1, 4])
+            .executor(executor)
+            .run()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ExperimentError::UnsupportedProtocol {
+                executor,
+                protocol: ProtocolKind::FloodSet
+            }
+        );
+        assert!(err.to_string().contains("cannot run"));
+    }
+
+    #[test]
+    fn crashing_sync_patterns_are_rejected_on_async_executors() {
+        let params = LegalityParams::new(1, 1).unwrap();
+        let executor = Executor::AsyncSharedMemory { seed: 0 };
+        // Failure-free ordered patterns are accepted (shared suite grids)…
+        let ok = Scenario::async_set_agreement(4, params, MaxCondition::new(params))
+            .input(vec![7u32, 7, 7, 2])
+            .pattern(FailurePattern::none(4))
+            .executor(executor)
+            .run();
+        assert!(ok.is_ok());
+        // …but a synchronous pattern that actually crashes is not
+        // expressible in the asynchronous model.
+        let mut pattern = FailurePattern::none(4);
+        pattern
+            .crash(ProcessId::new(1), CrashSpec::new(1, 2))
+            .unwrap();
+        let err = Scenario::async_set_agreement(4, params, MaxCondition::new(params))
+            .input(vec![7u32, 7, 7, 2])
+            .pattern(pattern)
+            .executor(executor)
+            .run()
+            .unwrap_err();
+        assert_eq!(err, ExperimentError::UnsupportedAdversary { executor });
+    }
+
+    #[test]
+    fn async_oracle_params_are_validated() {
+        let params = LegalityParams::new(2, 1).unwrap();
+        let wrong = MaxCondition::new(LegalityParams::new(1, 1).unwrap());
+        let err = Scenario::async_set_agreement(5, params, wrong)
+            .input(vec![7u32, 7, 7, 7, 2])
+            .executor(Executor::AsyncSharedMemory { seed: 0 })
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, ExperimentError::OracleMismatch { .. }));
+    }
+
+    #[test]
+    fn async_over_budget_schedules_probe_the_frontier() {
+        // 3 initial crashes against x = 1: legal to schedule — the report
+        // shows the stranded survivor instead of a validation error.
+        let params = LegalityParams::new(1, 1).unwrap();
+        let crashes = AsyncCrashes::none()
+            .crash_after(ProcessId::new(0), 0)
+            .crash_after(ProcessId::new(1), 0)
+            .crash_after(ProcessId::new(2), 0);
+        let report = Scenario::async_set_agreement(4, params, MaxCondition::new(params))
+            .input(vec![5u32, 5, 1, 2])
+            .pattern(crashes)
+            .executor(Executor::AsyncSharedMemory { seed: 7 })
+            .run()
+            .unwrap();
+        assert_eq!(report.async_report().unwrap().unfinished_count(), 1);
+        assert!(!report.within_predicted_rounds(), "budget cut the run off");
+    }
+
+    #[test]
+    fn step_budget_override_bounds_async_runs_and_round_limit_does_not() {
+        // A 1-step budget cannot finish anything: everyone unfinished.
+        let params = LegalityParams::new(1, 1).unwrap();
+        let scenario = Scenario::async_set_agreement(4, params, MaxCondition::new(params))
+            .input(vec![7u32, 7, 7, 2])
+            .executor(Executor::AsyncSharedMemory { seed: 7 });
+        let report = scenario.clone().step_budget(1).run().unwrap();
+        assert_eq!(report.async_report().unwrap().unfinished_count(), 4);
+        assert_eq!(report.total_steps(), Some(1));
+        // round_limit measures rounds, not steps: a mixed suite's sync
+        // round limit must not strangle the async cells.
+        let report = scenario.round_limit(1).run().unwrap();
+        assert!(report.satisfies_all(), "{report}");
+    }
+
+    #[test]
+    fn async_crash_victims_must_exist() {
+        let params = LegalityParams::new(1, 1).unwrap();
+        let err = Scenario::async_set_agreement(4, params, MaxCondition::new(params))
+            .input(vec![7u32, 7, 7, 2])
+            .pattern(AsyncCrashes::none().crash_after(ProcessId::new(7), 0))
+            .executor(Executor::AsyncSharedMemory { seed: 0 })
+            .run()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ExperimentError::UnknownCrashVictim {
+                victim: ProcessId::new(7),
+                n: 4
+            }
+        );
+        assert!(err.to_string().contains("only 4 processes"));
     }
 
     #[test]

@@ -18,9 +18,15 @@
 //! * [`experiment`] — the unified **experiment API**: a [`Scenario`]
 //!   describes one run (protocol spec, input, adversary, executor) and
 //!   produces a [`Report`] checking termination/validity/agreement and
-//!   comparing measured rounds against the paper's formulas;
+//!   comparing measured rounds against the paper's formulas. The
+//!   executors cover both of the paper's models: the synchronous
+//!   simulator and real-thread runtime, and the Section 4 asynchronous
+//!   shared-memory and message-passing runtimes
+//!   ([`Executor::AsyncSharedMemory`] / [`Executor::AsyncMessagePassing`],
+//!   seeded adversaries included);
 //! * [`suite`] — [`ScenarioSuite`], the batch layer running cartesian
-//!   grids of scenarios across worker threads.
+//!   grids of scenarios across worker threads; executors are a grid
+//!   dimension, so one grid can mix synchronous and asynchronous cells.
 //!
 //! # Quickstart
 //!
@@ -44,7 +50,7 @@
 //! assert!(report.satisfies_agreement());
 //! assert!(report.satisfies_validity());
 //! // Input in condition, no crashes: everyone decides in two rounds.
-//! assert_eq!(report.trace().last_decision_round(), Some(2));
+//! assert_eq!(report.decision_round(), Some(2));
 //!
 //! // The identical scenario on real OS threads:
 //! let threaded = Scenario::condition_based(config, oracle)
@@ -52,6 +58,15 @@
 //!     .executor(Executor::Threaded)
 //!     .run()?;
 //! assert!(threaded.satisfies_all());
+//!
+//! // And the same condition in the asynchronous shared-memory model
+//! // (Section 4): ℓ-set agreement despite x = t − d crashes, under a
+//! // seeded scheduler adversary.
+//! let asynchronous = Scenario::condition_based(config, oracle)
+//!     .input(vec![5u32, 5, 1, 2, 5, 5])
+//!     .executor(Executor::AsyncSharedMemory { seed: 42 })
+//!     .run()?;
+//! assert!(asynchronous.satisfies_all());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -74,11 +89,14 @@ pub use config::{ConditionBasedConfig, ConfigBuilder, ConfigError};
 pub use early_condition::{EarlyConditionBased, EcbMessage};
 pub use early_deciding::EarlyDeciding;
 pub use experiment::{Adversary, Executor, ExperimentError, ProtocolKind, ProtocolSpec, Scenario};
-pub use report::Report;
 #[allow(deprecated)]
 pub use report::RunReport;
+pub use report::{Execution, Report};
 #[allow(deprecated)]
 pub use runner::{
     run_condition_based, run_early_condition_based, run_early_deciding, run_floodset, RunError,
 };
+// Re-exported so scenario authors can build async adversaries and read
+// raw async outcomes without a separate setagree-async dependency.
+pub use setagree_async::{AsyncCrashes, AsyncOutcome, AsyncReport};
 pub use suite::{ScenarioSuite, SuiteCase, SuiteReport};

@@ -1,11 +1,20 @@
 //! Batched experiments: a [`ScenarioSuite`] runs the cartesian grid
-//! *specs × inputs × patterns* and returns one [`SuiteReport`].
+//! *executors × specs × inputs × patterns* and returns one
+//! [`SuiteReport`].
 //!
 //! Cases are independent, so the suite fans them out across OS threads
 //! (work-stealing over a shared counter; `std::thread::scope`, no
 //! external runtime). Results come back in deterministic grid order
 //! regardless of scheduling, so a suite run is replayable data like a
 //! single [`Scenario`] run.
+//!
+//! Executors are a grid dimension like any other: add several (including
+//! the asynchronous ones — seeds and all) and every spec × input ×
+//! pattern combination runs on each. A grid can therefore mix
+//! synchronous and asynchronous cells; use failure-free or
+//! [`Adversary::Async`]-compatible patterns for the cells shared across
+//! models (a crashing synchronous pattern on an async executor is a
+//! positioned per-case error, not a panic).
 //!
 //! ```
 //! use setagree_conditions::MaxCondition;
@@ -40,13 +49,14 @@ use setagree_types::{InputVector, ProposalValue};
 use crate::experiment::{Adversary, Executor, ExperimentError, ProtocolSpec, Scenario};
 use crate::report::Report;
 
-/// A cartesian batch of scenarios sharing an executor.
+/// A cartesian batch of scenarios over one or more executors.
 pub struct ScenarioSuite<V, O = MaxCondition> {
     specs: Vec<ProtocolSpec<V, O>>,
     inputs: Vec<InputVector<V>>,
     patterns: Vec<Adversary>,
-    executor: Executor,
+    executors: Vec<Executor>,
     round_limit: Option<usize>,
+    step_budget: Option<u64>,
     threads: Option<usize>,
 }
 
@@ -56,8 +66,9 @@ impl<V, O> Default for ScenarioSuite<V, O> {
             specs: Vec::new(),
             inputs: Vec::new(),
             patterns: Vec::new(),
-            executor: Executor::default(),
+            executors: Vec::new(),
             round_limit: None,
+            step_budget: None,
             threads: None,
         }
     }
@@ -69,7 +80,7 @@ impl<V: fmt::Debug, O> fmt::Debug for ScenarioSuite<V, O> {
             .field("specs", &self.specs)
             .field("inputs", &self.inputs.len())
             .field("patterns", &self.patterns.len())
-            .field("executor", &self.executor)
+            .field("executors", &self.executors)
             .finish()
     }
 }
@@ -117,20 +128,45 @@ impl<V, O> ScenarioSuite<V, O> {
         self
     }
 
-    /// Selects the executor every case runs on.
+    /// Adds one executor to the grid. When a suite has no executors at
+    /// all, every case runs on the default simulator; adding several
+    /// expands the grid across them (the executors are the
+    /// slowest-varying dimension), which is how a grid mixes synchronous
+    /// and asynchronous cells — or sweeps adversary seeds, since the
+    /// async executors carry their seed.
     pub fn executor(mut self, executor: Executor) -> Self {
-        self.executor = executor;
+        self.executors.push(executor);
         self
     }
 
-    /// Overrides the engine round limit for every case.
+    /// Adds several executors.
+    pub fn executors(mut self, executors: impl IntoIterator<Item = Executor>) -> Self {
+        self.executors.extend(executors);
+        self
+    }
+
+    /// Overrides the engine round limit for every round-based case
+    /// (asynchronous cells keep their step budgets — the units differ;
+    /// see [`ScenarioSuite::step_budget`]).
     pub fn round_limit(mut self, limit: usize) -> Self {
         self.round_limit = Some(limit);
         self
     }
 
+    /// Overrides the global step/delivery budget for every asynchronous
+    /// case (round-based cells keep their round limits).
+    pub fn step_budget(mut self, budget: u64) -> Self {
+        self.step_budget = Some(budget);
+        self
+    }
+
     /// Caps the suite's worker threads (`1` forces sequential execution;
-    /// default: the machine's available parallelism).
+    /// default: the machine's available parallelism). Note that when any
+    /// grid executor is `Threaded`, the default worker count is divided
+    /// by the largest system size so concurrent threaded cells cannot
+    /// multiply OS threads past the machine — which also serializes the
+    /// *other* cells of a mixed grid; set an explicit `.threads(...)`
+    /// when a mostly-async grid carries a token threaded cell.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads.max(1));
         self
@@ -138,7 +174,10 @@ impl<V, O> ScenarioSuite<V, O> {
 
     /// The number of cases the grid expands to.
     pub fn len(&self) -> usize {
-        self.specs.len() * self.inputs.len() * self.patterns.len().max(1)
+        self.specs.len()
+            * self.inputs.len()
+            * self.patterns.len().max(1)
+            * self.executors.len().max(1)
     }
 
     /// Whether the grid is empty.
@@ -153,7 +192,8 @@ where
     O: ConditionOracle<V> + Clone + Send + Sync + 'static,
 {
     /// Expands the grid and runs every case, in parallel, returning the
-    /// outcomes in grid order (pattern fastest, then input, then spec).
+    /// outcomes in grid order (pattern fastest, then input, then spec,
+    /// then executor).
     ///
     /// A case whose protocol or oracle panics is contained as a
     /// positioned [`ExperimentError::Internal`]; note the process's
@@ -163,6 +203,7 @@ where
     pub fn run(&self) -> SuiteReport<V> {
         let pattern_count = self.patterns.len().max(1);
         let input_count = self.inputs.len();
+        let spec_count = self.specs.len();
         let total = self.len();
         let worker_count = self
             .threads
@@ -170,17 +211,20 @@ where
                 let parallelism = thread::available_parallelism()
                     .map(NonZeroUsize::get)
                     .unwrap_or(1);
-                match self.executor {
-                    // Each threaded case spawns one OS thread per process;
-                    // divide the worker pool by the largest system size so
-                    // the total thread count stays near the machine's
-                    // parallelism instead of multiplying with it. An
-                    // explicit `.threads(...)` overrides this.
-                    Executor::Threaded => {
-                        let max_n = self.specs.iter().map(ProtocolSpec::n).max().unwrap_or(1);
-                        (parallelism / max_n.max(1)).max(1)
-                    }
-                    _ => parallelism,
+                // Each threaded case spawns one OS thread per process;
+                // divide the worker pool by the largest system size so
+                // the total thread count stays near the machine's
+                // parallelism instead of multiplying with it. An
+                // explicit `.threads(...)` overrides this.
+                let any_threaded = self
+                    .executors
+                    .iter()
+                    .any(|e| matches!(e, Executor::Threaded));
+                if any_threaded {
+                    let max_n = self.specs.iter().map(ProtocolSpec::n).max().unwrap_or(1);
+                    (parallelism / max_n.max(1)).max(1)
+                } else {
+                    parallelism
                 }
             })
             .min(total.max(1));
@@ -188,15 +232,24 @@ where
         let run_case = |case: usize| -> SuiteCase<V> {
             let pattern_index = case % pattern_count;
             let input_index = (case / pattern_count) % input_count;
-            let spec_index = case / (pattern_count * input_count);
+            let spec_index = (case / (pattern_count * input_count)) % spec_count;
+            let executor_index = case / (pattern_count * input_count * spec_count);
+            let executor = self
+                .executors
+                .get(executor_index)
+                .copied()
+                .unwrap_or_default();
             let mut scenario = Scenario::new(self.specs[spec_index].clone())
                 .input(self.inputs[input_index].clone())
-                .executor(self.executor);
+                .executor(executor);
             if let Some(pattern) = self.patterns.get(pattern_index) {
                 scenario = scenario.pattern(pattern.clone());
             }
             if let Some(limit) = self.round_limit {
                 scenario = scenario.round_limit(limit);
+            }
+            if let Some(budget) = self.step_budget {
+                scenario = scenario.step_budget(budget);
             }
             // A panicking protocol/oracle must cost its own cell, not the
             // whole grid — mirroring how the threaded executor already
@@ -216,6 +269,7 @@ where
                 spec_index,
                 input_index,
                 pattern_index: self.patterns.get(pattern_index).map(|_| pattern_index),
+                executor_index: self.executors.get(executor_index).map(|_| executor_index),
                 result,
             }
         };
@@ -269,6 +323,9 @@ pub struct SuiteCase<V: Ord> {
     /// Index into the suite's patterns (`None` for the implicit
     /// failure-free run of a pattern-less suite).
     pub pattern_index: Option<usize>,
+    /// Index into the suite's executors (`None` for the implicit
+    /// default-simulator run of an executor-less suite).
+    pub executor_index: Option<usize>,
     /// The case's report, or why it could not run.
     pub result: Result<Report<V>, ExperimentError>,
 }
@@ -504,9 +561,82 @@ mod tests {
             .executor(Executor::Threaded)
             .run();
         assert!(outcome.all_ok());
+        let case = &outcome.cases()[0];
+        assert_eq!(case.executor_index, Some(0));
+        assert_eq!(case.report().unwrap().executor(), Executor::Threaded);
+    }
+
+    #[test]
+    fn grids_mix_synchronous_and_asynchronous_executors() {
+        // One condition-based spec, four executors: the same scenario in
+        // the synchronous model (simulator and real threads) and in the
+        // asynchronous model (shared memory and message passing, where
+        // the condition solves ℓ-set agreement with x = t − d).
+        let cfg = config();
+        let outcome = ScenarioSuite::new()
+            .spec(ProtocolSpec::condition_based(
+                cfg,
+                MaxCondition::new(cfg.legality()),
+            ))
+            .input(vec![5u32, 5, 1, 2, 5, 5])
+            .executors([
+                Executor::Simulator,
+                Executor::Threaded,
+                Executor::AsyncSharedMemory { seed: 9 },
+                Executor::AsyncMessagePassing { seed: 9 },
+            ])
+            .run();
+        assert_eq!(outcome.len(), 4);
+        assert!(outcome.all_ok(), "every model satisfies its guarantees");
+        for (i, case) in outcome.cases().iter().enumerate() {
+            assert_eq!(case.executor_index, Some(i), "executor varies slowest");
+        }
+        let reports: Vec<_> = outcome.reports().collect();
+        assert_eq!(reports[0].executor(), Executor::Simulator);
         assert_eq!(
-            outcome.reports().next().unwrap().executor(),
-            Executor::Threaded
+            reports[2].executor(),
+            Executor::AsyncSharedMemory { seed: 9 }
         );
+        // Sync cells carry traces, async cells carry step reports.
+        assert!(reports[1].trace().is_some() && reports[1].async_report().is_none());
+        assert!(reports[3].trace().is_none() && reports[3].async_report().is_some());
+        // The sync cells check k = 2, the async cells ℓ = 1.
+        assert_eq!(reports[0].k(), 2);
+        assert_eq!(reports[2].k(), 1);
+    }
+
+    #[test]
+    fn executor_dimension_sweeps_adversary_seeds() {
+        // The async executors carry their seed, so a grid over executors
+        // is a grid over schedules — every cell must uphold agreement.
+        let params = setagree_conditions::LegalityParams::new(2, 2).unwrap();
+        let outcome = ScenarioSuite::new()
+            .spec(ProtocolSpec::async_set_agreement(
+                5,
+                params,
+                MaxCondition::new(params),
+            ))
+            .input(vec![9u32, 9, 8, 8, 1])
+            .executors((0..8).map(|seed| Executor::AsyncSharedMemory { seed }))
+            .run();
+        assert_eq!(outcome.len(), 8);
+        assert!(outcome.all_ok(), "ℓ-set agreement on every schedule");
+    }
+
+    #[test]
+    fn incompatible_cells_fail_positioned_not_panicked() {
+        // A flood-set spec cannot run on an async executor: that cell
+        // becomes a positioned UnsupportedProtocol, the rest survive.
+        let outcome = ScenarioSuite::<u32>::new()
+            .spec(ProtocolSpec::flood_set(4, 2, 1))
+            .input(vec![3u32, 9, 1, 4])
+            .executors([Executor::Simulator, Executor::AsyncSharedMemory { seed: 1 }])
+            .run();
+        assert_eq!(outcome.len(), 2);
+        assert!(outcome.cases()[0].report().is_some());
+        let (case, err) = outcome.failures().next().unwrap();
+        assert_eq!(case.executor_index, Some(1));
+        assert!(matches!(err, ExperimentError::UnsupportedProtocol { .. }));
+        assert!(!outcome.all_ok());
     }
 }

@@ -59,7 +59,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .run()?;
     println!("{report}");
     println!();
-    for (i, outcome) in report.trace().outcomes().iter().enumerate() {
+    let trace = report.trace().expect("round-based run");
+    for (i, outcome) in trace.outcomes().iter().enumerate() {
         println!("  replica {:2}: {:?}", i + 1, outcome);
     }
 

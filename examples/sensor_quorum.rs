@@ -13,8 +13,8 @@
 //! cargo run --example sensor_quorum
 //! ```
 
-use setagree::asynchronous::{run_async, AsyncCrashes};
 use setagree::conditions::{LegalityParams, MaxCondition};
+use setagree::core::{AsyncCrashes, Executor, Scenario};
 use setagree::types::{InputVector, ProcessId};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -41,25 +41,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .crash_after(ProcessId::new(8), 1);
 
     // Run several adversarial interleavings; agreement must hold in all.
+    // The seed is part of the executor, so the same Scenario replays one
+    // schedule per executor value.
+    let scenario = Scenario::async_set_agreement(readings.len(), params, oracle)
+        .input(readings.clone())
+        .pattern(crashes);
     for seed in 0..5 {
-        let report = run_async(&oracle, x, &readings, &crashes, seed);
+        let report = scenario
+            .clone()
+            .executor(Executor::AsyncSharedMemory { seed })
+            .run()?;
         println!(
             "schedule {seed}: adopted {:?} ({} steps) — {}",
             report.decided_values(),
-            report.total_steps(),
+            report.total_steps().expect("asynchronous run"),
             report
         );
         assert!(
-            report.all_correct_decided(),
+            report.satisfies_termination(),
             "termination under ≤ x crashes"
         );
         assert!(
             report.decided_values().len() <= ell,
             "at most ℓ reference readings"
         );
-        for v in report.decided_values() {
-            assert!(readings.distinct_values().contains(&v), "validity");
-        }
+        assert!(report.satisfies_validity(), "validity");
     }
     println!();
     println!("asynchronous 2-set agreement reached despite 2 crashes — impossible without the condition.");

@@ -19,7 +19,10 @@
 //!
 //! Experiments go through the unified [`Scenario`](core::Scenario) API:
 //! pick a protocol, give it an input and an adversary, choose an
-//! [`Executor`](core::Executor), and run.
+//! [`Executor`](core::Executor), and run. All four executors — the
+//! synchronous simulator and real-thread runtime, and the seeded
+//! asynchronous shared-memory and message-passing runtimes of Section 4
+//! — produce the same unified [`Report`](core::Report).
 //!
 //! ```
 //! use setagree::conditions::MaxCondition;
@@ -45,9 +48,11 @@
 //! assert!(report.decided_values().len() <= 2);
 //! ```
 //!
-//! Batch sweeps over protocols × inputs × adversaries go through
-//! [`ScenarioSuite`](core::ScenarioSuite), which fans the grid out across
-//! worker threads.
+//! Batch sweeps over executors × protocols × inputs × adversaries go
+//! through [`ScenarioSuite`](core::ScenarioSuite), which fans the grid
+//! out across worker threads; a grid can mix synchronous and
+//! asynchronous cells, or sweep adversary seeds through the executor
+//! dimension.
 
 #![forbid(unsafe_code)]
 

@@ -1,11 +1,13 @@
 //! Integration tests for the asynchronous side (Section 4): the
 //! condition-based ℓ-set agreement on simulated shared memory under
-//! proptest-generated inputs, schedules and crash sets.
+//! proptest-generated inputs, schedules and crash sets — driven through
+//! the unified `Scenario`/`Executor` API (the seed rides in the
+//! executor).
 
 use proptest::prelude::*;
 
-use setagree::asynchronous::{run_async, run_message_passing, AsyncCrashes};
 use setagree::conditions::{LegalityParams, MaxCondition};
+use setagree::core::{AsyncCrashes, Executor, Scenario};
 use setagree::types::{InputVector, ProcessId};
 
 #[derive(Debug, Clone)]
@@ -15,6 +17,18 @@ struct AsyncScenario {
     input: InputVector<u32>,
     crashes: AsyncCrashes,
     seed: u64,
+}
+
+impl AsyncScenario {
+    fn run_on(&self, executor: Executor) -> setagree::core::Report<u32> {
+        let params = LegalityParams::new(self.x, self.ell).expect("ℓ ≥ 1");
+        Scenario::async_set_agreement(self.input.len(), params, MaxCondition::new(params))
+            .input(self.input.clone())
+            .pattern(self.crashes.clone())
+            .executor(executor)
+            .run()
+            .expect("valid asynchronous scenario")
+    }
 }
 
 fn async_scenario() -> impl Strategy<Value = AsyncScenario> {
@@ -51,17 +65,9 @@ proptest! {
     /// whatever the schedule, crashes, and condition membership.
     #[test]
     fn async_safety_universal(s in async_scenario()) {
-        let params = LegalityParams::new(s.x, s.ell).expect("ℓ ≥ 1");
-        let oracle = MaxCondition::new(params);
-        let report = run_async(&oracle, s.x, &s.input, &s.crashes, s.seed);
-        prop_assert!(
-            report.decided_values().len() <= s.ell,
-            "agreement: {report}"
-        );
-        let proposed = s.input.distinct_values();
-        for v in report.decided_values() {
-            prop_assert!(proposed.contains(&v), "validity");
-        }
+        let report = s.run_on(Executor::AsyncSharedMemory { seed: s.seed });
+        prop_assert!(report.satisfies_agreement(), "agreement: {report}");
+        prop_assert!(report.satisfies_validity(), "validity: {report}");
     }
 
     /// Liveness when the paper promises it: input in the condition and at
@@ -71,8 +77,8 @@ proptest! {
         let params = LegalityParams::new(s.x, s.ell).expect("ℓ ≥ 1");
         let oracle = MaxCondition::new(params);
         prop_assume!(oracle.contains(&s.input));
-        let report = run_async(&oracle, s.x, &s.input, &s.crashes, s.seed);
-        prop_assert!(report.all_correct_decided(), "termination: {report}");
+        let report = s.run_on(Executor::AsyncSharedMemory { seed: s.seed });
+        prop_assert!(report.satisfies_termination(), "termination: {report}");
     }
 
     /// The message-passing substrate keeps the Section 4 guarantees for
@@ -82,16 +88,8 @@ proptest! {
         let params = LegalityParams::new(s.x, s.ell).expect("ℓ ≥ 1");
         let oracle = MaxCondition::new(params);
         prop_assume!(oracle.contains(&s.input));
-        let report = run_message_passing(&oracle, s.x, &s.input, &s.crashes, s.seed);
-        prop_assert!(report.all_correct_decided(), "termination: {report}");
-        prop_assert!(
-            report.decided_values().len() <= s.ell,
-            "agreement within the condition: {report}"
-        );
-        let proposed = s.input.distinct_values();
-        for v in report.decided_values() {
-            prop_assert!(proposed.contains(&v), "validity");
-        }
+        let report = s.run_on(Executor::AsyncMessagePassing { seed: s.seed });
+        prop_assert!(report.satisfies_all(), "all three properties: {report}");
     }
 
     /// Snapshot containment in action: deciders' values always nest within
@@ -104,13 +102,16 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let params = LegalityParams::new(2, 2).expect("valid");
-        let oracle = MaxCondition::new(params);
-        let input = InputVector::new(entries);
         let crashes = AsyncCrashes::none()
             .crash_after(ProcessId::new(4), 0)
             .crash_after(ProcessId::new(5), 0);
-        let report = run_async(&oracle, 2, &input, &crashes, seed);
-        prop_assert!(report.decided_values().len() <= 2);
+        let report = Scenario::async_set_agreement(6, params, MaxCondition::new(params))
+            .input(entries)
+            .pattern(crashes)
+            .executor(Executor::AsyncSharedMemory { seed })
+            .run()
+            .expect("valid asynchronous scenario");
+        prop_assert!(report.satisfies_agreement());
     }
 }
 
@@ -121,14 +122,19 @@ proptest! {
 fn wait_free_n_set_agreement() {
     let n = 5;
     let params = LegalityParams::new(n - 1, n).unwrap();
-    let oracle = MaxCondition::new(params);
     let input = InputVector::new(vec![5u32, 4, 3, 2, 1]);
     // Everyone but p1 crashes before writing: p1 must still decide.
     let mut crashes = AsyncCrashes::none();
     for i in 1..n {
         crashes = crashes.crash_after(ProcessId::new(i), 0);
     }
-    let report = run_async(&oracle, n - 1, &input, &crashes, 11);
-    assert!(report.all_correct_decided());
-    assert_eq!(report.outcome(ProcessId::new(0)).decided_value(), Some(&5));
+    let report = Scenario::async_set_agreement(n, params, MaxCondition::new(params))
+        .input(input)
+        .pattern(crashes)
+        .executor(Executor::AsyncSharedMemory { seed: 11 })
+        .run()
+        .expect("valid asynchronous scenario");
+    assert!(report.satisfies_termination());
+    let raw = report.async_report().expect("asynchronous run");
+    assert_eq!(raw.outcome(ProcessId::new(0)).decided_value(), Some(&5));
 }

@@ -3,12 +3,19 @@
 //! counts. Randomized property test over the unified `Scenario` API —
 //! one generated scenario, two `Executor`s, identical `Trace`s — across
 //! seeds, all four protocols, and proptest-generated failure patterns.
+//!
+//! The asynchronous side gets the same treatment: the deprecated
+//! `run_async`/`run_message_passing` shims must replay byte-identical
+//! executions to `Executor::AsyncSharedMemory`/`AsyncMessagePassing` for
+//! fixed seeds, and a `ScenarioSuite` grid can mix synchronous and
+//! asynchronous cells.
 
 use proptest::prelude::*;
 
-use setagree::conditions::MaxCondition;
+use setagree::conditions::{LegalityParams, MaxCondition};
 use setagree::core::{
-    ConditionBasedConfig, Executor, ProtocolKind, ProtocolSpec, Scenario, ScenarioSuite,
+    AsyncCrashes, ConditionBasedConfig, Executor, ProtocolKind, ProtocolSpec, Scenario,
+    ScenarioSuite,
 };
 use setagree::sync::{CrashSpec, FailurePattern};
 use setagree::types::{InputVector, ProcessId};
@@ -114,6 +121,106 @@ proptest! {
             prop_assert_eq!(s.trace(), t.trace());
         }
     }
+}
+
+fn async_crashes_strategy(n: usize, x: usize) -> impl Strategy<Value = AsyncCrashes> {
+    proptest::collection::vec((0usize..n, 0u64..=2), 0..=x).prop_map(move |crashes| {
+        let mut schedule = AsyncCrashes::none();
+        let mut victims = std::collections::BTreeSet::new();
+        for (idx, steps) in crashes {
+            if victims.len() >= x || !victims.insert(idx) {
+                continue;
+            }
+            schedule = schedule.crash_after(ProcessId::new(idx), steps);
+        }
+        schedule
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The deprecated async one-call helpers are trace-identical shims:
+    /// for any fixed seed, input and crash schedule they replay the
+    /// byte-identical `AsyncReport` the `Executor` variants produce.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_async_shims_are_trace_identical(
+        entries in proptest::collection::vec(1u32..=5, 6),
+        crashes in async_crashes_strategy(6, 2),
+        seed in any::<u64>(),
+    ) {
+        let params = LegalityParams::new(2, 2).expect("valid");
+        let oracle = MaxCondition::new(params);
+        let input = InputVector::new(entries);
+        let scenario = Scenario::async_set_agreement(6, params, oracle)
+            .input(input.clone())
+            .pattern(crashes.clone());
+
+        let shim = setagree::asynchronous::run_async(&oracle, 2, &input, &crashes, seed);
+        let unified = scenario
+            .clone()
+            .executor(Executor::AsyncSharedMemory { seed })
+            .run()
+            .expect("valid scenario");
+        prop_assert_eq!(
+            unified.async_report().expect("asynchronous run"),
+            &shim,
+            "shared-memory shim diverged at seed {}",
+            seed
+        );
+
+        let shim = setagree::asynchronous::run_message_passing(&oracle, 2, &input, &crashes, seed);
+        let unified = scenario
+            .executor(Executor::AsyncMessagePassing { seed })
+            .run()
+            .expect("valid scenario");
+        prop_assert_eq!(
+            unified.async_report().expect("asynchronous run"),
+            &shim,
+            "message-passing shim diverged at seed {}",
+            seed
+        );
+    }
+}
+
+/// The acceptance shape of the unification: one suite grid mixing the
+/// synchronous and asynchronous executors over a single condition-based
+/// spec, every cell satisfying its model's guarantees.
+#[test]
+fn suites_mix_sync_and_async_executors() {
+    let config = ConditionBasedConfig::builder(6, 3, 2)
+        .condition_degree(2)
+        .ell(1)
+        .build()
+        .expect("valid");
+    let outcome = ScenarioSuite::new()
+        .spec(ProtocolSpec::condition_based(
+            config,
+            MaxCondition::new(config.legality()),
+        ))
+        .input(vec![5u32, 5, 5, 2, 5, 5])
+        .executors([
+            Executor::Simulator,
+            Executor::Threaded,
+            Executor::AsyncSharedMemory { seed: 17 },
+            Executor::AsyncMessagePassing { seed: 17 },
+        ])
+        .run();
+    assert_eq!(outcome.len(), 4);
+    assert!(outcome.all_ok(), "every cell satisfies its model");
+    let reports: Vec<_> = outcome.reports().collect();
+    // Round-based cells carry traces and predicted bounds…
+    assert!(reports[0].trace().is_some());
+    assert_eq!(reports[0].trace(), reports[1].trace());
+    assert!(reports[0].predicted_rounds().is_some());
+    // …asynchronous cells carry step reports, and check ℓ instead of k.
+    assert!(reports[2].async_report().is_some());
+    assert_eq!(reports[2].k(), 1);
+    assert_eq!(
+        reports[3].executor(),
+        Executor::AsyncMessagePassing { seed: 17 }
+    );
 }
 
 /// Protocol kinds are preserved through either executor (spot check, not
