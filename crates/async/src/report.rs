@@ -51,6 +51,15 @@ impl<V: ProposalValue> AsyncReport<V> {
         }
     }
 
+    /// Assembles a report from parts. Intended for callers that
+    /// reconstruct a recorded execution — e.g. a suite result cache
+    /// deserializing a warm cell — mirroring `Trace::from_parts` in
+    /// `setagree-sync`; such reports compare equal to the
+    /// engine-produced originals.
+    pub fn from_parts(outcomes: Vec<AsyncOutcome<V>>, total_steps: u64) -> Self {
+        AsyncReport::new(outcomes, total_steps)
+    }
+
     /// Per-process outcomes, indexed by process.
     pub fn outcomes(&self) -> &[AsyncOutcome<V>] {
         &self.outcomes

@@ -63,7 +63,7 @@ use crate::report::{AsyncOutcome, AsyncReport};
 ///
 /// A budget of `0` steps crashes the process before it writes its proposal
 /// (the asynchronous analogue of an initial crash).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct AsyncCrashes {
     crashes: BTreeMap<ProcessId, u64>,
 }

@@ -145,6 +145,48 @@ fn bench_suite_batch(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_suite_cache(c: &mut Criterion) {
+    use std::sync::Arc;
+
+    use setagree_core::SuiteCache;
+
+    let mut group = c.benchmark_group("suite_cache");
+    let mut rng = SmallRng::seed_from_u64(17);
+    for n in [16usize, 32] {
+        let config = config_for(n);
+        let t = n / 2;
+        let oracle = MaxCondition::new(config.legality());
+        let inputs: Vec<_> = (0..8)
+            .map(|_| in_condition_input(n, config.legality(), &mut rng))
+            .collect();
+        let build = || {
+            ScenarioSuite::new()
+                .spec(ProtocolSpec::condition_based(config, oracle))
+                .spec(ProtocolSpec::flood_set(n, t, 2))
+                .inputs(inputs.clone())
+                .pattern(FailurePattern::none(n))
+                .pattern(FailurePattern::staircase(n, t, 2))
+        };
+        // Cold: a fresh cache every iteration — full execution plus the
+        // key hashing and insertion overhead the cache adds.
+        group.bench_with_input(BenchmarkId::new("cold", n), &n, |b, _| {
+            b.iter(|| {
+                let cache = Arc::new(SuiteCache::new());
+                build().cache(&cache).run()
+            });
+        });
+        // Warm: one shared pre-filled cache — every cell served without
+        // re-execution; the floor the cache buys on reruns.
+        let warm = Arc::new(SuiteCache::new());
+        let primed = build().cache(&warm);
+        primed.run();
+        group.bench_with_input(BenchmarkId::new("warm", n), &n, |b, _| {
+            b.iter(|| primed.run());
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_condition_based,
@@ -152,6 +194,7 @@ criterion_group!(
     bench_async,
     bench_early_condition,
     bench_executors,
-    bench_suite_batch
+    bench_suite_batch,
+    bench_suite_cache
 );
 criterion_main!(benches);

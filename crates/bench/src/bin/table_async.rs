@@ -5,28 +5,51 @@
 //! at most ℓ values decided, and honest blocking outside the condition
 //! (the impossibility is *circumvented*, not broken).
 //!
-//! Runs through the unified `Scenario`/`Executor` API: the seeded
-//! schedule adversaries are `Executor::AsyncSharedMemory { seed }` /
-//! `Executor::AsyncMessagePassing { seed }` executors, and the
-//! out-of-condition sweep is a `ScenarioSuite` grid over executors
-//! (one cell per seed).
+//! Runs through the unified `Scenario`/`Executor` API, entirely as
+//! `ScenarioSuite`s:
+//!
+//! * the in-condition sweeps pair input #i with seed-i executors and
+//!   schedules via explicit `cases(...)` — a per-cell pairing the
+//!   cartesian product cannot express — with inputs from a seeded
+//!   [`Workload`] spec, so every sweep replays from this file alone;
+//! * the out-of-condition sweep is a grid over seed-carrying executors,
+//!   consumed via `run_streaming` (aggregates update as schedules
+//!   finish; nothing buffers the grid);
+//! * set `SETAGREE_SUITE_CACHE=/path/to/file` and every suite runs
+//!   against a persisted [`SuiteCache`]: the second invocation serves
+//!   all cells warm — zero protocol executions — and prints the
+//!   identical table (the CI smoke step diffs exactly this). Cache
+//!   statistics go to stderr, keeping stdout diffable.
 //!
 //! ```text
 //! cargo run -p setagree-bench --bin table_async
 //! ```
 
+use std::sync::Arc;
+
 use setagree_conditions::{LegalityParams, MaxCondition};
-use setagree_core::{AsyncCrashes, Executor, ProtocolSpec, Scenario, ScenarioSuite};
+use setagree_core::{
+    AsyncCrashes, CaseSpec, Executor, ProtocolSpec, ScenarioSuite, SuiteCache, SuiteRunStats,
+};
 use setagree_types::ProcessId;
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use setagree_bench::{Table, Workload};
 
-use setagree_bench::{in_condition_input, out_of_condition_input, Table};
+/// The table's aggregate over one sweep of seeds.
+#[derive(Default)]
+struct SweepStats {
+    terminated: usize,
+    max_decided: usize,
+    blocked: usize,
+    settled_ok: bool,
+}
 
 fn main() {
     let n = 8;
     let seeds = 25u64;
+    let cache = load_cache();
+    let mut run_totals = SuiteRunStats::default();
+
     let mut table = Table::new(vec![
         "x",
         "ℓ",
@@ -39,31 +62,25 @@ fn main() {
         "ok",
     ]);
     let mut all_ok = true;
-    let mut rng = SmallRng::seed_from_u64(0xA57C);
 
     for (x, ell) in [(1usize, 1usize), (2, 1), (2, 2), (3, 2)] {
         let params = LegalityParams::new(x, ell).unwrap();
         let oracle = MaxCondition::new(params);
 
         for crashes in 0..=x {
-            let mut terminated = 0;
-            let mut max_decided = 0;
-            let mut blocked = 0;
-            for seed in 0..seeds {
-                let input = in_condition_input(n, params, &mut rng);
-                let report = Scenario::async_set_agreement(n, params, oracle)
-                    .input(input)
-                    .pattern(crash_schedule(crashes, seed))
-                    .executor(Executor::AsyncSharedMemory { seed })
-                    .run()
-                    .expect("valid asynchronous scenario");
-                if report.satisfies_termination() {
-                    terminated += 1;
-                }
-                max_decided = max_decided.max(report.decided_values().len());
-                blocked += report.async_report().expect("async run").blocked_count();
-            }
-            let ok = terminated == seeds as usize && max_decided <= ell && blocked == 0;
+            let stats = in_condition_sweep(
+                n,
+                params,
+                oracle,
+                crashes,
+                seeds,
+                Substrate::SharedMemory,
+                &cache,
+                &mut run_totals,
+            );
+            let ok = stats.terminated == seeds as usize
+                && stats.max_decided <= ell
+                && stats.blocked == 0;
             all_ok &= ok;
             table.row(vec![
                 x.to_string(),
@@ -71,10 +88,10 @@ fn main() {
                 "∈ C".into(),
                 crashes.to_string(),
                 seeds.to_string(),
-                terminated.to_string(),
-                max_decided.to_string(),
-                blocked.to_string(),
-                if ok { "ok".into() } else { "FAIL".into() },
+                stats.terminated.to_string(),
+                stats.max_decided.to_string(),
+                stats.blocked.to_string(),
+                verdict(ok),
             ]);
         }
 
@@ -82,24 +99,29 @@ fn main() {
         // is forfeited — processes whose snapshot proves I ∉ C block.
         // Optimistic early snapshots (still compatible with C) may decide;
         // agreement must hold among them regardless. One fixed input, a
-        // suite grid over seed-carrying executors: one cell per schedule.
+        // suite grid over seed-carrying executors: one cell per schedule,
+        // aggregated as the schedules finish.
         if ell <= x {
-            let outcome = ScenarioSuite::new()
-                .spec(ProtocolSpec::async_set_agreement(n, params, oracle))
-                .input(out_of_condition_input(n, params))
-                .executors((0..seeds).map(|seed| Executor::AsyncSharedMemory { seed }))
-                .run();
-            let mut blocked_total = 0;
-            let mut max_decided = 0;
-            let mut settled_ok = true;
-            for case in outcome.cases() {
+            let mut stats = SweepStats {
+                settled_ok: true,
+                ..SweepStats::default()
+            };
+            let suite = with_cache(
+                ScenarioSuite::new()
+                    .spec(ProtocolSpec::async_set_agreement(n, params, oracle))
+                    .inputs(Workload::OutOfCondition { n, params }.inputs())
+                    .executors((0..seeds).map(|seed| Executor::AsyncSharedMemory { seed })),
+                &cache,
+            );
+            let run = suite.run_streaming(|case| {
                 let report = case.result.as_ref().expect("grid cases are valid");
                 let raw = report.async_report().expect("async run");
-                blocked_total += raw.blocked_count();
-                max_decided = max_decided.max(report.decided_values().len());
-                settled_ok &= raw.all_settled_or_crashed();
-            }
-            let ok = settled_ok && max_decided <= ell && blocked_total > 0;
+                stats.blocked += raw.blocked_count();
+                stats.max_decided = stats.max_decided.max(report.decided_values().len());
+                stats.settled_ok &= raw.all_settled_or_crashed();
+            });
+            accumulate(&mut run_totals, run);
+            let ok = stats.settled_ok && stats.max_decided <= ell && stats.blocked > 0;
             all_ok &= ok;
             table.row(vec![
                 x.to_string(),
@@ -108,9 +130,9 @@ fn main() {
                 "0".into(),
                 seeds.to_string(),
                 "-".into(),
-                max_decided.to_string(),
-                blocked_total.to_string(),
-                if ok { "ok".into() } else { "FAIL".into() },
+                stats.max_decided.to_string(),
+                stats.blocked.to_string(),
+                verdict(ok),
             ]);
         }
     }
@@ -144,31 +166,26 @@ fn main() {
         let params = LegalityParams::new(x, ell).unwrap();
         let oracle = MaxCondition::new(params);
         for crashes in 0..=x {
-            let mut terminated = 0;
-            let mut max_decided = 0;
-            for seed in 0..seeds {
-                let input = in_condition_input(n, params, &mut rng);
-                let report = Scenario::async_set_agreement(n, params, oracle)
-                    .input(input)
-                    .pattern(crash_schedule(crashes, seed))
-                    .executor(Executor::AsyncMessagePassing { seed })
-                    .run()
-                    .expect("valid asynchronous scenario");
-                if report.satisfies_termination() {
-                    terminated += 1;
-                }
-                max_decided = max_decided.max(report.decided_values().len());
-            }
-            let ok = terminated == seeds as usize && max_decided <= ell;
+            let stats = in_condition_sweep(
+                n,
+                params,
+                oracle,
+                crashes,
+                seeds,
+                Substrate::MessagePassing,
+                &cache,
+                &mut run_totals,
+            );
+            let ok = stats.terminated == seeds as usize && stats.max_decided <= ell;
             mp_ok &= ok;
             mp.row(vec![
                 x.to_string(),
                 ell.to_string(),
                 crashes.to_string(),
                 seeds.to_string(),
-                terminated.to_string(),
-                max_decided.to_string(),
-                if ok { "ok".into() } else { "FAIL".into() },
+                stats.terminated.to_string(),
+                stats.max_decided.to_string(),
+                verdict(ok),
             ]);
         }
     }
@@ -182,13 +199,135 @@ fn main() {
          emulation — see setagree-async::message_passing docs)"
     );
     assert!(mp_ok);
+
+    save_cache(&cache, run_totals);
+}
+
+#[derive(Clone, Copy)]
+enum Substrate {
+    SharedMemory,
+    MessagePassing,
+}
+
+/// One in-condition sweep: `seeds` cases pairing input #i with the
+/// seed-i executor and the seed-i crash schedule — a per-cell pairing
+/// (`cases(...)`), not a product, streamed into the aggregate.
+#[allow(clippy::too_many_arguments)]
+fn in_condition_sweep(
+    n: usize,
+    params: LegalityParams,
+    oracle: MaxCondition,
+    crashes: usize,
+    seeds: u64,
+    substrate: Substrate,
+    cache: &Option<Arc<SuiteCache<u32>>>,
+    run_totals: &mut SuiteRunStats,
+) -> SweepStats {
+    let workload = Workload::InCondition {
+        n,
+        params,
+        seed: workload_seed(params, crashes, substrate),
+        count: seeds as usize,
+    };
+    let inputs = workload.inputs();
+    let spec = Arc::new(ProtocolSpec::async_set_agreement(n, params, oracle));
+    let suite = with_cache(
+        ScenarioSuite::new().cases((0..seeds).map(|seed| {
+            let executor = match substrate {
+                Substrate::SharedMemory => Executor::AsyncSharedMemory { seed },
+                Substrate::MessagePassing => Executor::AsyncMessagePassing { seed },
+            };
+            CaseSpec::shared(
+                Arc::clone(&spec),
+                Arc::new(inputs[seed as usize].clone()),
+                executor,
+            )
+            .pattern(crash_schedule(n, crashes, seed))
+        })),
+        cache,
+    );
+    let mut stats = SweepStats::default();
+    let run = suite.run_streaming(|case| {
+        let report = case.result.as_ref().expect("valid asynchronous scenario");
+        if report.satisfies_termination() {
+            stats.terminated += 1;
+        }
+        stats.max_decided = stats.max_decided.max(report.decided_values().len());
+        stats.blocked += report.async_report().expect("async run").blocked_count();
+    });
+    accumulate(run_totals, run);
+    stats
+}
+
+/// A per-sweep workload seed: distinct sweeps draw distinct inputs, and
+/// every invocation of the binary draws the same.
+fn workload_seed(params: LegalityParams, crashes: usize, substrate: Substrate) -> u64 {
+    let base = match substrate {
+        Substrate::SharedMemory => 0xA57C,
+        Substrate::MessagePassing => 0x175C,
+    };
+    base ^ ((params.x() as u64) << 16) ^ ((params.ell() as u64) << 8) ^ crashes as u64
 }
 
 /// Crashes the `count` highest processes after 0/1/2 own steps.
-fn crash_schedule(count: usize, seed: u64) -> AsyncCrashes {
+fn crash_schedule(n: usize, count: usize, seed: u64) -> AsyncCrashes {
     let mut schedule = AsyncCrashes::none();
     for i in 0..count {
-        schedule = schedule.crash_after(ProcessId::new(7 - i), (seed + i as u64) % 3);
+        schedule = schedule.crash_after(ProcessId::new(n - 1 - i), (seed + i as u64) % 3);
     }
     schedule
+}
+
+fn verdict(ok: bool) -> String {
+    if ok {
+        "ok".into()
+    } else {
+        "FAIL".into()
+    }
+}
+
+fn accumulate(totals: &mut SuiteRunStats, run: SuiteRunStats) {
+    totals.cases += run.cases;
+    totals.cache_hits += run.cache_hits;
+    totals.cache_misses += run.cache_misses;
+}
+
+fn with_cache(
+    suite: ScenarioSuite<u32, MaxCondition>,
+    cache: &Option<Arc<SuiteCache<u32>>>,
+) -> ScenarioSuite<u32, MaxCondition> {
+    match cache {
+        Some(cache) => suite.cache(cache),
+        None => suite,
+    }
+}
+
+/// Loads the persisted suite cache named by `SETAGREE_SUITE_CACHE`
+/// (empty when the file does not exist yet), or `None` when the
+/// variable is unset.
+fn load_cache() -> Option<Arc<SuiteCache<u32>>> {
+    let path = std::env::var_os("SETAGREE_SUITE_CACHE")?;
+    let cache = SuiteCache::load_or_empty(&path).expect("readable suite cache file");
+    eprintln!(
+        "suite cache: loaded {} cell(s) from {}",
+        cache.len(),
+        path.to_string_lossy()
+    );
+    Some(Arc::new(cache))
+}
+
+/// Persists the cache back (when enabled) and reports the run's totals
+/// on stderr — stdout stays byte-identical between cold and warm runs.
+fn save_cache(cache: &Option<Arc<SuiteCache<u32>>>, totals: SuiteRunStats) {
+    let Some(cache) = cache else { return };
+    let path = std::env::var_os("SETAGREE_SUITE_CACHE").expect("checked in load_cache");
+    cache.save(&path).expect("writable suite cache file");
+    eprintln!(
+        "suite cache: {} case(s), {} hit(s), {} miss(es); {} cell(s) saved to {}",
+        totals.cases,
+        totals.cache_hits,
+        totals.cache_misses,
+        cache.len(),
+        path.to_string_lossy()
+    );
 }

@@ -7,5 +7,5 @@
 pub mod table;
 pub mod workloads;
 
-pub use table::Table;
-pub use workloads::{in_condition_input, out_of_condition_input, spread_input};
+pub use table::{StreamingTable, Table};
+pub use workloads::{in_condition_input, out_of_condition_input, spread_input, Workload};

@@ -1,6 +1,11 @@
-//! A minimal aligned-column table printer for the experiment binaries.
+//! Minimal aligned-column table printers for the experiment binaries:
+//! the buffered [`Table`] (widths computed from the whole table at
+//! display time) and the incremental [`StreamingTable`] (fixed widths,
+//! each row printed the moment it arrives — the printer for suites
+//! consumed via `run_streaming`).
 
 use std::fmt;
+use std::io::Write;
 
 /// An aligned plain-text table.
 ///
@@ -80,6 +85,73 @@ impl fmt::Display for Table {
     }
 }
 
+/// An aligned table that prints each row immediately — rows appear as
+/// suite cells finish instead of after the whole grid. Column widths
+/// are fixed up front (header width plus `pad`), so the output stays
+/// aligned without buffering; a cell wider than its column degrades to
+/// one extra space, never truncation.
+///
+/// # Example
+///
+/// ```no_run
+/// use setagree_bench::StreamingTable;
+///
+/// let table = StreamingTable::new(vec!["k", "rounds"], 4);
+/// table.header(); // prints the header + rule now
+/// table.row(vec!["1".into(), "5".into()]); // prints immediately
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingTable {
+    headers: Vec<String>,
+    widths: Vec<usize>,
+}
+
+impl StreamingTable {
+    /// A streaming table whose column widths are the header widths plus
+    /// `pad` extra characters of room for the data.
+    pub fn new(headers: Vec<&str>, pad: usize) -> Self {
+        let widths = headers.iter().map(|h| h.chars().count() + pad).collect();
+        StreamingTable {
+            headers: headers.into_iter().map(String::from).collect(),
+            widths,
+        }
+    }
+
+    fn print_cells(&self, cells: &[String]) {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            let width = self.widths[i];
+            line.push_str(cell);
+            for _ in cell.chars().count()..width {
+                line.push(' ');
+            }
+        }
+        println!("{}", line.trim_end());
+        // Rows must reach the terminal before the next cell computes.
+        let _ = std::io::stdout().flush();
+    }
+
+    /// Prints the header and rule.
+    pub fn header(&self) {
+        self.print_cells(&self.headers);
+        let total: usize = self.widths.iter().sum::<usize>() + 2 * (self.widths.len() - 1);
+        println!("{}", "-".repeat(total));
+    }
+
+    /// Prints one row immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's arity differs from the header's.
+    pub fn row(&self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.print_cells(&cells);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,5 +172,19 @@ mod tests {
     #[should_panic(expected = "arity")]
     fn arity_mismatch_panics() {
         Table::new(vec!["a"]).row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn streaming_table_prints_rows_without_buffering() {
+        let t = StreamingTable::new(vec!["name", "n"], 6);
+        t.header();
+        t.row(vec!["floodset".into(), "8".into()]);
+        t.row(vec!["a-cell-wider-than-its-column".into(), "16".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn streaming_arity_mismatch_panics() {
+        StreamingTable::new(vec!["a"], 2).row(vec!["1".into(), "2".into()]);
     }
 }

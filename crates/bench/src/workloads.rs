@@ -1,6 +1,14 @@
 //! Input-vector workload generators for the experiments.
+//!
+//! The free functions take an RNG at the call site; the [`Workload`]
+//! type wraps them into a seeded, serializable *spec* — inert data that
+//! regenerates the identical inputs on every call, so a suite sweep is
+//! fully replayable (and cacheable) from one struct instead of from
+//! whatever RNG state the call site happened to thread through.
 
-use rand::Rng;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 use setagree_conditions::{LegalityParams, MaxCondition};
 use setagree_types::InputVector;
@@ -69,6 +77,85 @@ pub fn spread_input(n: usize) -> InputVector<u32> {
     InputVector::new((1..=n as u32).rev().collect())
 }
 
+/// A seeded, serializable input-generation spec: the data form of the
+/// generator functions above ([`in_condition_input`] & friends), per the
+/// ROADMAP's "workload generators as data" item.
+///
+/// A workload owns its randomness — the seed is part of the value — so
+/// `workload.inputs()` returns the *same* vectors every time it is
+/// called, on every machine: hand them to
+/// [`ScenarioSuite::inputs`](setagree_core::ScenarioSuite::inputs) and
+/// the sweep (including any attached
+/// [`SuiteCache`](setagree_core::SuiteCache) keys) replays from this one
+/// struct.
+///
+/// ```
+/// use setagree_bench::Workload;
+/// use setagree_conditions::{LegalityParams, MaxCondition};
+///
+/// let params = LegalityParams::new(2, 1)?;
+/// let workload = Workload::InCondition { n: 8, params, seed: 7, count: 3 };
+/// let inputs = workload.inputs();
+/// assert_eq!(inputs.len(), 3);
+/// assert_eq!(inputs, workload.inputs(), "replayable: same seed, same vectors");
+/// assert!(inputs.iter().all(|i| MaxCondition::new(params).contains(i)));
+/// # Ok::<(), setagree_conditions::ParamsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Workload {
+    /// `count` vectors inside `C_max(x, ℓ)`, from [`in_condition_input`]
+    /// over a `SmallRng` seeded with `seed`.
+    InCondition {
+        /// System size.
+        n: usize,
+        /// The condition's legality parameters.
+        params: LegalityParams,
+        /// RNG seed; same seed, same vectors.
+        seed: u64,
+        /// How many vectors to generate.
+        count: usize,
+    },
+    /// The one deterministic vector outside `C_max(x, ℓ)`
+    /// ([`out_of_condition_input`]; requires `ℓ ≤ x`).
+    OutOfCondition {
+        /// System size.
+        n: usize,
+        /// The condition's legality parameters.
+        params: LegalityParams,
+    },
+    /// The maximally-spread vector ([`spread_input`]).
+    Spread {
+        /// System size.
+        n: usize,
+    },
+}
+
+impl Workload {
+    /// Generates the workload's input vectors — identical on every call.
+    ///
+    /// # Panics
+    ///
+    /// As the wrapped generator functions (degenerate `n`/`params`).
+    pub fn inputs(&self) -> Vec<InputVector<u32>> {
+        match *self {
+            Workload::InCondition {
+                n,
+                params,
+                seed,
+                count,
+            } => {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                (0..count)
+                    .map(|_| in_condition_input(n, params, &mut rng))
+                    .collect()
+            }
+            Workload::OutOfCondition { n, params } => vec![out_of_condition_input(n, params)],
+            Workload::Spread { n } => vec![spread_input(n)],
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,5 +195,35 @@ mod tests {
     fn spread_input_is_distinct() {
         let input = spread_input(6);
         assert_eq!(input.distinct_count(), 6);
+    }
+
+    #[test]
+    fn workloads_replay_identically_and_match_their_generators() {
+        let params = LegalityParams::new(3, 2).unwrap();
+        let workload = Workload::InCondition {
+            n: 10,
+            params,
+            seed: 42,
+            count: 5,
+        };
+        let first = workload.inputs();
+        assert_eq!(first.len(), 5);
+        assert_eq!(first, workload.inputs(), "same seed, same vectors");
+        assert!(first.iter().all(|i| MaxCondition::new(params).contains(i)));
+        // A different seed is a different (still in-condition) workload.
+        let other = Workload::InCondition {
+            n: 10,
+            params,
+            seed: 43,
+            count: 5,
+        };
+        assert_ne!(first, other.inputs());
+
+        let params = LegalityParams::new(2, 1).unwrap();
+        assert_eq!(
+            Workload::OutOfCondition { n: 6, params }.inputs(),
+            vec![out_of_condition_input(6, params)]
+        );
+        assert_eq!(Workload::Spread { n: 6 }.inputs(), vec![spread_input(6)]);
     }
 }

@@ -31,7 +31,7 @@ use crate::error::ConditionError;
 /// assert!(c.matches_view(&j));
 /// # Ok::<(), setagree_conditions::ConditionError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Condition<V: Ord> {
     n: usize,
     vectors: BTreeSet<InputVector<V>>,

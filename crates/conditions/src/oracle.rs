@@ -74,7 +74,7 @@ impl<V: ProposalValue, O: ConditionOracle<V> + ?Sized> ConditionOracle<V> for &O
 /// assert_eq!(oracle.decode_view(&j), Some([4].into_iter().collect()));
 /// # Ok::<(), setagree_conditions::ParamsError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub struct ExplicitOracle<V: Ord, H> {
     condition: Condition<V>,
     h: H,
@@ -127,7 +127,7 @@ impl<V: ProposalValue, H: RecognizingFn<V>> ConditionOracle<V> for ExplicitOracl
 /// Running the synchronous algorithm with this oracle reproduces the
 /// classical unconditioned `⌊t/k⌋ + 1`-round behaviour (the paper's remark
 /// after the round-complexity formula).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TrivialOracle {
     inner: MaxCondition,
 }

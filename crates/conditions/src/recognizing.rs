@@ -128,7 +128,7 @@ impl<V: ProposalValue> RecognizingFn<V> for MinEll {
 /// let h = TableFn::from_entries(vec![(i.clone(), ['a'].into_iter().collect())]);
 /// assert_eq!(h.decode(&i), ['a'].into_iter().collect());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TableFn<V> {
     table: BTreeMap<InputVector<V>, BTreeSet<V>>,
 }

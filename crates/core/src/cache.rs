@@ -1,0 +1,828 @@
+//! Result caching for [`ScenarioSuite`](crate::ScenarioSuite) runs.
+//!
+//! Every grid cell of a suite is a pure function of its coordinates:
+//! the spec (protocol, parameters, oracle), the input vector, the
+//! adversary, the executor (seed included — the asynchronous executors
+//! carry their adversary seed, so an async cell is exactly as cacheable
+//! as a synchronous one) and the suite's round-limit/step-budget
+//! overrides. A [`SuiteCache`] memoizes cells under a stable 128-bit
+//! hash of those coordinates: a rerun of the same grid — or of a larger
+//! grid sharing cells with an earlier one — serves the warm cells
+//! without re-executing any protocol.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use setagree_core::{ProtocolSpec, ScenarioSuite, SuiteCache};
+//!
+//! let cache = Arc::new(SuiteCache::new());
+//! let suite = ScenarioSuite::new()
+//!     .spec(ProtocolSpec::flood_set(4, 2, 1))
+//!     .input(vec![3u32, 9, 1, 4])
+//!     .cache(&cache);
+//! let cold = suite.run();
+//! assert_eq!((cold.cache_hits(), cold.cache_misses()), (0, 1));
+//! let warm = suite.run(); // zero executions: every cell served warm
+//! assert_eq!((warm.cache_hits(), warm.cache_misses()), (1, 0));
+//! assert_eq!(cold.cases(), warm.cases());
+//! ```
+//!
+//! # Persistence
+//!
+//! A cache can be [saved to](SuiteCache::save) and
+//! [loaded from](SuiteCache::load_or_empty) a file, so warm cells
+//! survive across processes (the CI smoke test runs `table_async` twice
+//! against one cache file and diffs the outputs). The vendored `serde`
+//! is an offline no-op shim — the derives compile but serialize nothing
+//! — so the file format is a small versioned line codec implemented
+//! here; when the real serde lands (see ROADMAP), the codec can swap to
+//! `serde_json` without touching callers. Persistence needs the value
+//! type to be token-encodable, which the [`CacheableValue`] impls
+//! provide for the integer types the experiments use.
+//!
+//! # Key stability
+//!
+//! Keys are produced by a fixed FNV-1a hasher over the components'
+//! `Hash` impls, so they are deterministic across runs of the same
+//! build on the same platform — the contract a persisted cache needs.
+//! They are *not* portable across architectures (`usize` width) or
+//! guaranteed across compiler versions; the file header's format
+//! version guards misreads, and a stale file simply reloads as cold
+//! cells, never as wrong results served under a colliding key (the
+//! 128-bit key makes accidental collision negligible for experiment
+//! grids).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::hash::{Hash, Hasher};
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use setagree_async::{AsyncOutcome, AsyncReport};
+use setagree_conditions::LegalityParams;
+use setagree_sync::{Outcome, Trace};
+use setagree_types::{InputVector, ProcessId, ProposalValue};
+
+use crate::experiment::{Executor, ExperimentError, ProtocolKind};
+use crate::report::{Execution, Report};
+
+/// Bumped whenever the key derivation or the file codec changes shape;
+/// mixed into every key and written into the file header, so stale
+/// files read as cold caches instead of decoding garbage.
+const FORMAT_VERSION: u64 = 1;
+
+/// The file header line identifying a persisted suite cache.
+const FILE_MAGIC: &str = "setagree-suite-cache v1";
+
+/// A fixed-parameter FNV-1a 64-bit hasher: deterministic across runs,
+/// unlike `std`'s randomized `DefaultHasher` — the property a persisted
+/// cache key needs.
+#[derive(Debug, Clone)]
+pub(crate) struct StableHasher {
+    state: u64,
+}
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+/// The standard FNV-1a offset basis.
+const FNV_BASIS_LO: u64 = 0xCBF2_9CE4_8422_2325;
+/// An alternative basis for the key's second half, so the two halves
+/// are independent walks over the same bytes.
+const FNV_BASIS_HI: u64 = 0x6C62_272E_07BB_0142;
+
+impl StableHasher {
+    fn with_basis(basis: u64) -> Self {
+        StableHasher { state: basis }
+    }
+}
+
+impl Hasher for StableHasher {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// Hashes one value twice (two FNV bases), yielding the two independent
+/// 64-bit halves cache keys are combined from.
+pub(crate) fn stable_pair<T: Hash + ?Sized>(value: &T) -> (u64, u64) {
+    let mut hi = StableHasher::with_basis(FNV_BASIS_HI);
+    let mut lo = StableHasher::with_basis(FNV_BASIS_LO);
+    value.hash(&mut hi);
+    value.hash(&mut lo);
+    (hi.finish(), lo.finish())
+}
+
+/// A 128-bit cache key: the stable hash of one suite cell's coordinates
+/// (spec, input, pattern, executor with its seed, and the suite's
+/// round-limit/step-budget overrides).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    hi: u64,
+    lo: u64,
+}
+
+impl CacheKey {
+    /// Folds component hash pairs (in a fixed order) into one key.
+    pub(crate) fn combine(components: &[(u64, u64)]) -> CacheKey {
+        let mut hi = StableHasher::with_basis(FNV_BASIS_HI);
+        let mut lo = StableHasher::with_basis(FNV_BASIS_LO);
+        hi.write_u64(FORMAT_VERSION);
+        lo.write_u64(FORMAT_VERSION);
+        for &(h, l) in components {
+            hi.write_u64(h);
+            lo.write_u64(l);
+        }
+        CacheKey {
+            hi: hi.finish(),
+            lo: lo.finish(),
+        }
+    }
+}
+
+impl fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+/// What a cache stores per cell: the cell's full positioned result —
+/// a successful [`Report`] or the validation/engine error the cell
+/// produced (errors are deterministic too, so a warm rerun reproduces
+/// them without re-validating).
+pub type CachedResult<V> = Result<Report<V>, ExperimentError>;
+
+/// A shareable, thread-safe memo of suite cell results.
+///
+/// Hand one cache (behind an [`Arc`]) to any number of suites via
+/// [`ScenarioSuite::cache`](crate::ScenarioSuite::cache); concurrent
+/// workers of a streaming run consult and fill it through a mutex.
+/// The `hits()`/`misses()` counters are lifetime totals; per-run
+/// counters live on the run's [`SuiteReport`](crate::SuiteReport).
+pub struct SuiteCache<V: Ord> {
+    entries: Mutex<HashMap<CacheKey, CachedResult<V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<V: Ord> Default for SuiteCache<V> {
+    fn default() -> Self {
+        SuiteCache {
+            entries: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<V: ProposalValue> fmt::Debug for SuiteCache<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SuiteCache")
+            .field("entries", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+impl<V: ProposalValue> SuiteCache<V> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SuiteCache::default()
+    }
+
+    /// The number of cached cells.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache lock poisoned").len()
+    }
+
+    /// Whether the cache holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime cache hits (across every suite sharing this cache).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime cache misses.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Drops every cached cell (counters are kept — they describe
+    /// lookups, not contents).
+    pub fn clear(&self) {
+        self.entries.lock().expect("cache lock poisoned").clear();
+    }
+
+    /// Looks a cell up, counting a hit or a miss.
+    pub(crate) fn lookup(&self, key: &CacheKey) -> Option<CachedResult<V>> {
+        let found = self
+            .entries
+            .lock()
+            .expect("cache lock poisoned")
+            .get(key)
+            .cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores a cell result.
+    pub(crate) fn insert(&self, key: CacheKey, result: CachedResult<V>) {
+        self.entries
+            .lock()
+            .expect("cache lock poisoned")
+            .insert(key, result);
+    }
+}
+
+/// A value type the cache file codec can round-trip: encodes to one
+/// whitespace-free token and decodes back to an equal value.
+///
+/// Implemented for the integer types the experiments propose. The
+/// in-memory cache needs only `Hash` (for keys); this trait gates the
+/// persistence methods alone.
+pub trait CacheableValue: ProposalValue + Hash {
+    /// Encodes the value as one token (no whitespace, no newlines).
+    fn encode(&self) -> String;
+    /// Decodes a token produced by [`CacheableValue::encode`].
+    fn decode(token: &str) -> Option<Self>;
+}
+
+macro_rules! cacheable_ints {
+    ($($t:ty),*) => {$(
+        impl CacheableValue for $t {
+            fn encode(&self) -> String {
+                self.to_string()
+            }
+            fn decode(token: &str) -> Option<Self> {
+                token.parse().ok()
+            }
+        }
+    )*};
+}
+
+cacheable_ints!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+fn corrupt(line_no: usize, what: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("suite cache file line {line_no}: {what}"),
+    )
+}
+
+impl<V: CacheableValue> SuiteCache<V> {
+    /// Loads a persisted cache, or returns an empty one when `path`
+    /// does not exist (the natural cold-start for a cron-style rerun).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures other than `NotFound`, and malformed files —
+    /// except a *version* mismatch in the header, which loads as an
+    /// empty cache (an old file is a cold cache, not an error).
+    pub fn load_or_empty(path: impl AsRef<Path>) -> io::Result<Self> {
+        match fs::read_to_string(path) {
+            Ok(text) => Self::parse(&text),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(SuiteCache::new()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Persists every cached cell to `path` (atomically per call: the
+    /// file is rewritten whole into a sibling temp file and renamed
+    /// over `path`, so a concurrent [`SuiteCache::load_or_empty`] — or
+    /// a crash mid-save — never observes a truncated file), in
+    /// deterministic key order.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures creating, writing or renaming the file.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        let entries = self.entries.lock().expect("cache lock poisoned");
+        let mut lines: Vec<String> = entries
+            .iter()
+            .map(|(key, result)| format!("{} {} {}", key.hi, key.lo, encode_result(result)))
+            .collect();
+        drop(entries);
+        lines.sort();
+        let mut text = String::from(FILE_MAGIC);
+        text.push('\n');
+        for line in lines {
+            text.push_str(&line);
+            text.push('\n');
+        }
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(format!(".tmp-{}", std::process::id()));
+        let tmp = std::path::PathBuf::from(tmp);
+        fs::write(&tmp, text)?;
+        fs::rename(&tmp, path).inspect_err(|_| {
+            let _ = fs::remove_file(&tmp);
+        })
+    }
+
+    fn parse(text: &str) -> io::Result<Self> {
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, header)) if header == FILE_MAGIC => {}
+            // A different version of this codec: treat as a cold cache.
+            Some((_, header)) if header.starts_with("setagree-suite-cache ") => {
+                return Ok(SuiteCache::new());
+            }
+            _ => return Err(corrupt(1, "missing header")),
+        }
+        let cache = SuiteCache::new();
+        let mut entries = HashMap::new();
+        for (idx, line) in lines {
+            let line_no = idx + 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut tokens = line.split_ascii_whitespace();
+            let hi = next_u64(&mut tokens, line_no)?;
+            let lo = next_u64(&mut tokens, line_no)?;
+            let result = decode_result(&mut tokens, line_no)?;
+            if tokens.next().is_some() {
+                return Err(corrupt(line_no, "trailing tokens"));
+            }
+            entries.insert(CacheKey { hi, lo }, result);
+        }
+        *cache.entries.lock().expect("cache lock poisoned") = entries;
+        Ok(cache)
+    }
+}
+
+type Tokens<'a> = std::str::SplitAsciiWhitespace<'a>;
+
+fn next_token<'a>(tokens: &mut Tokens<'a>, line_no: usize) -> io::Result<&'a str> {
+    tokens
+        .next()
+        .ok_or_else(|| corrupt(line_no, "unexpected end of line"))
+}
+
+fn next_u64(tokens: &mut Tokens<'_>, line_no: usize) -> io::Result<u64> {
+    next_token(tokens, line_no)?
+        .parse()
+        .map_err(|_| corrupt(line_no, "expected an integer"))
+}
+
+fn next_usize(tokens: &mut Tokens<'_>, line_no: usize) -> io::Result<usize> {
+    next_token(tokens, line_no)?
+        .parse()
+        .map_err(|_| corrupt(line_no, "expected an integer"))
+}
+
+fn next_value<V: CacheableValue>(tokens: &mut Tokens<'_>, line_no: usize) -> io::Result<V> {
+    V::decode(next_token(tokens, line_no)?).ok_or_else(|| corrupt(line_no, "bad value token"))
+}
+
+fn encode_executor(executor: Executor) -> String {
+    match executor {
+        Executor::Simulator => "sim".into(),
+        Executor::Threaded => "thr".into(),
+        Executor::AsyncSharedMemory { seed } => format!("asm {seed}"),
+        Executor::AsyncMessagePassing { seed } => format!("amp {seed}"),
+    }
+}
+
+fn decode_executor(tokens: &mut Tokens<'_>, line_no: usize) -> io::Result<Executor> {
+    Ok(match next_token(tokens, line_no)? {
+        "sim" => Executor::Simulator,
+        "thr" => Executor::Threaded,
+        "asm" => Executor::AsyncSharedMemory {
+            seed: next_u64(tokens, line_no)?,
+        },
+        "amp" => Executor::AsyncMessagePassing {
+            seed: next_u64(tokens, line_no)?,
+        },
+        _ => return Err(corrupt(line_no, "unknown executor")),
+    })
+}
+
+fn encode_protocol(protocol: ProtocolKind) -> &'static str {
+    match protocol {
+        ProtocolKind::ConditionBased => "cb",
+        ProtocolKind::EarlyConditionBased => "ecb",
+        ProtocolKind::EarlyDeciding => "ed",
+        ProtocolKind::FloodSet => "fs",
+        ProtocolKind::AsyncSetAgreement => "asa",
+    }
+}
+
+fn decode_protocol(tokens: &mut Tokens<'_>, line_no: usize) -> io::Result<ProtocolKind> {
+    Ok(match next_token(tokens, line_no)? {
+        "cb" => ProtocolKind::ConditionBased,
+        "ecb" => ProtocolKind::EarlyConditionBased,
+        "ed" => ProtocolKind::EarlyDeciding,
+        "fs" => ProtocolKind::FloodSet,
+        "asa" => ProtocolKind::AsyncSetAgreement,
+        _ => return Err(corrupt(line_no, "unknown protocol")),
+    })
+}
+
+/// Percent-escapes everything outside printable ASCII (plus `%`) so
+/// arbitrary error messages fit in one token. Escaping byte-wise keeps
+/// the output pure ASCII — pushing a byte ≥ 0x80 as a `char` would
+/// re-encode it in UTF-8 and corrupt non-ASCII messages on the way
+/// back.
+fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for b in text.bytes() {
+        match b {
+            b'%' => out.push_str("%25"),
+            0x21..=0x7E => out.push(b as char),
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    if out.is_empty() {
+        out.push('%');
+    }
+    out
+}
+
+fn unescape(token: &str) -> Option<String> {
+    if token == "%" {
+        return Some(String::new());
+    }
+    let bytes = token.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes.get(i + 1..i + 3)?;
+            out.push(u8::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+fn encode_result<V: CacheableValue>(result: &CachedResult<V>) -> String {
+    match result {
+        Ok(report) => encode_report(report),
+        Err(error) => format!("err {}", encode_error(error)),
+    }
+}
+
+fn encode_report<V: CacheableValue>(report: &Report<V>) -> String {
+    let mut out = String::from("ok ");
+    match report.execution() {
+        Execution::Rounds {
+            trace,
+            predicted_rounds,
+        } => {
+            out.push_str(&format!(
+                "R {predicted_rounds} {} {} ",
+                trace.rounds_executed(),
+                trace.messages_delivered()
+            ));
+            out.push_str(&format!("{} ", trace.outcomes().len()));
+            for outcome in trace.outcomes() {
+                match outcome {
+                    Outcome::Decided { value, round } => {
+                        out.push_str(&format!("d {} {round} ", value.encode()));
+                    }
+                    Outcome::Crashed { round } => out.push_str(&format!("c {round} ")),
+                    Outcome::Undecided => out.push_str("x "),
+                }
+            }
+        }
+        Execution::Steps(steps) => {
+            out.push_str(&format!("S {} ", steps.total_steps()));
+            out.push_str(&format!("{} ", steps.outcomes().len()));
+            for outcome in steps.outcomes() {
+                match outcome {
+                    AsyncOutcome::Decided { value, steps } => {
+                        out.push_str(&format!("d {} {steps} ", value.encode()));
+                    }
+                    AsyncOutcome::Crashed => out.push_str("c "),
+                    AsyncOutcome::Blocked => out.push_str("b "),
+                    AsyncOutcome::Unfinished => out.push_str("u "),
+                }
+            }
+        }
+    }
+    out.push_str(&format!(
+        "{} {} {} ",
+        report.k(),
+        encode_protocol(report.protocol()),
+        encode_executor(report.executor())
+    ));
+    out.push_str(&format!("{}", report.input().len()));
+    for value in report.input().iter() {
+        out.push(' ');
+        out.push_str(&value.encode());
+    }
+    out
+}
+
+fn decode_report<V: CacheableValue>(
+    tokens: &mut Tokens<'_>,
+    line_no: usize,
+) -> io::Result<Report<V>> {
+    let shape = next_token(tokens, line_no)?;
+    let execution = match shape {
+        "R" => {
+            let predicted_rounds = next_usize(tokens, line_no)?;
+            let rounds_executed = next_usize(tokens, line_no)?;
+            let messages_delivered = next_u64(tokens, line_no)?;
+            let count = next_usize(tokens, line_no)?;
+            let mut outcomes = Vec::with_capacity(count);
+            for _ in 0..count {
+                outcomes.push(match next_token(tokens, line_no)? {
+                    "d" => Outcome::Decided {
+                        value: next_value(tokens, line_no)?,
+                        round: next_usize(tokens, line_no)?,
+                    },
+                    "c" => Outcome::Crashed {
+                        round: next_usize(tokens, line_no)?,
+                    },
+                    "x" => Outcome::Undecided,
+                    _ => return Err(corrupt(line_no, "unknown outcome")),
+                });
+            }
+            Execution::Rounds {
+                trace: Trace::from_parts(outcomes, rounds_executed, messages_delivered),
+                predicted_rounds,
+            }
+        }
+        "S" => {
+            let total_steps = next_u64(tokens, line_no)?;
+            let count = next_usize(tokens, line_no)?;
+            let mut outcomes = Vec::with_capacity(count);
+            for _ in 0..count {
+                outcomes.push(match next_token(tokens, line_no)? {
+                    "d" => AsyncOutcome::Decided {
+                        value: next_value(tokens, line_no)?,
+                        steps: next_u64(tokens, line_no)?,
+                    },
+                    "c" => AsyncOutcome::Crashed,
+                    "b" => AsyncOutcome::Blocked,
+                    "u" => AsyncOutcome::Unfinished,
+                    _ => return Err(corrupt(line_no, "unknown outcome")),
+                });
+            }
+            Execution::Steps(AsyncReport::from_parts(outcomes, total_steps))
+        }
+        _ => return Err(corrupt(line_no, "unknown execution shape")),
+    };
+    let k = next_usize(tokens, line_no)?;
+    let protocol = decode_protocol(tokens, line_no)?;
+    let executor = decode_executor(tokens, line_no)?;
+    let len = next_usize(tokens, line_no)?;
+    if len == 0 {
+        return Err(corrupt(line_no, "empty input vector"));
+    }
+    let mut entries = Vec::with_capacity(len);
+    for _ in 0..len {
+        entries.push(next_value(tokens, line_no)?);
+    }
+    let input = Arc::new(InputVector::new(entries));
+    Ok(match execution {
+        Execution::Rounds {
+            trace,
+            predicted_rounds,
+        } => Report::new(trace, input, k, predicted_rounds, protocol, executor),
+        Execution::Steps(steps) => Report::new_async(steps, input, k, protocol, executor),
+    })
+}
+
+fn encode_error(error: &ExperimentError) -> String {
+    match error {
+        ExperimentError::MissingInput => "missing-input".into(),
+        ExperimentError::InputSizeMismatch { expected, got } => {
+            format!("input-size {expected} {got}")
+        }
+        ExperimentError::ZeroK => "zero-k".into(),
+        ExperimentError::TooManyCrashes { t, scheduled } => {
+            format!("too-many-crashes {t} {scheduled}")
+        }
+        ExperimentError::OracleMismatch { expected, got } => format!(
+            "oracle-mismatch {} {} {} {}",
+            expected.x(),
+            expected.ell(),
+            got.x(),
+            got.ell()
+        ),
+        ExperimentError::RoundLimitExceeded { limit } => format!("round-limit {limit}"),
+        ExperimentError::SystemSizeMismatch { processes, pattern } => {
+            format!("system-size {processes} {pattern}")
+        }
+        ExperimentError::ProcessPanicked { process } => {
+            format!("process-panicked {}", process.index())
+        }
+        ExperimentError::UnsupportedAdversary { executor } => {
+            format!("unsupported-adversary {}", encode_executor(*executor))
+        }
+        ExperimentError::UnknownCrashVictim { victim, n } => {
+            format!("unknown-victim {} {n}", victim.index())
+        }
+        ExperimentError::UnsupportedProtocol { executor, protocol } => format!(
+            "unsupported-protocol {} {}",
+            encode_executor(*executor),
+            encode_protocol(*protocol)
+        ),
+        ExperimentError::Internal { message } => format!("internal {}", escape(message)),
+    }
+}
+
+fn decode_error(tokens: &mut Tokens<'_>, line_no: usize) -> io::Result<ExperimentError> {
+    let params = |x, ell, line_no| {
+        LegalityParams::new(x, ell).map_err(|_| corrupt(line_no, "bad legality params"))
+    };
+    Ok(match next_token(tokens, line_no)? {
+        "missing-input" => ExperimentError::MissingInput,
+        "input-size" => ExperimentError::InputSizeMismatch {
+            expected: next_usize(tokens, line_no)?,
+            got: next_usize(tokens, line_no)?,
+        },
+        "zero-k" => ExperimentError::ZeroK,
+        "too-many-crashes" => ExperimentError::TooManyCrashes {
+            t: next_usize(tokens, line_no)?,
+            scheduled: next_usize(tokens, line_no)?,
+        },
+        "oracle-mismatch" => ExperimentError::OracleMismatch {
+            expected: params(
+                next_usize(tokens, line_no)?,
+                next_usize(tokens, line_no)?,
+                line_no,
+            )?,
+            got: params(
+                next_usize(tokens, line_no)?,
+                next_usize(tokens, line_no)?,
+                line_no,
+            )?,
+        },
+        "round-limit" => ExperimentError::RoundLimitExceeded {
+            limit: next_usize(tokens, line_no)?,
+        },
+        "system-size" => ExperimentError::SystemSizeMismatch {
+            processes: next_usize(tokens, line_no)?,
+            pattern: next_usize(tokens, line_no)?,
+        },
+        "process-panicked" => ExperimentError::ProcessPanicked {
+            process: ProcessId::new(next_usize(tokens, line_no)?),
+        },
+        "unsupported-adversary" => ExperimentError::UnsupportedAdversary {
+            executor: decode_executor(tokens, line_no)?,
+        },
+        "unknown-victim" => ExperimentError::UnknownCrashVictim {
+            victim: ProcessId::new(next_usize(tokens, line_no)?),
+            n: next_usize(tokens, line_no)?,
+        },
+        "unsupported-protocol" => ExperimentError::UnsupportedProtocol {
+            executor: decode_executor(tokens, line_no)?,
+            protocol: decode_protocol(tokens, line_no)?,
+        },
+        "internal" => ExperimentError::Internal {
+            message: unescape(next_token(tokens, line_no)?)
+                .ok_or_else(|| corrupt(line_no, "bad escape"))?,
+        },
+        _ => return Err(corrupt(line_no, "unknown error variant")),
+    })
+}
+
+fn decode_result<V: CacheableValue>(
+    tokens: &mut Tokens<'_>,
+    line_no: usize,
+) -> io::Result<CachedResult<V>> {
+    match next_token(tokens, line_no)? {
+        "ok" => Ok(Ok(decode_report(tokens, line_no)?)),
+        "err" => Ok(Err(decode_error(tokens, line_no)?)),
+        _ => Err(corrupt(line_no, "expected ok or err")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setagree_sync::{run_protocol, FailurePattern};
+
+    fn sample_report(values: &[u32]) -> Report<u32> {
+        use setagree_sync::{Step, SyncProtocol};
+        #[derive(Debug)]
+        struct Fixed(u32);
+        impl SyncProtocol for Fixed {
+            type Msg = ();
+            type Output = u32;
+            fn message(&mut self, _round: usize) {}
+            fn receive(&mut self, _round: usize, _from: ProcessId, _msg: ()) {}
+            fn compute(&mut self, _round: usize) -> Step<u32> {
+                Step::Decide(self.0)
+            }
+        }
+        let procs: Vec<Fixed> = values.iter().map(|&v| Fixed(v)).collect();
+        let n = procs.len();
+        let trace = run_protocol(procs, &FailurePattern::none(n), 5).unwrap();
+        Report::new(
+            trace,
+            Arc::new(InputVector::new(values.to_vec())),
+            1,
+            2,
+            ProtocolKind::FloodSet,
+            Executor::Simulator,
+        )
+    }
+
+    #[test]
+    fn stable_pair_is_deterministic_and_input_sensitive() {
+        assert_eq!(stable_pair(&42u64), stable_pair(&42u64));
+        assert_ne!(stable_pair(&42u64), stable_pair(&43u64));
+        let (hi, lo) = stable_pair(&42u64);
+        assert_ne!(hi, lo, "the two bases walk independently");
+    }
+
+    #[test]
+    fn lookup_counts_hits_and_misses() {
+        let cache: SuiteCache<u32> = SuiteCache::new();
+        let key = CacheKey::combine(&[stable_pair(&1u8)]);
+        assert!(cache.lookup(&key).is_none());
+        cache.insert(key, Ok(sample_report(&[4, 4])));
+        assert!(cache.lookup(&key).is_some());
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn file_roundtrip_preserves_reports_and_errors() {
+        let dir = std::env::temp_dir().join("setagree-cache-test-roundtrip");
+        let _ = fs::remove_file(&dir);
+        let cache: SuiteCache<u32> = SuiteCache::new();
+        let ok_key = CacheKey::combine(&[stable_pair(&"ok")]);
+        let err_key = CacheKey::combine(&[stable_pair(&"err")]);
+        let report = sample_report(&[7, 7, 2]);
+        cache.insert(ok_key, Ok(report.clone()));
+        cache.insert(
+            err_key,
+            Err(ExperimentError::Internal {
+                message: "with spaces, %, é → ∞, and\nnewlines".into(),
+            }),
+        );
+        cache.save(&dir).unwrap();
+        let reloaded: SuiteCache<u32> = SuiteCache::load_or_empty(&dir).unwrap();
+        assert_eq!(reloaded.len(), 2);
+        assert_eq!(reloaded.lookup(&ok_key), Some(Ok(report)));
+        assert_eq!(
+            reloaded.lookup(&err_key),
+            Some(Err(ExperimentError::Internal {
+                message: "with spaces, %, é → ∞, and\nnewlines".into()
+            }))
+        );
+        fs::remove_file(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_loads_empty_and_stale_version_loads_cold() {
+        let missing: SuiteCache<u32> =
+            SuiteCache::load_or_empty("/nonexistent/definitely-not-here").unwrap();
+        assert!(missing.is_empty());
+
+        let path = std::env::temp_dir().join("setagree-cache-test-stale");
+        fs::write(&path, "setagree-suite-cache v0\ngarbage garbage\n").unwrap();
+        let stale: SuiteCache<u32> = SuiteCache::load_or_empty(&path).unwrap();
+        assert!(stale.is_empty(), "old versions reload as cold caches");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_files_are_rejected_not_misread() {
+        let path = std::env::temp_dir().join("setagree-cache-test-corrupt");
+        fs::write(&path, "not a cache\n").unwrap();
+        assert!(SuiteCache::<u32>::load_or_empty(&path).is_err());
+        fs::write(&path, format!("{FILE_MAGIC}\n1 2 ok R not-a-number\n")).unwrap();
+        assert!(SuiteCache::<u32>::load_or_empty(&path).is_err());
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn escape_roundtrips() {
+        for s in [
+            "",
+            "plain",
+            "two words",
+            "100% %% \n\t\r",
+            "%41",
+            "non-ASCII: é → ∞ 🦀",
+        ] {
+            assert_eq!(unescape(&escape(s)).as_deref(), Some(s), "{s:?}");
+            assert!(escape(s).is_ascii(), "escaped form stays one ASCII token");
+        }
+    }
+}

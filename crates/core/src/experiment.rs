@@ -43,6 +43,7 @@
 use std::error::Error;
 use std::fmt;
 use std::marker::PhantomData;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -319,7 +320,7 @@ impl fmt::Display for Executor {
 /// The crash adversary of a scenario: the paper's ordered-send model, the
 /// standard arbitrary-subset model used by the ablations, or an
 /// asynchronous step-budget schedule for the async executors.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Adversary {
     /// Ordered sends: a crash loses a *suffix* of the broadcast
     /// (Section 6.2 — the model the Figure 2 guarantees assume).
@@ -421,7 +422,7 @@ impl fmt::Display for ProtocolKind {
     }
 }
 
-#[derive(Clone)]
+#[derive(Clone, Hash)]
 enum SpecKind<O> {
     ConditionBased {
         config: ConditionBasedConfig,
@@ -497,6 +498,15 @@ impl<O: Clone, V> Clone for ProtocolSpec<V, O> {
             kind: self.kind.clone(),
             _values: PhantomData,
         }
+    }
+}
+
+/// Specs hash by protocol, parameters and oracle — the spec component of
+/// a [`SuiteCache`](crate::SuiteCache) key. (Manual impl so `V`, which
+/// only appears in `PhantomData`, needs no `Hash` bound.)
+impl<V, O: std::hash::Hash> std::hash::Hash for ProtocolSpec<V, O> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.kind.hash(state);
     }
 }
 
@@ -665,19 +675,26 @@ impl<V> ProtocolSpec<V, MaxCondition> {
 /// [`Scenario::flood_set`], …), refine with the builder methods, execute
 /// with [`Scenario::run`]. A `Scenario` is inert data: running it twice
 /// (or on two executors) replays the identical experiment.
+///
+/// Internally the spec, input and adversary are held behind [`Arc`]s, so
+/// cloning a scenario — or fanning hundreds of grid cells out of one
+/// spec, as [`ScenarioSuite`](crate::ScenarioSuite) does — never deep
+/// copies an oracle or an input vector. The shared-ownership
+/// constructors ([`Scenario::from_shared`], [`Scenario::input_shared`],
+/// [`Scenario::pattern_shared`]) accept pre-made `Arc`s directly.
 pub struct Scenario<V, O = MaxCondition> {
-    spec: ProtocolSpec<V, O>,
-    input: Option<InputVector<V>>,
-    adversary: Option<Adversary>,
+    spec: Arc<ProtocolSpec<V, O>>,
+    input: Option<Arc<InputVector<V>>>,
+    adversary: Option<Arc<Adversary>>,
     round_limit: Option<usize>,
     step_budget: Option<u64>,
     executor: Executor,
 }
 
-impl<V: Clone, O: Clone> Clone for Scenario<V, O> {
+impl<V, O> Clone for Scenario<V, O> {
     fn clone(&self) -> Self {
         Scenario {
-            spec: self.spec.clone(),
+            spec: Arc::clone(&self.spec),
             input: self.input.clone(),
             adversary: self.adversary.clone(),
             round_limit: self.round_limit,
@@ -703,6 +720,13 @@ impl<V: fmt::Debug, O> fmt::Debug for Scenario<V, O> {
 impl<V, O> Scenario<V, O> {
     /// Wraps a prepared [`ProtocolSpec`].
     pub fn new(spec: ProtocolSpec<V, O>) -> Self {
+        Scenario::from_shared(Arc::new(spec))
+    }
+
+    /// Wraps an [`Arc`]-shared [`ProtocolSpec`] without copying it —
+    /// the cheap way to fan many scenarios out of one expensive spec
+    /// (e.g. an `ExplicitOracle` over an enumerated condition).
+    pub fn from_shared(spec: Arc<ProtocolSpec<V, O>>) -> Self {
         Scenario {
             spec,
             input: None,
@@ -735,7 +759,13 @@ impl<V, O> Scenario<V, O> {
 
     /// Sets the input vector (one proposal per process). Required.
     pub fn input(mut self, input: impl Into<InputVector<V>>) -> Self {
-        self.input = Some(input.into());
+        self.input = Some(Arc::new(input.into()));
+        self
+    }
+
+    /// Sets an [`Arc`]-shared input vector without copying its entries.
+    pub fn input_shared(mut self, input: Arc<InputVector<V>>) -> Self {
+        self.input = Some(input);
         self
     }
 
@@ -744,7 +774,13 @@ impl<V, O> Scenario<V, O> {
     /// (standard model, simulator only), or an [`AsyncCrashes`] schedule
     /// (async executors only). Defaults to failure-free.
     pub fn pattern(mut self, adversary: impl Into<Adversary>) -> Self {
-        self.adversary = Some(adversary.into());
+        self.adversary = Some(Arc::new(adversary.into()));
+        self
+    }
+
+    /// Sets an [`Arc`]-shared adversary without copying its schedule.
+    pub fn pattern_shared(mut self, adversary: Arc<Adversary>) -> Self {
+        self.adversary = Some(adversary);
         self
     }
 
@@ -778,6 +814,12 @@ impl<V, O> Scenario<V, O> {
     pub fn spec(&self) -> &ProtocolSpec<V, O> {
         &self.spec
     }
+
+    /// The spec with its shared ownership, for fanning out further
+    /// scenarios without copying it.
+    pub fn spec_shared(&self) -> &Arc<ProtocolSpec<V, O>> {
+        &self.spec
+    }
 }
 
 impl<V> Scenario<V, MaxCondition> {
@@ -803,7 +845,7 @@ impl<V: ProposalValue, O: ConditionOracle<V> + Clone> Scenario<V, O> {
     /// Validates the scenario and returns the input plus the effective
     /// adversary (failure-free when none was set — an [`AsyncCrashes`]
     /// schedule on the async executors, an ordered pattern otherwise).
-    fn validate(&self) -> Result<(&InputVector<V>, Adversary), ExperimentError> {
+    fn validate(&self) -> Result<(&Arc<InputVector<V>>, Arc<Adversary>), ExperimentError> {
         let n = self.spec.n();
         let t = self.spec.t();
         if self.spec.k() == 0 {
@@ -817,18 +859,18 @@ impl<V: ProposalValue, O: ConditionOracle<V> + Clone> Scenario<V, O> {
             });
         }
         let adversary = self.adversary.clone().unwrap_or_else(|| {
-            if self.executor.is_async() {
+            Arc::new(if self.executor.is_async() {
                 Adversary::Async(AsyncCrashes::none())
             } else {
                 Adversary::Ordered(FailurePattern::none(n))
-            }
+            })
         });
         // Async schedules are exempt from the crash budget on purpose:
         // over-budget schedules probe the impossibility frontier, and the
         // engine reports stranded processes honestly as `Unfinished` —
         // but the victims must exist, or the engine would silently skip
         // them and a mistyped schedule would test the failure-free case.
-        if let Adversary::Async(crashes) = &adversary {
+        if let Adversary::Async(crashes) = &*adversary {
             if let Some(victim) = crashes.victims().find(|v| v.index() >= n) {
                 return Err(ExperimentError::UnknownCrashVictim { victim, n });
             }
@@ -930,7 +972,7 @@ impl<V: ProposalValue, O: ConditionOracle<V> + Clone> Scenario<V, O> {
         let trace = dispatch_spec!(self.spec, input, |procs| run_sim(procs, &adversary, limit))?;
         Ok(Report::new(
             trace,
-            input.clone(),
+            Arc::clone(input),
             self.spec.k(),
             predicted,
             self.spec.protocol(),
@@ -963,7 +1005,7 @@ impl<V: ProposalValue, O: ConditionOracle<V> + Clone> Scenario<V, O> {
             }
         };
         let (x, ell) = (oracle.params().x(), oracle.params().ell());
-        let crashes = match &adversary {
+        let crashes = match &*adversary {
             Adversary::Async(crashes) => crashes.clone(),
             // Any failure-free pattern means "no crashes" in every model,
             // so shared suite grids can mix sync and async cells.
@@ -993,7 +1035,7 @@ impl<V: ProposalValue, O: ConditionOracle<V> + Clone> Scenario<V, O> {
         };
         Ok(Report::new_async(
             async_report,
-            input.clone(),
+            Arc::clone(input),
             ell,
             self.spec.protocol(),
             executor,
@@ -1035,7 +1077,7 @@ where
         let limit = self
             .round_limit
             .unwrap_or_else(|| self.spec.default_round_limit());
-        let Adversary::Ordered(pattern) = &adversary else {
+        let Adversary::Ordered(pattern) = &*adversary else {
             return Err(ExperimentError::UnsupportedAdversary {
                 executor: Executor::Threaded,
             });
@@ -1046,7 +1088,7 @@ where
         .map_err(ExperimentError::from))?;
         Ok(Report::new(
             trace,
-            input.clone(),
+            Arc::clone(input),
             self.spec.k(),
             predicted,
             self.spec.protocol(),

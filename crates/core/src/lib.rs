@@ -27,6 +27,15 @@
 //! * [`suite`] — [`ScenarioSuite`], the batch layer running cartesian
 //!   grids of scenarios across worker threads; executors are a grid
 //!   dimension, so one grid can mix synchronous and asynchronous cells.
+//!   Suites stream ([`ScenarioSuite::run_streaming`] /
+//!   [`ScenarioSuite::stream`] emit cases in deterministic grid order as
+//!   they complete), share their specs/inputs/patterns with the workers
+//!   via `Arc`, and take explicit [`cases`](ScenarioSuite::cases) for
+//!   heterogeneous sweeps the product cannot express;
+//! * [`cache`] — [`SuiteCache`], the suite result cache: warm cells are
+//!   served without re-execution under a stable hash of (spec, input,
+//!   pattern, executor-including-seed), in memory or persisted to a
+//!   file.
 //!
 //! # Quickstart
 //!
@@ -74,6 +83,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod baselines;
+pub mod cache;
 pub mod condition_based;
 pub mod config;
 pub mod early_condition;
@@ -84,6 +94,7 @@ pub mod runner;
 pub mod suite;
 
 pub use baselines::FloodSet;
+pub use cache::{CacheKey, CacheableValue, CachedResult, SuiteCache};
 pub use condition_based::{CbMessage, ConditionBased};
 pub use config::{ConditionBasedConfig, ConfigBuilder, ConfigError};
 pub use early_condition::{EarlyConditionBased, EcbMessage};
@@ -99,4 +110,4 @@ pub use runner::{
 // Re-exported so scenario authors can build async adversaries and read
 // raw async outcomes without a separate setagree-async dependency.
 pub use setagree_async::{AsyncCrashes, AsyncOutcome, AsyncReport};
-pub use suite::{ScenarioSuite, SuiteCase, SuiteReport};
+pub use suite::{CaseSpec, ScenarioSuite, SuiteCase, SuiteReport, SuiteRun, SuiteRunStats};

@@ -13,6 +13,7 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -23,7 +24,7 @@ use setagree_types::{InputVector, ProposalValue};
 use crate::experiment::{Executor, ProtocolKind};
 
 /// How a run's execution was recorded.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 #[non_exhaustive]
 pub enum Execution<V: Ord> {
     /// A synchronous round-based run ([`Executor::Simulator`] /
@@ -42,10 +43,15 @@ pub enum Execution<V: Ord> {
 /// The outcome of one run: the execution record plus the parameters
 /// needed to check termination, validity and agreement — annotated with
 /// which protocol produced it and which executor ran it.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// The input vector is held behind an [`Arc`]: a suite fanning one input
+/// across many grid cells shares it with every report rather than
+/// copying it per cell. Equality ([`PartialEq`]) compares the pointed-to
+/// data, so a cache-served report compares equal to the original.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Report<V: Ord> {
     execution: Execution<V>,
-    input: InputVector<V>,
+    input: Arc<InputVector<V>>,
     k: usize,
     protocol: ProtocolKind,
     executor: Executor,
@@ -61,7 +67,7 @@ pub type RunReport<V> = Report<V>;
 impl<V: ProposalValue> Report<V> {
     pub(crate) fn new(
         trace: Trace<V>,
-        input: InputVector<V>,
+        input: Arc<InputVector<V>>,
         k: usize,
         predicted_rounds: usize,
         protocol: ProtocolKind,
@@ -81,7 +87,7 @@ impl<V: ProposalValue> Report<V> {
 
     pub(crate) fn new_async(
         report: AsyncReport<V>,
-        input: InputVector<V>,
+        input: Arc<InputVector<V>>,
         k: usize,
         protocol: ProtocolKind,
         executor: Executor,
@@ -279,7 +285,7 @@ mod tests {
         let trace = run_protocol(procs, &FailurePattern::none(n), 5).unwrap();
         Report::new(
             trace,
-            InputVector::new(decisions.to_vec()),
+            Arc::new(InputVector::new(decisions.to_vec())),
             k,
             predicted,
             ProtocolKind::FloodSet,
@@ -300,7 +306,7 @@ mod tests {
         );
         Report::new_async(
             raw,
-            input,
+            Arc::new(input),
             ell,
             ProtocolKind::AsyncSetAgreement,
             Executor::AsyncSharedMemory { seed },
@@ -337,7 +343,7 @@ mod tests {
         let trace = run_protocol(procs, &FailurePattern::none(2), 5).unwrap();
         let r = Report::new(
             trace,
-            InputVector::new(vec![1u32, 2]),
+            Arc::new(InputVector::new(vec![1u32, 2])),
             1,
             1,
             ProtocolKind::FloodSet,

@@ -1,12 +1,29 @@
-//! Batched experiments: a [`ScenarioSuite`] runs the cartesian grid
-//! *executors × specs × inputs × patterns* and returns one
-//! [`SuiteReport`].
+//! Batched experiments: a [`ScenarioSuite`] expands the cartesian grid
+//! *executors × specs × inputs × patterns* (plus any explicit
+//! [`cases`](ScenarioSuite::cases)) and executes every cell across a
+//! worker pool.
 //!
-//! Cases are independent, so the suite fans them out across OS threads
-//! (work-stealing over a shared counter; `std::thread::scope`, no
-//! external runtime). Results come back in deterministic grid order
-//! regardless of scheduling, so a suite run is replayable data like a
-//! single [`Scenario`] run.
+//! Three ways to consume a suite:
+//!
+//! * [`ScenarioSuite::run`] — collect everything into one
+//!   [`SuiteReport`] (the original batch interface, now a thin adapter
+//!   over the streaming engine);
+//! * [`ScenarioSuite::run_streaming`] — a callback receives each
+//!   [`SuiteCase`] in deterministic grid order *as it completes*, so
+//!   table binaries print rows while later cells are still running and
+//!   memory stays bounded on huge sweeps;
+//! * [`ScenarioSuite::stream`] — the underlying [`SuiteRun`] iterator,
+//!   when you want to drive the consumption yourself.
+//!
+//! All three emit the identical cases in the identical order (pattern
+//! fastest, then input, then spec, then executor, then explicit cases),
+//! regardless of how the worker pool schedules them — a bounded reorder
+//! buffer puts completions back into grid order, so a suite run stays
+//! replayable data like a single [`Scenario`] run.
+//!
+//! Specs, inputs and patterns are held behind [`Arc`]s and shared with
+//! the workers: expanding a thousand-cell grid out of one
+//! `ExplicitOracle` spec copies the oracle zero times.
 //!
 //! Executors are a grid dimension like any other: add several (including
 //! the asynchronous ones — seeds and all) and every spec × input ×
@@ -14,7 +31,14 @@
 //! synchronous and asynchronous cells; use failure-free or
 //! [`Adversary::Async`]-compatible patterns for the cells shared across
 //! models (a crashing synchronous pattern on an async executor is a
-//! positioned per-case error, not a panic).
+//! positioned per-case error, not a panic). When a grid would cross
+//! incompatible dimensions — say round-based specs × async executors —
+//! use explicit [`cases`](ScenarioSuite::cases) instead of letting the
+//! product manufacture deliberate `UnsupportedProtocol` cells.
+//!
+//! Attach a [`SuiteCache`] with [`ScenarioSuite::cache`] and warm cells
+//! are served without re-execution; see [`crate::cache`] for the keying
+//! and persistence story.
 //!
 //! ```
 //! use setagree_conditions::MaxCondition;
@@ -34,97 +58,333 @@
 //! let outcome = suite.run();
 //! assert_eq!(outcome.len(), 4); // 2 specs × 1 input × 2 patterns
 //! assert!(outcome.all_satisfy_properties());
+//!
+//! // The same grid, streamed: cases arrive in the same order, as they
+//! // complete, without buffering the whole grid.
+//! let mut rows = 0;
+//! suite.run_streaming(|case| {
+//!     assert!(case.report().is_some());
+//!     rows += 1;
+//! });
+//! assert_eq!(rows, 4);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+use std::collections::BTreeMap;
 use std::fmt;
+use std::hash::Hash;
 use std::num::NonZeroUsize;
 use std::panic;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread;
 
 use setagree_conditions::{ConditionOracle, MaxCondition};
 use setagree_types::{InputVector, ProposalValue};
 
+use crate::cache::{stable_pair, CacheKey, SuiteCache};
 use crate::experiment::{Adversary, Executor, ExperimentError, ProtocolSpec, Scenario};
 use crate::report::Report;
 
-/// A cartesian batch of scenarios over one or more executors.
-pub struct ScenarioSuite<V, O = MaxCondition> {
-    specs: Vec<ProtocolSpec<V, O>>,
-    inputs: Vec<InputVector<V>>,
-    patterns: Vec<Adversary>,
+/// The coordinates of one cell: indices into the suite's component
+/// lists (`None` pattern = implicit failure-free, `None` executor =
+/// implicit default simulator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CellCoords {
+    spec: usize,
+    input: usize,
+    pattern: Option<usize>,
+    executor: Option<usize>,
+}
+
+/// One explicit (spec, input, pattern, executor) cell for
+/// [`ScenarioSuite::cases`] — the escape hatch for heterogeneous sweeps
+/// the cartesian product cannot express without deliberate error cells.
+///
+/// Build from tuples (`(spec, input, executor)` or
+/// `(spec, input, pattern, executor)`), or with [`CaseSpec::new`] /
+/// [`CaseSpec::shared`] plus the builder methods. `Arc`-shared
+/// components are deduplicated inside the suite, so a thousand-case
+/// seed sweep over one spec stores the spec once.
+pub struct CaseSpec<V, O = MaxCondition> {
+    spec: Arc<ProtocolSpec<V, O>>,
+    input: Arc<InputVector<V>>,
+    pattern: Option<Arc<Adversary>>,
+    executor: Executor,
+}
+
+impl<V: fmt::Debug, O> fmt::Debug for CaseSpec<V, O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CaseSpec")
+            .field("spec", &self.spec)
+            .field("input", &self.input)
+            .field("pattern", &self.pattern)
+            .field("executor", &self.executor)
+            .finish()
+    }
+}
+
+impl<V, O> CaseSpec<V, O> {
+    /// A failure-free case of `spec` on `input` under `executor`.
+    pub fn new(
+        spec: ProtocolSpec<V, O>,
+        input: impl Into<InputVector<V>>,
+        executor: Executor,
+    ) -> Self {
+        CaseSpec::shared(Arc::new(spec), Arc::new(input.into()), executor)
+    }
+
+    /// As [`CaseSpec::new`], from shared components (no copies; the
+    /// suite dedups `Arc`-identical components).
+    pub fn shared(
+        spec: Arc<ProtocolSpec<V, O>>,
+        input: Arc<InputVector<V>>,
+        executor: Executor,
+    ) -> Self {
+        CaseSpec {
+            spec,
+            input,
+            pattern: None,
+            executor,
+        }
+    }
+
+    /// Sets the case's adversary.
+    pub fn pattern(mut self, pattern: impl Into<Adversary>) -> Self {
+        self.pattern = Some(Arc::new(pattern.into()));
+        self
+    }
+
+    /// Sets an `Arc`-shared adversary.
+    pub fn pattern_shared(mut self, pattern: Arc<Adversary>) -> Self {
+        self.pattern = Some(pattern);
+        self
+    }
+}
+
+impl<V, O, I: Into<InputVector<V>>> From<(ProtocolSpec<V, O>, I, Executor)> for CaseSpec<V, O> {
+    fn from((spec, input, executor): (ProtocolSpec<V, O>, I, Executor)) -> Self {
+        CaseSpec::new(spec, input, executor)
+    }
+}
+
+impl<V, O, I: Into<InputVector<V>>, A: Into<Adversary>> From<(ProtocolSpec<V, O>, I, A, Executor)>
+    for CaseSpec<V, O>
+{
+    fn from((spec, input, pattern, executor): (ProtocolSpec<V, O>, I, A, Executor)) -> Self {
+        CaseSpec::new(spec, input, executor).pattern(pattern)
+    }
+}
+
+impl<V, O> From<(Arc<ProtocolSpec<V, O>>, Arc<InputVector<V>>, Executor)> for CaseSpec<V, O> {
+    fn from(
+        (spec, input, executor): (Arc<ProtocolSpec<V, O>>, Arc<InputVector<V>>, Executor),
+    ) -> Self {
+        CaseSpec::shared(spec, input, executor)
+    }
+}
+
+impl<V, O, A: Into<Adversary>> From<(Arc<ProtocolSpec<V, O>>, Arc<InputVector<V>>, A, Executor)>
+    for CaseSpec<V, O>
+{
+    fn from(
+        (spec, input, pattern, executor): (
+            Arc<ProtocolSpec<V, O>>,
+            Arc<InputVector<V>>,
+            A,
+            Executor,
+        ),
+    ) -> Self {
+        CaseSpec::shared(spec, input, executor).pattern(pattern)
+    }
+}
+
+/// A shareable hasher of one grid component into a key-pair half.
+type ComponentHasher<T> = Arc<dyn Fn(&T) -> (u64, u64) + Send + Sync>;
+
+/// The cache attachment: the cache itself plus the component hashers,
+/// constructed inside [`ScenarioSuite::cache`] where the `Hash` bounds
+/// hold so the rest of the suite stays bound-free.
+struct CacheBinding<V: Ord, O> {
+    cache: Arc<SuiteCache<V>>,
+    hash_spec: ComponentHasher<ProtocolSpec<V, O>>,
+    hash_input: ComponentHasher<InputVector<V>>,
+}
+
+impl<V: Ord, O> Clone for CacheBinding<V, O> {
+    fn clone(&self) -> Self {
+        CacheBinding {
+            cache: Arc::clone(&self.cache),
+            hash_spec: Arc::clone(&self.hash_spec),
+            hash_input: Arc::clone(&self.hash_input),
+        }
+    }
+}
+
+/// A cartesian batch of scenarios over one or more executors, plus any
+/// explicit cases.
+pub struct ScenarioSuite<V: Ord, O = MaxCondition> {
+    specs: Vec<Arc<ProtocolSpec<V, O>>>,
+    inputs: Vec<Arc<InputVector<V>>>,
+    patterns: Vec<Arc<Adversary>>,
     executors: Vec<Executor>,
+    // The component indices participating in the cartesian grid, in
+    // insertion order. Explicit cases reference components outside
+    // these lists, so the product never crosses them.
+    grid_specs: Vec<usize>,
+    grid_inputs: Vec<usize>,
+    grid_patterns: Vec<usize>,
+    grid_executors: Vec<usize>,
+    explicit: Vec<CellCoords>,
     round_limit: Option<usize>,
     step_budget: Option<u64>,
     threads: Option<usize>,
+    cache: Option<CacheBinding<V, O>>,
 }
 
-impl<V, O> Default for ScenarioSuite<V, O> {
+impl<V: Ord, O> Default for ScenarioSuite<V, O> {
     fn default() -> Self {
         ScenarioSuite {
             specs: Vec::new(),
             inputs: Vec::new(),
             patterns: Vec::new(),
             executors: Vec::new(),
+            grid_specs: Vec::new(),
+            grid_inputs: Vec::new(),
+            grid_patterns: Vec::new(),
+            grid_executors: Vec::new(),
+            explicit: Vec::new(),
             round_limit: None,
             step_budget: None,
             threads: None,
+            cache: None,
         }
     }
 }
 
-impl<V: fmt::Debug, O> fmt::Debug for ScenarioSuite<V, O> {
+impl<V: Ord + fmt::Debug, O> fmt::Debug for ScenarioSuite<V, O> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ScenarioSuite")
             .field("specs", &self.specs)
             .field("inputs", &self.inputs.len())
             .field("patterns", &self.patterns.len())
             .field("executors", &self.executors)
+            .field("explicit_cases", &self.explicit.len())
+            .field("cached", &self.cache.is_some())
             .finish()
     }
 }
 
-impl<V, O> ScenarioSuite<V, O> {
+impl<V: Ord, O> ScenarioSuite<V, O> {
     /// An empty suite (simulator executor, parallel execution).
     pub fn new() -> Self {
         Self::default()
     }
 
+    fn intern_spec(&mut self, spec: Arc<ProtocolSpec<V, O>>) -> usize {
+        match self.specs.iter().position(|s| Arc::ptr_eq(s, &spec)) {
+            Some(i) => i,
+            None => {
+                self.specs.push(spec);
+                self.specs.len() - 1
+            }
+        }
+    }
+
+    fn intern_input(&mut self, input: Arc<InputVector<V>>) -> usize {
+        match self.inputs.iter().position(|i| Arc::ptr_eq(i, &input)) {
+            Some(i) => i,
+            None => {
+                self.inputs.push(input);
+                self.inputs.len() - 1
+            }
+        }
+    }
+
+    fn intern_pattern(&mut self, pattern: Arc<Adversary>) -> usize {
+        match self.patterns.iter().position(|p| Arc::ptr_eq(p, &pattern)) {
+            Some(i) => i,
+            None => {
+                self.patterns.push(pattern);
+                self.patterns.len() - 1
+            }
+        }
+    }
+
+    fn intern_executor(&mut self, executor: Executor) -> usize {
+        match self.executors.iter().position(|e| *e == executor) {
+            Some(i) => i,
+            None => {
+                self.executors.push(executor);
+                self.executors.len() - 1
+            }
+        }
+    }
+
     /// Adds one protocol spec to the grid.
     pub fn spec(mut self, spec: ProtocolSpec<V, O>) -> Self {
-        self.specs.push(spec);
+        self.specs.push(Arc::new(spec));
+        self.grid_specs.push(self.specs.len() - 1);
+        self
+    }
+
+    /// Adds an `Arc`-shared spec to the grid without copying it.
+    pub fn spec_shared(mut self, spec: Arc<ProtocolSpec<V, O>>) -> Self {
+        let idx = self.intern_spec(spec);
+        self.grid_specs.push(idx);
         self
     }
 
     /// Adds several protocol specs.
     pub fn specs(mut self, specs: impl IntoIterator<Item = ProtocolSpec<V, O>>) -> Self {
-        self.specs.extend(specs);
+        for spec in specs {
+            self = self.spec(spec);
+        }
         self
     }
 
     /// Adds one input vector to the grid.
     pub fn input(mut self, input: impl Into<InputVector<V>>) -> Self {
-        self.inputs.push(input.into());
+        self.inputs.push(Arc::new(input.into()));
+        self.grid_inputs.push(self.inputs.len() - 1);
+        self
+    }
+
+    /// Adds an `Arc`-shared input vector to the grid.
+    pub fn input_shared(mut self, input: Arc<InputVector<V>>) -> Self {
+        let idx = self.intern_input(input);
+        self.grid_inputs.push(idx);
         self
     }
 
     /// Adds several input vectors.
     pub fn inputs(mut self, inputs: impl IntoIterator<Item = InputVector<V>>) -> Self {
-        self.inputs.extend(inputs);
+        for input in inputs {
+            self = self.input(input);
+        }
         self
     }
 
     /// Adds one adversary to the grid. When a suite has no patterns at
     /// all, every spec runs failure-free.
     pub fn pattern(mut self, pattern: impl Into<Adversary>) -> Self {
-        self.patterns.push(pattern.into());
+        self.patterns.push(Arc::new(pattern.into()));
+        self.grid_patterns.push(self.patterns.len() - 1);
+        self
+    }
+
+    /// Adds an `Arc`-shared adversary to the grid.
+    pub fn pattern_shared(mut self, pattern: Arc<Adversary>) -> Self {
+        let idx = self.intern_pattern(pattern);
+        self.grid_patterns.push(idx);
         self
     }
 
     /// Adds several adversaries.
     pub fn patterns(mut self, patterns: impl IntoIterator<Item = Adversary>) -> Self {
-        self.patterns.extend(patterns);
+        for pattern in patterns {
+            self = self.pattern(pattern);
+        }
         self
     }
 
@@ -136,12 +396,80 @@ impl<V, O> ScenarioSuite<V, O> {
     /// async executors carry their seed.
     pub fn executor(mut self, executor: Executor) -> Self {
         self.executors.push(executor);
+        self.grid_executors.push(self.executors.len() - 1);
         self
     }
 
     /// Adds several executors.
     pub fn executors(mut self, executors: impl IntoIterator<Item = Executor>) -> Self {
-        self.executors.extend(executors);
+        for executor in executors {
+            self = self.executor(executor);
+        }
+        self
+    }
+
+    /// Appends one explicit case — see [`ScenarioSuite::cases`].
+    pub fn case(mut self, case: impl Into<CaseSpec<V, O>>) -> Self {
+        let case = case.into();
+        let coords = CellCoords {
+            spec: self.intern_spec(case.spec),
+            input: self.intern_input(case.input),
+            pattern: case.pattern.map(|p| self.intern_pattern(p)),
+            executor: Some(self.intern_executor(case.executor)),
+        };
+        self.explicit.push(coords);
+        self
+    }
+
+    /// Appends explicit (spec, input, \[pattern,\] executor) cases to the
+    /// suite — the escape hatch for heterogeneous sweeps. The cartesian
+    /// product crosses *every* spec with *every* executor, so a grid
+    /// mixing round-based specs with async executors manufactures
+    /// deliberate `UnsupportedProtocol` error cells; explicit cases pair
+    /// each spec with exactly the executors (and adversaries) that can
+    /// run it. Explicit cases run after the grid cells, in insertion
+    /// order, and coexist with grid dimensions in one suite.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use setagree_conditions::{LegalityParams, MaxCondition};
+    /// use setagree_core::{CaseSpec, Executor, ProtocolSpec, ScenarioSuite};
+    ///
+    /// let params = LegalityParams::new(1, 1)?;
+    /// let async_spec = Arc::new(ProtocolSpec::async_set_agreement(
+    ///     4,
+    ///     params,
+    ///     MaxCondition::new(params),
+    /// ));
+    /// let input = Arc::new(vec![7u32, 7, 7, 2].into());
+    /// // A flood-set on the simulator next to an async seed sweep:
+    /// // inexpressible as a product without error cells.
+    /// let outcome = ScenarioSuite::new()
+    ///     .case((
+    ///         ProtocolSpec::flood_set(4, 2, 1),
+    ///         vec![3u32, 9, 1, 4],
+    ///         Executor::Simulator,
+    ///     ))
+    ///     .cases((0..4).map(|seed| {
+    ///         CaseSpec::shared(
+    ///             Arc::clone(&async_spec),
+    ///             Arc::clone(&input),
+    ///             Executor::AsyncSharedMemory { seed },
+    ///         )
+    ///     }))
+    ///     .run();
+    /// assert_eq!(outcome.len(), 5);
+    /// assert!(outcome.all_ok(), "no UnsupportedProtocol cells");
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn cases<I>(mut self, cases: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<CaseSpec<V, O>>,
+    {
+        for case in cases {
+            self = self.case(case);
+        }
         self
     }
 
@@ -172,17 +500,224 @@ impl<V, O> ScenarioSuite<V, O> {
         self
     }
 
-    /// The number of cases the grid expands to.
+    /// The number of cases the suite expands to (grid product plus
+    /// explicit cases).
     pub fn len(&self) -> usize {
-        self.specs.len()
-            * self.inputs.len()
-            * self.patterns.len().max(1)
-            * self.executors.len().max(1)
+        self.grid_len() + self.explicit.len()
     }
 
-    /// Whether the grid is empty.
+    fn grid_len(&self) -> usize {
+        self.grid_specs.len()
+            * self.grid_inputs.len()
+            * self.grid_patterns.len().max(1)
+            * self.grid_executors.len().max(1)
+    }
+
+    /// Whether the suite expands to no cases.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+impl<V, O> ScenarioSuite<V, O>
+where
+    V: ProposalValue + Hash,
+    O: Hash,
+{
+    /// Attaches a result cache: cells whose (spec, input, pattern,
+    /// executor-including-seed, round-limit/step-budget) coordinates
+    /// were already executed under this cache are served from it
+    /// without re-running the protocol. The run's [`SuiteReport`] (or
+    /// [`SuiteRunStats`]) exposes hit/miss counters; see
+    /// [`crate::cache`] for keying and persistence.
+    ///
+    /// The `Hash` bounds live only here: uncached suites accept value
+    /// and oracle types with no `Hash` at all.
+    pub fn cache(mut self, cache: &Arc<SuiteCache<V>>) -> Self {
+        self.cache = Some(CacheBinding {
+            cache: Arc::clone(cache),
+            hash_spec: Arc::new(|spec: &ProtocolSpec<V, O>| stable_pair(spec)),
+            hash_input: Arc::new(|input: &InputVector<V>| stable_pair(input)),
+        });
+        self
+    }
+}
+
+/// Per-run cache counters, shared between the workers and the consumer.
+#[derive(Debug, Default)]
+struct RunCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Gates how far workers may run ahead of the consumer's emission
+/// frontier. Claims are sequential, so admitting only cases within
+/// `window` of the frontier bounds the reorder buffer at `window`
+/// cells — channel backpressure alone would not: a slow cell at the
+/// front of grid order forces the consumer to drain every later
+/// completion into the buffer, freeing channel slots and letting the
+/// grid race arbitrarily far ahead.
+#[derive(Debug, Default)]
+struct ClaimWindow {
+    /// (cases emitted so far, consumer hung up).
+    frontier: Mutex<(usize, bool)>,
+    advanced: Condvar,
+}
+
+impl ClaimWindow {
+    /// Blocks until `case` is within `window` of the frontier; `false`
+    /// means the consumer is gone and the worker should stop.
+    ///
+    /// No deadlock: the very next case the consumer needs was claimed
+    /// before every later one and always satisfies
+    /// `case < frontier + window`, so its holder is never blocked here.
+    fn admit(&self, case: usize, window: usize) -> bool {
+        let mut state = self.frontier.lock().expect("window lock poisoned");
+        while !state.1 && case >= state.0 + window {
+            state = self.advanced.wait(state).expect("window lock poisoned");
+        }
+        !state.1
+    }
+
+    /// Records one emitted case, releasing workers waiting at the edge.
+    fn advance(&self) {
+        self.frontier.lock().expect("window lock poisoned").0 += 1;
+        self.advanced.notify_all();
+    }
+
+    /// Marks the consumer gone, releasing every waiting worker.
+    fn close(&self) {
+        self.frontier.lock().expect("window lock poisoned").1 = true;
+        self.advanced.notify_all();
+    }
+}
+
+/// The cache view of one run: the cache plus the component hashes,
+/// computed once per dimension entry instead of once per cell (an
+/// `ExplicitOracle` spec can be large; its hash is reused by every cell
+/// it participates in).
+struct CachePlan<V: Ord> {
+    cache: Arc<SuiteCache<V>>,
+    spec_hashes: Vec<(u64, u64)>,
+    input_hashes: Vec<(u64, u64)>,
+    pattern_hashes: Vec<(u64, u64)>,
+    settings_hash: (u64, u64),
+}
+
+impl<V: ProposalValue> CachePlan<V> {
+    fn key(&self, coords: CellCoords, executor: Executor) -> CacheKey {
+        let pattern = match coords.pattern {
+            Some(p) => self.pattern_hashes[p],
+            None => stable_pair(&"failure-free"),
+        };
+        CacheKey::combine(&[
+            self.spec_hashes[coords.spec],
+            self.input_hashes[coords.input],
+            pattern,
+            stable_pair(&executor),
+            self.settings_hash,
+        ])
+    }
+}
+
+/// An immutable snapshot of a suite, shared by the run's workers.
+struct GridPlan<V: Ord, O> {
+    specs: Vec<Arc<ProtocolSpec<V, O>>>,
+    inputs: Vec<Arc<InputVector<V>>>,
+    patterns: Vec<Arc<Adversary>>,
+    executors: Vec<Executor>,
+    grid_specs: Vec<usize>,
+    grid_inputs: Vec<usize>,
+    grid_patterns: Vec<usize>,
+    grid_executors: Vec<usize>,
+    explicit: Vec<CellCoords>,
+    round_limit: Option<usize>,
+    step_budget: Option<u64>,
+    total: usize,
+    cache: Option<CachePlan<V>>,
+    counters: Arc<RunCounters>,
+}
+
+impl<V: Ord, O> GridPlan<V, O> {
+    fn coords(&self, case: usize) -> CellCoords {
+        let pattern_count = self.grid_patterns.len().max(1);
+        let input_count = self.grid_inputs.len();
+        let spec_count = self.grid_specs.len();
+        let grid_len = spec_count * input_count * pattern_count * self.grid_executors.len().max(1);
+        if case >= grid_len {
+            return self.explicit[case - grid_len];
+        }
+        let pattern_slot = case % pattern_count;
+        let input_slot = (case / pattern_count) % input_count;
+        let spec_slot = (case / (pattern_count * input_count)) % spec_count;
+        let executor_slot = case / (pattern_count * input_count * spec_count);
+        CellCoords {
+            spec: self.grid_specs[spec_slot],
+            input: self.grid_inputs[input_slot],
+            pattern: self.grid_patterns.get(pattern_slot).copied(),
+            executor: self.grid_executors.get(executor_slot).copied(),
+        }
+    }
+}
+
+impl<V, O> GridPlan<V, O>
+where
+    V: ProposalValue + Send + Sync + 'static,
+    O: ConditionOracle<V> + Clone + Send + Sync + 'static,
+{
+    fn run_case(&self, case: usize) -> SuiteCase<V> {
+        let coords = self.coords(case);
+        let executor = coords
+            .executor
+            .map(|e| self.executors[e])
+            .unwrap_or_default();
+        let positioned = |result| SuiteCase {
+            spec_index: coords.spec,
+            input_index: coords.input,
+            pattern_index: coords.pattern,
+            executor_index: coords.executor,
+            result,
+        };
+
+        let key = self.cache.as_ref().map(|plan| plan.key(coords, executor));
+        if let (Some(plan), Some(key)) = (&self.cache, key) {
+            if let Some(result) = plan.cache.lookup(&key) {
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                return positioned(result);
+            }
+            self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        }
+
+        let mut scenario = Scenario::from_shared(Arc::clone(&self.specs[coords.spec]))
+            .input_shared(Arc::clone(&self.inputs[coords.input]))
+            .executor(executor);
+        if let Some(pattern) = coords.pattern {
+            scenario = scenario.pattern_shared(Arc::clone(&self.patterns[pattern]));
+        }
+        if let Some(limit) = self.round_limit {
+            scenario = scenario.round_limit(limit);
+        }
+        if let Some(budget) = self.step_budget {
+            scenario = scenario.step_budget(budget);
+        }
+        // A panicking protocol/oracle must cost its own cell, not the
+        // whole grid — mirroring how the threaded executor already
+        // degrades (per-case ProcessPanicked).
+        let result = panic::catch_unwind(panic::AssertUnwindSafe(|| scenario.run()))
+            .unwrap_or_else(|payload| {
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic payload".into());
+                Err(ExperimentError::Internal {
+                    message: format!("case panicked: {message}"),
+                })
+            });
+        if let (Some(plan), Some(key)) = (&self.cache, key) {
+            plan.cache.insert(key, result.clone());
+        }
+        positioned(result)
     }
 }
 
@@ -191,22 +726,8 @@ where
     V: ProposalValue + Send + Sync + 'static,
     O: ConditionOracle<V> + Clone + Send + Sync + 'static,
 {
-    /// Expands the grid and runs every case, in parallel, returning the
-    /// outcomes in grid order (pattern fastest, then input, then spec,
-    /// then executor).
-    ///
-    /// A case whose protocol or oracle panics is contained as a
-    /// positioned [`ExperimentError::Internal`]; note the process's
-    /// panic hook still prints each caught panic to stderr (the suite
-    /// deliberately does not swap the global hook, which would race
-    /// with unrelated threads).
-    pub fn run(&self) -> SuiteReport<V> {
-        let pattern_count = self.patterns.len().max(1);
-        let input_count = self.inputs.len();
-        let spec_count = self.specs.len();
-        let total = self.len();
-        let worker_count = self
-            .threads
+    fn worker_count(&self, total: usize) -> usize {
+        self.threads
             .unwrap_or_else(|| {
                 let parallelism = thread::available_parallelism()
                     .map(NonZeroUsize::get)
@@ -221,107 +742,282 @@ where
                     .iter()
                     .any(|e| matches!(e, Executor::Threaded));
                 if any_threaded {
-                    let max_n = self.specs.iter().map(ProtocolSpec::n).max().unwrap_or(1);
+                    let max_n = self.specs.iter().map(|s| s.n()).max().unwrap_or(1);
                     (parallelism / max_n.max(1)).max(1)
                 } else {
                     parallelism
                 }
             })
-            .min(total.max(1));
+            .min(total.max(1))
+    }
 
-        let run_case = |case: usize| -> SuiteCase<V> {
-            let pattern_index = case % pattern_count;
-            let input_index = (case / pattern_count) % input_count;
-            let spec_index = (case / (pattern_count * input_count)) % spec_count;
-            let executor_index = case / (pattern_count * input_count * spec_count);
-            let executor = self
-                .executors
-                .get(executor_index)
-                .copied()
-                .unwrap_or_default();
-            let mut scenario = Scenario::new(self.specs[spec_index].clone())
-                .input(self.inputs[input_index].clone())
-                .executor(executor);
-            if let Some(pattern) = self.patterns.get(pattern_index) {
-                scenario = scenario.pattern(pattern.clone());
-            }
-            if let Some(limit) = self.round_limit {
-                scenario = scenario.round_limit(limit);
-            }
-            if let Some(budget) = self.step_budget {
-                scenario = scenario.step_budget(budget);
-            }
-            // A panicking protocol/oracle must cost its own cell, not the
-            // whole grid — mirroring how the threaded executor already
-            // degrades (per-case ProcessPanicked).
-            let result = panic::catch_unwind(panic::AssertUnwindSafe(|| scenario.run()))
-                .unwrap_or_else(|payload| {
-                    let message = payload
-                        .downcast_ref::<&str>()
-                        .map(|s| (*s).to_string())
-                        .or_else(|| payload.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "opaque panic payload".into());
-                    Err(ExperimentError::Internal {
-                        message: format!("case panicked: {message}"),
+    fn plan(&self) -> GridPlan<V, O> {
+        let cache = self.cache.as_ref().map(|binding| CachePlan {
+            cache: Arc::clone(&binding.cache),
+            spec_hashes: self.specs.iter().map(|s| (binding.hash_spec)(s)).collect(),
+            input_hashes: self
+                .inputs
+                .iter()
+                .map(|i| (binding.hash_input)(i))
+                .collect(),
+            pattern_hashes: self.patterns.iter().map(|p| stable_pair(&**p)).collect(),
+            settings_hash: stable_pair(&(self.round_limit, self.step_budget)),
+        });
+        GridPlan {
+            specs: self.specs.clone(),
+            inputs: self.inputs.clone(),
+            patterns: self.patterns.clone(),
+            executors: self.executors.clone(),
+            grid_specs: self.grid_specs.clone(),
+            grid_inputs: self.grid_inputs.clone(),
+            grid_patterns: self.grid_patterns.clone(),
+            grid_executors: self.grid_executors.clone(),
+            explicit: self.explicit.clone(),
+            round_limit: self.round_limit,
+            step_budget: self.step_budget,
+            total: self.len(),
+            cache,
+            counters: Arc::new(RunCounters::default()),
+        }
+    }
+
+    /// Starts executing the suite and returns the [`SuiteRun`] iterator
+    /// over its cases, in deterministic grid order, as they complete.
+    ///
+    /// Cells execute on a worker pool (sized like
+    /// [`ScenarioSuite::run`]'s); a bounded reorder buffer — at most
+    /// `2 × workers` completed cells in flight — puts completions back
+    /// into grid order, so memory stays bounded however large the sweep
+    /// is. Dropping the iterator early stops the run: workers finish
+    /// their in-progress cell and exit.
+    pub fn stream(&self) -> SuiteRun<V> {
+        let plan = Arc::new(self.plan());
+        let total = plan.total;
+        let counters = Arc::clone(&plan.counters);
+        let worker_count = self.worker_count(total);
+        let source = if worker_count <= 1 {
+            let moved = plan;
+            RunSource::Inline(Box::new(move |case| moved.run_case(case)))
+        } else {
+            // The claim window keeps every claimed-but-unemitted case
+            // within `2 × workers` of the consumer's frontier, which
+            // bounds the reorder buffer (and the channel occupancy) at
+            // that window however the pool schedules.
+            let window_size = worker_count * 2;
+            let (tx, rx) = mpsc::sync_channel(window_size);
+            let next = Arc::new(AtomicUsize::new(0));
+            let window = Arc::new(ClaimWindow::default());
+            let handles = (0..worker_count)
+                .map(|_| {
+                    let plan = Arc::clone(&plan);
+                    let next = Arc::clone(&next);
+                    let window = Arc::clone(&window);
+                    let tx = tx.clone();
+                    thread::spawn(move || loop {
+                        let case = next.fetch_add(1, Ordering::Relaxed);
+                        if case >= plan.total {
+                            break;
+                        }
+                        // Both exits mean the consumer hung up (dropped
+                        // the iterator): stop claiming work.
+                        if !window.admit(case, window_size) {
+                            break;
+                        }
+                        if tx.send((case, plan.run_case(case))).is_err() {
+                            break;
+                        }
                     })
-                });
-            SuiteCase {
-                spec_index,
-                input_index,
-                pattern_index: self.patterns.get(pattern_index).map(|_| pattern_index),
-                executor_index: self.executors.get(executor_index).map(|_| executor_index),
-                result,
+                })
+                .collect();
+            RunSource::Workers {
+                rx: Some(rx),
+                window,
+                handles,
             }
         };
-
-        let mut cases: Vec<Option<SuiteCase<V>>> = (0..total).map(|_| None).collect();
-        if worker_count <= 1 {
-            for (case, slot) in cases.iter_mut().enumerate() {
-                *slot = Some(run_case(case));
-            }
-        } else {
-            let next = AtomicUsize::new(0);
-            thread::scope(|scope| {
-                let handles: Vec<_> = (0..worker_count)
-                    .map(|_| {
-                        scope.spawn(|| {
-                            let mut local = Vec::new();
-                            loop {
-                                let case = next.fetch_add(1, Ordering::Relaxed);
-                                if case >= total {
-                                    break;
-                                }
-                                local.push((case, run_case(case)));
-                            }
-                            local
-                        })
-                    })
-                    .collect();
-                for handle in handles {
-                    for (case, outcome) in handle.join().expect("suite worker panicked") {
-                        cases[case] = Some(outcome);
-                    }
-                }
-            });
+        SuiteRun {
+            total,
+            next_emit: 0,
+            pending: BTreeMap::new(),
+            source,
+            counters,
         }
+    }
+
+    /// Expands the suite and runs every case in parallel, returning the
+    /// outcomes in deterministic order (pattern fastest, then input,
+    /// then spec, then executor, then explicit cases) — a thin
+    /// collecting adapter over [`ScenarioSuite::stream`].
+    ///
+    /// A case whose protocol or oracle panics is contained as a
+    /// positioned [`ExperimentError::Internal`]; note the process's
+    /// panic hook still prints each caught panic to stderr (the suite
+    /// deliberately does not swap the global hook, which would race
+    /// with unrelated threads).
+    pub fn run(&self) -> SuiteReport<V> {
+        let mut stream = self.stream();
+        let mut cases = Vec::with_capacity(stream.len());
+        cases.extend(&mut stream);
         SuiteReport {
-            cases: cases
-                .into_iter()
-                .map(|c| c.expect("every case ran"))
-                .collect(),
+            cases,
+            cache_hits: stream.cache_hits(),
+            cache_misses: stream.cache_misses(),
+        }
+    }
+
+    /// Runs the suite, handing each [`SuiteCase`] to `sink` in
+    /// deterministic grid order as it completes — print a table row per
+    /// case and a terabyte-scale sweep needs constant memory. Returns
+    /// the run's totals.
+    pub fn run_streaming(&self, mut sink: impl FnMut(SuiteCase<V>)) -> SuiteRunStats {
+        let mut stream = self.stream();
+        let mut cases = 0;
+        for case in &mut stream {
+            cases += 1;
+            sink(case);
+        }
+        SuiteRunStats {
+            cases,
+            cache_hits: stream.cache_hits(),
+            cache_misses: stream.cache_misses(),
         }
     }
 }
 
+/// Where a [`SuiteRun`] gets its cases from.
+enum RunSource<V: Ord> {
+    /// Sequential: cells run lazily on the consuming thread, one per
+    /// `next()` call.
+    Inline(Box<dyn FnMut(usize) -> SuiteCase<V> + Send>),
+    /// Parallel: a worker pool sends completions through a bounded
+    /// channel, gated by the claim window; the consumer reorders them.
+    Workers {
+        rx: Option<mpsc::Receiver<(usize, SuiteCase<V>)>>,
+        window: Arc<ClaimWindow>,
+        handles: Vec<thread::JoinHandle<()>>,
+    },
+}
+
+/// A streaming suite execution: an iterator yielding every [`SuiteCase`]
+/// in deterministic grid order as cells complete. Produced by
+/// [`ScenarioSuite::stream`].
+///
+/// The iterator is exact-size; [`SuiteRun::cache_hits`] /
+/// [`SuiteRun::cache_misses`] read the run's cache counters at any
+/// point (they are final once the iterator is exhausted).
+pub struct SuiteRun<V: Ord> {
+    total: usize,
+    next_emit: usize,
+    pending: BTreeMap<usize, SuiteCase<V>>,
+    source: RunSource<V>,
+    counters: Arc<RunCounters>,
+}
+
+impl<V: ProposalValue> fmt::Debug for SuiteRun<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SuiteRun")
+            .field("total", &self.total)
+            .field("emitted", &self.next_emit)
+            .field("buffered", &self.pending.len())
+            .finish()
+    }
+}
+
+impl<V: ProposalValue> SuiteRun<V> {
+    /// Cache hits so far in this run (0 without an attached cache).
+    pub fn cache_hits(&self) -> u64 {
+        self.counters.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far in this run (0 without an attached cache).
+    pub fn cache_misses(&self) -> u64 {
+        self.counters.misses.load(Ordering::Relaxed)
+    }
+}
+
+impl<V: ProposalValue> Iterator for SuiteRun<V> {
+    type Item = SuiteCase<V>;
+
+    fn next(&mut self) -> Option<SuiteCase<V>> {
+        if self.next_emit >= self.total {
+            return None;
+        }
+        let case = match &mut self.source {
+            RunSource::Inline(run) => run(self.next_emit),
+            RunSource::Workers { rx, window, .. } => {
+                let case = loop {
+                    if let Some(case) = self.pending.remove(&self.next_emit) {
+                        break case;
+                    }
+                    let rx = rx.as_ref().expect("receiver lives until drop");
+                    match rx.recv() {
+                        Ok((index, case)) => {
+                            self.pending.insert(index, case);
+                        }
+                        Err(_) => panic!(
+                            "suite worker died before completing the grid \
+                             (case {} of {} never arrived)",
+                            self.next_emit, self.total
+                        ),
+                    }
+                };
+                window.advance();
+                case
+            }
+        };
+        self.next_emit += 1;
+        Some(case)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.total - self.next_emit;
+        (remaining, Some(remaining))
+    }
+}
+
+impl<V: ProposalValue> ExactSizeIterator for SuiteRun<V> {}
+
+impl<V: Ord> Drop for SuiteRun<V> {
+    fn drop(&mut self) {
+        if let RunSource::Workers {
+            rx,
+            window,
+            handles,
+        } = &mut self.source
+        {
+            // Hang up first — close the claim window and drop the
+            // receiver — so both blocked waits fail fast, then reap the
+            // workers (each finishes at most its in-progress cell).
+            window.close();
+            drop(rx.take());
+            for handle in handles.drain(..) {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// The totals of a [`ScenarioSuite::run_streaming`] execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct SuiteRunStats {
+    /// How many cases were emitted.
+    pub cases: usize,
+    /// Cache hits (0 without an attached cache).
+    pub cache_hits: u64,
+    /// Cache misses (0 without an attached cache).
+    pub cache_misses: u64,
+}
+
 /// One grid cell of a suite run.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SuiteCase<V: Ord> {
     /// Index into the suite's specs.
     pub spec_index: usize,
     /// Index into the suite's inputs.
     pub input_index: usize,
     /// Index into the suite's patterns (`None` for the implicit
-    /// failure-free run of a pattern-less suite).
+    /// failure-free run of a pattern-less suite or explicit case).
     pub pattern_index: Option<usize>,
     /// Index into the suite's executors (`None` for the implicit
     /// default-simulator run of an executor-less suite).
@@ -337,10 +1033,13 @@ impl<V: ProposalValue> SuiteCase<V> {
     }
 }
 
-/// The outcome of a [`ScenarioSuite`] run: every case, in grid order.
+/// The outcome of a [`ScenarioSuite`] run: every case, in grid order,
+/// plus the run's cache counters.
 #[derive(Debug)]
 pub struct SuiteReport<V: Ord> {
     cases: Vec<SuiteCase<V>>,
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 impl<V: ProposalValue> SuiteReport<V> {
@@ -357,6 +1056,39 @@ impl<V: ProposalValue> SuiteReport<V> {
     /// Whether the suite expanded to no cases.
     pub fn is_empty(&self) -> bool {
         self.cases.is_empty()
+    }
+
+    /// How many cells this run served from the attached [`SuiteCache`]
+    /// (0 when the suite had none). A fully warm rerun has
+    /// `cache_hits() == len()`: zero protocol executions happened.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// How many cells this run had to execute and fill into the cache
+    /// (0 when the suite had none — uncached cells are not misses).
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses
+    }
+
+    /// Looks one case up by its grid coordinates — the indices of the
+    /// spec/input/pattern/executor as they were added to the suite
+    /// (`None` for the implicit failure-free pattern or default
+    /// executor) — replacing hand-computed flat grid indices in table
+    /// binaries.
+    pub fn find(
+        &self,
+        spec: usize,
+        input: usize,
+        pattern: Option<usize>,
+        executor: Option<usize>,
+    ) -> Option<&SuiteCase<V>> {
+        self.cases.iter().find(|c| {
+            c.spec_index == spec
+                && c.input_index == input
+                && c.pattern_index == pattern
+                && c.executor_index == executor
+        })
     }
 
     /// Iterates over the successful reports.
@@ -457,6 +1189,54 @@ mod tests {
             assert_eq!(p.trace(), s.trace());
             assert_eq!(p.predicted_rounds(), s.predicted_rounds());
         }
+    }
+
+    #[test]
+    fn streaming_emits_run_cases_in_order() {
+        let batch = suite().run();
+        let mut streamed = Vec::new();
+        let stats = suite().run_streaming(|case| streamed.push(case));
+        assert_eq!(stats.cases, batch.len());
+        assert_eq!(stats.cache_hits, 0, "no cache attached");
+        assert_eq!(streamed.as_slice(), batch.cases());
+    }
+
+    #[test]
+    fn stream_iterator_is_exact_size_and_lazy_when_sequential() {
+        let suite = suite().threads(1);
+        let mut stream = suite.stream();
+        assert_eq!(stream.len(), 12);
+        let first = stream.next().unwrap();
+        assert_eq!((first.spec_index, first.pattern_index), (0, Some(0)));
+        assert_eq!(stream.len(), 11);
+        // Dropping mid-run is fine (and, sequentially, runs nothing
+        // more).
+        drop(stream);
+    }
+
+    #[test]
+    fn dropping_a_parallel_stream_mid_run_reaps_workers() {
+        let suite = suite().threads(4);
+        let mut stream = suite.stream();
+        let _ = stream.next().unwrap();
+        drop(stream); // must not hang or leak; workers unblock on the hangup
+    }
+
+    #[test]
+    fn large_grids_stream_in_order_through_the_claim_window() {
+        // 200 cells over 8 workers: the 16-cell claim window throttles
+        // and releases repeatedly; a window bug shows up here as a
+        // deadlock (test hangs) or an order violation.
+        let suite = ScenarioSuite::<u32>::new()
+            .spec(ProtocolSpec::flood_set(4, 2, 1))
+            .inputs((0..200u32).map(|i| InputVector::new(vec![i, 1, 2, 3])))
+            .threads(8);
+        let mut seen = 0;
+        let stats = suite.run_streaming(|case| {
+            assert_eq!(case.input_index, seen, "grid order through the window");
+            seen += 1;
+        });
+        assert_eq!(stats.cases, 200);
     }
 
     #[test]
@@ -627,6 +1407,7 @@ mod tests {
     fn incompatible_cells_fail_positioned_not_panicked() {
         // A flood-set spec cannot run on an async executor: that cell
         // becomes a positioned UnsupportedProtocol, the rest survive.
+        // (Explicit cases() are the way to avoid such cells entirely.)
         let outcome = ScenarioSuite::<u32>::new()
             .spec(ProtocolSpec::flood_set(4, 2, 1))
             .input(vec![3u32, 9, 1, 4])
@@ -638,5 +1419,153 @@ mod tests {
         assert_eq!(case.executor_index, Some(1));
         assert!(matches!(err, ExperimentError::UnsupportedProtocol { .. }));
         assert!(!outcome.all_ok());
+    }
+
+    #[test]
+    fn explicit_cases_express_heterogeneous_sweeps_without_error_cells() {
+        // The same pairing as the previous test, minus the deliberate
+        // error cell: flood-set on the simulator, the async spec on the
+        // async executors.
+        let params = setagree_conditions::LegalityParams::new(1, 1).unwrap();
+        let async_spec = Arc::new(ProtocolSpec::async_set_agreement(
+            4,
+            params,
+            MaxCondition::new(params),
+        ));
+        let async_input: Arc<InputVector<u32>> = Arc::new(vec![7u32, 7, 7, 2].into());
+        let outcome = ScenarioSuite::new()
+            .case((
+                ProtocolSpec::flood_set(4, 2, 1),
+                vec![3u32, 9, 1, 4],
+                Executor::Simulator,
+            ))
+            .cases((0..3).map(|seed| {
+                CaseSpec::shared(
+                    Arc::clone(&async_spec),
+                    Arc::clone(&async_input),
+                    Executor::AsyncSharedMemory { seed },
+                )
+            }))
+            .run();
+        assert_eq!(outcome.len(), 4);
+        assert!(outcome.all_ok(), "no manufactured UnsupportedProtocol");
+        // Shared components are interned once: all async cases point at
+        // the same spec/input indices, distinct executors.
+        assert_eq!(outcome.cases()[1].spec_index, 1);
+        assert_eq!(outcome.cases()[2].spec_index, 1);
+        assert_eq!(outcome.cases()[1].input_index, 1);
+        assert_ne!(
+            outcome.cases()[1].executor_index,
+            outcome.cases()[2].executor_index
+        );
+    }
+
+    #[test]
+    fn explicit_cases_coexist_with_a_grid() {
+        let outcome = ScenarioSuite::<u32>::new()
+            .spec(ProtocolSpec::flood_set(4, 2, 1))
+            .input(vec![3u32, 9, 1, 4])
+            .pattern(FailurePattern::none(4))
+            .case((
+                ProtocolSpec::early_deciding(4, 2, 1),
+                vec![5u32, 5, 5, 5],
+                FailurePattern::staircase(4, 2, 1),
+                Executor::Simulator,
+            ))
+            .run();
+        // 1 grid cell first, then the explicit case.
+        assert_eq!(outcome.len(), 2);
+        assert!(outcome.all_ok());
+        assert_eq!(outcome.cases()[0].spec_index, 0);
+        let explicit = &outcome.cases()[1];
+        assert_eq!(explicit.spec_index, 1);
+        assert_eq!(explicit.input_index, 1);
+        assert_eq!(explicit.pattern_index, Some(1));
+        assert_eq!(explicit.report().unwrap().executor(), Executor::Simulator);
+    }
+
+    #[test]
+    fn find_locates_cases_by_coordinates() {
+        let outcome = suite().executor(Executor::Simulator).run();
+        let case = outcome.find(2, 1, Some(0), Some(0)).expect("present");
+        assert_eq!(case.spec_index, 2);
+        assert_eq!(case.input_index, 1);
+        assert_eq!(case.pattern_index, Some(0));
+        assert!(outcome.find(7, 0, None, None).is_none());
+    }
+
+    #[test]
+    fn cached_suites_serve_warm_cells_without_reexecution() {
+        let cache = Arc::new(SuiteCache::new());
+        let cfg = config();
+        let build = || {
+            ScenarioSuite::new()
+                .spec(ProtocolSpec::condition_based(
+                    cfg,
+                    MaxCondition::new(cfg.legality()),
+                ))
+                .input(vec![5u32, 5, 1, 2, 5, 5])
+                .executors([Executor::Simulator, Executor::AsyncSharedMemory { seed: 9 }])
+                .cache(&cache)
+        };
+        let cold = build().run();
+        assert_eq!((cold.cache_hits(), cold.cache_misses()), (0, 2));
+        let warm = build().run();
+        assert_eq!(
+            (warm.cache_hits(), warm.cache_misses()),
+            (2, 0),
+            "every cell served warm: zero executions"
+        );
+        assert_eq!(cold.cases(), warm.cases(), "identical report");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cache_keys_distinguish_coordinates() {
+        // Same spec/input, different seed → different cells, both cold.
+        let cache = Arc::new(SuiteCache::new());
+        let params = setagree_conditions::LegalityParams::new(1, 1).unwrap();
+        let run = |seed| {
+            ScenarioSuite::new()
+                .spec(ProtocolSpec::async_set_agreement(
+                    4,
+                    params,
+                    MaxCondition::new(params),
+                ))
+                .input(vec![7u32, 7, 7, 2])
+                .executor(Executor::AsyncSharedMemory { seed })
+                .cache(&cache)
+                .run()
+        };
+        assert_eq!(run(1).cache_misses(), 1);
+        assert_eq!(run(2).cache_misses(), 1, "seed is part of the key");
+        assert_eq!(run(1).cache_hits(), 1, "seed 1 is warm now");
+        // A changed round limit must also miss.
+        let limited = ScenarioSuite::<u32>::new()
+            .spec(ProtocolSpec::flood_set(4, 2, 1))
+            .input(vec![3u32, 9, 1, 4])
+            .cache(&cache)
+            .round_limit(9)
+            .run();
+        assert_eq!(limited.cache_misses(), 1);
+    }
+
+    #[test]
+    fn cached_errors_replay_without_revalidation() {
+        let cache = Arc::new(SuiteCache::new());
+        let build = || {
+            ScenarioSuite::<u32>::new()
+                .spec(ProtocolSpec::flood_set(4, 2, 1))
+                .input(vec![3u32, 9, 1]) // wrong arity: a deterministic error
+                .cache(&cache)
+        };
+        let cold = build().run();
+        let warm = build().run();
+        assert_eq!(warm.cache_hits(), 1);
+        assert_eq!(cold.cases(), warm.cases());
+        assert!(matches!(
+            warm.failures().next().unwrap().1,
+            ExperimentError::InputSizeMismatch { .. }
+        ));
     }
 }

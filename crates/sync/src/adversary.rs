@@ -112,7 +112,7 @@ impl Error for PatternError {}
 /// assert_eq!(pattern.fault_count(), 2);
 /// # Ok::<(), setagree_sync::PatternError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct FailurePattern {
     n: usize,
     crashes: BTreeMap<ProcessId, CrashSpec>,
@@ -303,7 +303,7 @@ impl FailurePattern {
 /// A crash that loses an **arbitrary subset** of the crash-round
 /// broadcast — the standard synchronous model, used by the ablation runs
 /// (see [`run_protocol_unordered`](crate::engine::run_protocol_unordered)).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct SubsetCrash {
     /// The crash round (1-based).
     pub round: usize,
@@ -340,7 +340,7 @@ impl SubsetCrash {
 /// assert_eq!(pattern.fault_count(), 1);
 /// # Ok::<(), setagree_sync::PatternError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct UnorderedFailurePattern {
     n: usize,
     crashes: BTreeMap<ProcessId, SubsetCrash>,

@@ -52,7 +52,11 @@
 //! through [`ScenarioSuite`](core::ScenarioSuite), which fans the grid
 //! out across worker threads; a grid can mix synchronous and
 //! asynchronous cells, or sweep adversary seeds through the executor
-//! dimension.
+//! dimension. Suites stream their cases in deterministic grid order as
+//! cells complete (`run_streaming`), memoize cells in a persistable
+//! [`SuiteCache`](core::SuiteCache) — a warm rerun executes zero
+//! protocol steps — and take explicit `cases(...)` when a sweep pairs
+//! specific specs with specific executors instead of crossing them.
 
 #![forbid(unsafe_code)]
 

@@ -1,0 +1,237 @@
+//! The streaming suite engine's contract, property-tested:
+//!
+//! * **Streaming ≡ batch**: for any grid (mixed sync/async executors,
+//!   proptest-generated inputs and failure patterns), `stream()` /
+//!   `run_streaming` emit *exactly* `run()`'s cases, in grid order —
+//!   the reorder buffer over the worker pool never reorders, drops or
+//!   duplicates a cell.
+//! * **Warm caches execute nothing**: a rerun of a full mixed
+//!   synchronous/asynchronous grid against the cache its cold run
+//!   filled serves every cell warm (hit counter = grid size, miss
+//!   counter = 0) and reproduces a byte-identical report — including
+//!   through a save/load roundtrip of the persisted cache file.
+//! * **Explicit cases** (`cases(...)`) pair specs with exactly the
+//!   executors that can run them, and `SuiteReport::find` looks cells
+//!   up by coordinates instead of hand-computed flat indices.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use setagree::conditions::{LegalityParams, MaxCondition};
+use setagree::core::{
+    CaseSpec, ConditionBasedConfig, Executor, ProtocolSpec, ScenarioSuite, SuiteCache,
+};
+use setagree::sync::{CrashSpec, FailurePattern};
+use setagree::types::{InputVector, ProcessId};
+
+const N: usize = 6;
+
+fn pattern_strategy() -> impl Strategy<Value = FailurePattern> {
+    proptest::collection::vec((0usize..N, 1usize..=3, 0usize..=N), 0..=2).prop_map(|crashes| {
+        let mut pattern = FailurePattern::none(N);
+        let mut victims = std::collections::BTreeSet::new();
+        for (idx, round, prefix) in crashes {
+            if victims.len() >= 2 || !victims.insert(idx) {
+                continue;
+            }
+            pattern
+                .crash(ProcessId::new(idx), CrashSpec::new(round, prefix))
+                .expect("valid");
+        }
+        pattern
+    })
+}
+
+/// A mixed grid over the (6, 3, 2, 2, 1) system: a condition-based spec
+/// (runs on all four executor kinds) and two round-based baselines,
+/// under generated inputs and patterns.
+fn mixed_suite(
+    entries: &[Vec<u32>],
+    patterns: &[FailurePattern],
+    executors: &[Executor],
+) -> ScenarioSuite<u32, MaxCondition> {
+    let config = ConditionBasedConfig::builder(N, 3, 2)
+        .condition_degree(2)
+        .ell(1)
+        .build()
+        .expect("valid");
+    let mut suite = ScenarioSuite::new()
+        .spec(ProtocolSpec::condition_based(
+            config,
+            MaxCondition::new(config.legality()),
+        ))
+        .spec(ProtocolSpec::flood_set(N, 3, 2))
+        .inputs(entries.iter().map(|e| InputVector::new(e.clone())))
+        .patterns(patterns.iter().cloned().map(Into::into));
+    for &executor in executors {
+        suite = suite.executor(executor);
+    }
+    suite
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline streaming property: whatever the grid and however
+    /// the worker pool schedules it, the streamed cases are exactly the
+    /// batch cases, in the batch order.
+    #[test]
+    fn streaming_emits_exactly_the_batch_cases_in_grid_order(
+        entries in proptest::collection::vec(proptest::collection::vec(1u32..=9, N), 1..=3),
+        patterns in proptest::collection::vec(pattern_strategy(), 0..=2),
+        seed in 0u64..1000,
+    ) {
+        // Executors mix both models; crashing sync patterns on async
+        // executors produce positioned errors, which must stream
+        // identically too.
+        let executors = [
+            Executor::Simulator,
+            Executor::AsyncSharedMemory { seed },
+        ];
+        let suite = mixed_suite(&entries, &patterns, &executors);
+        let batch = suite.run();
+        prop_assert_eq!(batch.len(), 2 * entries.len() * patterns.len().max(1) * 2);
+
+        let mut streamed = Vec::new();
+        let stats = suite.run_streaming(|case| streamed.push(case));
+        prop_assert_eq!(stats.cases, batch.len());
+        prop_assert_eq!(streamed.as_slice(), batch.cases());
+
+        // The explicit iterator agrees as well (and is exact-size).
+        let mut run = suite.stream();
+        prop_assert_eq!(run.len(), batch.len());
+        let iterated: Vec<_> = run.by_ref().collect();
+        prop_assert_eq!(iterated.as_slice(), batch.cases());
+    }
+
+    /// A warm cache serves the whole grid without executing anything:
+    /// the hit counter equals the grid size and the report is
+    /// byte-identical to the cold one.
+    #[test]
+    fn warm_cache_reruns_are_identical_with_zero_executions(
+        entries in proptest::collection::vec(proptest::collection::vec(1u32..=9, N), 1..=2),
+        patterns in proptest::collection::vec(pattern_strategy(), 0..=1),
+        seed in 0u64..1000,
+    ) {
+        let executors = [
+            Executor::Simulator,
+            Executor::Threaded,
+            Executor::AsyncSharedMemory { seed },
+            Executor::AsyncMessagePassing { seed },
+        ];
+        let cache = Arc::new(SuiteCache::new());
+        let cold = mixed_suite(&entries, &patterns, &executors).cache(&cache).run();
+        prop_assert_eq!(cold.cache_hits(), 0);
+        prop_assert_eq!(cold.cache_misses() as usize, cold.len());
+
+        let warm = mixed_suite(&entries, &patterns, &executors).cache(&cache).run();
+        prop_assert_eq!(warm.cache_hits() as usize, warm.len(), "zero executions");
+        prop_assert_eq!(warm.cache_misses(), 0);
+        prop_assert_eq!(
+            format!("{:?}", warm.cases()).into_bytes(),
+            format!("{:?}", cold.cases()).into_bytes(),
+            "byte-identical report"
+        );
+    }
+}
+
+/// The acceptance shape spelled out: one full mixed sync/async grid,
+/// cold run persisted to a file, warm run from the *reloaded* file —
+/// still zero executions, still byte-identical, across the process
+/// boundary the file represents.
+#[test]
+fn persisted_cache_roundtrip_serves_a_mixed_grid_warm() {
+    let entries = vec![vec![5u32, 5, 1, 2, 5, 5], vec![9u32, 9, 9, 1, 2, 3]];
+    let patterns = vec![FailurePattern::none(N), FailurePattern::staircase(N, 3, 2)];
+    let executors = [
+        Executor::Simulator,
+        Executor::Threaded,
+        Executor::AsyncSharedMemory { seed: 11 },
+        Executor::AsyncMessagePassing { seed: 11 },
+    ];
+    let path = std::env::temp_dir().join("setagree-suite-streaming-roundtrip");
+    let _ = std::fs::remove_file(&path);
+
+    let cache = Arc::new(SuiteCache::new());
+    let cold = mixed_suite(&entries, &patterns, &executors)
+        .cache(&cache)
+        .run();
+    assert_eq!(cold.len(), 2 * 2 * 2 * 4);
+    assert_eq!(cold.cache_misses() as usize, cold.len());
+    cache.save(&path).expect("cache saves");
+
+    let reloaded = Arc::new(SuiteCache::load_or_empty(&path).expect("cache loads"));
+    assert_eq!(reloaded.len(), cold.len());
+    let warm = mixed_suite(&entries, &patterns, &executors)
+        .cache(&reloaded)
+        .run();
+    assert_eq!(
+        warm.cache_hits() as usize,
+        warm.len(),
+        "cache-hit counter equals grid size: zero protocol executions"
+    );
+    assert_eq!(warm.cache_misses(), 0);
+    assert_eq!(
+        format!("{:?}", warm.cases()),
+        format!("{:?}", cold.cases()),
+        "byte-identical report through the file"
+    );
+    std::fs::remove_file(&path).expect("cleanup");
+}
+
+/// Explicit cases express a heterogeneous sweep — round-based specs on
+/// synchronous executors next to an async seed sweep — with no
+/// manufactured `UnsupportedProtocol` cells, and `find` locates cells
+/// by their coordinates.
+#[test]
+fn explicit_cases_and_find_cover_heterogeneous_sweeps() {
+    let params = LegalityParams::new(1, 1).expect("valid");
+    let async_spec = Arc::new(ProtocolSpec::async_set_agreement(
+        4,
+        params,
+        MaxCondition::new(params),
+    ));
+    let async_input: Arc<InputVector<u32>> = Arc::new(vec![7u32, 7, 7, 2].into());
+
+    let outcome = ScenarioSuite::new()
+        .case((
+            ProtocolSpec::flood_set(4, 2, 1),
+            vec![3u32, 9, 1, 4],
+            Executor::Simulator,
+        ))
+        .case((
+            ProtocolSpec::flood_set(4, 2, 1),
+            vec![3u32, 9, 1, 4],
+            FailurePattern::staircase(4, 2, 1),
+            Executor::Threaded,
+        ))
+        .cases((0..5).map(|seed| {
+            CaseSpec::shared(
+                Arc::clone(&async_spec),
+                Arc::clone(&async_input),
+                Executor::AsyncSharedMemory { seed },
+            )
+        }))
+        .run();
+
+    assert_eq!(outcome.len(), 7);
+    assert!(outcome.all_ok(), "no deliberate error cells anywhere");
+
+    // find() instead of flat-index arithmetic: the two owned flood-set
+    // cases intern fresh components (indices 0 and 1), so the shared
+    // async sweep sits at spec/input index 2 with executors 2..7 as
+    // the seeds.
+    for executor in 2..7 {
+        let case = outcome
+            .find(2, 2, None, Some(executor))
+            .expect("async cell present");
+        assert_eq!(
+            case.report().expect("ran").executor(),
+            Executor::AsyncSharedMemory {
+                seed: (executor - 2) as u64
+            }
+        );
+    }
+    assert!(outcome.find(0, 0, None, Some(99)).is_none());
+}
