@@ -1,6 +1,8 @@
 //! Criterion benches for the protocols: end-to-end [`Scenario`] runs of
 //! the Figure 2 algorithm vs the baselines on the simulator, scaling with
-//! `n`, plus the asynchronous algorithm and the threaded executor.
+//! `n`, plus the asynchronous algorithm, the threaded executor, and the
+//! `broadcast` group tracking the zero-copy message fan-out on a
+//! heavy-message flood.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
@@ -9,7 +11,9 @@ use rand::SeedableRng;
 use setagree_bench::{in_condition_input, out_of_condition_input, spread_input};
 use setagree_conditions::MaxCondition;
 use setagree_core::{ConditionBasedConfig, Executor, ProtocolSpec, Scenario, ScenarioSuite};
-use setagree_sync::FailurePattern;
+use setagree_runtime::run_threaded;
+use setagree_sync::{run_protocol, FailurePattern, Step, SyncProtocol};
+use setagree_types::{ProcessId, View};
 
 fn config_for(n: usize) -> ConditionBasedConfig {
     // t ≈ n/2, k = 2, d = t − 2, ℓ = 2 — a representative operating point.
@@ -113,6 +117,75 @@ fn bench_executors(c: &mut Criterion) {
     group.finish();
 }
 
+/// A flood-style protocol with the paper's heavy message shape: the full
+/// `View<u32>` snapshot, re-broadcast and merged in place every round.
+/// Each round is n broadcasts fanned out to n recipients — exactly the
+/// O(n²) delivery pattern whose per-recipient deep clones the zero-copy
+/// engines eliminated.
+#[derive(Debug)]
+struct ViewFlood {
+    rounds: usize,
+    view: View<u32>,
+}
+
+impl ViewFlood {
+    fn system(n: usize, rounds: usize) -> Vec<ViewFlood> {
+        (0..n)
+            .map(|i| {
+                let mut view = View::all_bottom(n);
+                view.set(ProcessId::new(i), i as u32 + 1);
+                ViewFlood { rounds, view }
+            })
+            .collect()
+    }
+}
+
+impl SyncProtocol for ViewFlood {
+    type Msg = View<u32>;
+    type Output = u32;
+
+    fn message(&mut self, _round: usize) -> View<u32> {
+        self.view.clone()
+    }
+
+    fn receive(&mut self, _round: usize, _from: ProcessId, msg: &View<u32>) {
+        self.view.merge_from(msg);
+    }
+
+    fn compute(&mut self, round: usize) -> Step<u32> {
+        if round >= self.rounds {
+            // The per-round check on the clone-free distinct count.
+            Step::Decide(self.view.distinct_count() as u32)
+        } else {
+            Step::Continue
+        }
+    }
+}
+
+/// The broadcast hot path at large n: one owned `View` per sender per
+/// round, delivered n times by reference (simulator) or behind one `Arc`
+/// (threaded). Tracks the clone-elimination win alongside
+/// `suite_batch`/`suite_cache`.
+fn bench_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broadcast");
+    const ROUNDS: usize = 3;
+    for n in [16usize, 64, 128] {
+        let pattern = FailurePattern::none(n);
+        group.bench_with_input(BenchmarkId::new("simulator", n), &n, |b, &n| {
+            b.iter(|| run_protocol(ViewFlood::system(n, ROUNDS), &pattern, ROUNDS + 1).unwrap());
+        });
+    }
+    // The threaded executor spawns n OS threads per run; keep it to the
+    // mid sizes so the group stays runnable on small machines.
+    for n in [16usize, 64] {
+        let pattern = FailurePattern::none(n);
+        group.bench_with_input(BenchmarkId::new("threaded", n), &n, |b, &n| {
+            b.iter(|| run_threaded(ViewFlood::system(n, ROUNDS), &pattern, ROUNDS + 1).unwrap());
+        });
+    }
+    group.finish();
+}
+
 fn bench_suite_batch(c: &mut Criterion) {
     let mut group = c.benchmark_group("suite_batch");
     let mut rng = SmallRng::seed_from_u64(13);
@@ -194,6 +267,7 @@ criterion_group!(
     bench_async,
     bench_early_condition,
     bench_executors,
+    bench_broadcast,
     bench_suite_batch,
     bench_suite_cache
 );

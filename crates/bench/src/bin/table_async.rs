@@ -19,12 +19,28 @@
 //!   against a persisted [`SuiteCache`]: the second invocation serves
 //!   all cells warm — zero protocol executions — and prints the
 //!   identical table (the CI smoke step diffs exactly this). Cache
-//!   statistics go to stderr, keeping stdout diffable.
+//!   statistics go to stderr, keeping stdout diffable;
+//! * pass `--shard i/m` (0 ≤ i < m) to split the run across processes:
+//!   the shard claims every m-th cell of the deterministic sweep order
+//!   (cell c belongs to shard c mod m), executes only those, and merges
+//!   its results into the shared cache file. Shards print a one-line
+//!   summary instead of the tables — run every shard against one
+//!   `SETAGREE_SUITE_CACHE`, then an unsharded invocation serves the
+//!   whole table warm (the shards' key sets are disjoint, so each run's
+//!   load-execute-save unions cleanly). Shard runs sharing one cache
+//!   file must be **sequential**: `save` rewrites the file wholesale,
+//!   so a concurrent writer would clobber keys saved after it loaded.
+//!   Shards that must run concurrently need a cache file each.
 //!
 //! ```text
 //! cargo run -p setagree-bench --bin table_async
+//! # or, split across sequential processes:
+//! SETAGREE_SUITE_CACHE=f cargo run -p setagree-bench --bin table_async -- --shard 0/2
+//! SETAGREE_SUITE_CACHE=f cargo run -p setagree-bench --bin table_async -- --shard 1/2
+//! SETAGREE_SUITE_CACHE=f cargo run -p setagree-bench --bin table_async
 //! ```
 
+use std::process::exit;
 use std::sync::Arc;
 
 use setagree_conditions::{LegalityParams, MaxCondition};
@@ -34,6 +50,86 @@ use setagree_core::{
 use setagree_types::ProcessId;
 
 use setagree_bench::{Table, Workload};
+
+/// One shard of a cross-process run: this process claims the cells whose
+/// position in the deterministic sweep order is ≡ `index` (mod `modulus`).
+#[derive(Debug, Clone, Copy)]
+struct Shard {
+    index: usize,
+    modulus: usize,
+}
+
+/// Walks the deterministic cell order and decides which cells this
+/// process executes. Unsharded runs claim everything; the cursor still
+/// advances identically either way, so every shard agrees on which cell
+/// is which.
+#[derive(Debug)]
+struct CellClaimer {
+    shard: Option<Shard>,
+    cursor: usize,
+    claimed: usize,
+}
+
+impl CellClaimer {
+    fn new(shard: Option<Shard>) -> Self {
+        CellClaimer {
+            shard,
+            cursor: 0,
+            claimed: 0,
+        }
+    }
+
+    fn sharded(&self) -> bool {
+        self.shard.is_some()
+    }
+
+    /// Claims (or passes over) the next cell of the global order.
+    fn claims(&mut self) -> bool {
+        let mine = match self.shard {
+            None => true,
+            Some(s) => self.cursor % s.modulus == s.index,
+        };
+        self.cursor += 1;
+        if mine {
+            self.claimed += 1;
+        }
+        mine
+    }
+}
+
+/// Parses `--shard i/m` / `--shard=i/m` from the command line.
+fn parse_shard() -> Option<Shard> {
+    let mut args = std::env::args().skip(1);
+    let mut shard = None;
+    while let Some(arg) = args.next() {
+        let value = if let Some(v) = arg.strip_prefix("--shard=") {
+            v.to_string()
+        } else if arg == "--shard" {
+            match args.next() {
+                Some(v) => v,
+                None => usage("--shard needs a value"),
+            }
+        } else {
+            usage(&format!("unknown argument `{arg}`"))
+        };
+        let Some((i, m)) = value.split_once('/') else {
+            usage(&format!("malformed shard `{value}`"))
+        };
+        let (Ok(index), Ok(modulus)) = (i.parse::<usize>(), m.parse::<usize>()) else {
+            usage(&format!("malformed shard `{value}`"))
+        };
+        if modulus == 0 || index >= modulus {
+            usage(&format!("shard index {index} outside 0..{modulus}"));
+        }
+        shard = Some(Shard { index, modulus });
+    }
+    shard
+}
+
+fn usage(problem: &str) -> ! {
+    eprintln!("{problem}\nusage: table_async [--shard i/m]  (0 <= i < m)");
+    exit(2)
+}
 
 /// The table's aggregate over one sweep of seeds.
 #[derive(Default)]
@@ -47,7 +143,15 @@ struct SweepStats {
 fn main() {
     let n = 8;
     let seeds = 25u64;
+    let shard = parse_shard();
+    let mut claimer = CellClaimer::new(shard);
     let cache = load_cache();
+    if shard.is_some() && cache.is_none() {
+        eprintln!(
+            "note: --shard without SETAGREE_SUITE_CACHE executes its cells \
+             but has nowhere to merge them"
+        );
+    }
     let mut run_totals = SuiteRunStats::default();
 
     let mut table = Table::new(vec![
@@ -77,6 +181,7 @@ fn main() {
                 Substrate::SharedMemory,
                 &cache,
                 &mut run_totals,
+                &mut claimer,
             );
             let ok = stats.terminated == seeds as usize
                 && stats.max_decided <= ell
@@ -106,11 +211,21 @@ fn main() {
                 settled_ok: true,
                 ..SweepStats::default()
             };
+            // Explicit cases rather than an executor grid: a shard that
+            // claims none of this sweep's cells must run zero cells, and
+            // an executor-less *grid* would fall back to the implicit
+            // simulator. Cell-for-cell identical to the former grid when
+            // unsharded (one spec × one input × the seed executors).
+            let spec = Arc::new(ProtocolSpec::async_set_agreement(n, params, oracle));
+            let input = Arc::new(Workload::OutOfCondition { n, params }.inputs().remove(0));
             let suite = with_cache(
-                ScenarioSuite::new()
-                    .spec(ProtocolSpec::async_set_agreement(n, params, oracle))
-                    .inputs(Workload::OutOfCondition { n, params }.inputs())
-                    .executors((0..seeds).map(|seed| Executor::AsyncSharedMemory { seed })),
+                ScenarioSuite::new().cases((0..seeds).filter(|_| claimer.claims()).map(|seed| {
+                    CaseSpec::shared(
+                        Arc::clone(&spec),
+                        Arc::clone(&input),
+                        Executor::AsyncSharedMemory { seed },
+                    )
+                })),
                 &cache,
             );
             let run = suite.run_streaming(|case| {
@@ -137,21 +252,26 @@ fn main() {
         }
     }
 
-    println!("Asynchronous condition-based ℓ-set agreement (n = {n}) — Section 4");
-    println!("(shared-memory substrate: registers + atomic snapshot)");
-    println!();
-    println!("{table}");
-    println!(
-        "shape: terminates with ≤ ℓ values under ≤ x crashes when I ∈ C; \
-         forfeits termination (some processes block) when I ∉ C — {}",
-        if all_ok { "VERIFIED" } else { "FAILED" }
-    );
-    assert!(all_ok);
+    let sharded = claimer.sharded();
+    if !sharded {
+        println!("Asynchronous condition-based ℓ-set agreement (n = {n}) — Section 4");
+        println!("(shared-memory substrate: registers + atomic snapshot)");
+        println!();
+        println!("{table}");
+        println!(
+            "shape: terminates with ≤ ℓ values under ≤ x crashes when I ∈ C; \
+             forfeits termination (some processes block) when I ∉ C — {}",
+            if all_ok { "VERIFIED" } else { "FAILED" }
+        );
+        assert!(all_ok);
+    }
 
     // The message-passing substrate: same in-condition guarantees.
-    println!();
-    println!("Message-passing substrate (reliable channels, adversarial delivery):");
-    println!();
+    if !sharded {
+        println!();
+        println!("Message-passing substrate (reliable channels, adversarial delivery):");
+        println!();
+    }
     let mut mp = Table::new(vec![
         "x",
         "ℓ",
@@ -175,6 +295,7 @@ fn main() {
                 Substrate::MessagePassing,
                 &cache,
                 &mut run_totals,
+                &mut claimer,
             );
             let ok = stats.terminated == seeds as usize && stats.max_decided <= ell;
             mp_ok &= ok;
@@ -189,16 +310,27 @@ fn main() {
             ]);
         }
     }
-    println!("{mp}");
-    println!(
-        "in-condition guarantees carry over to native message passing — {}",
-        if mp_ok { "VERIFIED" } else { "FAILED" }
-    );
-    println!(
-        "(outside the condition, the raw collect is unsafe without register \
-         emulation — see setagree-async::message_passing docs)"
-    );
-    assert!(mp_ok);
+    if !sharded {
+        println!("{mp}");
+        println!(
+            "in-condition guarantees carry over to native message passing — {}",
+            if mp_ok { "VERIFIED" } else { "FAILED" }
+        );
+        println!(
+            "(outside the condition, the raw collect is unsafe without register \
+             emulation — see setagree-async::message_passing docs)"
+        );
+        assert!(mp_ok);
+    } else {
+        let Shard { index, modulus } = shard.expect("sharded");
+        // The shard's aggregates cover only its own cells, so the table
+        // verdicts are meaningless here; the full table comes from an
+        // unsharded run against the merged cache.
+        println!(
+            "shard {index}/{modulus}: executed {} of {} cell(s)",
+            claimer.claimed, claimer.cursor
+        );
+    }
 
     save_cache(&cache, run_totals);
 }
@@ -211,7 +343,8 @@ enum Substrate {
 
 /// One in-condition sweep: `seeds` cases pairing input #i with the
 /// seed-i executor and the seed-i crash schedule — a per-cell pairing
-/// (`cases(...)`), not a product, streamed into the aggregate.
+/// (`cases(...)`), not a product, streamed into the aggregate. A shard
+/// claims its cells through `claimer` and skips the rest.
 #[allow(clippy::too_many_arguments)]
 fn in_condition_sweep(
     n: usize,
@@ -222,6 +355,7 @@ fn in_condition_sweep(
     substrate: Substrate,
     cache: &Option<Arc<SuiteCache<u32>>>,
     run_totals: &mut SuiteRunStats,
+    claimer: &mut CellClaimer,
 ) -> SweepStats {
     let workload = Workload::InCondition {
         n,
@@ -232,7 +366,7 @@ fn in_condition_sweep(
     let inputs = workload.inputs();
     let spec = Arc::new(ProtocolSpec::async_set_agreement(n, params, oracle));
     let suite = with_cache(
-        ScenarioSuite::new().cases((0..seeds).map(|seed| {
+        ScenarioSuite::new().cases((0..seeds).filter(|_| claimer.claims()).map(|seed| {
             let executor = match substrate {
                 Substrate::SharedMemory => Executor::AsyncSharedMemory { seed },
                 Substrate::MessagePassing => Executor::AsyncMessagePassing { seed },

@@ -61,6 +61,7 @@ proptest! {
             }
             Some(decoded) => {
                 prop_assert!(cond.matches_view(&j));
+                prop_assert!(decoded.len() <= p.ell().min(j.distinct_count()));
                 let observed = j.distinct_values();
                 prop_assert!(decoded.iter().all(|v| observed.contains(v)));
                 for completion in cond.completions_of(&j) {

@@ -86,9 +86,9 @@ impl<V: ProposalValue> SyncProtocol for FloodSet<V> {
         self.estimate.clone()
     }
 
-    fn receive(&mut self, _round: usize, _from: ProcessId, msg: V) {
-        if msg > self.estimate {
-            self.estimate = msg;
+    fn receive(&mut self, _round: usize, _from: ProcessId, msg: &V) {
+        if *msg > self.estimate {
+            self.estimate = msg.clone();
         }
     }
 
@@ -161,7 +161,7 @@ mod tests {
             fn message(&mut self, r: usize) -> u32 {
                 self.0.message(r)
             }
-            fn receive(&mut self, r: usize, from: ProcessId, m: u32) {
+            fn receive(&mut self, r: usize, from: ProcessId, m: &u32) {
                 self.0.receive(r, from, m);
             }
             fn compute(&mut self, round: usize) -> Step<u32> {

@@ -193,16 +193,18 @@ impl<V: ProposalValue, O: ConditionOracle<V>> SyncProtocol for ConditionBased<V,
         }
     }
 
-    fn receive(&mut self, round: usize, from: ProcessId, msg: CbMessage<V>) {
+    fn receive(&mut self, round: usize, from: ProcessId, msg: &CbMessage<V>) {
         match msg {
             CbMessage::Proposal(v) => {
                 debug_assert_eq!(round, 1, "proposals only fly in round 1");
-                self.view.set(from, v);
+                self.view.set(from, v.clone());
             }
             CbMessage::State { cond, tmf, out } => {
-                fn fold<V: Ord>(acc: &mut Option<V>, v: Option<V>) {
-                    if v > *acc {
-                        *acc = v;
+                // The message is shared with every recipient; clone a slot
+                // only when it improves the fold.
+                fn fold<V: Clone + Ord>(acc: &mut Option<V>, v: &Option<V>) {
+                    if v.as_ref() > acc.as_ref() {
+                        *acc = v.clone();
                     }
                 }
                 fold(&mut self.recv_cond, cond);

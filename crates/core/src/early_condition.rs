@@ -169,12 +169,12 @@ impl<V: ProposalValue, O: ConditionOracle<V>> SyncProtocol for EarlyConditionBas
         }
     }
 
-    fn receive(&mut self, round: usize, from: ProcessId, msg: EcbMessage<V>) {
+    fn receive(&mut self, round: usize, from: ProcessId, msg: &EcbMessage<V>) {
         self.heard_now += 1;
         match msg {
             EcbMessage::Proposal(v) => {
                 debug_assert_eq!(round, 1);
-                self.view.set(from, v);
+                self.view.set(from, v.clone());
             }
             EcbMessage::State {
                 cond,
@@ -182,15 +182,17 @@ impl<V: ProposalValue, O: ConditionOracle<V>> SyncProtocol for EarlyConditionBas
                 out,
                 deciding,
             } => {
-                fn fold<V: Ord>(acc: &mut Option<V>, v: Option<V>) {
-                    if v > *acc {
-                        *acc = v;
+                // The message is shared with every recipient; clone a slot
+                // only when it improves the fold.
+                fn fold<V: Clone + Ord>(acc: &mut Option<V>, v: &Option<V>) {
+                    if v.as_ref() > acc.as_ref() {
+                        *acc = v.clone();
                     }
                 }
                 fold(&mut self.recv_cond, cond);
                 fold(&mut self.recv_tmf, tmf);
                 fold(&mut self.recv_out, out);
-                if deciding {
+                if *deciding {
                     self.deciding = true;
                 }
             }

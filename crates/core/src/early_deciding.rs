@@ -98,10 +98,10 @@ impl<V: ProposalValue> SyncProtocol for EarlyDeciding<V> {
         }
     }
 
-    fn receive(&mut self, _round: usize, _from: ProcessId, msg: EdMessage<V>) {
+    fn receive(&mut self, _round: usize, _from: ProcessId, msg: &EdMessage<V>) {
         self.heard_now += 1;
         if msg.estimate < self.estimate {
-            self.estimate = msg.estimate;
+            self.estimate = msg.estimate.clone();
         }
         if msg.deciding {
             // The sender decided: adopt its announcement schedule.

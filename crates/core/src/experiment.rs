@@ -1045,12 +1045,13 @@ impl<V: ProposalValue, O: ConditionOracle<V> + Clone> Scenario<V, O> {
 
 impl<V, O> Scenario<V, O>
 where
-    V: ProposalValue + Send + 'static,
+    V: ProposalValue + Send + Sync + 'static,
     O: ConditionOracle<V> + Clone + Send + 'static,
 {
     /// Runs the scenario on the configured executor.
     ///
-    /// The `Send + 'static` bounds exist for the threaded arm; a
+    /// The `Send + Sync + 'static` bounds exist for the threaded arm
+    /// (recipient threads share each broadcast behind an `Arc`); a
     /// non-`Send` oracle can still run on the simulator through
     /// [`Scenario::run_simulated`].
     ///

@@ -273,7 +273,7 @@ mod tests {
         type Msg = ();
         type Output = u32;
         fn message(&mut self, _round: usize) {}
-        fn receive(&mut self, _round: usize, _from: ProcessId, _msg: ()) {}
+        fn receive(&mut self, _round: usize, _from: ProcessId, _msg: &()) {}
         fn compute(&mut self, _round: usize) -> Step<u32> {
             Step::Decide(self.0)
         }

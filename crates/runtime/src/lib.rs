@@ -29,8 +29,8 @@
 //!     type Msg = u32;
 //!     type Output = u32;
 //!     fn message(&mut self, _round: usize) -> u32 { self.best }
-//!     fn receive(&mut self, _round: usize, _from: ProcessId, msg: u32) {
-//!         self.best = self.best.max(msg);
+//!     fn receive(&mut self, _round: usize, _from: ProcessId, msg: &u32) {
+//!         self.best = self.best.max(*msg);
 //!     }
 //!     fn compute(&mut self, round: usize) -> Step<u32> {
 //!         if round >= 3 { Step::Decide(self.best) } else { Step::Continue }
@@ -104,11 +104,16 @@ impl fmt::Display for ThreadedError {
 impl Error for ThreadedError {}
 
 /// A round-`r` message from `from`.
-#[derive(Debug, Clone)]
+///
+/// The payload is behind an [`Arc`]: a broadcast allocates the message
+/// once and fans it out as `n` reference bumps, so the channel layer adds
+/// zero deep clones to a round (which is why `P::Msg` needs `Sync` here —
+/// every recipient thread borrows the same allocation).
+#[derive(Debug)]
 struct Envelope<M> {
     round: usize,
     from: ProcessId,
-    msg: M,
+    msg: Arc<M>,
 }
 
 /// Runs the protocol instances on one thread each, rounds realized by a
@@ -125,7 +130,7 @@ pub fn run_threaded<P>(
 ) -> Result<Trace<P::Output>, ThreadedError>
 where
     P: SyncProtocol + Send + 'static,
-    P::Msg: Send,
+    P::Msg: Send + Sync,
     P::Output: Send,
 {
     let n = processes.len();
@@ -177,7 +182,9 @@ where
                         _ => n,
                     };
                     let sent = panic::catch_unwind(panic::AssertUnwindSafe(|| {
-                        let msg = proto.message(round);
+                        // One owned message per sender per round; the
+                        // fan-out below is n `Arc` bumps, zero deep clones.
+                        let msg = Arc::new(proto.message(round));
                         for recipient in 0..reach.min(n) {
                             if settled[recipient].load(Ordering::SeqCst) {
                                 continue;
@@ -187,7 +194,7 @@ where
                                 .send(Envelope {
                                     round,
                                     from: me,
-                                    msg: msg.clone(),
+                                    msg: Arc::clone(&msg),
                                 })
                                 .expect("receiver outlives the round");
                         }
@@ -216,7 +223,7 @@ where
                             debug_assert!(inbox.iter().all(|e| e.round == round));
                             inbox.sort_by_key(|e| e.from);
                             for env in inbox {
-                                proto.receive(env.round, env.from, env.msg);
+                                proto.receive(env.round, env.from, &env.msg);
                             }
                             proto.compute(round)
                         }));
@@ -299,8 +306,8 @@ mod tests {
         fn message(&mut self, _round: usize) -> u32 {
             self.best
         }
-        fn receive(&mut self, _round: usize, _from: ProcessId, msg: u32) {
-            self.best = self.best.max(msg);
+        fn receive(&mut self, _round: usize, _from: ProcessId, msg: &u32) {
+            self.best = self.best.max(*msg);
         }
         fn compute(&mut self, round: usize) -> Step<u32> {
             if round >= self.rounds {
@@ -354,7 +361,7 @@ mod tests {
             type Msg = ();
             type Output = u32;
             fn message(&mut self, _round: usize) {}
-            fn receive(&mut self, _round: usize, _from: ProcessId, _msg: ()) {}
+            fn receive(&mut self, _round: usize, _from: ProcessId, _msg: &()) {}
             fn compute(&mut self, _round: usize) -> Step<u32> {
                 if self.explode {
                     panic!("protocol bug");
@@ -396,7 +403,7 @@ mod tests {
             type Msg = ();
             type Output = u32;
             fn message(&mut self, _round: usize) {}
-            fn receive(&mut self, _round: usize, _from: ProcessId, _msg: ()) {}
+            fn receive(&mut self, _round: usize, _from: ProcessId, _msg: &()) {}
             fn compute(&mut self, _round: usize) -> Step<u32> {
                 Step::Continue
             }

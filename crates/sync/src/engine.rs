@@ -194,7 +194,9 @@ pub(crate) fn run_with_policy<P: SyncProtocol, D: DeliveryPolicy>(
         }
 
         // Receive phase: deliveries in sender order, to processes that are
-        // still participating this round.
+        // still participating this round. Every recipient borrows the one
+        // owned message the sender produced — a round's fan-out is n
+        // deliveries, zero clones.
         for &(sender, ref msg, crashing_now) in &sends {
             for recipient in 0..n {
                 if outcomes[recipient].is_some() {
@@ -209,7 +211,7 @@ pub(crate) fn run_with_policy<P: SyncProtocol, D: DeliveryPolicy>(
                 {
                     continue;
                 }
-                procs[recipient].receive(round, ProcessId::new(sender), msg.clone());
+                procs[recipient].receive(round, ProcessId::new(sender), msg);
                 messages_delivered += 1;
             }
         }
@@ -254,7 +256,6 @@ mod tests {
     /// prefix semantics to the tests).
     #[derive(Debug)]
     struct Flood {
-        n: usize,
         rounds: usize,
         view: View<u32>,
     }
@@ -263,7 +264,7 @@ mod tests {
         fn new(me: usize, n: usize, input: u32, rounds: usize) -> Self {
             let mut view = View::all_bottom(n);
             view.set(ProcessId::new(me), input);
-            Flood { n, rounds, view }
+            Flood { rounds, view }
         }
     }
 
@@ -275,12 +276,8 @@ mod tests {
             self.view.clone()
         }
 
-        fn receive(&mut self, _round: usize, _from: ProcessId, msg: View<u32>) {
-            for i in 0..self.n {
-                if let Some(v) = msg.get(ProcessId::new(i)) {
-                    self.view.set(ProcessId::new(i), *v);
-                }
-            }
+        fn receive(&mut self, _round: usize, _from: ProcessId, msg: &View<u32>) {
+            self.view.merge_from(msg);
         }
 
         fn compute(&mut self, round: usize) -> Step<View<u32>> {
@@ -396,7 +393,7 @@ mod tests {
             type Msg = ();
             type Output = usize;
             fn message(&mut self, _round: usize) {}
-            fn receive(&mut self, round: usize, _from: ProcessId, _msg: ()) {
+            fn receive(&mut self, round: usize, _from: ProcessId, _msg: &()) {
                 if round == 2 {
                     self.round2_msgs += 1;
                 }
@@ -444,7 +441,7 @@ mod tests {
             type Msg = ();
             type Output = u32;
             fn message(&mut self, _round: usize) {}
-            fn receive(&mut self, _round: usize, _from: ProcessId, _msg: ()) {}
+            fn receive(&mut self, _round: usize, _from: ProcessId, _msg: &()) {}
             fn compute(&mut self, _round: usize) -> Step<u32> {
                 Step::Continue
             }

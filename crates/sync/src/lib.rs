@@ -30,8 +30,8 @@
 //!     type Msg = u32;
 //!     type Output = u32;
 //!     fn message(&mut self, _round: usize) -> u32 { self.input }
-//!     fn receive(&mut self, _round: usize, _from: ProcessId, msg: u32) {
-//!         self.best = self.best.max(msg);
+//!     fn receive(&mut self, _round: usize, _from: ProcessId, msg: &u32) {
+//!         self.best = self.best.max(*msg);
 //!     }
 //!     fn compute(&mut self, _round: usize) -> Step<u32> { Step::Decide(self.best) }
 //! }

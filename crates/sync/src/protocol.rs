@@ -51,9 +51,17 @@ impl<Out: fmt::Display> fmt::Display for Step<Out> {
 ///    [`Step::Decide`] ends the process's participation.
 ///
 /// Rounds are numbered from 1, matching the paper.
+///
+/// Delivery is **zero-copy**: a broadcast produces one owned message per
+/// sender per round, and every executor hands that same message to each
+/// recipient by reference — the simulator delivers `n` borrows of the
+/// sender's message, the threaded runtime fans one `Arc` out through the
+/// channels. `Msg` therefore needs no `Clone` bound; a receiver that wants
+/// to keep part of a message clones exactly the pieces it stores (or
+/// merges them in place, e.g. `View::merge_from`).
 pub trait SyncProtocol {
     /// The broadcast payload type.
-    type Msg: Clone + fmt::Debug;
+    type Msg: fmt::Debug;
     /// The decision value type (ordered so traces can collect decided-value
     /// sets).
     type Output: Clone + Ord + fmt::Debug;
@@ -62,7 +70,10 @@ pub trait SyncProtocol {
     fn message(&mut self, round: usize) -> Self::Msg;
 
     /// Delivery of `msg` broadcast by `from` in `round`.
-    fn receive(&mut self, round: usize, from: ProcessId, msg: Self::Msg);
+    ///
+    /// The message is borrowed: all `n` recipients of a broadcast observe
+    /// the same owned message. Clone only what the process keeps.
+    fn receive(&mut self, round: usize, from: ProcessId, msg: &Self::Msg);
 
     /// End-of-round computation.
     fn compute(&mut self, round: usize) -> Step<Self::Output>;

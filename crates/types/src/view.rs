@@ -107,6 +107,15 @@ impl<V: ProposalValue> View<V> {
         self.entries.iter().flatten().cloned().collect()
     }
 
+    /// `|val(J)|`: the number of distinct non-`⊥` values, without cloning
+    /// any value out of the view (mirrors
+    /// [`InputVector::distinct_count`](crate::InputVector::distinct_count)
+    /// — use it in checks that would otherwise materialize
+    /// [`distinct_values`](View::distinct_values) only to take `.len()`).
+    pub fn distinct_count(&self) -> usize {
+        self.entries.iter().flatten().collect::<BTreeSet<_>>().len()
+    }
+
     /// `#_v(J)`: the number of non-`⊥` entries equal to `v`.
     pub fn count_of(&self, v: &V) -> usize {
         self.entries
@@ -262,7 +271,20 @@ mod tests {
         let j = View::<u32>::all_bottom(4);
         assert_eq!(j.count_bottom(), 4);
         assert_eq!(j.distinct_values(), BTreeSet::new());
+        assert_eq!(j.distinct_count(), 0);
         assert_eq!(j.max_value(), None);
+    }
+
+    #[test]
+    fn distinct_count_matches_distinct_values() {
+        for entries in [
+            vec![Some(1u32), Some(1), None, Some(2)],
+            vec![Some(3), Some(2), Some(1)],
+            vec![None, Some(7)],
+        ] {
+            let j = View::from_options(entries);
+            assert_eq!(j.distinct_count(), j.distinct_values().len());
+        }
     }
 
     #[test]

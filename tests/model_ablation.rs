@@ -39,8 +39,8 @@ impl SyncProtocol for ViewCollector {
             .copied()
             .expect("own value present")
     }
-    fn receive(&mut self, _round: usize, from: ProcessId, msg: u32) {
-        self.view.set(from, msg);
+    fn receive(&mut self, _round: usize, from: ProcessId, msg: &u32) {
+        self.view.set(from, *msg);
     }
     fn compute(&mut self, _round: usize) -> Step<View<u32>> {
         Step::Decide(self.view.clone())
