@@ -255,7 +255,10 @@ fn main() {
     let sharded = claimer.sharded();
     if !sharded {
         println!("Asynchronous condition-based ℓ-set agreement (n = {n}) — Section 4");
-        println!("(shared-memory substrate: registers + atomic snapshot)");
+        println!(
+            "({} substrate: registers + atomic snapshot)",
+            Substrate::SharedMemory.label()
+        );
         println!();
         println!("{table}");
         println!(
@@ -269,7 +272,10 @@ fn main() {
     // The message-passing substrate: same in-condition guarantees.
     if !sharded {
         println!();
-        println!("Message-passing substrate (reliable channels, adversarial delivery):");
+        println!(
+            "{} substrate (reliable channels, adversarial delivery):",
+            Substrate::MessagePassing.label()
+        );
         println!();
     }
     let mut mp = Table::new(vec![
@@ -327,8 +333,11 @@ fn main() {
         // verdicts are meaningless here; the full table comes from an
         // unsharded run against the merged cache.
         println!(
-            "shard {index}/{modulus}: executed {} of {} cell(s)",
-            claimer.claimed, claimer.cursor
+            "shard {index}/{modulus}: executed {} of {} cell(s) across the {} and {} executors",
+            claimer.claimed,
+            claimer.cursor,
+            Substrate::SharedMemory.label(),
+            Substrate::MessagePassing.label()
         );
     }
 
@@ -339,6 +348,22 @@ fn main() {
 enum Substrate {
     SharedMemory,
     MessagePassing,
+}
+
+impl Substrate {
+    /// The seed-`seed` executor of this substrate.
+    fn executor(self, seed: u64) -> Executor {
+        match self {
+            Substrate::SharedMemory => Executor::AsyncSharedMemory { seed },
+            Substrate::MessagePassing => Executor::AsyncMessagePassing { seed },
+        }
+    }
+
+    /// The substrate's display name — the executor family's own label,
+    /// so headings and shard summaries never drift from the `Report`s.
+    fn label(self) -> &'static str {
+        self.executor(0).label()
+    }
 }
 
 /// One in-condition sweep: `seeds` cases pairing input #i with the
@@ -367,10 +392,7 @@ fn in_condition_sweep(
     let spec = Arc::new(ProtocolSpec::async_set_agreement(n, params, oracle));
     let suite = with_cache(
         ScenarioSuite::new().cases((0..seeds).filter(|_| claimer.claims()).map(|seed| {
-            let executor = match substrate {
-                Substrate::SharedMemory => Executor::AsyncSharedMemory { seed },
-                Substrate::MessagePassing => Executor::AsyncMessagePassing { seed },
-            };
+            let executor = substrate.executor(seed);
             CaseSpec::shared(
                 Arc::clone(&spec),
                 Arc::new(inputs[seed as usize].clone()),

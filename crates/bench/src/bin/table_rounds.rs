@@ -18,7 +18,7 @@
 //! ```
 
 use setagree_conditions::MaxCondition;
-use setagree_core::{ConditionBasedConfig, ProtocolSpec, ScenarioSuite};
+use setagree_core::{ConditionBasedConfig, Executor, ProtocolSpec, ScenarioSuite};
 use setagree_sync::{CrashSpec, FailurePattern};
 use setagree_types::ProcessId;
 
@@ -50,7 +50,10 @@ fn main() {
     let pattern_names = ["none", "few", "stair", "initial"];
 
     println!("Round complexity of condition-based k-set agreement (Figure 2) vs baseline");
-    println!("(rows stream as grid cells finish)");
+    println!(
+        "(rows stream as grid cells finish; executor: {})",
+        Executor::Simulator.label()
+    );
     println!();
     table.header();
 

@@ -65,7 +65,7 @@ use setagree_conditions::LegalityParams;
 use setagree_sync::{Outcome, Trace};
 use setagree_types::{InputVector, ProcessId, ProposalValue};
 
-use crate::experiment::{Executor, ExperimentError, ProtocolKind};
+use crate::experiment::{Executor, ExperimentError, ProtocolKind, TransportKind};
 use crate::report::{Execution, Report};
 
 /// Bumped whenever the key derivation or the file codec changes shape;
@@ -394,6 +394,12 @@ fn encode_executor(executor: Executor) -> String {
         Executor::Threaded => "thr".into(),
         Executor::AsyncSharedMemory { seed } => format!("asm {seed}"),
         Executor::AsyncMessagePassing { seed } => format!("amp {seed}"),
+        Executor::Networked {
+            transport: TransportKind::Loopback,
+        } => "net-lb".into(),
+        Executor::Networked {
+            transport: TransportKind::Tcp,
+        } => "net-tcp".into(),
     }
 }
 
@@ -406,6 +412,12 @@ fn decode_executor(tokens: &mut Tokens<'_>, line_no: usize) -> io::Result<Execut
         },
         "amp" => Executor::AsyncMessagePassing {
             seed: next_u64(tokens, line_no)?,
+        },
+        "net-lb" => Executor::Networked {
+            transport: TransportKind::Loopback,
+        },
+        "net-tcp" => Executor::Networked {
+            transport: TransportKind::Tcp,
         },
         _ => return Err(corrupt(line_no, "unknown executor")),
     })
@@ -637,6 +649,13 @@ fn encode_error(error: &ExperimentError) -> String {
             encode_executor(*executor),
             encode_protocol(*protocol)
         ),
+        ExperimentError::UnsupportedTransport { transport } => format!(
+            "unsupported-transport {}",
+            match transport {
+                TransportKind::Loopback => "lb",
+                TransportKind::Tcp => "tcp",
+            }
+        ),
         ExperimentError::Internal { message } => format!("internal {}", escape(message)),
     }
 }
@@ -688,6 +707,13 @@ fn decode_error(tokens: &mut Tokens<'_>, line_no: usize) -> io::Result<Experimen
         "unsupported-protocol" => ExperimentError::UnsupportedProtocol {
             executor: decode_executor(tokens, line_no)?,
             protocol: decode_protocol(tokens, line_no)?,
+        },
+        "unsupported-transport" => ExperimentError::UnsupportedTransport {
+            transport: match next_token(tokens, line_no)? {
+                "lb" => TransportKind::Loopback,
+                "tcp" => TransportKind::Tcp,
+                _ => return Err(corrupt(line_no, "unknown transport")),
+            },
         },
         "internal" => ExperimentError::Internal {
             message: unescape(next_token(tokens, line_no)?)

@@ -52,6 +52,8 @@ use setagree_async::{
     AsyncCrashes,
 };
 use setagree_conditions::{ConditionOracle, LegalityParams, MaxCondition};
+pub use setagree_node::TransportKind;
+use setagree_node::{run_loopback, NodeError};
 use setagree_runtime::{run_threaded, ThreadedError};
 use setagree_sync::{
     run_protocol, run_protocol_unordered, EngineError, FailurePattern, SyncProtocol, Trace,
@@ -150,6 +152,14 @@ pub enum ExperimentError {
         /// The protocol the spec selects.
         protocol: ProtocolKind,
     },
+    /// The networked executor's scenario integration runs the loopback
+    /// transport only: TCP executions live in real node processes, driven
+    /// by the `setagree-node` binary's testnet harness (wire codecs are
+    /// per-value-type, so a generic `Scenario<V>` cannot frame them).
+    UnsupportedTransport {
+        /// The transport that was asked.
+        transport: TransportKind,
+    },
     /// An engine or runtime error this crate predates (the backends'
     /// error enums are `#[non_exhaustive]`); carries the original
     /// message rather than mislabelling it.
@@ -213,6 +223,11 @@ impl fmt::Display for ExperimentError {
                  (async executors run the condition-based specs; \
                  async-set-agreement specs need an async executor)"
             ),
+            ExperimentError::UnsupportedTransport { transport } => write!(
+                f,
+                "the {transport} transport does not run through Scenario::run \
+                 (use the setagree-node testnet harness for real node processes)"
+            ),
             ExperimentError::Internal { message } => write!(f, "backend error: {message}"),
         }
     }
@@ -255,10 +270,27 @@ impl From<ThreadedError> for ExperimentError {
     }
 }
 
+impl From<NodeError> for ExperimentError {
+    fn from(e: NodeError) -> Self {
+        match e {
+            NodeError::RoundLimitExceeded { limit } => {
+                ExperimentError::RoundLimitExceeded { limit }
+            }
+            NodeError::SystemSizeMismatch { processes, pattern } => {
+                ExperimentError::SystemSizeMismatch { processes, pattern }
+            }
+            NodeError::ProcessPanicked { process } => ExperimentError::ProcessPanicked { process },
+            other => ExperimentError::Internal {
+                message: other.to_string(),
+            },
+        }
+    }
+}
+
 /// Where a scenario executes.
 ///
 /// The first two executors run the **synchronous** round-based protocols;
-/// the last two run the paper's **asynchronous** Section 4 algorithm, and
+/// the next two run the paper's **asynchronous** Section 4 algorithm, and
 /// carry the adversary seed so the `Scenario` itself stays inert data:
 /// the same seed replays the byte-identical interleaving, a different
 /// seed is a different adversary over the same scenario.
@@ -289,6 +321,18 @@ pub enum Executor {
         /// The delivery-adversary seed.
         seed: u64,
     },
+    /// The networked tier (`setagree-node`): each process is a real node,
+    /// and crashes are injected by *killing* the victim — its task or
+    /// process leaves the round structure instead of lingering silently.
+    /// With [`TransportKind::Loopback`] the nodes are in-process tasks
+    /// over the shared delivery mesh, trace-equivalent to the simulator
+    /// (asserted by `tests/node_equivalence.rs`); [`TransportKind::Tcp`]
+    /// executions run as real node processes through the `setagree-node`
+    /// binary's testnet harness rather than through [`Scenario::run`].
+    Networked {
+        /// Which transport carries the rounds.
+        transport: TransportKind,
+    },
 }
 
 impl Executor {
@@ -299,6 +343,24 @@ impl Executor {
             self,
             Executor::AsyncSharedMemory { .. } | Executor::AsyncMessagePassing { .. }
         )
+    }
+
+    /// A short, stable, parameter-free name for table headings, shard
+    /// summaries and logs — unlike [`fmt::Display`], which includes the
+    /// adversary seed on the asynchronous executors.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Executor::Simulator => "simulator",
+            Executor::Threaded => "threaded",
+            Executor::AsyncSharedMemory { .. } => "async-shared-memory",
+            Executor::AsyncMessagePassing { .. } => "async-message-passing",
+            Executor::Networked {
+                transport: TransportKind::Loopback,
+            } => "networked-loopback",
+            Executor::Networked {
+                transport: TransportKind::Tcp,
+            } => "networked-tcp",
+        }
     }
 }
 
@@ -313,6 +375,7 @@ impl fmt::Display for Executor {
             Executor::AsyncMessagePassing { seed } => {
                 write!(f, "async-message-passing(seed {seed})")
             }
+            Executor::Networked { transport } => write!(f, "networked({transport})"),
         }
     }
 }
@@ -1068,6 +1131,7 @@ where
             Executor::AsyncSharedMemory { .. } | Executor::AsyncMessagePassing { .. } => {
                 self.run_on_async(self.executor)
             }
+            Executor::Networked { .. } => self.run_on_network(),
         }
     }
 
@@ -1094,6 +1158,42 @@ where
             predicted,
             self.spec.protocol(),
             Executor::Threaded,
+        ))
+    }
+
+    /// The networked arm: real node tasks over the loopback transport,
+    /// victims killed mid-round. Deliberately shaped like
+    /// [`Scenario::run_on_threads`] — same validation, same adversary
+    /// restriction, same report — with `setagree_node::run_loopback` as
+    /// the backend, so the tier differs only in *how* processes run.
+    fn run_on_network(&self) -> Result<Report<V>, ExperimentError> {
+        let executor = self.executor;
+        let Executor::Networked { transport } = executor else {
+            unreachable!("run() routes only networked executors here")
+        };
+        self.reject_async_spec(executor)?;
+        if transport != TransportKind::Loopback {
+            return Err(ExperimentError::UnsupportedTransport { transport });
+        }
+        let (input, adversary) = self.validate()?;
+        let predicted = self.predicted_rounds(input, &adversary);
+        let limit = self
+            .round_limit
+            .unwrap_or_else(|| self.spec.default_round_limit());
+        let Adversary::Ordered(pattern) = &*adversary else {
+            return Err(ExperimentError::UnsupportedAdversary { executor });
+        };
+        let trace = dispatch_spec!(self.spec, input, |procs| run_loopback(
+            procs, pattern, limit
+        )
+        .map_err(ExperimentError::from))?;
+        Ok(Report::new(
+            trace,
+            Arc::clone(input),
+            self.spec.k(),
+            predicted,
+            self.spec.protocol(),
+            executor,
         ))
     }
 }

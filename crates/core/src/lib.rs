@@ -110,4 +110,7 @@ pub use runner::{
 // Re-exported so scenario authors can build async adversaries and read
 // raw async outcomes without a separate setagree-async dependency.
 pub use setagree_async::{AsyncCrashes, AsyncOutcome, AsyncReport};
+// Re-exported so scenario authors can select the networked executor's
+// transport without a separate setagree-node dependency.
+pub use setagree_node::TransportKind;
 pub use suite::{CaseSpec, ScenarioSuite, SuiteCase, SuiteReport, SuiteRun, SuiteRunStats};

@@ -85,6 +85,29 @@ impl<V: ProposalValue> Report<V> {
         }
     }
 
+    /// Wraps a trace produced *outside* `Scenario::run` — by an external
+    /// execution tier such as the `setagree-node` testnet harness, which
+    /// assembles its trace from real node processes — so external runs
+    /// flow through the same verdict machinery (`satisfies_all`,
+    /// `within_predicted_rounds`, Display) as in-process ones.
+    pub fn from_trace(
+        trace: Trace<V>,
+        input: InputVector<V>,
+        k: usize,
+        predicted_rounds: usize,
+        protocol: ProtocolKind,
+        executor: Executor,
+    ) -> Self {
+        Report::new(
+            trace,
+            Arc::new(input),
+            k,
+            predicted_rounds,
+            protocol,
+            executor,
+        )
+    }
+
     pub(crate) fn new_async(
         report: AsyncReport<V>,
         input: Arc<InputVector<V>>,

@@ -732,7 +732,8 @@ where
                 let parallelism = thread::available_parallelism()
                     .map(NonZeroUsize::get)
                     .unwrap_or(1);
-                // Each threaded case spawns one OS thread per process;
+                // Threaded and networked-loopback cases both spawn one
+                // OS thread per process;
                 // divide the worker pool by the largest system size so
                 // the total thread count stays near the machine's
                 // parallelism instead of multiplying with it. An
@@ -740,7 +741,7 @@ where
                 let any_threaded = self
                     .executors
                     .iter()
-                    .any(|e| matches!(e, Executor::Threaded));
+                    .any(|e| matches!(e, Executor::Threaded | Executor::Networked { .. }));
                 if any_threaded {
                     let max_n = self.specs.iter().map(|s| s.n()).max().unwrap_or(1);
                     (parallelism / max_n.max(1)).max(1)

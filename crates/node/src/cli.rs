@@ -1,0 +1,419 @@
+//! Argument parsing for the `setagree-node` binary.
+//!
+//! Parsing lives in the library so it is unit-testable and so the
+//! testnet harness and the binary cannot drift apart on flag names. The
+//! binary itself (in the facade crate, which can see `setagree-core`'s
+//! protocols) maps these plain values onto protocol instances.
+
+use std::error::Error;
+use std::fmt;
+use std::net::SocketAddr;
+
+use crate::config::parse_peers;
+use crate::transport::TransportKind;
+
+/// Usage text for the binary.
+pub const USAGE: &str = "\
+setagree-node — networked condition-based k-set agreement nodes
+
+USAGE:
+    setagree-node run --id <I> --peers <A,B,…> --input <V,V,…> \
+[--t <T>] [--k <K>] [--crash <ROUND>:<AFTER_SENDS>] [--round-timeout-ms <MS>]
+        One TCP node: joins the mesh, runs FloodSet over its proposal,
+        prints `OUTCOME`/`RECEIVED` lines. With --crash, aborts itself
+        at the scheduled point (the kill-based adversary).
+
+    setagree-node testnet --input <V,V,…> [--t <T>] [--k <K>] \
+[--crash <ID>:<ROUND>:<AFTER_SENDS> …] [--port-base <P>] \
+[--transport tcp|loopback] [--round-timeout-ms <MS>]
+        Spawns one node per proposal (TCP: real processes on localhost;
+        loopback: in-process tasks), kills the scheduled victims, and
+        prints the collected Report.";
+
+/// What the binary was asked to do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeCommand {
+    /// `run`: be one TCP node.
+    Run(RunArgs),
+    /// `testnet`: orchestrate a whole system.
+    Testnet(TestnetArgs),
+}
+
+/// Arguments of the `run` subcommand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunArgs {
+    /// This node's id.
+    pub id: usize,
+    /// Listen address of every node, indexed by id.
+    pub peers: Vec<SocketAddr>,
+    /// Crash resilience `t`.
+    pub t: usize,
+    /// Agreement degree `k`.
+    pub k: usize,
+    /// One proposal per node.
+    pub input: Vec<u32>,
+    /// Kill self in round `.0` after `.1` sends.
+    pub crash: Option<(usize, usize)>,
+    /// Per-round wait for silent peers, in milliseconds.
+    pub round_timeout_ms: u64,
+}
+
+/// Arguments of the `testnet` subcommand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestnetArgs {
+    /// Crash resilience `t`.
+    pub t: usize,
+    /// Agreement degree `k`.
+    pub k: usize,
+    /// One proposal per node.
+    pub input: Vec<u32>,
+    /// Victims: `(id, round, after_sends)`.
+    pub crashes: Vec<(usize, usize, usize)>,
+    /// Node `i` listens on `port_base + i` (TCP only).
+    pub port_base: u16,
+    /// Which transport to run the system on.
+    pub transport: TransportKind,
+    /// Per-round wait for silent peers, in milliseconds (TCP only).
+    pub round_timeout_ms: u64,
+}
+
+/// A bad command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CliError {
+    /// No subcommand given.
+    NoCommand,
+    /// An unrecognized subcommand.
+    UnknownCommand {
+        /// The offending word.
+        name: String,
+    },
+    /// An unrecognized flag.
+    UnknownFlag {
+        /// The offending flag.
+        flag: String,
+    },
+    /// A flag without its value.
+    MissingValue {
+        /// The flag.
+        flag: String,
+    },
+    /// A required flag was not given.
+    MissingFlag {
+        /// The flag.
+        flag: String,
+    },
+    /// A value that does not parse.
+    InvalidValue {
+        /// The flag.
+        flag: String,
+        /// The unparsable text.
+        value: String,
+    },
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::NoCommand => write!(f, "expected a subcommand: run or testnet"),
+            CliError::UnknownCommand { name } => {
+                write!(f, "unknown subcommand {name:?} (expected run or testnet)")
+            }
+            CliError::UnknownFlag { flag } => write!(f, "unknown flag {flag}"),
+            CliError::MissingValue { flag } => write!(f, "flag {flag} needs a value"),
+            CliError::MissingFlag { flag } => write!(f, "required flag {flag} missing"),
+            CliError::InvalidValue { flag, value } => {
+                write!(f, "invalid value {value:?} for {flag}")
+            }
+        }
+    }
+}
+
+impl Error for CliError {}
+
+fn parse_u32_list(flag: &str, value: &str) -> Result<Vec<u32>, CliError> {
+    value
+        .split(',')
+        .map(|v| {
+            v.trim().parse().map_err(|_| CliError::InvalidValue {
+                flag: flag.to_string(),
+                value: v.to_string(),
+            })
+        })
+        .collect()
+}
+
+fn parse_colon_tuple<const N: usize>(flag: &str, value: &str) -> Result<[usize; N], CliError> {
+    let invalid = || CliError::InvalidValue {
+        flag: flag.to_string(),
+        value: value.to_string(),
+    };
+    let parts: Vec<usize> = value
+        .split(':')
+        .map(|p| p.trim().parse().map_err(|_| invalid()))
+        .collect::<Result<_, _>>()?;
+    parts.try_into().map_err(|_| invalid())
+}
+
+/// Parses the command line (without the program name).
+///
+/// # Errors
+///
+/// [`CliError`] describing the first problem found.
+pub fn parse_command(args: impl IntoIterator<Item = String>) -> Result<NodeCommand, CliError> {
+    let mut args = args.into_iter();
+    let command = args.next().ok_or(CliError::NoCommand)?;
+    let mut flags: Vec<(String, String)> = Vec::new();
+    let mut args = args.peekable();
+    while let Some(flag) = args.next() {
+        if !flag.starts_with("--") {
+            return Err(CliError::UnknownFlag { flag });
+        }
+        let value = args
+            .next()
+            .ok_or_else(|| CliError::MissingValue { flag: flag.clone() })?;
+        flags.push((flag, value));
+    }
+
+    let take = |name: &str| -> Vec<String> {
+        flags
+            .iter()
+            .filter(|(flag, _)| flag == name)
+            .map(|(_, value)| value.clone())
+            .collect()
+    };
+    let known = |allowed: &[&str]| -> Result<(), CliError> {
+        for (flag, _) in &flags {
+            if !allowed.contains(&flag.as_str()) {
+                return Err(CliError::UnknownFlag { flag: flag.clone() });
+            }
+        }
+        Ok(())
+    };
+    let single = |name: &str| -> Result<Option<String>, CliError> { Ok(take(name).pop()) };
+    let required = |name: &str| -> Result<String, CliError> {
+        single(name)?.ok_or(CliError::MissingFlag {
+            flag: name.to_string(),
+        })
+    };
+    let parse_num = |name: &str, value: &str| -> Result<usize, CliError> {
+        value.parse().map_err(|_| CliError::InvalidValue {
+            flag: name.to_string(),
+            value: value.to_string(),
+        })
+    };
+
+    match command.as_str() {
+        "run" => {
+            known(&[
+                "--id",
+                "--peers",
+                "--t",
+                "--k",
+                "--input",
+                "--crash",
+                "--round-timeout-ms",
+            ])?;
+            let peers_text = required("--peers")?;
+            let peers = parse_peers(&peers_text).map_err(|_| CliError::InvalidValue {
+                flag: "--peers".to_string(),
+                value: peers_text.clone(),
+            })?;
+            let input = parse_u32_list("--input", &required("--input")?)?;
+            let crash = match single("--crash")? {
+                Some(v) => {
+                    let [round, after_sends] = parse_colon_tuple("--crash", &v)?;
+                    Some((round, after_sends))
+                }
+                None => None,
+            };
+            Ok(NodeCommand::Run(RunArgs {
+                id: parse_num("--id", &required("--id")?)?,
+                peers,
+                t: match single("--t")? {
+                    Some(v) => parse_num("--t", &v)?,
+                    None => 1,
+                },
+                k: match single("--k")? {
+                    Some(v) => parse_num("--k", &v)?,
+                    None => 1,
+                },
+                input,
+                crash,
+                round_timeout_ms: match single("--round-timeout-ms")? {
+                    Some(v) => parse_num("--round-timeout-ms", &v)? as u64,
+                    None => 10_000,
+                },
+            }))
+        }
+        "testnet" => {
+            known(&[
+                "--t",
+                "--k",
+                "--input",
+                "--crash",
+                "--port-base",
+                "--transport",
+                "--round-timeout-ms",
+            ])?;
+            let input = parse_u32_list("--input", &required("--input")?)?;
+            let crashes = take("--crash")
+                .iter()
+                .map(|v| {
+                    let [id, round, after_sends] = parse_colon_tuple("--crash", v)?;
+                    Ok((id, round, after_sends))
+                })
+                .collect::<Result<Vec<_>, CliError>>()?;
+            let transport = match single("--transport")? {
+                Some(v) => v.parse().map_err(|_| CliError::InvalidValue {
+                    flag: "--transport".to_string(),
+                    value: v.clone(),
+                })?,
+                None => TransportKind::Tcp,
+            };
+            Ok(NodeCommand::Testnet(TestnetArgs {
+                t: match single("--t")? {
+                    Some(v) => parse_num("--t", &v)?,
+                    None => 1,
+                },
+                k: match single("--k")? {
+                    Some(v) => parse_num("--k", &v)?,
+                    None => 1,
+                },
+                input,
+                crashes,
+                port_base: match single("--port-base")? {
+                    Some(v) => v.parse().map_err(|_| CliError::InvalidValue {
+                        flag: "--port-base".to_string(),
+                        value: v.clone(),
+                    })?,
+                    None => 45_800,
+                },
+                transport,
+                round_timeout_ms: match single("--round-timeout-ms")? {
+                    Some(v) => parse_num("--round-timeout-ms", &v)? as u64,
+                    None => 10_000,
+                },
+            }))
+        }
+        other => Err(CliError::UnknownCommand {
+            name: other.to_string(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::localhost_peers;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_a_full_run_command() {
+        let cmd = parse_command(strings(&[
+            "run",
+            "--id",
+            "2",
+            "--peers",
+            "127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002",
+            "--t",
+            "1",
+            "--k",
+            "1",
+            "--input",
+            "3,9,1",
+            "--crash",
+            "1:2",
+            "--round-timeout-ms",
+            "500",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            NodeCommand::Run(RunArgs {
+                id: 2,
+                peers: localhost_peers(3, 7000),
+                t: 1,
+                k: 1,
+                input: vec![3, 9, 1],
+                crash: Some((1, 2)),
+                round_timeout_ms: 500,
+            })
+        );
+    }
+
+    #[test]
+    fn testnet_defaults_and_repeated_crashes() {
+        let cmd = parse_command(strings(&[
+            "testnet",
+            "--input",
+            "3,9,1,4,7",
+            "--crash",
+            "1:1:2",
+            "--crash",
+            "4:2:0",
+        ]))
+        .unwrap();
+        let NodeCommand::Testnet(args) = cmd else {
+            panic!("expected testnet");
+        };
+        assert_eq!(args.input.len(), 5);
+        assert_eq!(args.crashes, vec![(1, 1, 2), (4, 2, 0)]);
+        assert_eq!(args.transport, TransportKind::Tcp);
+        assert_eq!(args.port_base, 45_800);
+        assert_eq!((args.t, args.k), (1, 1));
+    }
+
+    #[test]
+    fn loopback_transport_is_selectable() {
+        let cmd = parse_command(strings(&[
+            "testnet",
+            "--input",
+            "1,2",
+            "--transport",
+            "loopback",
+        ]))
+        .unwrap();
+        let NodeCommand::Testnet(args) = cmd else {
+            panic!("expected testnet");
+        };
+        assert_eq!(args.transport, TransportKind::Loopback);
+    }
+
+    #[test]
+    fn errors_name_the_problem() {
+        assert_eq!(parse_command(strings(&[])), Err(CliError::NoCommand));
+        assert_eq!(
+            parse_command(strings(&["serve"])),
+            Err(CliError::UnknownCommand {
+                name: "serve".to_string()
+            })
+        );
+        assert_eq!(
+            parse_command(strings(&[
+                "run",
+                "--peers",
+                "127.0.0.1:7000,127.0.0.1:7001"
+            ])),
+            Err(CliError::MissingFlag {
+                flag: "--input".to_string()
+            })
+        );
+        assert_eq!(
+            parse_command(strings(&["testnet", "--input", "1,2", "--crash", "1:2"])),
+            Err(CliError::InvalidValue {
+                flag: "--crash".to_string(),
+                value: "1:2".to_string()
+            })
+        );
+        assert_eq!(
+            parse_command(strings(&["testnet", "--input", "1,2", "--fast", "yes"])),
+            Err(CliError::UnknownFlag {
+                flag: "--fast".to_string()
+            })
+        );
+    }
+}

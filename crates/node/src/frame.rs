@@ -1,0 +1,334 @@
+//! Length-prefixed binary frames: the wire format of the TCP transport.
+//!
+//! The vendored `serde` shim is a no-op (its derives expand to nothing),
+//! so the node tier carries its own codec. The format is deliberately
+//! minimal — four fixed-width little-endian fields plus an opaque
+//! payload — and fully self-describing on the wire:
+//!
+//! ```text
+//! ┌─────────────┬──────────┬────────────┬─────────────┬─────────────┐
+//! │ len: u32 LE │ kind: u8 │ from: u32  │ round: u32  │ payload …   │
+//! │ (rest size) │          │ LE         │ LE          │ (len − 9 B) │
+//! └─────────────┴──────────┴────────────┴─────────────┴─────────────┘
+//! ```
+//!
+//! `len` counts everything after itself, so a frame occupies `4 + len`
+//! bytes and a reader can delimit frames without understanding them.
+//! Frames whose `len` exceeds [`MAX_FRAME_LEN`] are rejected before any
+//! allocation — a garbage or hostile length prefix cannot balloon memory.
+//! Decoding never panics on arbitrary input (a property pinned by the
+//! decode-anything proptests in `tests/node_equivalence.rs`).
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use setagree_types::ProcessId;
+
+/// Hard ceiling on the length prefix (16 MiB): anything larger is treated
+/// as a malformed stream, not an allocation request.
+pub const MAX_FRAME_LEN: u32 = 1 << 24;
+
+/// The fixed-width portion after the length prefix: kind (1) + from (4) +
+/// round (4).
+const HEADER_LEN: usize = 9;
+
+/// What a frame means to the round protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameKind {
+    /// Connection handshake: identifies the sender (`from`; `round` is 0,
+    /// payload empty).
+    Hello,
+    /// A round broadcast payload.
+    Msg,
+    /// The sender has settled (decided) and will send nothing further;
+    /// peers stop waiting for it in later rounds.
+    Settled,
+}
+
+impl FrameKind {
+    fn code(self) -> u8 {
+        match self {
+            FrameKind::Hello => 0,
+            FrameKind::Msg => 1,
+            FrameKind::Settled => 2,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<FrameKind> {
+        match code {
+            0 => Some(FrameKind::Hello),
+            1 => Some(FrameKind::Msg),
+            2 => Some(FrameKind::Settled),
+            _ => None,
+        }
+    }
+}
+
+/// One wire frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The frame's meaning.
+    pub kind: FrameKind,
+    /// The sending process.
+    pub from: ProcessId,
+    /// The (1-based) round the frame belongs to (0 for handshakes).
+    pub round: usize,
+    /// The opaque protocol payload (empty except for [`FrameKind::Msg`]).
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// A handshake frame identifying `from`.
+    pub fn hello(from: ProcessId) -> Frame {
+        Frame {
+            kind: FrameKind::Hello,
+            from,
+            round: 0,
+            payload: Vec::new(),
+        }
+    }
+
+    /// A round broadcast carrying `payload`.
+    pub fn msg(from: ProcessId, round: usize, payload: Vec<u8>) -> Frame {
+        Frame {
+            kind: FrameKind::Msg,
+            from,
+            round,
+            payload,
+        }
+    }
+
+    /// A settlement notice: `from` decided at the end of `round`.
+    pub fn settled(from: ProcessId, round: usize) -> Frame {
+        Frame {
+            kind: FrameKind::Settled,
+            from,
+            round,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Appends the frame's wire encoding to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let len = (HEADER_LEN + self.payload.len()) as u32;
+        out.extend_from_slice(&len.to_le_bytes());
+        out.push(self.kind.code());
+        out.extend_from_slice(&(self.from.index() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.round as u32).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+    }
+
+    /// The frame's wire encoding.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + HEADER_LEN + self.payload.len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decodes one frame from the front of `bytes`, returning it together
+    /// with the number of bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Truncated`] when `bytes` does not yet hold a whole
+    /// frame (an incremental decoder reads more and retries); the other
+    /// variants mark the stream as malformed.
+    pub fn decode(bytes: &[u8]) -> Result<(Frame, usize), FrameError> {
+        if bytes.len() < 4 {
+            return Err(FrameError::Truncated);
+        }
+        let len = u32::from_le_bytes(bytes[..4].try_into().expect("four bytes"));
+        if len > MAX_FRAME_LEN {
+            return Err(FrameError::Oversized { len });
+        }
+        if (len as usize) < HEADER_LEN {
+            return Err(FrameError::BodyTooShort { len });
+        }
+        let total = 4 + len as usize;
+        if bytes.len() < total {
+            return Err(FrameError::Truncated);
+        }
+        let body = &bytes[4..total];
+        let kind =
+            FrameKind::from_code(body[0]).ok_or(FrameError::UnknownKind { code: body[0] })?;
+        let from = u32::from_le_bytes(body[1..5].try_into().expect("four bytes"));
+        let round = u32::from_le_bytes(body[5..9].try_into().expect("four bytes"));
+        Ok((
+            Frame {
+                kind,
+                from: ProcessId::new(from as usize),
+                round: round as usize,
+                payload: body[HEADER_LEN..].to_vec(),
+            },
+            total,
+        ))
+    }
+
+    /// Writes the frame to `w` (no flush).
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(&self.encode())
+    }
+
+    /// Reads one frame from `r`, blocking until it is complete.
+    ///
+    /// Returns `Ok(None)` on a clean end-of-stream at a frame boundary —
+    /// to the TCP transport, *any* end-of-stream means the peer died (a
+    /// kill-based crash), so callers usually treat `Ok(None)` and `Err`
+    /// alike.
+    pub fn read_from(r: &mut impl Read) -> Result<Option<Frame>, FrameError> {
+        let mut prefix = [0u8; 4];
+        match r.read_exact(&mut prefix) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(FrameError::Io { kind: e.kind() }),
+        }
+        let len = u32::from_le_bytes(prefix);
+        if len > MAX_FRAME_LEN {
+            return Err(FrameError::Oversized { len });
+        }
+        if (len as usize) < HEADER_LEN {
+            return Err(FrameError::BodyTooShort { len });
+        }
+        let mut body = vec![0u8; len as usize];
+        r.read_exact(&mut body)
+            .map_err(|e| FrameError::Io { kind: e.kind() })?;
+        let mut whole = prefix.to_vec();
+        whole.extend_from_slice(&body);
+        Frame::decode(&whole).map(|(frame, _)| Some(frame))
+    }
+}
+
+/// A malformed or incomplete frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FrameError {
+    /// The buffer does not yet hold a whole frame.
+    Truncated,
+    /// The length prefix exceeds [`MAX_FRAME_LEN`].
+    Oversized {
+        /// The claimed length.
+        len: u32,
+    },
+    /// The length prefix is smaller than the fixed header.
+    BodyTooShort {
+        /// The claimed length.
+        len: u32,
+    },
+    /// The kind byte is not a known [`FrameKind`].
+    UnknownKind {
+        /// The unknown code.
+        code: u8,
+    },
+    /// An I/O error interrupted a blocking read.
+    Io {
+        /// The I/O error kind.
+        kind: io::ErrorKind,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "incomplete frame"),
+            FrameError::Oversized { len } => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap")
+            }
+            FrameError::BodyTooShort { len } => {
+                write!(f, "frame length {len} is shorter than the fixed header")
+            }
+            FrameError::UnknownKind { code } => write!(f, "unknown frame kind {code}"),
+            FrameError::Io { kind } => write!(f, "i/o error reading frame: {kind}"),
+        }
+    }
+}
+
+impl Error for FrameError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_the_wire_encoding() {
+        for frame in [
+            Frame::hello(ProcessId::new(3)),
+            Frame::msg(ProcessId::new(0), 7, vec![1, 2, 3, 255]),
+            Frame::settled(ProcessId::new(11), 4),
+            Frame::msg(ProcessId::new(2), 1, Vec::new()),
+        ] {
+            let bytes = frame.encode();
+            let (decoded, consumed) = Frame::decode(&bytes).expect("valid frame");
+            assert_eq!(decoded, frame);
+            assert_eq!(consumed, bytes.len());
+        }
+    }
+
+    #[test]
+    fn decode_delimits_back_to_back_frames() {
+        let a = Frame::msg(ProcessId::new(0), 1, vec![9]);
+        let b = Frame::settled(ProcessId::new(1), 1);
+        let mut wire = a.encode();
+        b.encode_into(&mut wire);
+        let (first, used) = Frame::decode(&wire).expect("first frame");
+        assert_eq!(first, a);
+        let (second, rest) = Frame::decode(&wire[used..]).expect("second frame");
+        assert_eq!(second, b);
+        assert_eq!(used + rest, wire.len());
+    }
+
+    #[test]
+    fn truncation_is_recoverable_not_fatal() {
+        let bytes = Frame::msg(ProcessId::new(1), 2, vec![5, 6, 7]).encode();
+        for cut in 0..bytes.len() {
+            assert_eq!(Frame::decode(&bytes[..cut]), Err(FrameError::Truncated));
+        }
+    }
+
+    #[test]
+    fn hostile_length_prefixes_are_rejected_without_allocating() {
+        let mut wire = u32::MAX.to_le_bytes().to_vec();
+        wire.extend_from_slice(&[0; 16]);
+        assert_eq!(
+            Frame::decode(&wire),
+            Err(FrameError::Oversized { len: u32::MAX })
+        );
+        let short = 3u32.to_le_bytes().to_vec();
+        assert_eq!(
+            Frame::decode(&[short, vec![0; 8]].concat()),
+            Err(FrameError::BodyTooShort { len: 3 })
+        );
+    }
+
+    #[test]
+    fn unknown_kind_bytes_are_rejected() {
+        let mut wire = Frame::hello(ProcessId::new(0)).encode();
+        wire[4] = 9;
+        assert_eq!(
+            Frame::decode(&wire),
+            Err(FrameError::UnknownKind { code: 9 })
+        );
+    }
+
+    #[test]
+    fn read_from_streams_frames_and_signals_eof() {
+        let a = Frame::msg(ProcessId::new(0), 1, vec![1, 2]);
+        let b = Frame::settled(ProcessId::new(1), 3);
+        let mut wire = a.encode();
+        b.encode_into(&mut wire);
+        let mut cursor = io::Cursor::new(wire);
+        assert_eq!(Frame::read_from(&mut cursor).unwrap(), Some(a));
+        assert_eq!(Frame::read_from(&mut cursor).unwrap(), Some(b));
+        assert_eq!(Frame::read_from(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn read_from_rejects_mid_frame_eof() {
+        let bytes = Frame::msg(ProcessId::new(0), 1, vec![1, 2, 3]).encode();
+        let mut cursor = io::Cursor::new(&bytes[..bytes.len() - 1]);
+        assert!(matches!(
+            Frame::read_from(&mut cursor),
+            Err(FrameError::Io { .. })
+        ));
+    }
+}

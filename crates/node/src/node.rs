@@ -1,0 +1,368 @@
+//! The node: one protocol instance driven over one [`Transport`].
+//!
+//! [`drive`] is the round loop every networked tier shares — loopback
+//! tasks and TCP node processes run the identical control flow, so the
+//! semantics of a round (ordered-send prefix, crash-before-compute,
+//! sender-ordered receive, decide-then-settle) live here exactly once.
+//! [`run_loopback`] spawns one task per process over the loopback
+//! transport and assembles the familiar [`Trace`], mirroring
+//! `setagree_runtime::run_threaded` — except that crashed and panicked
+//! nodes are genuinely *killed*: their task departs the round structure
+//! and their channel closes.
+
+use std::borrow::Borrow;
+use std::error::Error;
+use std::fmt;
+use std::panic;
+use std::thread;
+
+use setagree_sync::{CrashSpec, FailurePattern, Outcome, Step, SyncProtocol, Trace};
+use setagree_types::ProcessId;
+
+use crate::loopback::loopback_mesh;
+use crate::transport::Transport;
+
+/// Why one node's drive loop stopped abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DriveError<E> {
+    /// The transport failed.
+    Transport(E),
+    /// The protocol implementation panicked; the node departed like a
+    /// killed process.
+    Panicked,
+}
+
+impl<E: fmt::Display> fmt::Display for DriveError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriveError::Transport(e) => write!(f, "transport failed: {e}"),
+            DriveError::Panicked => write!(f, "protocol implementation panicked"),
+        }
+    }
+}
+
+impl<E: fmt::Debug + fmt::Display> Error for DriveError<E> {}
+
+/// Drives `proto` through up to `max_rounds` rounds over `transport`,
+/// injecting `crash` (this node's entry in the failure pattern) by
+/// *leaving*: after its prefix of sends in the crash round, the node
+/// departs the round structure for good.
+///
+/// Returns the node's [`Outcome`]; [`Outcome::Undecided`] means the round
+/// limit elapsed first.
+///
+/// # Errors
+///
+/// [`DriveError::Transport`] if the transport fails;
+/// [`DriveError::Panicked`] if the protocol panics (the node departs
+/// first, so peers keep running).
+pub fn drive<P, T>(
+    mut proto: P,
+    mut transport: T,
+    crash: Option<CrashSpec>,
+    max_rounds: usize,
+) -> Result<Outcome<P::Output>, DriveError<T::Error>>
+where
+    P: SyncProtocol,
+    T: Transport<Msg = P::Msg>,
+{
+    let n = transport.n();
+    let mut outcome: Option<Outcome<P::Output>> = None;
+    for round in 1..=max_rounds {
+        let active = outcome.is_none();
+        let mut panicked = false;
+
+        // Send phase: broadcast in the predetermined p_1 … p_n order,
+        // truncated to the crash prefix if this is the crash round.
+        if active {
+            let reach = match crash {
+                Some(s) if s.round == round => s.after_sends,
+                _ => n,
+            };
+            match panic::catch_unwind(panic::AssertUnwindSafe(|| proto.message(round))) {
+                Ok(msg) => transport
+                    .broadcast(round, msg, reach)
+                    .map_err(DriveError::Transport)?,
+                Err(_) => panicked = true,
+            }
+        }
+        transport.sends_done(round).map_err(DriveError::Transport)?;
+
+        if active {
+            if panicked {
+                transport.depart(round);
+                return Err(DriveError::Panicked);
+            }
+            if crash.map(|s| s.round == round).unwrap_or(false) {
+                // The kill takes effect before local computation: no
+                // receives, no compute — the node is gone.
+                transport.depart(round);
+                return Ok(Outcome::Crashed { round });
+            }
+            // Receive phase (sender order), then compute.
+            let letters = transport.collect(round).map_err(DriveError::Transport)?;
+            let step = panic::catch_unwind(panic::AssertUnwindSafe(|| {
+                for (from, letter) in &letters {
+                    proto.receive(round, *from, letter.borrow());
+                }
+                proto.compute(round)
+            }));
+            match step {
+                Ok(Step::Decide(value)) => {
+                    outcome = Some(Outcome::Decided { value, round });
+                    transport.settle(round).map_err(DriveError::Transport)?;
+                }
+                Ok(Step::Continue) => {}
+                Err(_) => {
+                    transport.depart(round);
+                    return Err(DriveError::Panicked);
+                }
+            }
+        }
+        if transport
+            .round_done(round, outcome.is_some())
+            .map_err(DriveError::Transport)?
+        {
+            break;
+        }
+    }
+    Ok(outcome.unwrap_or(Outcome::Undecided))
+}
+
+/// Error running a loopback-node execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NodeError {
+    /// Some node neither decided nor was killed within the round limit.
+    RoundLimitExceeded {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// Process count and failure-pattern system size differ.
+    SystemSizeMismatch {
+        /// Protocol instances supplied.
+        processes: usize,
+        /// Pattern system size.
+        pattern: usize,
+    },
+    /// A node's protocol implementation panicked.
+    ProcessPanicked {
+        /// The panicking node.
+        process: ProcessId,
+    },
+}
+
+impl fmt::Display for NodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeError::RoundLimitExceeded { limit } => write!(
+                f,
+                "execution exceeded the {limit}-round limit without termination"
+            ),
+            NodeError::SystemSizeMismatch { processes, pattern } => write!(
+                f,
+                "{processes} protocol instances but the failure pattern is over {pattern} processes"
+            ),
+            NodeError::ProcessPanicked { process } => {
+                write!(f, "node {process} panicked")
+            }
+        }
+    }
+}
+
+impl Error for NodeError {}
+
+/// Runs the protocol instances as loopback nodes — one task per process
+/// over the shared delivery mesh — under the failure pattern, killing
+/// each victim's task at its crash point.
+///
+/// Observationally identical to the simulator and the threaded runtime;
+/// the integration suite compares whole [`Trace`]s.
+///
+/// # Errors
+///
+/// Mirrors `run_threaded`: size mismatches, round-limit violations, and
+/// [`NodeError::ProcessPanicked`] if a protocol implementation panics.
+pub fn run_loopback<P>(
+    processes: Vec<P>,
+    pattern: &FailurePattern,
+    max_rounds: usize,
+) -> Result<Trace<P::Output>, NodeError>
+where
+    P: SyncProtocol + Send + 'static,
+    P::Msg: Send + Sync + 'static,
+    P::Output: Send,
+{
+    let n = processes.len();
+    if n != pattern.system_size() {
+        return Err(NodeError::SystemSizeMismatch {
+            processes: n,
+            pattern: pattern.system_size(),
+        });
+    }
+
+    let (transports, stats) = loopback_mesh::<P::Msg>(n);
+    let mut handles = Vec::with_capacity(n);
+    for (transport, proto) in transports.into_iter().zip(processes) {
+        let crash = pattern.spec(transport.me());
+        handles.push(thread::spawn(move || {
+            drive(proto, transport, crash, max_rounds)
+        }));
+    }
+
+    let mut outcomes = Vec::with_capacity(n);
+    for (i, handle) in handles.into_iter().enumerate() {
+        match handle.join() {
+            Ok(Ok(outcome)) => outcomes.push(outcome),
+            Ok(Err(DriveError::Panicked)) | Err(_) => {
+                return Err(NodeError::ProcessPanicked {
+                    process: ProcessId::new(i),
+                })
+            }
+            Ok(Err(DriveError::Transport(infallible))) => match infallible {},
+        }
+    }
+    if outcomes.iter().any(|o| matches!(o, Outcome::Undecided)) {
+        return Err(NodeError::RoundLimitExceeded { limit: max_rounds });
+    }
+    let rounds_executed = outcomes
+        .iter()
+        .map(|o| match o {
+            Outcome::Decided { round, .. } | Outcome::Crashed { round } => *round,
+            Outcome::Undecided => 0,
+        })
+        .max()
+        .unwrap_or(0);
+    Ok(Trace::from_parts(
+        outcomes,
+        rounds_executed,
+        stats.messages_delivered(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setagree_sync::run_protocol;
+
+    /// A local max-flooding protocol (this crate cannot dev-depend on
+    /// `setagree-core`'s `FloodSet` — core depends on this crate for the
+    /// `Executor::Networked` backend).
+    #[derive(Debug)]
+    struct MaxFlood {
+        rounds: usize,
+        best: u32,
+    }
+
+    impl SyncProtocol for MaxFlood {
+        type Msg = u32;
+        type Output = u32;
+        fn message(&mut self, _round: usize) -> u32 {
+            self.best
+        }
+        fn receive(&mut self, _round: usize, _from: ProcessId, msg: &u32) {
+            self.best = self.best.max(*msg);
+        }
+        fn compute(&mut self, round: usize) -> Step<u32> {
+            if round >= self.rounds {
+                Step::Decide(self.best)
+            } else {
+                Step::Continue
+            }
+        }
+    }
+
+    fn floods(t: usize, k: usize, inputs: &[u32]) -> Vec<MaxFlood> {
+        let rounds = t / k + 1;
+        inputs
+            .iter()
+            .map(|&v| MaxFlood { rounds, best: v })
+            .collect()
+    }
+
+    #[test]
+    fn failure_free_matches_simulator() {
+        let inputs = [3u32, 9, 1, 4];
+        let pattern = FailurePattern::none(4);
+        let nodes = run_loopback(floods(2, 1, &inputs), &pattern, 10).unwrap();
+        let simulated = run_protocol(floods(2, 1, &inputs), &pattern, 10).unwrap();
+        assert_eq!(nodes, simulated);
+    }
+
+    #[test]
+    fn killed_nodes_match_simulated_crashes() {
+        let inputs = [9u32, 1, 1, 1, 1];
+        let mut pattern = FailurePattern::none(5);
+        pattern
+            .crash(ProcessId::new(0), CrashSpec::new(1, 2))
+            .unwrap();
+        pattern
+            .crash(ProcessId::new(4), CrashSpec::new(2, 0))
+            .unwrap();
+        let nodes = run_loopback(floods(2, 1, &inputs), &pattern, 10).unwrap();
+        let simulated = run_protocol(floods(2, 1, &inputs), &pattern, 10).unwrap();
+        assert_eq!(nodes, simulated);
+        assert_eq!(nodes.crashed_count(), 2);
+    }
+
+    #[test]
+    fn a_panicking_node_is_killed_not_deadlocked() {
+        #[derive(Debug)]
+        struct Volatile {
+            explode: bool,
+        }
+        impl SyncProtocol for Volatile {
+            type Msg = ();
+            type Output = u32;
+            fn message(&mut self, _round: usize) {}
+            fn receive(&mut self, _round: usize, _from: ProcessId, _msg: &()) {}
+            fn compute(&mut self, _round: usize) -> Step<u32> {
+                if self.explode {
+                    panic!("protocol bug");
+                }
+                Step::Decide(7)
+            }
+        }
+        let procs = vec![
+            Volatile { explode: false },
+            Volatile { explode: true },
+            Volatile { explode: false },
+        ];
+        let err = run_loopback(procs, &FailurePattern::none(3), 5).unwrap_err();
+        assert_eq!(
+            err,
+            NodeError::ProcessPanicked {
+                process: ProcessId::new(1)
+            }
+        );
+    }
+
+    #[test]
+    fn size_mismatch_is_reported() {
+        let err = run_loopback(floods(1, 1, &[1, 2]), &FailurePattern::none(3), 5).unwrap_err();
+        assert_eq!(
+            err,
+            NodeError::SystemSizeMismatch {
+                processes: 2,
+                pattern: 3
+            }
+        );
+    }
+
+    #[test]
+    fn round_limit_is_reported() {
+        #[derive(Debug)]
+        struct Stubborn;
+        impl SyncProtocol for Stubborn {
+            type Msg = ();
+            type Output = u32;
+            fn message(&mut self, _round: usize) {}
+            fn receive(&mut self, _round: usize, _from: ProcessId, _msg: &()) {}
+            fn compute(&mut self, _round: usize) -> Step<u32> {
+                Step::Continue
+            }
+        }
+        let err = run_loopback(vec![Stubborn, Stubborn], &FailurePattern::none(2), 3).unwrap_err();
+        assert_eq!(err, NodeError::RoundLimitExceeded { limit: 3 });
+    }
+}

@@ -1,0 +1,495 @@
+//! The TCP transport: real sockets between node processes, framed with
+//! the length-prefixed [`Frame`] codec.
+//!
+//! A node establishes a full mesh at startup — it dials every lower id
+//! (retrying until the connect deadline, so start order does not matter)
+//! and accepts a [`FrameKind::Hello`]-identified connection from every
+//! higher id. One reader thread per peer feeds a single event channel,
+//! preserving each peer's frame order.
+//!
+//! There is no barrier over TCP: lock-step rounds emerge from
+//! [`collect`](Transport::collect), which blocks until every live,
+//! unsettled peer has contributed its frame for the round (early frames
+//! from fast peers are buffered per round). Crash detection is the real
+//! thing — a killed node's kernel closes its sockets, peers observe
+//! end-of-stream and stop waiting for it; a round timeout backstops
+//! pathological hangs. A deciding node announces [`FrameKind::Settled`]
+//! so peers distinguish a clean exit from a kill.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::io;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use setagree_types::ProcessId;
+
+use crate::config::NodeConfig;
+use crate::frame::{Frame, FrameError, FrameKind};
+use crate::transport::Transport;
+
+/// A TCP transport failure.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TcpError {
+    /// An I/O operation failed.
+    Io {
+        /// What the transport was doing.
+        context: String,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// A handshake frame was malformed.
+    Frame(FrameError),
+    /// A peer's first frame was not a valid, expected `Hello`.
+    BadHello,
+    /// Not every peer connected before the deadline.
+    HandshakeTimeout,
+}
+
+impl TcpError {
+    fn io(context: &str, source: io::Error) -> TcpError {
+        TcpError::Io {
+            context: context.to_string(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for TcpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TcpError::Io { context, source } => write!(f, "{context}: {source}"),
+            TcpError::Frame(e) => write!(f, "malformed handshake: {e}"),
+            TcpError::BadHello => write!(f, "peer's first frame was not a valid hello"),
+            TcpError::HandshakeTimeout => {
+                write!(f, "full mesh did not form before the connect deadline")
+            }
+        }
+    }
+}
+
+impl Error for TcpError {}
+
+#[derive(Debug)]
+enum PeerEvent {
+    Frame(Frame),
+    Closed,
+}
+
+/// What this node knows about one peer.
+#[derive(Debug, Clone, Copy, Default)]
+struct PeerState {
+    /// The round after which the peer (cleanly) stopped participating.
+    settled_at: Option<usize>,
+    /// The peer's stream closed — over TCP, how a kill looks.
+    down: bool,
+}
+
+/// One node's TCP connection to the rest of the system.
+#[derive(Debug)]
+pub struct TcpTransport {
+    me: ProcessId,
+    n: usize,
+    writers: Vec<Option<TcpStream>>,
+    events: mpsc::Receiver<(usize, PeerEvent)>,
+    peers: Vec<PeerState>,
+    /// Frames that arrived for rounds we have not collected yet,
+    /// `round → sender → payload`.
+    pending: BTreeMap<usize, BTreeMap<usize, Vec<u8>>>,
+    /// This node's own broadcast, looped back locally (the model: a
+    /// process receives its own message when its send prefix reaches it).
+    self_letter: Option<(usize, Vec<u8>)>,
+    received: u64,
+    round_timeout: Duration,
+}
+
+impl TcpTransport {
+    /// Establishes the full mesh for `config`, blocking until every peer
+    /// is connected and identified (or the connect deadline passes).
+    ///
+    /// # Errors
+    ///
+    /// [`TcpError`] if the listener cannot bind, a dial or handshake
+    /// fails permanently, or the mesh does not form before the deadline.
+    pub fn establish(config: &NodeConfig) -> Result<TcpTransport, TcpError> {
+        let me = config.me;
+        let n = config.n();
+        let deadline = Instant::now() + config.connect_timeout;
+        let listener =
+            TcpListener::bind(config.my_addr()).map_err(|e| TcpError::io("bind listener", e))?;
+
+        // Inbound half of the mesh: every higher id dials us.
+        let expected_inbound = n - 1 - me.index();
+        let (accept_tx, accept_rx) = mpsc::channel();
+        thread::spawn(move || {
+            for _ in 0..expected_inbound {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if accept_tx.send(stream).is_err() {
+                            return;
+                        }
+                    }
+                    Err(_) => return,
+                }
+            }
+        });
+
+        let mut writers: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+
+        // Outbound half: dial every lower id, retrying until the
+        // deadline so nodes may start in any order.
+        for (peer, &addr) in config.peers.iter().enumerate().take(me.index()) {
+            let stream = loop {
+                match TcpStream::connect(addr) {
+                    Ok(s) => break s,
+                    Err(e) => {
+                        if Instant::now() >= deadline {
+                            return Err(TcpError::io(&format!("connect to {addr}"), e));
+                        }
+                        thread::sleep(Duration::from_millis(25));
+                    }
+                }
+            };
+            let _ = stream.set_nodelay(true);
+            let mut hello_half = stream
+                .try_clone()
+                .map_err(|e| TcpError::io("clone stream", e))?;
+            Frame::hello(me)
+                .write_to(&mut hello_half)
+                .map_err(|e| TcpError::io("send hello", e))?;
+            writers[peer] = Some(stream);
+        }
+
+        // Identify the inbound connections by their hello frames.
+        for _ in 0..expected_inbound {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let mut stream = accept_rx
+                .recv_timeout(remaining)
+                .map_err(|_| TcpError::HandshakeTimeout)?;
+            let _ = stream.set_nodelay(true);
+            let hello = Frame::read_from(&mut stream).map_err(TcpError::Frame)?;
+            let peer = match hello {
+                Some(f) if f.kind == FrameKind::Hello => f.from.index(),
+                _ => return Err(TcpError::BadHello),
+            };
+            if peer <= me.index() || peer >= n || writers[peer].is_some() {
+                return Err(TcpError::BadHello);
+            }
+            writers[peer] = Some(stream);
+        }
+
+        // One reader thread per peer, all feeding one ordered channel.
+        let (event_tx, events) = mpsc::channel();
+        for (peer, writer) in writers.iter().enumerate() {
+            let Some(writer) = writer else { continue };
+            let mut reader = writer
+                .try_clone()
+                .map_err(|e| TcpError::io("clone stream", e))?;
+            let tx = event_tx.clone();
+            thread::spawn(move || loop {
+                match Frame::read_from(&mut reader) {
+                    Ok(Some(frame)) => {
+                        if tx.send((peer, PeerEvent::Frame(frame))).is_err() {
+                            return;
+                        }
+                    }
+                    Ok(None) | Err(_) => {
+                        let _ = tx.send((peer, PeerEvent::Closed));
+                        return;
+                    }
+                }
+            });
+        }
+
+        Ok(TcpTransport {
+            me,
+            n,
+            writers,
+            events,
+            peers: vec![PeerState::default(); n],
+            pending: BTreeMap::new(),
+            self_letter: None,
+            received: 0,
+            round_timeout: config.round_timeout,
+        })
+    }
+
+    /// Total letters this node has collected — its contribution to a
+    /// testnet-wide delivery count.
+    pub fn received_total(&self) -> u64 {
+        self.received
+    }
+
+    /// Whether the round loop still expects a frame from `peer` in
+    /// `round`.
+    fn expects(&self, peer: usize, round: usize) -> bool {
+        let state = self.peers[peer];
+        !state.down && state.settled_at.is_none_or(|r| r >= round)
+    }
+
+    fn mark_down(&mut self, peer: usize) {
+        self.peers[peer].down = true;
+        if let Some(w) = self.writers[peer].take() {
+            let _ = w.shutdown(Shutdown::Both);
+        }
+    }
+
+    fn note_frame(
+        &mut self,
+        peer: usize,
+        frame: Frame,
+        round: usize,
+        got: &mut BTreeMap<usize, Vec<u8>>,
+    ) {
+        match frame.kind {
+            FrameKind::Msg if frame.round == round => {
+                got.insert(peer, frame.payload);
+            }
+            FrameKind::Msg if frame.round > round => {
+                self.pending
+                    .entry(frame.round)
+                    .or_default()
+                    .insert(peer, frame.payload);
+            }
+            // Stale rounds (we gave up on the sender) and stray hellos
+            // are dropped.
+            FrameKind::Msg | FrameKind::Hello => {}
+            FrameKind::Settled => {
+                self.peers[peer].settled_at = Some(frame.round);
+            }
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    type Msg = Vec<u8>;
+    type Letter = Vec<u8>;
+    type Error = TcpError;
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    fn broadcast(&mut self, round: usize, payload: Vec<u8>, reach: usize) -> Result<(), TcpError> {
+        for recipient in 0..reach.min(self.n) {
+            if recipient == self.me.index() {
+                self.self_letter = Some((round, payload.clone()));
+                continue;
+            }
+            if !self.expects(recipient, round) {
+                continue;
+            }
+            let frame = Frame::msg(self.me, round, payload.clone());
+            let gone = match &mut self.writers[recipient] {
+                Some(w) => frame.write_to(w).is_err(),
+                // A write failure means the recipient died; over TCP
+                // that is a crash observation, not a transport error.
+                None => false,
+            };
+            if gone {
+                self.mark_down(recipient);
+            }
+        }
+        Ok(())
+    }
+
+    fn sends_done(&mut self, _round: usize) -> Result<(), TcpError> {
+        // Writes are unbuffered (`write_all` + TCP_NODELAY): nothing to
+        // flush, and rounds need no barrier — `collect` blocks until the
+        // round's frames arrive.
+        Ok(())
+    }
+
+    fn collect(&mut self, round: usize) -> Result<Vec<(ProcessId, Vec<u8>)>, TcpError> {
+        let mut got: BTreeMap<usize, Vec<u8>> = self.pending.remove(&round).unwrap_or_default();
+        if let Some((r, payload)) = self.self_letter.take() {
+            if r == round {
+                got.insert(self.me.index(), payload);
+            }
+        }
+        let deadline = Instant::now() + self.round_timeout;
+        loop {
+            let missing: Vec<usize> = (0..self.n)
+                .filter(|&p| {
+                    p != self.me.index() && self.expects(p, round) && !got.contains_key(&p)
+                })
+                .collect();
+            if missing.is_empty() {
+                break;
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let event = if remaining.is_zero() {
+                Err(mpsc::RecvTimeoutError::Timeout)
+            } else {
+                self.events.recv_timeout(remaining)
+            };
+            match event {
+                Ok((peer, PeerEvent::Frame(frame))) => {
+                    self.note_frame(peer, frame, round, &mut got)
+                }
+                Ok((peer, PeerEvent::Closed)) => self.mark_down(peer),
+                // The timeout backstop: whoever is still missing is
+                // declared dead, exactly like an observed close.
+                Err(_) => {
+                    for peer in missing {
+                        self.mark_down(peer);
+                    }
+                    break;
+                }
+            }
+        }
+        self.received += got.len() as u64;
+        Ok(got
+            .into_iter()
+            .map(|(peer, payload)| (ProcessId::new(peer), payload))
+            .collect())
+    }
+
+    fn settle(&mut self, round: usize) -> Result<(), TcpError> {
+        for recipient in 0..self.n {
+            if recipient == self.me.index() {
+                continue;
+            }
+            let frame = Frame::settled(self.me, round);
+            let gone = match &mut self.writers[recipient] {
+                Some(w) => frame.write_to(w).is_err(),
+                None => false,
+            };
+            if gone {
+                self.mark_down(recipient);
+            }
+        }
+        Ok(())
+    }
+
+    fn round_done(&mut self, _round: usize, settled: bool) -> Result<bool, TcpError> {
+        // A settled node leaves immediately: peers were told via the
+        // `Settled` frame and stop waiting for it, so there is nothing
+        // left to synchronize with.
+        Ok(settled)
+    }
+
+    fn depart(&mut self, _round: usize) {
+        // The kill: slam every socket shut without a goodbye. Peers see
+        // end-of-stream after exactly the frames already written — the
+        // ordered-send prefix. (When the node binary injects a crash it
+        // additionally aborts the whole process.)
+        for writer in &mut self.writers {
+            if let Some(w) = writer.take() {
+                let _ = w.shutdown(Shutdown::Both);
+            }
+        }
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        // Unblock this node's reader threads and send FIN to peers; by
+        // now they either saw our `Settled` or treat the close as a
+        // crash, which is the honest reading.
+        for writer in &mut self.writers {
+            if let Some(w) = writer.take() {
+                let _ = w.shutdown(Shutdown::Both);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::localhost_peers;
+    use crate::drive;
+    use crate::transport::{MsgCodec, Typed, U32Codec};
+    use setagree_sync::{CrashSpec, Outcome, Step, SyncProtocol};
+
+    /// Max-flood over real sockets (in-process: one thread per node).
+    #[derive(Debug)]
+    struct MaxFlood {
+        rounds: usize,
+        best: u32,
+    }
+
+    impl SyncProtocol for MaxFlood {
+        type Msg = u32;
+        type Output = u32;
+        fn message(&mut self, _round: usize) -> u32 {
+            self.best
+        }
+        fn receive(&mut self, _round: usize, _from: ProcessId, msg: &u32) {
+            self.best = self.best.max(*msg);
+        }
+        fn compute(&mut self, round: usize) -> Step<u32> {
+            if round >= self.rounds {
+                Step::Decide(self.best)
+            } else {
+                Step::Continue
+            }
+        }
+    }
+
+    fn tcp_system(
+        port_base: u16,
+        inputs: &[u32],
+        crash: Option<(usize, CrashSpec)>,
+    ) -> Vec<Option<Outcome<u32>>> {
+        let n = inputs.len();
+        let peers = localhost_peers(n, port_base);
+        let handles: Vec<_> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, &best)| {
+                let peers = peers.clone();
+                let spec = crash.and_then(|(victim, s)| (victim == i).then_some(s));
+                thread::spawn(move || {
+                    let config = NodeConfig::new(ProcessId::new(i), peers)
+                        .expect("valid config")
+                        .with_round_timeout(Duration::from_secs(5));
+                    let tcp = TcpTransport::establish(&config).expect("mesh forms");
+                    let transport = Typed::new(tcp, U32Codec);
+                    drive(MaxFlood { rounds: 3, best }, transport, spec, 10).ok()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("node thread"))
+            .collect()
+    }
+
+    #[test]
+    fn failure_free_mesh_floods_the_maximum() {
+        let outcomes = tcp_system(42110, &[3, 9, 1, 4], None);
+        for outcome in outcomes {
+            assert_eq!(outcome, Some(Outcome::Decided { value: 9, round: 3 }));
+        }
+    }
+
+    #[test]
+    fn a_killed_node_delivers_only_its_prefix() {
+        // Node 0 holds the maximum and dies in round 1 after reaching
+        // only itself and node 1; node 1 floods 9 onward, so everyone
+        // still converges on 9 — via the survivor.
+        let outcomes = tcp_system(42120, &[9, 1, 1, 1], Some((0, CrashSpec::new(1, 2))));
+        assert_eq!(outcomes[0], Some(Outcome::Crashed { round: 1 }));
+        for outcome in &outcomes[1..] {
+            assert_eq!(*outcome, Some(Outcome::Decided { value: 9, round: 3 }));
+        }
+    }
+
+    #[test]
+    fn u32_codec_round_trips() {
+        let codec = U32Codec;
+        let bytes = codec.encode(&0xDEAD_BEEF);
+        assert_eq!(codec.decode(&bytes), Some(0xDEAD_BEEF));
+        assert_eq!(codec.decode(&bytes[..3]), None);
+    }
+}

@@ -1,0 +1,207 @@
+//! The testnet harness: spawns `n` real node processes, injects crashes
+//! by killing victims, and collects the survivors' reports into a
+//! [`Trace`].
+//!
+//! Each node is one OS process running the `setagree-node` binary's
+//! `run` subcommand over TCP. A victim is handed its `CrashSpec` and
+//! *aborts itself* at the scheduled point — immediately after its
+//! ordered-send prefix, before any receive — so the kernel closes its
+//! sockets and peers observe the death as end-of-stream, exactly the
+//! paper's crash model made physical. Killed nodes print nothing; the
+//! harness fills in their [`Outcome::Crashed`] entries from the pattern
+//! it injected.
+//!
+//! Survivors print two machine-readable lines on stdout:
+//!
+//! ```text
+//! OUTCOME decided <value> <round>
+//! RECEIVED <letters-collected>
+//! ```
+//!
+//! The trace's delivery count is the sum of the survivors' collected
+//! letters — what the network observably delivered (a killed node's
+//! pre-crash receptions die with it, unlike in the in-process tiers
+//! where the shared counter survives).
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+use setagree_sync::{FailurePattern, Outcome, Trace};
+use setagree_types::ProcessId;
+
+use crate::config::localhost_peers;
+
+/// A testnet run: system parameters plus the node binary to spawn.
+#[derive(Debug, Clone)]
+pub struct TestnetConfig {
+    /// The `setagree-node` binary (usually `std::env::current_exe()`).
+    pub binary: PathBuf,
+    /// Crash resilience `t` (sets the FloodSet round bound `⌊t/k⌋ + 1`).
+    pub t: usize,
+    /// Agreement degree `k`.
+    pub k: usize,
+    /// One proposal per node; its length is the system size.
+    pub input: Vec<u32>,
+    /// Which nodes to kill, and when.
+    pub pattern: FailurePattern,
+    /// Node `i` listens on `127.0.0.1:(port_base + i)`.
+    pub port_base: u16,
+    /// Per-round wait before a silent peer is declared dead.
+    pub round_timeout: Duration,
+}
+
+impl TestnetConfig {
+    /// The system size.
+    pub fn n(&self) -> usize {
+        self.input.len()
+    }
+}
+
+/// A testnet failure (distinct from a *node* crash, which is the point).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TestnetError {
+    /// Input length and failure-pattern system size differ.
+    SystemSizeMismatch {
+        /// Proposals supplied.
+        processes: usize,
+        /// Pattern system size.
+        pattern: usize,
+    },
+    /// A node process could not be spawned or awaited.
+    Io {
+        /// The node.
+        id: usize,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// A node that was not scheduled to crash exited without reporting
+    /// an outcome.
+    NodeFailed {
+        /// The node.
+        id: usize,
+        /// What it left behind (exit status and stdout).
+        detail: String,
+    },
+}
+
+impl fmt::Display for TestnetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestnetError::SystemSizeMismatch { processes, pattern } => write!(
+                f,
+                "{processes} proposals but the failure pattern is over {pattern} processes"
+            ),
+            TestnetError::Io { id, source } => write!(f, "node {id}: {source}"),
+            TestnetError::NodeFailed { id, detail } => {
+                write!(f, "node {id} failed without a crash scheduled: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for TestnetError {}
+
+/// Spawns the testnet, waits for every node, and assembles the trace.
+///
+/// # Errors
+///
+/// [`TestnetError`] on spawn failures, size mismatches, or a node dying
+/// *without* a scheduled kill. Scheduled kills are not errors — they are
+/// the adversary.
+pub fn run_testnet(config: &TestnetConfig) -> Result<Trace<u32>, TestnetError> {
+    let n = config.n();
+    if n != config.pattern.system_size() {
+        return Err(TestnetError::SystemSizeMismatch {
+            processes: n,
+            pattern: config.pattern.system_size(),
+        });
+    }
+    let peers = localhost_peers(n, config.port_base)
+        .iter()
+        .map(|a| a.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let input = config
+        .input
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+
+    let mut children = Vec::with_capacity(n);
+    for id in 0..n {
+        let mut cmd = Command::new(&config.binary);
+        cmd.arg("run")
+            .args(["--id", &id.to_string()])
+            .args(["--peers", &peers])
+            .args(["--t", &config.t.to_string()])
+            .args(["--k", &config.k.to_string()])
+            .args(["--input", &input])
+            .args([
+                "--round-timeout-ms",
+                &config.round_timeout.as_millis().to_string(),
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        if let Some(spec) = config.pattern.spec(ProcessId::new(id)) {
+            cmd.args(["--crash", &format!("{}:{}", spec.round, spec.after_sends)]);
+        }
+        children.push(
+            cmd.spawn()
+                .map_err(|source| TestnetError::Io { id, source })?,
+        );
+    }
+
+    let mut outcomes = Vec::with_capacity(n);
+    let mut delivered = 0u64;
+    for (id, child) in children.into_iter().enumerate() {
+        let output = child
+            .wait_with_output()
+            .map_err(|source| TestnetError::Io { id, source })?;
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        if let Some(spec) = config.pattern.spec(ProcessId::new(id)) {
+            // The victim was killed; whatever it printed is void.
+            outcomes.push(Outcome::Crashed { round: spec.round });
+            continue;
+        }
+        let mut outcome = None;
+        for line in stdout.lines() {
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            match fields.as_slice() {
+                ["OUTCOME", "decided", value, round] => {
+                    if let (Ok(value), Ok(round)) = (value.parse(), round.parse()) {
+                        outcome = Some(Outcome::Decided { value, round });
+                    }
+                }
+                ["RECEIVED", count] => {
+                    delivered += count.parse::<u64>().unwrap_or(0);
+                }
+                _ => {}
+            }
+        }
+        match outcome {
+            Some(o) => outcomes.push(o),
+            None => {
+                return Err(TestnetError::NodeFailed {
+                    id,
+                    detail: format!("exit {:?}, stdout {stdout:?}", output.status.code()),
+                })
+            }
+        }
+    }
+
+    let rounds_executed = outcomes
+        .iter()
+        .filter_map(|o| match o {
+            Outcome::Decided { round, .. } | Outcome::Crashed { round } => Some(*round),
+            Outcome::Undecided => None,
+        })
+        .max()
+        .unwrap_or(0);
+    Ok(Trace::from_parts(outcomes, rounds_executed, delivered))
+}

@@ -49,14 +49,13 @@
 use std::error::Error;
 use std::fmt;
 use std::panic;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::thread;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-
 use setagree_sync::{FailurePattern, Outcome, Step, SyncProtocol, Trace};
 use setagree_types::ProcessId;
+
+pub mod delivery;
 
 /// Error running a threaded execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -103,21 +102,8 @@ impl fmt::Display for ThreadedError {
 
 impl Error for ThreadedError {}
 
-/// A round-`r` message from `from`.
-///
-/// The payload is behind an [`Arc`]: a broadcast allocates the message
-/// once and fans it out as `n` reference bumps, so the channel layer adds
-/// zero deep clones to a round (which is why `P::Msg` needs `Sync` here —
-/// every recipient thread borrows the same allocation).
-#[derive(Debug)]
-struct Envelope<M> {
-    round: usize,
-    from: ProcessId,
-    msg: Arc<M>,
-}
-
 /// Runs the protocol instances on one thread each, rounds realized by a
-/// barrier, links by channels, under the failure pattern.
+/// barrier, links by [`delivery`] channels, under the failure pattern.
 ///
 /// # Errors
 ///
@@ -141,26 +127,13 @@ where
         });
     }
 
-    type Links<M> = (Vec<Sender<Envelope<M>>>, Vec<Receiver<Envelope<M>>>);
-    let (senders, receivers): Links<P::Msg> = (0..n).map(|_| unbounded()).unzip();
-    let senders = Arc::new(senders);
-    // Settled processes (decided or crashed) stop receiving; the flag flips
-    // only in the compute half of a round, strictly barrier-separated from
-    // the send half that reads it.
-    let settled: Arc<Vec<AtomicBool>> = Arc::new((0..n).map(|_| AtomicBool::new(false)).collect());
-    let settled_count = Arc::new(AtomicU64::new(0));
-    let delivered = Arc::new(AtomicU64::new(0));
+    let (endpoints, stats) = delivery::mesh::<P::Msg>(n);
     let barrier = Arc::new(Barrier::new(n));
 
     let mut handles = Vec::with_capacity(n);
-    for (i, mut proto) in processes.into_iter().enumerate() {
-        let me = ProcessId::new(i);
+    for (endpoint, mut proto) in endpoints.into_iter().zip(processes) {
+        let me = endpoint.me();
         let spec = pattern.spec(me);
-        let rx = receivers[i].clone();
-        let senders = Arc::clone(&senders);
-        let settled = Arc::clone(&settled);
-        let settled_count = Arc::clone(&settled_count);
-        let delivered = Arc::clone(&delivered);
         let barrier = Arc::clone(&barrier);
 
         // A panicking protocol must not deadlock the barrier: every
@@ -182,22 +155,8 @@ where
                         _ => n,
                     };
                     let sent = panic::catch_unwind(panic::AssertUnwindSafe(|| {
-                        // One owned message per sender per round; the
-                        // fan-out below is n `Arc` bumps, zero deep clones.
-                        let msg = Arc::new(proto.message(round));
-                        for recipient in 0..reach.min(n) {
-                            if settled[recipient].load(Ordering::SeqCst) {
-                                continue;
-                            }
-                            delivered.fetch_add(1, Ordering::SeqCst);
-                            senders[recipient]
-                                .send(Envelope {
-                                    round,
-                                    from: me,
-                                    msg: Arc::clone(&msg),
-                                })
-                                .expect("receiver outlives the round");
-                        }
+                        let msg = proto.message(round);
+                        endpoint.broadcast(round, msg, reach);
                     }));
                     panicked = sent.is_err();
                 }
@@ -208,21 +167,16 @@ where
                         // The settled flag flips only in this compute
                         // half, barrier-separated from the send half that
                         // reads it — same discipline as a crash.
-                        settled[i].store(true, Ordering::SeqCst);
-                        settled_count.fetch_add(1, Ordering::SeqCst);
+                        endpoint.settle();
                     } else if spec.map(|s| s.round == round).unwrap_or(false) {
                         // Crash takes effect before local computation.
                         outcome = Some(Outcome::Crashed { round });
-                        settled[i].store(true, Ordering::SeqCst);
-                        settled_count.fetch_add(1, Ordering::SeqCst);
+                        endpoint.settle();
                     } else {
-                        // Receive phase: drain, order by sender like the
-                        // paper's deterministic delivery, then compute.
+                        // Receive phase: drain in sender order (the
+                        // paper's deterministic delivery), then compute.
                         let step = panic::catch_unwind(panic::AssertUnwindSafe(|| {
-                            let mut inbox: Vec<Envelope<P::Msg>> = rx.try_iter().collect();
-                            debug_assert!(inbox.iter().all(|e| e.round == round));
-                            inbox.sort_by_key(|e| e.from);
-                            for env in inbox {
+                            for env in endpoint.drain_round(round) {
                                 proto.receive(env.round, env.from, &env.msg);
                             }
                             proto.compute(round)
@@ -230,21 +184,19 @@ where
                         match step {
                             Ok(Step::Decide(value)) => {
                                 outcome = Some(Outcome::Decided { value, round });
-                                settled[i].store(true, Ordering::SeqCst);
-                                settled_count.fetch_add(1, Ordering::SeqCst);
+                                endpoint.settle();
                             }
                             Ok(Step::Continue) => {}
                             Err(_) => {
                                 panicked = true;
-                                settled[i].store(true, Ordering::SeqCst);
-                                settled_count.fetch_add(1, Ordering::SeqCst);
+                                endpoint.settle();
                             }
                         }
                     }
                 }
                 barrier.wait(); // all compute phases (and settled flags) done
 
-                if settled_count.load(Ordering::SeqCst) as usize == n {
+                if endpoint.all_settled() {
                     break;
                 }
             }
@@ -281,7 +233,7 @@ where
     Ok(Trace::from_parts(
         outcomes,
         rounds_executed,
-        delivered.load(Ordering::SeqCst),
+        stats.messages_delivered(),
     ))
 }
 

@@ -1,0 +1,169 @@
+//! The `setagree-node` binary: the networked execution tier's entry
+//! point.
+//!
+//! Two subcommands (see [`setagree_node::USAGE`]):
+//!
+//! * `run` — be one TCP node: join the mesh, run `FloodSet` over this
+//!   node's proposal, print `OUTCOME` / `RECEIVED` lines for the testnet
+//!   harness. With `--crash R:S`, **abort the process** at the scheduled
+//!   point — the kill-based adversary made physical.
+//! * `testnet` — orchestrate a whole system: spawn one node per proposal
+//!   (TCP: real processes on localhost, each one an invocation of this
+//!   same binary; loopback: in-process tasks through
+//!   `Executor::Networked`), kill the victims, and print the collected
+//!   [`Report`] with a final `verdict:` line.
+//!
+//! Argument parsing lives in `setagree_node::cli` (unit-tested there);
+//! this file only maps parsed values onto protocol instances, which
+//! requires `setagree-core` — a dependency the node crate cannot have,
+//! since core depends on it for the networked executor.
+
+use std::error::Error;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use setagree_core::{Executor, FloodSet, ProtocolKind, Report, Scenario, TransportKind};
+use setagree_node::{
+    drive, parse_command, run_testnet, NodeCommand, NodeConfig, RunArgs, TcpTransport, TestnetArgs,
+    TestnetConfig, Typed, U32Codec, USAGE,
+};
+use setagree_sync::{CrashSpec, FailurePattern, Outcome};
+use setagree_types::{InputVector, ProcessId};
+
+fn main() -> ExitCode {
+    let command = match parse_command(std::env::args().skip(1)) {
+        Ok(command) => command,
+        Err(err) => {
+            eprintln!("{USAGE}\n\nerror: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match command {
+        NodeCommand::Run(args) => run_one_node(args),
+        NodeCommand::Testnet(args) => run_testnet_system(args),
+    };
+    match result {
+        Ok(code) => code,
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// FloodSet's round bound, `⌊t/k⌋ + 1` — also the drive loop's limit
+/// (the protocol decides exactly then, so no slack is needed).
+fn predicted_rounds(t: usize, k: usize) -> Result<usize, Box<dyn Error>> {
+    if k == 0 {
+        return Err("k must be at least 1".into());
+    }
+    Ok(t / k + 1)
+}
+
+/// The `run` subcommand: one real TCP node.
+fn run_one_node(args: RunArgs) -> Result<ExitCode, Box<dyn Error>> {
+    if args.peers.len() != args.input.len() {
+        return Err(format!(
+            "{} peers but {} proposals — one proposal per node",
+            args.peers.len(),
+            args.input.len()
+        )
+        .into());
+    }
+    if args.id >= args.input.len() {
+        return Err(format!("--id {} out of range for n = {}", args.id, args.input.len()).into());
+    }
+    let limit = predicted_rounds(args.t, args.k)?;
+    let config = NodeConfig::new(ProcessId::new(args.id), args.peers)?
+        .with_round_timeout(Duration::from_millis(args.round_timeout_ms));
+    let tcp = TcpTransport::establish(&config)?;
+    let mut transport = Typed::new(tcp, U32Codec);
+    let proto = FloodSet::new(args.t, args.k, args.input[args.id]);
+    let crash = args
+        .crash
+        .map(|(round, after_sends)| CrashSpec::new(round, after_sends));
+
+    match drive(proto, &mut transport, crash, limit) {
+        Ok(Outcome::Crashed { .. }) => {
+            // The kill: die for real. The kernel closes the sockets and
+            // peers observe end-of-stream; nothing is printed, the
+            // harness fills in the Crashed outcome it injected.
+            std::process::abort();
+        }
+        Ok(Outcome::Decided { value, round }) => {
+            println!("OUTCOME decided {value} {round}");
+            println!("RECEIVED {}", transport.inner().received_total());
+            Ok(ExitCode::SUCCESS)
+        }
+        Ok(Outcome::Undecided) => Err(format!("no decision within the {limit}-round bound").into()),
+        Err(err) => Err(format!("node {}: {err}", args.id).into()),
+    }
+}
+
+/// The `testnet` subcommand: a whole system, on either transport.
+fn run_testnet_system(args: TestnetArgs) -> Result<ExitCode, Box<dyn Error>> {
+    let n = args.input.len();
+    let predicted = predicted_rounds(args.t, args.k)?;
+    let mut pattern = FailurePattern::none(n);
+    for &(id, round, after_sends) in &args.crashes {
+        pattern.crash(ProcessId::new(id), CrashSpec::new(round, after_sends))?;
+    }
+
+    let report = match args.transport {
+        TransportKind::Tcp => {
+            let config = TestnetConfig {
+                binary: std::env::current_exe()?,
+                t: args.t,
+                k: args.k,
+                input: args.input.clone(),
+                pattern,
+                port_base: args.port_base,
+                round_timeout: Duration::from_millis(args.round_timeout_ms),
+            };
+            println!(
+                "testnet: {n} node processes on 127.0.0.1:{}…, {} kill(s) scheduled",
+                args.port_base,
+                args.crashes.len()
+            );
+            let trace = run_testnet(&config)?;
+            Report::from_trace(
+                trace,
+                InputVector::new(args.input),
+                args.k,
+                predicted,
+                ProtocolKind::FloodSet,
+                Executor::Networked {
+                    transport: TransportKind::Tcp,
+                },
+            )
+        }
+        TransportKind::Loopback => {
+            println!(
+                "testnet: {n} loopback node tasks, {} kill(s) scheduled",
+                args.crashes.len()
+            );
+            Scenario::flood_set(n, args.t, args.k)
+                .input(args.input)
+                .pattern(pattern)
+                .executor(Executor::Networked {
+                    transport: TransportKind::Loopback,
+                })
+                .run()?
+        }
+    };
+
+    println!("{report}");
+    if let Some(trace) = report.trace() {
+        print!("{trace}");
+    }
+    let satisfied = report.satisfies_all();
+    println!(
+        "verdict: {}",
+        if satisfied { "SATISFIED" } else { "VIOLATED" }
+    );
+    Ok(if satisfied {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}

@@ -13,7 +13,11 @@
 //!   of Figure 2, baselines and the early-deciding extension (Sections 6–8);
 //! * [`asynchronous`] — the shared-memory substrate and the asynchronous
 //!   condition-based ℓ-set agreement algorithm (Section 4);
-//! * [`runtime`] — a real-thread, channel-based synchronous runtime.
+//! * [`runtime`] — a real-thread, channel-based synchronous runtime;
+//! * [`node`] — the networked execution tier: a transport abstraction
+//!   (in-process loopback and real TCP), the shared node round loop,
+//!   and the testnet harness behind the `setagree-node` binary, with a
+//!   kill-based crash adversary.
 //!
 //! # Quickstart
 //!
@@ -63,6 +67,7 @@
 pub use setagree_async as asynchronous;
 pub use setagree_conditions as conditions;
 pub use setagree_core as core;
+pub use setagree_node as node;
 pub use setagree_runtime as runtime;
 pub use setagree_sync as sync;
 pub use setagree_types as types;

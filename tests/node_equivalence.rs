@@ -1,0 +1,193 @@
+//! The networked loopback tier is observationally equivalent to the
+//! deterministic simulator: real node tasks, a kill-based crash
+//! adversary — and the identical `Trace` (decisions, rounds, message
+//! deliveries) for every protocol, input and ordered failure pattern.
+//!
+//! The equivalence is the networked tier's correctness anchor: the kill
+//! (a victim's task genuinely leaving the round structure, its channel
+//! closing) must be indistinguishable from the simulator's modelled
+//! crash. The suite also pins the wire layer: the length-prefixed frame
+//! codec round-trips every frame, and `Frame::decode` never panics on
+//! arbitrary bytes.
+
+use proptest::prelude::*;
+
+use setagree::conditions::MaxCondition;
+use setagree::core::{
+    ConditionBasedConfig, Executor, ExperimentError, ProtocolSpec, Scenario, TransportKind,
+};
+use setagree::node::{Frame, FrameError, FrameKind, MAX_FRAME_LEN};
+use setagree::sync::{CrashSpec, FailurePattern, Outcome};
+use setagree::types::{InputVector, ProcessId};
+
+const LOOPBACK: Executor = Executor::Networked {
+    transport: TransportKind::Loopback,
+};
+
+fn pattern_strategy(n: usize, t: usize) -> impl Strategy<Value = FailurePattern> {
+    proptest::collection::vec((0usize..n, 1usize..=4, 0usize..=n), 0..=t).prop_map(move |crashes| {
+        let mut pattern = FailurePattern::none(n);
+        let mut victims = std::collections::BTreeSet::new();
+        for (idx, round, prefix) in crashes {
+            if victims.len() >= t || !victims.insert(idx) {
+                continue;
+            }
+            pattern
+                .crash(ProcessId::new(idx), CrashSpec::new(round, prefix))
+                .expect("valid");
+        }
+        pattern
+    })
+}
+
+/// One scenario for each of the four protocol specs, over the same
+/// (n, t, k, d, ℓ) = (8, 4, 2, 2, 2) system, input and pattern.
+fn scenarios(entries: Vec<u32>, pattern: &FailurePattern) -> Vec<Scenario<u32, MaxCondition>> {
+    let config = ConditionBasedConfig::builder(8, 4, 2)
+        .condition_degree(2)
+        .ell(2)
+        .build()
+        .expect("valid");
+    let oracle = MaxCondition::new(config.legality());
+    let input = InputVector::new(entries);
+    [
+        ProtocolSpec::condition_based(config, oracle),
+        ProtocolSpec::early_condition_based(config, oracle),
+        ProtocolSpec::early_deciding(8, 4, 2),
+        ProtocolSpec::flood_set(8, 4, 2),
+    ]
+    .into_iter()
+    .map(|spec| {
+        Scenario::new(spec)
+            .input(input.clone())
+            .pattern(pattern.clone())
+    })
+    .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The headline property: for every protocol, every input and every
+    /// ordered failure pattern, `Executor::Simulator` and the networked
+    /// loopback tier produce the identical `Trace` — same outcomes, same
+    /// `rounds_executed`, same `messages_delivered` — even though the
+    /// loopback victims are genuinely killed, not simulated.
+    #[test]
+    fn loopback_nodes_match_the_simulator(
+        entries in proptest::collection::vec(1u32..=5, 8),
+        pattern in pattern_strategy(8, 4),
+    ) {
+        for scenario in scenarios(entries.clone(), &pattern) {
+            let protocol = scenario.spec().protocol();
+            let simulated = scenario
+                .clone()
+                .executor(Executor::Simulator)
+                .run()
+                .expect("simulator");
+            let networked = scenario
+                .executor(LOOPBACK)
+                .run()
+                .expect("loopback nodes");
+            prop_assert_eq!(
+                simulated.trace(),
+                networked.trace(),
+                "{} diverged under {}",
+                protocol,
+                pattern
+            );
+            prop_assert_eq!(simulated.predicted_rounds(), networked.predicted_rounds());
+            prop_assert_eq!(networked.executor(), LOOPBACK);
+            prop_assert_eq!(networked.executor().label(), "networked-loopback");
+        }
+    }
+
+    /// Every frame the transport can form survives an encode → decode
+    /// round trip, and decoding reports exactly the encoded length.
+    #[test]
+    fn frames_round_trip(
+        kind in (0u8..3).prop_map(|code| match code {
+            0 => FrameKind::Hello,
+            1 => FrameKind::Msg,
+            _ => FrameKind::Settled,
+        }),
+        from in 0usize..64,
+        round in 0usize..=(u32::MAX as usize),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let frame = Frame {
+            kind,
+            from: ProcessId::new(from),
+            round,
+            payload,
+        };
+        let bytes = frame.encode();
+        let (decoded, used) = Frame::decode(&bytes).expect("round trip");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(decoded, frame);
+    }
+
+    /// `Frame::decode` accepts arbitrary bytes without panicking; when it
+    /// does produce a frame, the frame re-encodes to exactly the bytes it
+    /// consumed — decoding never invents or drops wire data.
+    #[test]
+    fn decode_handles_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        match Frame::decode(&bytes) {
+            Ok((frame, used)) => {
+                prop_assert!(used <= bytes.len());
+                prop_assert_eq!(frame.encode(), &bytes[..used]);
+            }
+            Err(FrameError::Oversized { len }) => prop_assert!(len > MAX_FRAME_LEN),
+            Err(_) => {}
+        }
+    }
+}
+
+/// The kill is real and the bookkeeping still matches: victims come back
+/// as `Outcome::Crashed` at their scheduled round, survivors decide, and
+/// the simulator agrees on all of it.
+#[test]
+fn killed_nodes_report_their_scheduled_round() {
+    let mut pattern = FailurePattern::none(6);
+    pattern
+        .crash(ProcessId::new(1), CrashSpec::new(1, 2))
+        .expect("valid");
+    pattern
+        .crash(ProcessId::new(4), CrashSpec::new(2, 0))
+        .expect("valid");
+    let scenario = Scenario::flood_set(6, 3, 1)
+        .input(vec![3u32, 9, 1, 4, 7, 2])
+        .pattern(pattern);
+    let networked = scenario.clone().executor(LOOPBACK).run().expect("nodes");
+    let simulated = scenario
+        .executor(Executor::Simulator)
+        .run()
+        .expect("simulator");
+    let trace = networked.trace().expect("round-based run");
+    assert_eq!(trace.outcomes()[1], Outcome::Crashed { round: 1 });
+    assert_eq!(trace.outcomes()[4], Outcome::Crashed { round: 2 });
+    assert_eq!(trace.crashed_count(), 2);
+    assert_eq!(networked.trace(), simulated.trace());
+    assert!(networked.satisfies_all());
+}
+
+/// `Scenario::run` executes in-process tiers only: the TCP transport
+/// needs real node processes (the testnet harness), and saying so is the
+/// API's job.
+#[test]
+fn tcp_through_scenario_is_rejected() {
+    let err = Scenario::flood_set(4, 2, 1)
+        .input(vec![3u32, 9, 1, 4])
+        .executor(Executor::Networked {
+            transport: TransportKind::Tcp,
+        })
+        .run()
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        ExperimentError::UnsupportedTransport {
+            transport: TransportKind::Tcp
+        }
+    ));
+    assert!(err.to_string().contains("testnet"));
+}
