@@ -20,6 +20,13 @@
 //!   all cells warm — zero protocol executions — and prints the
 //!   identical table (the CI smoke step diffs exactly this). Cache
 //!   statistics go to stderr, keeping stdout diffable;
+//! * set `SETAGREE_SUITE_JOURNAL=/path/to/file` and every executed cell
+//!   is appended to a hash-chained journal *as it completes*; a killed
+//!   run resumes by replaying the journal's verified prefix — only the
+//!   missing cells re-execute, and a torn tail is detected and
+//!   re-executed, never served (the CI journal smoke truncates the file
+//!   mid-record and diffs the resumed run's table). Composes with the
+//!   cache file; see [`SuiteStore`] for the full contract;
 //! * pass `--shard i/m` (0 ≤ i < m) to split the run across processes:
 //!   the shard claims every m-th cell of the deterministic sweep order
 //!   (cell c belongs to shard c mod m), executes only those, and merges
@@ -49,7 +56,7 @@ use setagree_core::{
 };
 use setagree_types::ProcessId;
 
-use setagree_bench::{Table, Workload};
+use setagree_bench::{SuiteStore, Table, Workload};
 
 /// One shard of a cross-process run: this process claims the cells whose
 /// position in the deterministic sweep order is ≡ `index` (mod `modulus`).
@@ -145,7 +152,8 @@ fn main() {
     let seeds = 25u64;
     let shard = parse_shard();
     let mut claimer = CellClaimer::new(shard);
-    let cache = load_cache();
+    let store: Option<SuiteStore<u32>> = SuiteStore::from_env();
+    let cache = store.as_ref().map(|s| Arc::clone(s.cache()));
     if shard.is_some() && cache.is_none() {
         eprintln!(
             "note: --shard without SETAGREE_SUITE_CACHE executes its cells \
@@ -341,7 +349,9 @@ fn main() {
         );
     }
 
-    save_cache(&cache, run_totals);
+    if let Some(store) = store {
+        store.finish(run_totals);
+    }
 }
 
 #[derive(Clone, Copy)]
@@ -456,34 +466,4 @@ fn with_cache(
         Some(cache) => suite.cache(cache),
         None => suite,
     }
-}
-
-/// Loads the persisted suite cache named by `SETAGREE_SUITE_CACHE`
-/// (empty when the file does not exist yet), or `None` when the
-/// variable is unset.
-fn load_cache() -> Option<Arc<SuiteCache<u32>>> {
-    let path = std::env::var_os("SETAGREE_SUITE_CACHE")?;
-    let cache = SuiteCache::load_or_empty(&path).expect("readable suite cache file");
-    eprintln!(
-        "suite cache: loaded {} cell(s) from {}",
-        cache.len(),
-        path.to_string_lossy()
-    );
-    Some(Arc::new(cache))
-}
-
-/// Persists the cache back (when enabled) and reports the run's totals
-/// on stderr — stdout stays byte-identical between cold and warm runs.
-fn save_cache(cache: &Option<Arc<SuiteCache<u32>>>, totals: SuiteRunStats) {
-    let Some(cache) = cache else { return };
-    let path = std::env::var_os("SETAGREE_SUITE_CACHE").expect("checked in load_cache");
-    cache.save(&path).expect("writable suite cache file");
-    eprintln!(
-        "suite cache: {} case(s), {} hit(s), {} miss(es); {} cell(s) saved to {}",
-        totals.cases,
-        totals.cache_hits,
-        totals.cache_misses,
-        cache.len(),
-        path.to_string_lossy()
-    );
 }

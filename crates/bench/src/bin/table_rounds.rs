@@ -13,18 +13,30 @@
 //! a seeded [`Workload`] spec, so the sweep replays identically from
 //! this file alone.
 //!
+//! Set `SETAGREE_SUITE_CACHE` and/or `SETAGREE_SUITE_JOURNAL` to
+//! persist cells across invocations — a warm rerun streams the same
+//! rows without re-executing a protocol, and a killed sweep resumes
+//! from the journal's verified prefix (see [`SuiteStore`]).
+//!
 //! ```text
 //! cargo run -p setagree-bench --bin table_rounds
 //! ```
 
+use std::sync::Arc;
+
 use setagree_conditions::MaxCondition;
-use setagree_core::{ConditionBasedConfig, Executor, ProtocolSpec, ScenarioSuite};
+use setagree_core::{
+    ConditionBasedConfig, Executor, ProtocolSpec, ScenarioSuite, SuiteCache, SuiteRunStats,
+};
 use setagree_sync::{CrashSpec, FailurePattern};
 use setagree_types::ProcessId;
 
-use setagree_bench::{StreamingTable, Workload};
+use setagree_bench::{StreamingTable, SuiteStore, Workload};
 
 fn main() {
+    let store: Option<SuiteStore<u32>> = SuiteStore::from_env();
+    let cache = store.as_ref().map(|s| Arc::clone(s.cache()));
+    let mut run_totals = SuiteRunStats::default();
     let table = StreamingTable::new(
         vec![
             "n", "t", "k", "d", "ℓ", "protocol", "input", "pattern", "rounds", "bound", "k-agree",
@@ -72,7 +84,7 @@ fn main() {
             count: 1,
         };
 
-        ScenarioSuite::new()
+        let run = with_cache(ScenarioSuite::new(), &cache)
             .spec(ProtocolSpec::condition_based(config, oracle))
             .spec(ProtocolSpec::flood_set(n, t, k))
             .inputs(in_condition.inputs())
@@ -114,6 +126,9 @@ fn main() {
                     verdict(ok),
                 ]);
             });
+        run_totals.cases += run.cases;
+        run_totals.cache_hits += run.cache_hits;
+        run_totals.cache_misses += run.cache_misses;
     }
 
     println!();
@@ -123,6 +138,19 @@ fn main() {
         if all_ok { "VERIFIED" } else { "FAILED" }
     );
     assert!(all_ok);
+    if let Some(store) = store {
+        store.finish(run_totals);
+    }
+}
+
+fn with_cache(
+    suite: ScenarioSuite<u32, MaxCondition>,
+    cache: &Option<Arc<SuiteCache<u32>>>,
+) -> ScenarioSuite<u32, MaxCondition> {
+    match cache {
+        Some(cache) => suite.cache(cache),
+        None => suite,
+    }
 }
 
 /// Exactly `count` round-1 crashes with assorted send prefixes.

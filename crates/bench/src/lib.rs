@@ -1,11 +1,14 @@
 //! Shared harness utilities for the table/figure binaries and Criterion
-//! benches: workload generators and a plain-text table printer.
+//! benches: workload generators, a plain-text table printer, and the
+//! environment-driven cache/journal persistence the binaries share.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod persist;
 pub mod table;
 pub mod workloads;
 
+pub use persist::SuiteStore;
 pub use table::{StreamingTable, Table};
 pub use workloads::{in_condition_input, out_of_condition_input, spread_input, Workload};

@@ -1,0 +1,136 @@
+//! Environment-driven persistence for the table binaries: snapshot
+//! cache files and append-only, crash-resumable journals.
+//!
+//! Two variables control where suite results live across invocations:
+//!
+//! * `SETAGREE_SUITE_CACHE=/path` — load the cache file before the run
+//!   and rewrite it wholesale (atomically) after: the warm-rerun mode
+//!   the CI cache smoke exercises.
+//! * `SETAGREE_SUITE_JOURNAL=/path` — attach an append-only journal:
+//!   every executed cell is flushed to the file *as it completes*, and
+//!   the next invocation replays the journal's verified prefix before
+//!   executing anything — so a run killed mid-sweep resumes where it
+//!   died, re-executing only the missing cells. A torn or corrupted
+//!   tail is detected by the hash chain, reported on stderr, and
+//!   re-executed, never served.
+//!
+//! The variables compose: with both set, the journal provides the
+//! crash-grained durability and the cache file the end-of-run snapshot.
+//! All reporting goes to stderr, keeping stdout byte-diffable between
+//! cold, warm and resumed runs.
+
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use setagree_core::{CacheableValue, SuiteCache, SuiteRunStats};
+
+/// A [`SuiteCache`] wired to the persistence the environment asked for.
+pub struct SuiteStore<V: CacheableValue> {
+    cache: Arc<SuiteCache<V>>,
+    save_path: Option<PathBuf>,
+    journal_path: Option<PathBuf>,
+}
+
+impl<V: CacheableValue> fmt::Debug for SuiteStore<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SuiteStore")
+            .field("cache", &self.cache)
+            .field("save_path", &self.save_path)
+            .field("journal_path", &self.journal_path)
+            .finish()
+    }
+}
+
+impl<V: CacheableValue> SuiteStore<V> {
+    /// Builds the store `SETAGREE_SUITE_CACHE` / `SETAGREE_SUITE_JOURNAL`
+    /// describe, loading the cache file and/or replaying the journal.
+    /// `None` when neither variable is set — the run is purely in-memory.
+    ///
+    /// # Panics
+    ///
+    /// On unreadable/corrupt cache files and unwritable journal paths:
+    /// the binaries treat a broken persistence request as fatal rather
+    /// than silently re-executing everything.
+    pub fn from_env() -> Option<Self> {
+        let save_path = std::env::var_os("SETAGREE_SUITE_CACHE").map(PathBuf::from);
+        let journal_path = std::env::var_os("SETAGREE_SUITE_JOURNAL").map(PathBuf::from);
+        if save_path.is_none() && journal_path.is_none() {
+            return None;
+        }
+        let cache = match &save_path {
+            Some(path) => {
+                let cache = SuiteCache::load_or_empty(path).expect("readable suite cache file");
+                eprintln!(
+                    "suite cache: loaded {} cell(s) from {}",
+                    cache.len(),
+                    path.display()
+                );
+                cache
+            }
+            None => SuiteCache::new(),
+        };
+        if let Some(path) = &journal_path {
+            let stats = cache
+                .resume_journal(path)
+                .expect("writable suite journal file");
+            eprintln!(
+                "suite journal: replayed {} record(s) from {} (tail: {})",
+                stats.recovered,
+                path.display(),
+                stats.tail
+            );
+        }
+        Some(SuiteStore {
+            cache: Arc::new(cache),
+            save_path,
+            journal_path,
+        })
+    }
+
+    /// The cache to hand to every suite of the run
+    /// ([`ScenarioSuite::cache`](setagree_core::ScenarioSuite::cache)).
+    pub fn cache(&self) -> &Arc<SuiteCache<V>> {
+        &self.cache
+    }
+
+    /// Ends the run: saves the cache file (when one was requested) and
+    /// reports the run's totals on stderr. Journal appends already
+    /// happened cell-by-cell; this only surfaces any append failure.
+    ///
+    /// # Panics
+    ///
+    /// When the cache file cannot be written.
+    pub fn finish(self, totals: SuiteRunStats) {
+        if let Some(kind) = self.cache.journal_error() {
+            eprintln!(
+                "suite journal: append failed ({kind}); the next resume \
+                 re-executes the unjournaled cells"
+            );
+        }
+        match &self.save_path {
+            Some(path) => {
+                self.cache.save(path).expect("writable suite cache file");
+                eprintln!(
+                    "suite cache: {} case(s), {} hit(s), {} miss(es); {} cell(s) saved to {}",
+                    totals.cases,
+                    totals.cache_hits,
+                    totals.cache_misses,
+                    self.cache.len(),
+                    path.display()
+                );
+            }
+            None => {
+                let path = self.journal_path.as_ref().expect("store has a path");
+                eprintln!(
+                    "suite journal: {} case(s), {} hit(s), {} miss(es); {} cell(s) in {}",
+                    totals.cases,
+                    totals.cache_hits,
+                    totals.cache_misses,
+                    self.cache.len(),
+                    path.display()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! The journal's hash chain: dual-basis FNV-1a over
+//! (predecessor hash ‖ payload).
+//!
+//! Each journal record stores a [`ChainHash`] computed from the previous
+//! record's hash and its own payload, so the whole file is one linked
+//! commitment: flipping any single byte of any record — payload, length
+//! prefix, or stored hash — breaks verification at that record, and the
+//! records before it remain provably intact. FNV-1a's per-byte step
+//! (XOR, then multiply by an odd prime) is a bijection of the state, so
+//! a one-byte change *always* changes each 64-bit half; the two halves
+//! walk the same bytes from independent offset bases, giving a 128-bit
+//! check that makes an accidental collision negligible.
+//!
+//! The same constants back `setagree-core`'s stable cache keys — one
+//! hash family for every durable artifact in the workspace.
+
+/// The FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+/// The standard FNV-1a offset basis (the `lo` half's starting state).
+pub const FNV_BASIS_LO: u64 = 0xCBF2_9CE4_8422_2325;
+/// An alternative basis for the `hi` half, so the two halves are
+/// independent walks over the same bytes.
+pub const FNV_BASIS_HI: u64 = 0x6C62_272E_07BB_0142;
+
+/// A 128-bit chain link: two independent FNV-1a walks over the same
+/// bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChainHash {
+    /// The half seeded from [`FNV_BASIS_HI`].
+    pub hi: u64,
+    /// The half seeded from [`FNV_BASIS_LO`].
+    pub lo: u64,
+}
+
+/// The chain's starting point: the hash "before" the first record, fixed
+/// so that two journals holding the same records hash identically.
+pub const GENESIS: ChainHash = ChainHash {
+    hi: FNV_BASIS_HI,
+    lo: FNV_BASIS_LO,
+};
+
+fn fnv1a(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+impl ChainHash {
+    /// The next link: the hash of this link's bytes followed by
+    /// `payload`, from both bases.
+    #[must_use]
+    pub fn extend(self, payload: &[u8]) -> ChainHash {
+        let prev = self.to_le_bytes();
+        ChainHash {
+            hi: fnv1a(fnv1a(FNV_BASIS_HI, &prev), payload),
+            lo: fnv1a(fnv1a(FNV_BASIS_LO, &prev), payload),
+        }
+    }
+
+    /// The hash's 16-byte wire form (`hi` then `lo`, little-endian).
+    pub fn to_le_bytes(self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.hi.to_le_bytes());
+        out[8..].copy_from_slice(&self.lo.to_le_bytes());
+        out
+    }
+
+    /// Reads a hash back from its wire form.
+    pub fn from_le_bytes(bytes: [u8; 16]) -> ChainHash {
+        ChainHash {
+            hi: u64::from_le_bytes(bytes[..8].try_into().expect("eight bytes")),
+            lo: u64::from_le_bytes(bytes[8..].try_into().expect("eight bytes")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extend_is_deterministic_and_order_sensitive() {
+        let a = GENESIS.extend(b"one").extend(b"two");
+        let b = GENESIS.extend(b"one").extend(b"two");
+        assert_eq!(a, b);
+        assert_ne!(a, GENESIS.extend(b"two").extend(b"one"));
+        assert_ne!(a.hi, a.lo, "the halves walk independently");
+    }
+
+    #[test]
+    fn any_single_byte_flip_changes_the_hash() {
+        let payload = b"the quick brown fox".to_vec();
+        let baseline = GENESIS.extend(&payload);
+        for i in 0..payload.len() {
+            let mut tampered = payload.clone();
+            tampered[i] ^= 0xFF;
+            assert_ne!(GENESIS.extend(&tampered), baseline, "flip at {i}");
+        }
+    }
+
+    #[test]
+    fn wire_form_round_trips() {
+        let h = GENESIS.extend(b"payload");
+        assert_eq!(ChainHash::from_le_bytes(h.to_le_bytes()), h);
+    }
+
+    #[test]
+    fn empty_payload_still_advances_the_chain() {
+        assert_ne!(GENESIS.extend(b""), GENESIS);
+        assert_ne!(GENESIS.extend(b"").extend(b""), GENESIS.extend(b""));
+    }
+}

@@ -1,9 +1,10 @@
 //! Length-prefixed binary frames: the wire format of the TCP transport.
 //!
 //! The vendored `serde` shim is a no-op (its derives expand to nothing),
-//! so the node tier carries its own codec. The format is deliberately
-//! minimal — four fixed-width little-endian fields plus an opaque
-//! payload — and fully self-describing on the wire:
+//! so the networked tier routes through this hand-rolled codec (born in
+//! `setagree-node`, which still re-exports it from here). The format is
+//! deliberately minimal — four fixed-width little-endian fields plus an
+//! opaque payload — and fully self-describing on the wire:
 //!
 //! ```text
 //! ┌─────────────┬──────────┬────────────┬─────────────┬─────────────┐

@@ -31,13 +31,23 @@
 //! A cache can be [saved to](SuiteCache::save) and
 //! [loaded from](SuiteCache::load_or_empty) a file, so warm cells
 //! survive across processes (the CI smoke test runs `table_async` twice
-//! against one cache file and diffs the outputs). The vendored `serde`
-//! is an offline no-op shim — the derives compile but serialize nothing
-//! — so the file format is a small versioned line codec implemented
-//! here; when the real serde lands (see ROADMAP), the codec can swap to
-//! `serde_json` without touching callers. Persistence needs the value
-//! type to be token-encodable, which the [`CacheableValue`] impls
-//! provide for the integer types the experiments use.
+//! against one cache file and diffs the outputs). The file is a
+//! hash-chained binary journal — the `setagree-codec`
+//! [`journal`](setagree_codec::journal) format, one
+//! [`crate::codec`] record per cell — holding *complete* [`Report`]s:
+//! both execution shapes, all outcome and error variants, round-tripped
+//! byte-identically.
+//!
+//! # Journaling
+//!
+//! Beyond whole-file save/load, a cache can be **journal-backed**
+//! ([`SuiteCache::resume_journal`]): every insert is appended to the
+//! journal file and flushed as it happens, so a crashed sweep loses at
+//! most the record being written. Reopening the journal replays the
+//! verified prefix back into the cache — the chain detects a torn or
+//! corrupted tail and reports it ([`JournalTail`]) instead of serving
+//! damaged cells — and the resumed run re-executes only the missing
+//! cells.
 //!
 //! # Key stability
 //!
@@ -55,41 +65,39 @@ use std::collections::HashMap;
 use std::fmt;
 use std::fs;
 use std::hash::{Hash, Hasher};
-use std::io;
+use std::io::{self, Seek};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Mutex;
 
-use setagree_async::{AsyncOutcome, AsyncReport};
-use setagree_conditions::LegalityParams;
-use setagree_sync::{Outcome, Trace};
-use setagree_types::{InputVector, ProcessId, ProposalValue};
+use setagree_codec::chain::{FNV_BASIS_HI, FNV_BASIS_LO, FNV_PRIME};
+use setagree_codec::journal::{Cursor, JournalTail, JournalWriter, HEADER_LEN};
+use setagree_codec::{DecodeError, Reader, Writer};
+use setagree_types::ProposalValue;
 
-use crate::experiment::{Executor, ExperimentError, ProtocolKind, TransportKind};
-use crate::report::{Execution, Report};
+use crate::codec;
+use crate::experiment::ExperimentError;
+use crate::report::Report;
 
 /// Bumped whenever the key derivation or the file codec changes shape;
 /// mixed into every key and written into the file header, so stale
-/// files read as cold caches instead of decoding garbage.
-const FORMAT_VERSION: u64 = 1;
+/// files read as cold caches instead of decoding garbage. Version 2 is
+/// the binary journal format (version 1 was a text line codec carrying
+/// summary integers only).
+const FORMAT_VERSION: u64 = 2;
 
-/// The file header line identifying a persisted suite cache.
-const FILE_MAGIC: &str = "setagree-suite-cache v1";
+/// The magic line opening the pre-v2 text format; recognized so old
+/// files reload as cold caches rather than hard errors.
+const TEXT_FILE_MAGIC: &[u8] = b"setagree-suite-cache ";
 
 /// A fixed-parameter FNV-1a 64-bit hasher: deterministic across runs,
 /// unlike `std`'s randomized `DefaultHasher` — the property a persisted
-/// cache key needs.
+/// cache key needs. The constants are shared with `setagree-codec`'s
+/// journal chain: one hash family for every durable artifact.
 #[derive(Debug, Clone)]
 pub(crate) struct StableHasher {
     state: u64,
 }
-
-const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
-/// The standard FNV-1a offset basis.
-const FNV_BASIS_LO: u64 = 0xCBF2_9CE4_8422_2325;
-/// An alternative basis for the key's second half, so the two halves
-/// are independent walks over the same bytes.
-const FNV_BASIS_HI: u64 = 0x6C62_272E_07BB_0142;
 
 impl StableHasher {
     fn with_basis(basis: u64) -> Self {
@@ -145,6 +153,16 @@ impl CacheKey {
             lo: lo.finish(),
         }
     }
+
+    /// The key's two halves, for the wire codec.
+    pub(crate) fn parts(&self) -> (u64, u64) {
+        (self.hi, self.lo)
+    }
+
+    /// Rebuilds a key from its wire halves.
+    pub(crate) fn from_parts(hi: u64, lo: u64) -> CacheKey {
+        CacheKey { hi, lo }
+    }
 }
 
 impl fmt::Display for CacheKey {
@@ -159,17 +177,43 @@ impl fmt::Display for CacheKey {
 /// them without re-validating).
 pub type CachedResult<V> = Result<Report<V>, ExperimentError>;
 
+/// The outcome of [`SuiteCache::resume_journal`]: how many cells the
+/// journal's verified prefix restored, and how the journal ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalReplayStats {
+    /// Cells replayed into the cache.
+    pub recovered: usize,
+    /// How the replay ended — [`JournalTail::Clean`] for an intact
+    /// journal, otherwise where the torn/corrupted tail began (that tail
+    /// was discarded and will be re-executed, not served).
+    pub tail: JournalTail,
+}
+
+/// The live append side of a journal-backed cache.
+struct JournalSink<V: Ord> {
+    writer: JournalWriter<fs::File>,
+    /// Captured under the `CacheableValue` bound when the journal is
+    /// attached, so `insert` (bounded only on `ProposalValue`) can
+    /// encode records.
+    encode: fn(&CacheKey, &CachedResult<V>) -> Vec<u8>,
+    /// The first append failure, sticky: after an I/O error the journal
+    /// stops appending (the file may hold a partial record — the shape
+    /// replay recovers from) rather than interleaving torn writes.
+    error: Option<io::ErrorKind>,
+}
+
 /// A shareable, thread-safe memo of suite cell results.
 ///
-/// Hand one cache (behind an [`Arc`]) to any number of suites via
-/// [`ScenarioSuite::cache`](crate::ScenarioSuite::cache); concurrent
-/// workers of a streaming run consult and fill it through a mutex.
-/// The `hits()`/`misses()` counters are lifetime totals; per-run
+/// Hand one cache (behind an [`Arc`](std::sync::Arc)) to any number of
+/// suites via [`ScenarioSuite::cache`](crate::ScenarioSuite::cache);
+/// concurrent workers of a streaming run consult and fill it through a
+/// mutex. The `hits()`/`misses()` counters are lifetime totals; per-run
 /// counters live on the run's [`SuiteReport`](crate::SuiteReport).
 pub struct SuiteCache<V: Ord> {
     entries: Mutex<HashMap<CacheKey, CachedResult<V>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    journal: Mutex<Option<JournalSink<V>>>,
 }
 
 impl<V: Ord> Default for SuiteCache<V> {
@@ -178,6 +222,7 @@ impl<V: Ord> Default for SuiteCache<V> {
             entries: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            journal: Mutex::new(None),
         }
     }
 }
@@ -224,6 +269,17 @@ impl<V: ProposalValue> SuiteCache<V> {
         self.entries.lock().expect("cache lock poisoned").clear();
     }
 
+    /// The first I/O failure the attached journal hit, if any: appends
+    /// stop at that point, so a caller about to rely on the journal for
+    /// resumption can surface the problem.
+    pub fn journal_error(&self) -> Option<io::ErrorKind> {
+        self.journal
+            .lock()
+            .expect("journal lock poisoned")
+            .as_ref()
+            .and_then(|sink| sink.error)
+    }
+
     /// Looks a cell up, counting a hit or a miss.
     pub(crate) fn lookup(&self, key: &CacheKey) -> Option<CachedResult<V>> {
         let found = self
@@ -239,8 +295,20 @@ impl<V: ProposalValue> SuiteCache<V> {
         found
     }
 
-    /// Stores a cell result.
+    /// Stores a cell result (journaling it first, when a journal is
+    /// attached — the record is on disk before the cell is servable).
     pub(crate) fn insert(&self, key: CacheKey, result: CachedResult<V>) {
+        {
+            let mut journal = self.journal.lock().expect("journal lock poisoned");
+            if let Some(sink) = journal.as_mut() {
+                if sink.error.is_none() {
+                    let payload = (sink.encode)(&key, &result);
+                    if let Err(e) = sink.writer.append(&payload) {
+                        sink.error = Some(e.kind());
+                    }
+                }
+            }
+        }
         self.entries
             .lock()
             .expect("cache lock poisoned")
@@ -248,39 +316,72 @@ impl<V: ProposalValue> SuiteCache<V> {
     }
 }
 
-/// A value type the cache file codec can round-trip: encodes to one
-/// whitespace-free token and decodes back to an equal value.
+/// A value type the binary codec can round-trip byte-identically.
 ///
-/// Implemented for the integer types the experiments propose. The
-/// in-memory cache needs only `Hash` (for keys); this trait gates the
-/// persistence methods alone.
+/// Implemented for the integer types the experiments propose (fixed
+/// little-endian width; `usize`/`isize` travel as 64-bit so the wire
+/// form is platform-independent). The in-memory cache needs only `Hash`
+/// (for keys); this trait gates persistence and journaling alone.
 pub trait CacheableValue: ProposalValue + Hash {
-    /// Encodes the value as one token (no whitespace, no newlines).
-    fn encode(&self) -> String;
-    /// Decodes a token produced by [`CacheableValue::encode`].
-    fn decode(token: &str) -> Option<Self>;
+    /// Appends the value's canonical wire form.
+    fn encode_wire(&self, out: &mut Writer);
+    /// Reads a value written by [`CacheableValue::encode_wire`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`DecodeError`] on malformed input; must never panic.
+    fn decode_wire(r: &mut Reader<'_>) -> Result<Self, DecodeError>;
 }
 
 macro_rules! cacheable_ints {
     ($($t:ty),*) => {$(
         impl CacheableValue for $t {
-            fn encode(&self) -> String {
-                self.to_string()
+            fn encode_wire(&self, out: &mut Writer) {
+                out.raw(&self.to_le_bytes());
             }
-            fn decode(token: &str) -> Option<Self> {
-                token.parse().ok()
+            fn decode_wire(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+                Ok(<$t>::from_le_bytes(
+                    r.take(std::mem::size_of::<$t>())?
+                        .try_into()
+                        .expect("exact width"),
+                ))
             }
         }
     )*};
 }
 
-cacheable_ints!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+cacheable_ints!(u8, u16, u32, u64, u128, i8, i16, i32, i64, i128);
 
-fn corrupt(line_no: usize, what: &str) -> io::Error {
+impl CacheableValue for usize {
+    fn encode_wire(&self, out: &mut Writer) {
+        out.usize(*self);
+    }
+    fn decode_wire(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        r.usize()
+    }
+}
+
+impl CacheableValue for isize {
+    fn encode_wire(&self, out: &mut Writer) {
+        out.u64(*self as i64 as u64);
+    }
+    fn decode_wire(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        isize::try_from(r.u64()? as i64).map_err(|_| DecodeError::Invalid {
+            what: "isize field",
+        })
+    }
+}
+
+fn corrupt(record: usize, what: impl fmt::Display) -> io::Error {
     io::Error::new(
         io::ErrorKind::InvalidData,
-        format!("suite cache file line {line_no}: {what}"),
+        format!("suite cache journal record {record}: {what}"),
     )
+}
+
+/// The journal header version for this cache format.
+fn header_version() -> u32 {
+    FORMAT_VERSION as u32
 }
 
 impl<V: CacheableValue> SuiteCache<V> {
@@ -290,11 +391,14 @@ impl<V: CacheableValue> SuiteCache<V> {
     /// # Errors
     ///
     /// I/O failures other than `NotFound`, and malformed files —
-    /// except a *version* mismatch in the header, which loads as an
-    /// empty cache (an old file is a cold cache, not an error).
+    /// except a *version* mismatch in the header (including the pre-v2
+    /// text format), which loads as an empty cache: an old file is a
+    /// cold cache, not an error. Unlike [`SuiteCache::resume_journal`],
+    /// a torn or corrupted tail here is an error too — `save` writes
+    /// whole files atomically, so damage means the file is not ours.
     pub fn load_or_empty(path: impl AsRef<Path>) -> io::Result<Self> {
-        match fs::read_to_string(path) {
-            Ok(text) => Self::parse(&text),
+        match fs::read(path) {
+            Ok(bytes) => Self::parse(&bytes),
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(SuiteCache::new()),
             Err(e) => Err(e),
         }
@@ -304,7 +408,8 @@ impl<V: CacheableValue> SuiteCache<V> {
     /// file is rewritten whole into a sibling temp file and renamed
     /// over `path`, so a concurrent [`SuiteCache::load_or_empty`] — or
     /// a crash mid-save — never observes a truncated file), in
-    /// deterministic key order.
+    /// deterministic key order. The written file is itself a valid
+    /// journal: [`SuiteCache::resume_journal`] can append to it.
     ///
     /// # Errors
     ///
@@ -312,432 +417,173 @@ impl<V: CacheableValue> SuiteCache<V> {
     pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
         let path = path.as_ref();
         let entries = self.entries.lock().expect("cache lock poisoned");
-        let mut lines: Vec<String> = entries
+        let mut records: Vec<((u64, u64), Vec<u8>)> = entries
             .iter()
-            .map(|(key, result)| format!("{} {} {}", key.hi, key.lo, encode_result(result)))
+            .map(|(key, result)| (key.parts(), codec::encode_record(key, result)))
             .collect();
         drop(entries);
-        lines.sort();
-        let mut text = String::from(FILE_MAGIC);
-        text.push('\n');
-        for line in lines {
-            text.push_str(&line);
-            text.push('\n');
+        records.sort();
+        let mut writer = JournalWriter::create(Vec::new(), header_version())?;
+        for (_, payload) in &records {
+            writer.append(payload)?;
         }
         let mut tmp = path.as_os_str().to_owned();
         tmp.push(format!(".tmp-{}", std::process::id()));
         let tmp = std::path::PathBuf::from(tmp);
-        fs::write(&tmp, text)?;
+        fs::write(&tmp, writer.into_inner())?;
         fs::rename(&tmp, path).inspect_err(|_| {
             let _ = fs::remove_file(&tmp);
         })
     }
 
-    fn parse(text: &str) -> io::Result<Self> {
-        let mut lines = text.lines().enumerate();
-        match lines.next() {
-            Some((_, header)) if header == FILE_MAGIC => {}
-            // A different version of this codec: treat as a cold cache.
-            Some((_, header)) if header.starts_with("setagree-suite-cache ") => {
-                return Ok(SuiteCache::new());
-            }
-            _ => return Err(corrupt(1, "missing header")),
+    fn parse(bytes: &[u8]) -> io::Result<Self> {
+        // The pre-v2 text codec: a recognized stale format reloads cold.
+        if bytes.starts_with(TEXT_FILE_MAGIC) {
+            return Ok(SuiteCache::new());
+        }
+        let mut cursor = Cursor::new(bytes);
+        match cursor.version() {
+            // A newer/older journal version is a cold cache …
+            Some(v) if v != header_version() => return Ok(SuiteCache::new()),
+            Some(_) => {}
+            // … but a missing or alien header is corruption.
+            None => return Err(corrupt(0, "missing or damaged journal header")),
+        }
+        let mut entries = HashMap::new();
+        for payload in cursor.by_ref() {
+            let record = entries.len();
+            let (key, result) = codec::decode_record(payload).map_err(|e| corrupt(record, e))?;
+            entries.insert(key, result);
+        }
+        let tail = cursor.tail().expect("exhausted cursor has a tail");
+        if !tail.is_clean() {
+            return Err(corrupt(cursor.records(), tail));
         }
         let cache = SuiteCache::new();
-        let mut entries = HashMap::new();
-        for (idx, line) in lines {
-            let line_no = idx + 1;
-            if line.trim().is_empty() {
-                continue;
-            }
-            let mut tokens = line.split_ascii_whitespace();
-            let hi = next_u64(&mut tokens, line_no)?;
-            let lo = next_u64(&mut tokens, line_no)?;
-            let result = decode_result(&mut tokens, line_no)?;
-            if tokens.next().is_some() {
-                return Err(corrupt(line_no, "trailing tokens"));
-            }
-            entries.insert(CacheKey { hi, lo }, result);
-        }
         *cache.entries.lock().expect("cache lock poisoned") = entries;
         Ok(cache)
     }
-}
 
-type Tokens<'a> = std::str::SplitAsciiWhitespace<'a>;
+    /// Attaches an append-only journal at `path`, replaying whatever
+    /// valid prefix already exists into the cache first.
+    ///
+    /// * Missing (or empty) file → a fresh journal is created.
+    /// * Stale version (including the pre-v2 text cache format written
+    ///   under this path) → the file is a cold journal and is rewritten
+    ///   fresh.
+    /// * Valid prefix + torn/corrupted tail (a crashed writer) → the
+    ///   prefix is replayed into the cache, the file is truncated back
+    ///   to it, and appends continue from there; the damage is reported
+    ///   in the returned stats, never served.
+    ///
+    /// After this call every insert — every cache miss a suite
+    /// executes — is appended to the journal and flushed,
+    /// so a crashed sweep resumes by calling this again: only the cells
+    /// missing from the journal re-execute.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures reading, truncating or reopening the file, and a
+    /// file whose header is neither a journal nor the old text format
+    /// (a foreign file is refused, not clobbered).
+    pub fn resume_journal(&self, path: impl AsRef<Path>) -> io::Result<JournalReplayStats> {
+        let path = path.as_ref();
+        let bytes = match fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
 
-fn next_token<'a>(tokens: &mut Tokens<'a>, line_no: usize) -> io::Result<&'a str> {
-    tokens
-        .next()
-        .ok_or_else(|| corrupt(line_no, "unexpected end of line"))
-}
+        let cursor = Cursor::new(&bytes);
+        let start_fresh = match cursor.version() {
+            // An intact header of another version: ours, just stale.
+            Some(v) if v != header_version() => true,
+            Some(_) => false,
+            // A short header is our own torn write (or the old text
+            // format's first line); anything else is a foreign file.
+            None if bytes.len() < HEADER_LEN || bytes.starts_with(TEXT_FILE_MAGIC) => true,
+            None => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{} is not a setagree journal", path.display()),
+                ))
+            }
+        };
 
-fn next_u64(tokens: &mut Tokens<'_>, line_no: usize) -> io::Result<u64> {
-    next_token(tokens, line_no)?
-        .parse()
-        .map_err(|_| corrupt(line_no, "expected an integer"))
-}
-
-fn next_usize(tokens: &mut Tokens<'_>, line_no: usize) -> io::Result<usize> {
-    next_token(tokens, line_no)?
-        .parse()
-        .map_err(|_| corrupt(line_no, "expected an integer"))
-}
-
-fn next_value<V: CacheableValue>(tokens: &mut Tokens<'_>, line_no: usize) -> io::Result<V> {
-    V::decode(next_token(tokens, line_no)?).ok_or_else(|| corrupt(line_no, "bad value token"))
-}
-
-fn encode_executor(executor: Executor) -> String {
-    match executor {
-        Executor::Simulator => "sim".into(),
-        Executor::Threaded => "thr".into(),
-        Executor::AsyncSharedMemory { seed } => format!("asm {seed}"),
-        Executor::AsyncMessagePassing { seed } => format!("amp {seed}"),
-        Executor::Networked {
-            transport: TransportKind::Loopback,
-        } => "net-lb".into(),
-        Executor::Networked {
-            transport: TransportKind::Tcp,
-        } => "net-tcp".into(),
-    }
-}
-
-fn decode_executor(tokens: &mut Tokens<'_>, line_no: usize) -> io::Result<Executor> {
-    Ok(match next_token(tokens, line_no)? {
-        "sim" => Executor::Simulator,
-        "thr" => Executor::Threaded,
-        "asm" => Executor::AsyncSharedMemory {
-            seed: next_u64(tokens, line_no)?,
-        },
-        "amp" => Executor::AsyncMessagePassing {
-            seed: next_u64(tokens, line_no)?,
-        },
-        "net-lb" => Executor::Networked {
-            transport: TransportKind::Loopback,
-        },
-        "net-tcp" => Executor::Networked {
-            transport: TransportKind::Tcp,
-        },
-        _ => return Err(corrupt(line_no, "unknown executor")),
-    })
-}
-
-fn encode_protocol(protocol: ProtocolKind) -> &'static str {
-    match protocol {
-        ProtocolKind::ConditionBased => "cb",
-        ProtocolKind::EarlyConditionBased => "ecb",
-        ProtocolKind::EarlyDeciding => "ed",
-        ProtocolKind::FloodSet => "fs",
-        ProtocolKind::AsyncSetAgreement => "asa",
-    }
-}
-
-fn decode_protocol(tokens: &mut Tokens<'_>, line_no: usize) -> io::Result<ProtocolKind> {
-    Ok(match next_token(tokens, line_no)? {
-        "cb" => ProtocolKind::ConditionBased,
-        "ecb" => ProtocolKind::EarlyConditionBased,
-        "ed" => ProtocolKind::EarlyDeciding,
-        "fs" => ProtocolKind::FloodSet,
-        "asa" => ProtocolKind::AsyncSetAgreement,
-        _ => return Err(corrupt(line_no, "unknown protocol")),
-    })
-}
-
-/// Percent-escapes everything outside printable ASCII (plus `%`) so
-/// arbitrary error messages fit in one token. Escaping byte-wise keeps
-/// the output pure ASCII — pushing a byte ≥ 0x80 as a `char` would
-/// re-encode it in UTF-8 and corrupt non-ASCII messages on the way
-/// back.
-fn escape(text: &str) -> String {
-    let mut out = String::with_capacity(text.len());
-    for b in text.bytes() {
-        match b {
-            b'%' => out.push_str("%25"),
-            0x21..=0x7E => out.push(b as char),
-            _ => out.push_str(&format!("%{b:02X}")),
+        if start_fresh || bytes.is_empty() {
+            let file = fs::File::create(path)?;
+            let writer = JournalWriter::create(file, header_version())?;
+            self.attach(writer);
+            return Ok(JournalReplayStats {
+                recovered: 0,
+                tail: JournalTail::Clean,
+            });
         }
-    }
-    if out.is_empty() {
-        out.push('%');
-    }
-    out
-}
 
-fn unescape(token: &str) -> Option<String> {
-    if token == "%" {
-        return Some(String::new());
-    }
-    let bytes = token.as_bytes();
-    let mut out = Vec::with_capacity(bytes.len());
-    let mut i = 0;
-    while i < bytes.len() {
-        if bytes[i] == b'%' {
-            let hex = bytes.get(i + 1..i + 3)?;
-            out.push(u8::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?);
-            i += 3;
+        let mut cursor = cursor;
+        let mut decoded = Vec::new();
+        let mut undecodable = false;
+        for payload in cursor.by_ref() {
+            match codec::decode_record::<V>(payload) {
+                Ok(entry) => decoded.push(entry),
+                Err(_) => {
+                    // Chain-valid but not a record of ours: keep only
+                    // what precedes it and report it like corruption.
+                    undecodable = true;
+                    break;
+                }
+            }
+        }
+        let (recovered, keep_len, head, tail) = if undecodable {
+            // The cursor's prefix includes the undecodable record;
+            // replay one record less to find where it starts.
+            let mut prefix = Cursor::new(&bytes);
+            for _ in 0..decoded.len() {
+                prefix.next();
+            }
+            let tail = JournalTail::Corrupted {
+                record: decoded.len(),
+                offset: prefix.valid_len(),
+                reason: "undecodable record",
+            };
+            (decoded.len(), prefix.valid_len(), prefix.head(), tail)
         } else {
-            out.push(bytes[i]);
-            i += 1;
-        }
-    }
-    String::from_utf8(out).ok()
-}
+            let tail = cursor.tail().expect("exhausted cursor has a tail");
+            (cursor.records(), cursor.valid_len(), cursor.head(), tail)
+        };
 
-fn encode_result<V: CacheableValue>(result: &CachedResult<V>) -> String {
-    match result {
-        Ok(report) => encode_report(report),
-        Err(error) => format!("err {}", encode_error(error)),
-    }
-}
-
-fn encode_report<V: CacheableValue>(report: &Report<V>) -> String {
-    let mut out = String::from("ok ");
-    match report.execution() {
-        Execution::Rounds {
-            trace,
-            predicted_rounds,
-        } => {
-            out.push_str(&format!(
-                "R {predicted_rounds} {} {} ",
-                trace.rounds_executed(),
-                trace.messages_delivered()
-            ));
-            out.push_str(&format!("{} ", trace.outcomes().len()));
-            for outcome in trace.outcomes() {
-                match outcome {
-                    Outcome::Decided { value, round } => {
-                        out.push_str(&format!("d {} {round} ", value.encode()));
-                    }
-                    Outcome::Crashed { round } => out.push_str(&format!("c {round} ")),
-                    Outcome::Undecided => out.push_str("x "),
-                }
+        {
+            let mut entries = self.entries.lock().expect("cache lock poisoned");
+            for (key, result) in decoded {
+                entries.insert(key, result);
             }
         }
-        Execution::Steps(steps) => {
-            out.push_str(&format!("S {} ", steps.total_steps()));
-            out.push_str(&format!("{} ", steps.outcomes().len()));
-            for outcome in steps.outcomes() {
-                match outcome {
-                    AsyncOutcome::Decided { value, steps } => {
-                        out.push_str(&format!("d {} {steps} ", value.encode()));
-                    }
-                    AsyncOutcome::Crashed => out.push_str("c "),
-                    AsyncOutcome::Blocked => out.push_str("b "),
-                    AsyncOutcome::Unfinished => out.push_str("u "),
-                }
-            }
-        }
-    }
-    out.push_str(&format!(
-        "{} {} {} ",
-        report.k(),
-        encode_protocol(report.protocol()),
-        encode_executor(report.executor())
-    ));
-    out.push_str(&format!("{}", report.input().len()));
-    for value in report.input().iter() {
-        out.push(' ');
-        out.push_str(&value.encode());
-    }
-    out
-}
 
-fn decode_report<V: CacheableValue>(
-    tokens: &mut Tokens<'_>,
-    line_no: usize,
-) -> io::Result<Report<V>> {
-    let shape = next_token(tokens, line_no)?;
-    let execution = match shape {
-        "R" => {
-            let predicted_rounds = next_usize(tokens, line_no)?;
-            let rounds_executed = next_usize(tokens, line_no)?;
-            let messages_delivered = next_u64(tokens, line_no)?;
-            let count = next_usize(tokens, line_no)?;
-            let mut outcomes = Vec::with_capacity(count);
-            for _ in 0..count {
-                outcomes.push(match next_token(tokens, line_no)? {
-                    "d" => Outcome::Decided {
-                        value: next_value(tokens, line_no)?,
-                        round: next_usize(tokens, line_no)?,
-                    },
-                    "c" => Outcome::Crashed {
-                        round: next_usize(tokens, line_no)?,
-                    },
-                    "x" => Outcome::Undecided,
-                    _ => return Err(corrupt(line_no, "unknown outcome")),
-                });
-            }
-            Execution::Rounds {
-                trace: Trace::from_parts(outcomes, rounds_executed, messages_delivered),
-                predicted_rounds,
-            }
-        }
-        "S" => {
-            let total_steps = next_u64(tokens, line_no)?;
-            let count = next_usize(tokens, line_no)?;
-            let mut outcomes = Vec::with_capacity(count);
-            for _ in 0..count {
-                outcomes.push(match next_token(tokens, line_no)? {
-                    "d" => AsyncOutcome::Decided {
-                        value: next_value(tokens, line_no)?,
-                        steps: next_u64(tokens, line_no)?,
-                    },
-                    "c" => AsyncOutcome::Crashed,
-                    "b" => AsyncOutcome::Blocked,
-                    "u" => AsyncOutcome::Unfinished,
-                    _ => return Err(corrupt(line_no, "unknown outcome")),
-                });
-            }
-            Execution::Steps(AsyncReport::from_parts(outcomes, total_steps))
-        }
-        _ => return Err(corrupt(line_no, "unknown execution shape")),
-    };
-    let k = next_usize(tokens, line_no)?;
-    let protocol = decode_protocol(tokens, line_no)?;
-    let executor = decode_executor(tokens, line_no)?;
-    let len = next_usize(tokens, line_no)?;
-    if len == 0 {
-        return Err(corrupt(line_no, "empty input vector"));
+        let mut file = fs::OpenOptions::new().write(true).open(path)?;
+        file.set_len(keep_len as u64)?;
+        file.seek(io::SeekFrom::End(0))?;
+        self.attach(JournalWriter::resume(file, head, recovered));
+        Ok(JournalReplayStats { recovered, tail })
     }
-    let mut entries = Vec::with_capacity(len);
-    for _ in 0..len {
-        entries.push(next_value(tokens, line_no)?);
-    }
-    let input = Arc::new(InputVector::new(entries));
-    Ok(match execution {
-        Execution::Rounds {
-            trace,
-            predicted_rounds,
-        } => Report::new(trace, input, k, predicted_rounds, protocol, executor),
-        Execution::Steps(steps) => Report::new_async(steps, input, k, protocol, executor),
-    })
-}
 
-fn encode_error(error: &ExperimentError) -> String {
-    match error {
-        ExperimentError::MissingInput => "missing-input".into(),
-        ExperimentError::InputSizeMismatch { expected, got } => {
-            format!("input-size {expected} {got}")
-        }
-        ExperimentError::ZeroK => "zero-k".into(),
-        ExperimentError::TooManyCrashes { t, scheduled } => {
-            format!("too-many-crashes {t} {scheduled}")
-        }
-        ExperimentError::OracleMismatch { expected, got } => format!(
-            "oracle-mismatch {} {} {} {}",
-            expected.x(),
-            expected.ell(),
-            got.x(),
-            got.ell()
-        ),
-        ExperimentError::RoundLimitExceeded { limit } => format!("round-limit {limit}"),
-        ExperimentError::SystemSizeMismatch { processes, pattern } => {
-            format!("system-size {processes} {pattern}")
-        }
-        ExperimentError::ProcessPanicked { process } => {
-            format!("process-panicked {}", process.index())
-        }
-        ExperimentError::UnsupportedAdversary { executor } => {
-            format!("unsupported-adversary {}", encode_executor(*executor))
-        }
-        ExperimentError::UnknownCrashVictim { victim, n } => {
-            format!("unknown-victim {} {n}", victim.index())
-        }
-        ExperimentError::UnsupportedProtocol { executor, protocol } => format!(
-            "unsupported-protocol {} {}",
-            encode_executor(*executor),
-            encode_protocol(*protocol)
-        ),
-        ExperimentError::UnsupportedTransport { transport } => format!(
-            "unsupported-transport {}",
-            match transport {
-                TransportKind::Loopback => "lb",
-                TransportKind::Tcp => "tcp",
-            }
-        ),
-        ExperimentError::Internal { message } => format!("internal {}", escape(message)),
-    }
-}
-
-fn decode_error(tokens: &mut Tokens<'_>, line_no: usize) -> io::Result<ExperimentError> {
-    let params = |x, ell, line_no| {
-        LegalityParams::new(x, ell).map_err(|_| corrupt(line_no, "bad legality params"))
-    };
-    Ok(match next_token(tokens, line_no)? {
-        "missing-input" => ExperimentError::MissingInput,
-        "input-size" => ExperimentError::InputSizeMismatch {
-            expected: next_usize(tokens, line_no)?,
-            got: next_usize(tokens, line_no)?,
-        },
-        "zero-k" => ExperimentError::ZeroK,
-        "too-many-crashes" => ExperimentError::TooManyCrashes {
-            t: next_usize(tokens, line_no)?,
-            scheduled: next_usize(tokens, line_no)?,
-        },
-        "oracle-mismatch" => ExperimentError::OracleMismatch {
-            expected: params(
-                next_usize(tokens, line_no)?,
-                next_usize(tokens, line_no)?,
-                line_no,
-            )?,
-            got: params(
-                next_usize(tokens, line_no)?,
-                next_usize(tokens, line_no)?,
-                line_no,
-            )?,
-        },
-        "round-limit" => ExperimentError::RoundLimitExceeded {
-            limit: next_usize(tokens, line_no)?,
-        },
-        "system-size" => ExperimentError::SystemSizeMismatch {
-            processes: next_usize(tokens, line_no)?,
-            pattern: next_usize(tokens, line_no)?,
-        },
-        "process-panicked" => ExperimentError::ProcessPanicked {
-            process: ProcessId::new(next_usize(tokens, line_no)?),
-        },
-        "unsupported-adversary" => ExperimentError::UnsupportedAdversary {
-            executor: decode_executor(tokens, line_no)?,
-        },
-        "unknown-victim" => ExperimentError::UnknownCrashVictim {
-            victim: ProcessId::new(next_usize(tokens, line_no)?),
-            n: next_usize(tokens, line_no)?,
-        },
-        "unsupported-protocol" => ExperimentError::UnsupportedProtocol {
-            executor: decode_executor(tokens, line_no)?,
-            protocol: decode_protocol(tokens, line_no)?,
-        },
-        "unsupported-transport" => ExperimentError::UnsupportedTransport {
-            transport: match next_token(tokens, line_no)? {
-                "lb" => TransportKind::Loopback,
-                "tcp" => TransportKind::Tcp,
-                _ => return Err(corrupt(line_no, "unknown transport")),
-            },
-        },
-        "internal" => ExperimentError::Internal {
-            message: unescape(next_token(tokens, line_no)?)
-                .ok_or_else(|| corrupt(line_no, "bad escape"))?,
-        },
-        _ => return Err(corrupt(line_no, "unknown error variant")),
-    })
-}
-
-fn decode_result<V: CacheableValue>(
-    tokens: &mut Tokens<'_>,
-    line_no: usize,
-) -> io::Result<CachedResult<V>> {
-    match next_token(tokens, line_no)? {
-        "ok" => Ok(Ok(decode_report(tokens, line_no)?)),
-        "err" => Ok(Err(decode_error(tokens, line_no)?)),
-        _ => Err(corrupt(line_no, "expected ok or err")),
+    fn attach(&self, writer: JournalWriter<fs::File>) {
+        *self.journal.lock().expect("journal lock poisoned") = Some(JournalSink {
+            writer,
+            encode: codec::encode_record::<V>,
+            error: None,
+        });
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
+
     use setagree_sync::{run_protocol, FailurePattern};
+    use setagree_types::{InputVector, ProcessId};
+
+    use crate::experiment::{Executor, ProtocolKind};
 
     fn sample_report(values: &[u32]) -> Report<u32> {
         use setagree_sync::{Step, SyncProtocol};
@@ -765,6 +611,12 @@ mod tests {
         )
     }
 
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(name);
+        let _ = fs::remove_file(&path);
+        path
+    }
+
     #[test]
     fn stable_pair_is_deterministic_and_input_sensitive() {
         assert_eq!(stable_pair(&42u64), stable_pair(&42u64));
@@ -788,8 +640,7 @@ mod tests {
 
     #[test]
     fn file_roundtrip_preserves_reports_and_errors() {
-        let dir = std::env::temp_dir().join("setagree-cache-test-roundtrip");
-        let _ = fs::remove_file(&dir);
+        let path = temp_path("setagree-cache-test-roundtrip");
         let cache: SuiteCache<u32> = SuiteCache::new();
         let ok_key = CacheKey::combine(&[stable_pair(&"ok")]);
         let err_key = CacheKey::combine(&[stable_pair(&"err")]);
@@ -801,8 +652,8 @@ mod tests {
                 message: "with spaces, %, é → ∞, and\nnewlines".into(),
             }),
         );
-        cache.save(&dir).unwrap();
-        let reloaded: SuiteCache<u32> = SuiteCache::load_or_empty(&dir).unwrap();
+        cache.save(&path).unwrap();
+        let reloaded: SuiteCache<u32> = SuiteCache::load_or_empty(&path).unwrap();
         assert_eq!(reloaded.len(), 2);
         assert_eq!(reloaded.lookup(&ok_key), Some(Ok(report)));
         assert_eq!(
@@ -811,44 +662,143 @@ mod tests {
                 message: "with spaces, %, é → ∞, and\nnewlines".into()
             }))
         );
-        fs::remove_file(&dir).unwrap();
+        fs::remove_file(&path).unwrap();
     }
 
     #[test]
-    fn missing_file_loads_empty_and_stale_version_loads_cold() {
+    fn missing_file_loads_empty_and_stale_versions_load_cold() {
         let missing: SuiteCache<u32> =
             SuiteCache::load_or_empty("/nonexistent/definitely-not-here").unwrap();
         assert!(missing.is_empty());
 
-        let path = std::env::temp_dir().join("setagree-cache-test-stale");
-        fs::write(&path, "setagree-suite-cache v0\ngarbage garbage\n").unwrap();
+        let path = temp_path("setagree-cache-test-stale");
+        // The pre-v2 text format.
+        fs::write(&path, "setagree-suite-cache v1\ngarbage garbage\n").unwrap();
         let stale: SuiteCache<u32> = SuiteCache::load_or_empty(&path).unwrap();
-        assert!(stale.is_empty(), "old versions reload as cold caches");
+        assert!(stale.is_empty(), "the old text format reloads cold");
+        // A journal of a different version.
+        let other = JournalWriter::create(Vec::new(), header_version() + 1)
+            .unwrap()
+            .into_inner();
+        fs::write(&path, other).unwrap();
+        let stale: SuiteCache<u32> = SuiteCache::load_or_empty(&path).unwrap();
+        assert!(stale.is_empty(), "other journal versions reload cold");
         fs::remove_file(&path).unwrap();
     }
 
     #[test]
     fn corrupt_files_are_rejected_not_misread() {
-        let path = std::env::temp_dir().join("setagree-cache-test-corrupt");
+        let path = temp_path("setagree-cache-test-corrupt");
         fs::write(&path, "not a cache\n").unwrap();
         assert!(SuiteCache::<u32>::load_or_empty(&path).is_err());
-        fs::write(&path, format!("{FILE_MAGIC}\n1 2 ok R not-a-number\n")).unwrap();
+
+        // A saved file with any single byte of its body flipped fails
+        // the chain, and load (unlike journal resume) treats that as an
+        // error rather than quietly dropping cells.
+        let cache: SuiteCache<u32> = SuiteCache::new();
+        cache.insert(
+            CacheKey::combine(&[stable_pair(&1u8)]),
+            Ok(sample_report(&[4, 4])),
+        );
+        cache.save(&path).unwrap();
+        let good = fs::read(&path).unwrap();
+        let mut bad = good.clone();
+        let mid = HEADER_LEN + (bad.len() - HEADER_LEN) / 2;
+        bad[mid] ^= 0xFF;
+        fs::write(&path, &bad).unwrap();
         assert!(SuiteCache::<u32>::load_or_empty(&path).is_err());
         fs::remove_file(&path).unwrap();
     }
 
     #[test]
-    fn escape_roundtrips() {
-        for s in [
-            "",
-            "plain",
-            "two words",
-            "100% %% \n\t\r",
-            "%41",
-            "non-ASCII: é → ∞ 🦀",
-        ] {
-            assert_eq!(unescape(&escape(s)).as_deref(), Some(s), "{s:?}");
-            assert!(escape(s).is_ascii(), "escaped form stays one ASCII token");
+    fn journal_records_every_insert_and_replays_them() {
+        let path = temp_path("setagree-cache-test-journal");
+        let report = sample_report(&[9, 9]);
+        let key_a = CacheKey::combine(&[stable_pair(&"a")]);
+        let key_b = CacheKey::combine(&[stable_pair(&"b")]);
+
+        let cache: SuiteCache<u32> = SuiteCache::new();
+        let stats = cache.resume_journal(&path).unwrap();
+        assert_eq!(stats.recovered, 0);
+        assert!(stats.tail.is_clean());
+        cache.insert(key_a, Ok(report.clone()));
+        cache.insert(key_b, Err(ExperimentError::ZeroK));
+        assert_eq!(cache.journal_error(), None);
+        drop(cache);
+
+        let resumed: SuiteCache<u32> = SuiteCache::new();
+        let stats = resumed.resume_journal(&path).unwrap();
+        assert_eq!(stats.recovered, 2);
+        assert!(stats.tail.is_clean());
+        assert_eq!(resumed.lookup(&key_a), Some(Ok(report)));
+        assert_eq!(resumed.lookup(&key_b), Some(Err(ExperimentError::ZeroK)));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn a_torn_journal_tail_is_discarded_and_appends_continue() {
+        let path = temp_path("setagree-cache-test-torn");
+        let cache: SuiteCache<u32> = SuiteCache::new();
+        cache.resume_journal(&path).unwrap();
+        let keys: Vec<CacheKey> = (0..3)
+            .map(|i| CacheKey::combine(&[stable_pair(&i)]))
+            .collect();
+        for &key in &keys {
+            cache.insert(key, Ok(sample_report(&[5, 5])));
         }
+        drop(cache);
+
+        // A crashed writer: the last record loses its final 7 bytes.
+        let bytes = fs::read(&path).unwrap();
+        let torn = bytes.len() - 7;
+        fs::write(&path, &bytes[..torn]).unwrap();
+
+        let resumed: SuiteCache<u32> = SuiteCache::new();
+        let stats = resumed.resume_journal(&path).unwrap();
+        assert_eq!(stats.recovered, 2, "the valid prefix survives");
+        assert!(
+            matches!(stats.tail, JournalTail::Truncated { record: 2, .. }),
+            "{:?}",
+            stats.tail
+        );
+        assert_eq!(resumed.len(), 2);
+        // The missing cell re-executes and re-journals; a third replay
+        // then recovers all three records cleanly.
+        resumed.insert(keys[2], Ok(sample_report(&[5, 5])));
+        drop(resumed);
+        let third: SuiteCache<u32> = SuiteCache::new();
+        let stats = third.resume_journal(&path).unwrap();
+        assert_eq!(stats.recovered, 3);
+        assert!(stats.tail.is_clean());
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn foreign_files_are_refused_not_clobbered() {
+        let path = temp_path("setagree-cache-test-foreign");
+        fs::write(&path, "someone else's twenty-plus bytes of data\n").unwrap();
+        let cache: SuiteCache<u32> = SuiteCache::new();
+        assert!(cache.resume_journal(&path).is_err());
+        assert_eq!(
+            fs::read(&path).unwrap(),
+            b"someone else's twenty-plus bytes of data\n",
+            "the file is untouched"
+        );
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn a_saved_cache_file_is_a_resumable_journal() {
+        let path = temp_path("setagree-cache-test-save-resume");
+        let cache: SuiteCache<u32> = SuiteCache::new();
+        let key = CacheKey::combine(&[stable_pair(&"cell")]);
+        cache.insert(key, Ok(sample_report(&[3, 3])));
+        cache.save(&path).unwrap();
+
+        let journaled: SuiteCache<u32> = SuiteCache::new();
+        let stats = journaled.resume_journal(&path).unwrap();
+        assert_eq!(stats.recovered, 1);
+        assert!(stats.tail.is_clean());
+        fs::remove_file(&path).unwrap();
     }
 }

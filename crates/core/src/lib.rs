@@ -84,6 +84,7 @@
 
 pub mod baselines;
 pub mod cache;
+pub mod codec;
 pub mod condition_based;
 pub mod config;
 pub mod early_condition;
@@ -94,7 +95,7 @@ pub mod runner;
 pub mod suite;
 
 pub use baselines::FloodSet;
-pub use cache::{CacheKey, CacheableValue, CachedResult, SuiteCache};
+pub use cache::{CacheKey, CacheableValue, CachedResult, JournalReplayStats, SuiteCache};
 pub use condition_based::{CbMessage, ConditionBased};
 pub use config::{ConditionBasedConfig, ConfigBuilder, ConfigError};
 pub use early_condition::{EarlyConditionBased, EcbMessage};
@@ -110,6 +111,10 @@ pub use runner::{
 // Re-exported so scenario authors can build async adversaries and read
 // raw async outcomes without a separate setagree-async dependency.
 pub use setagree_async::{AsyncCrashes, AsyncOutcome, AsyncReport};
+// Re-exported so cache/journal users can read tail verdicts and write
+// CacheableValue impls without a separate setagree-codec dependency.
+pub use setagree_codec::journal::JournalTail;
+pub use setagree_codec::{DecodeError, Reader, Writer};
 // Re-exported so scenario authors can select the networked executor's
 // transport without a separate setagree-node dependency.
 pub use setagree_node::TransportKind;

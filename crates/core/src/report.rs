@@ -108,6 +108,20 @@ impl<V: ProposalValue> Report<V> {
         )
     }
 
+    /// Wraps an [`AsyncReport`] produced *outside* `Scenario::run` — the
+    /// step-based counterpart of [`Report::from_trace`], used by the
+    /// wire codec and by external async execution tiers — so it flows
+    /// through the same verdict machinery as in-process runs.
+    pub fn from_async(
+        report: AsyncReport<V>,
+        input: InputVector<V>,
+        k: usize,
+        protocol: ProtocolKind,
+        executor: Executor,
+    ) -> Self {
+        Report::new_async(report, Arc::new(input), k, protocol, executor)
+    }
+
     pub(crate) fn new_async(
         report: AsyncReport<V>,
         input: Arc<InputVector<V>>,

@@ -59,7 +59,6 @@
 
 pub mod cli;
 pub mod config;
-pub mod frame;
 pub mod loopback;
 pub mod node;
 pub mod tcp;
@@ -68,9 +67,12 @@ pub mod transport;
 
 pub use cli::{parse_command, CliError, NodeCommand, RunArgs, TestnetArgs, USAGE};
 pub use config::{localhost_peers, parse_peers, ConfigError, NodeConfig};
-pub use frame::{Frame, FrameError, FrameKind, MAX_FRAME_LEN};
+// The frame codec moved to the shared `setagree-codec` wire tier; both
+// the module path and the flat re-exports keep working from here.
 pub use loopback::{loopback_mesh, LoopbackTransport, RoundGate};
 pub use node::{drive, run_loopback, DriveError, NodeError};
+pub use setagree_codec::frame;
+pub use setagree_codec::{Frame, FrameError, FrameKind, MAX_FRAME_LEN};
 pub use tcp::{TcpError, TcpTransport};
 pub use testnet::{run_testnet, TestnetConfig, TestnetError};
 pub use transport::{

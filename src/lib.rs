@@ -14,6 +14,9 @@
 //! * [`asynchronous`] — the shared-memory substrate and the asynchronous
 //!   condition-based ℓ-set agreement algorithm (Section 4);
 //! * [`runtime`] — a real-thread, channel-based synchronous runtime;
+//! * [`codec`] — the shared wire tier: a never-panicking binary
+//!   reader/writer, the length-prefixed network frame codec, and the
+//!   hash-chained execution journal behind crash-resumable sweeps;
 //! * [`node`] — the networked execution tier: a transport abstraction
 //!   (in-process loopback and real TCP), the shared node round loop,
 //!   and the testnet harness behind the `setagree-node` binary, with a
@@ -65,6 +68,7 @@
 #![forbid(unsafe_code)]
 
 pub use setagree_async as asynchronous;
+pub use setagree_codec as codec;
 pub use setagree_conditions as conditions;
 pub use setagree_core as core;
 pub use setagree_node as node;

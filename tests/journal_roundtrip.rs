@@ -1,0 +1,288 @@
+//! Fuzz-grade proptest battery for the binary wire codec: arbitrary
+//! [`Report`]s — both execution shapes, every protocol family, executor
+//! and outcome variant — and every [`ExperimentError`] variant encode →
+//! decode **byte-identically**, and decoding arbitrary bytes never
+//! panics and never allocates past the declared record cap (hostile
+//! length/count prefixes are rejected *before* any allocation).
+//!
+//! The chain-integrity properties (byte flips, truncation, crash
+//! resume) live in `tests/journal_chain.rs`; this file pins the codec
+//! itself.
+
+use proptest::prelude::*;
+
+use setagree::asynchronous::{AsyncOutcome, AsyncReport};
+use setagree::codec::journal::{Cursor, JournalWriter};
+use setagree::codec::{DecodeError, Reader, Writer};
+use setagree::conditions::LegalityParams;
+use setagree::core::codec::{decode_record, decode_result, encode_result};
+use setagree::core::{
+    CachedResult, Executor, ExperimentError, ProtocolKind, Report, TransportKind,
+};
+use setagree::sync::{Outcome, Trace};
+use setagree::types::{InputVector, ProcessId};
+
+fn executor_strategy() -> impl Strategy<Value = Executor> {
+    (0u8..5, any::<u64>(), any::<bool>()).prop_map(|(tag, seed, tcp)| match tag {
+        0 => Executor::Simulator,
+        1 => Executor::Threaded,
+        2 => Executor::AsyncSharedMemory { seed },
+        3 => Executor::AsyncMessagePassing { seed },
+        _ => Executor::Networked {
+            transport: if tcp {
+                TransportKind::Tcp
+            } else {
+                TransportKind::Loopback
+            },
+        },
+    })
+}
+
+fn protocol_strategy() -> impl Strategy<Value = ProtocolKind> {
+    (0u8..5).prop_map(|tag| match tag {
+        0 => ProtocolKind::ConditionBased,
+        1 => ProtocolKind::EarlyConditionBased,
+        2 => ProtocolKind::EarlyDeciding,
+        3 => ProtocolKind::FloodSet,
+        _ => ProtocolKind::AsyncSetAgreement,
+    })
+}
+
+fn sync_outcomes_strategy() -> impl Strategy<Value = Vec<Outcome<u32>>> {
+    proptest::collection::vec((0u8..3, any::<u32>(), 0usize..1000), 1..=8).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(tag, value, round)| match tag {
+                0 => Outcome::Decided { value, round },
+                1 => Outcome::Crashed { round },
+                _ => Outcome::Undecided,
+            })
+            .collect()
+    })
+}
+
+fn async_outcomes_strategy() -> impl Strategy<Value = Vec<AsyncOutcome<u32>>> {
+    proptest::collection::vec((0u8..4, any::<u32>(), any::<u64>()), 1..=8).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(tag, value, steps)| match tag {
+                0 => AsyncOutcome::Decided { value, steps },
+                1 => AsyncOutcome::Crashed,
+                2 => AsyncOutcome::Blocked,
+                _ => AsyncOutcome::Unfinished,
+            })
+            .collect()
+    })
+}
+
+/// Arbitrary reports across the full vocabulary: either execution shape,
+/// any protocol/executor pairing (the codec is shape-agnostic — it must
+/// round-trip pairings no live run would produce), full-range values.
+fn report_strategy() -> impl Strategy<Value = Report<u32>> {
+    (
+        (
+            any::<bool>(),
+            sync_outcomes_strategy(),
+            async_outcomes_strategy(),
+        ),
+        (0usize..1000, 0usize..1000, any::<u64>(), any::<u64>()),
+        (
+            1usize..=4,
+            protocol_strategy(),
+            executor_strategy(),
+            proptest::collection::vec(any::<u32>(), 1..=8),
+        ),
+    )
+        .prop_map(
+            |(
+                (rounds_shape, sync_outcomes, async_outcomes),
+                (predicted, executed, messages, total_steps),
+                (k, protocol, executor, entries),
+            )| {
+                if rounds_shape {
+                    Report::from_trace(
+                        Trace::from_parts(sync_outcomes, executed, messages),
+                        InputVector::new(entries),
+                        k,
+                        predicted,
+                        protocol,
+                        executor,
+                    )
+                } else {
+                    Report::from_async(
+                        AsyncReport::from_parts(async_outcomes, total_steps),
+                        InputVector::new(entries),
+                        k,
+                        protocol,
+                        executor,
+                    )
+                }
+            },
+        )
+}
+
+fn error_strategy() -> impl Strategy<Value = ExperimentError> {
+    (
+        0u8..13,
+        (0usize..100, 0usize..100, 1usize..=3, 0usize..3),
+        executor_strategy(),
+        protocol_strategy(),
+        any::<u64>(),
+    )
+        .prop_map(|(tag, (a, b, ell, extra), executor, protocol, n)| {
+            let params = |x, ell| LegalityParams::new(x, ell).expect("ell <= x by construction");
+            match tag {
+                0 => ExperimentError::MissingInput,
+                1 => ExperimentError::InputSizeMismatch {
+                    expected: a,
+                    got: b,
+                },
+                2 => ExperimentError::ZeroK,
+                3 => ExperimentError::TooManyCrashes { t: a, scheduled: b },
+                4 => ExperimentError::OracleMismatch {
+                    expected: params(ell + extra, ell),
+                    got: params(ell + extra + 1, ell),
+                },
+                5 => ExperimentError::RoundLimitExceeded { limit: a },
+                6 => ExperimentError::SystemSizeMismatch {
+                    processes: a,
+                    pattern: b,
+                },
+                7 => ExperimentError::ProcessPanicked {
+                    process: ProcessId::new(a),
+                },
+                8 => ExperimentError::UnsupportedAdversary { executor },
+                9 => ExperimentError::UnknownCrashVictim {
+                    victim: ProcessId::new(a),
+                    n: b,
+                },
+                10 => ExperimentError::UnsupportedProtocol { executor, protocol },
+                11 => ExperimentError::UnsupportedTransport {
+                    transport: match executor {
+                        Executor::Networked { transport } => transport,
+                        _ => TransportKind::Tcp,
+                    },
+                },
+                _ => ExperimentError::Internal {
+                    message: format!("wire: {n} — é∞\n\ttab"),
+                },
+            }
+        })
+}
+
+/// Encode → decode → re-encode, asserting the decode reproduces the
+/// value and the re-encode reproduces the bytes (canonical form).
+fn assert_roundtrip(result: CachedResult<u32>) -> Result<(), TestCaseError> {
+    let mut out = Writer::new();
+    encode_result(&result, &mut out);
+    let bytes = out.into_vec();
+    let mut r = Reader::new(&bytes);
+    let back = match decode_result::<u32>(&mut r) {
+        Ok(back) => back,
+        Err(e) => return Err(TestCaseError::Fail(format!("decode failed: {e}"))),
+    };
+    prop_assert!(r.finish().is_ok(), "decode consumed everything");
+    prop_assert_eq!(&back, &result);
+    let mut again = Writer::new();
+    encode_result(&back, &mut again);
+    prop_assert_eq!(again.into_vec(), bytes, "byte-identical re-encode");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Any report of either shape survives the wire byte-identically.
+    #[test]
+    fn arbitrary_reports_round_trip_byte_identically(report in report_strategy()) {
+        assert_roundtrip(Ok(report))?;
+    }
+
+    /// Any error variant survives the wire byte-identically.
+    #[test]
+    fn arbitrary_errors_round_trip_byte_identically(error in error_strategy()) {
+        assert_roundtrip(Err(error))?;
+    }
+
+    /// Decoding arbitrary bytes returns an error or a value — never a
+    /// panic — whatever the length or content.
+    #[test]
+    fn decoding_arbitrary_bytes_never_panics(
+        bytes in proptest::collection::vec(any::<u8>(), 0..=300),
+    ) {
+        let _ = decode_record::<u32>(&bytes);
+        let _ = decode_record::<u64>(&bytes);
+        let _ = decode_record::<i32>(&bytes);
+    }
+
+    /// Flipping any single byte of a valid encoding decodes to an error
+    /// or a *different* value — never a panic. (Some flips land in
+    /// don't-recompare fields like the key, so "error or different" is
+    /// the strongest safe claim at this layer; the journal's hash chain
+    /// — tests/journal_chain.rs — catches every flip.)
+    #[test]
+    fn flipped_encodings_never_panic(
+        report in report_strategy(),
+        position in any::<usize>(),
+        mask in 1u8..=255,
+    ) {
+        let mut out = Writer::new();
+        encode_result(&Ok(report), &mut out);
+        let mut bytes = out.into_vec();
+        let at = position % bytes.len();
+        bytes[at] ^= mask;
+        let mut r = Reader::new(&bytes);
+        let _ = decode_result::<u32>(&mut r);
+    }
+
+    /// A hostile count prefix claiming more elements than the buffer
+    /// could possibly hold is rejected as `Oversized` *before*
+    /// allocating — `Vec::with_capacity` never sees the claim.
+    #[test]
+    fn hostile_counts_are_rejected_before_allocation(
+        claimed in 301u64..=u64::MAX,
+        shape in any::<bool>(),
+    ) {
+        let mut out = Writer::new();
+        out.u8(0); // Ok tag
+        if shape {
+            out.u8(0); // rounds
+            out.u64(1); // predicted
+            out.u64(1); // executed
+            out.u64(0); // messages
+        } else {
+            out.u8(1); // steps
+            out.u64(9); // total steps
+        }
+        out.u64(claimed); // outcome count, larger than the whole buffer
+        let bytes = out.into_vec();
+        prop_assert!(bytes.len() < 300, "buffer stays tiny");
+        let mut r = Reader::new(&bytes);
+        prop_assert_eq!(
+            decode_result::<u32>(&mut r),
+            Err(DecodeError::Oversized { claimed })
+        );
+    }
+
+    /// Journal round trip: arbitrary payload sequences written through
+    /// `JournalWriter` replay through `Cursor` exactly, in order, with a
+    /// clean tail.
+    #[test]
+    fn journal_replay_returns_exactly_what_was_appended(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..=60),
+            0..=12,
+        ),
+        version in any::<u32>(),
+    ) {
+        let mut writer = JournalWriter::create(Vec::new(), version).expect("vec sink");
+        for p in &payloads {
+            writer.append(p).expect("vec sink");
+        }
+        let bytes = writer.into_inner();
+        let mut cursor = Cursor::new(&bytes);
+        prop_assert_eq!(cursor.version(), Some(version));
+        let replayed: Vec<Vec<u8>> = cursor.by_ref().map(<[u8]>::to_vec).collect();
+        prop_assert_eq!(replayed, payloads);
+        prop_assert!(cursor.tail().expect("ended").is_clean());
+        prop_assert_eq!(cursor.valid_len(), bytes.len());
+    }
+}

@@ -180,6 +180,54 @@ fn persisted_cache_roundtrip_serves_a_mixed_grid_warm() {
     std::fs::remove_file(&path).expect("cleanup");
 }
 
+/// A cache file left behind by an older format version — the pre-binary
+/// text codec, or a binary journal of another version — reloads as a
+/// *cold* cache, never an error and never misread cells; one cold rerun
+/// then re-fills it, and the re-saved file serves the full mixed grid
+/// warm with zero misses.
+#[test]
+fn stale_version_cache_files_reload_cold_then_refill_and_serve_warm() {
+    let entries = vec![vec![5u32, 5, 1, 2, 5, 5]];
+    let patterns = vec![FailurePattern::none(N)];
+    let executors = [
+        Executor::Simulator,
+        Executor::AsyncSharedMemory { seed: 3 },
+        Executor::AsyncMessagePassing { seed: 3 },
+    ];
+    let path = std::env::temp_dir().join("setagree-suite-streaming-stale");
+
+    // The retired v1 text format under the same path.
+    std::fs::write(&path, "setagree-suite-cache v1\nsome v1 line\n").expect("write stale");
+    let stale: SuiteCache<u32> = SuiteCache::load_or_empty(&path).expect("stale is not an error");
+    assert!(stale.is_empty(), "a stale format is a cold cache");
+
+    let stale = Arc::new(stale);
+    let cold = mixed_suite(&entries, &patterns, &executors)
+        .cache(&stale)
+        .run();
+    assert_eq!(
+        cold.cache_misses() as usize,
+        cold.len(),
+        "every cell re-executes from the stale file"
+    );
+    stale.save(&path).expect("re-save over the stale file");
+
+    let reloaded: Arc<SuiteCache<u32>> =
+        Arc::new(SuiteCache::load_or_empty(&path).expect("current-version file loads"));
+    assert_eq!(reloaded.len(), cold.len(), "full reports round-tripped");
+    let warm = mixed_suite(&entries, &patterns, &executors)
+        .cache(&reloaded)
+        .run();
+    assert_eq!(warm.cache_hits() as usize, warm.len(), "hits == grid size");
+    assert_eq!(warm.cache_misses(), 0, "zero misses on the warm rerun");
+    assert_eq!(
+        format!("{:?}", warm.cases()),
+        format!("{:?}", cold.cases()),
+        "byte-identical report through the refilled file"
+    );
+    std::fs::remove_file(&path).expect("cleanup");
+}
+
 /// Explicit cases express a heterogeneous sweep — round-based specs on
 /// synchronous executors next to an async seed sweep — with no
 /// manufactured `UnsupportedProtocol` cells, and `find` locates cells
