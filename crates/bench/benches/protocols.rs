@@ -10,10 +10,12 @@ use rand::SeedableRng;
 
 use setagree_bench::{in_condition_input, out_of_condition_input, spread_input};
 use setagree_conditions::MaxCondition;
-use setagree_core::{ConditionBasedConfig, Executor, ProtocolSpec, Scenario, ScenarioSuite};
+use setagree_core::{
+    ConditionBasedConfig, DenseFlood, Executor, ProtocolSpec, Scenario, ScenarioSuite,
+};
 use setagree_runtime::run_threaded;
 use setagree_sync::{run_protocol, FailurePattern, Step, SyncProtocol};
-use setagree_types::{ProcessId, View};
+use setagree_types::{DenseVector, InputVector, ProcessId, ValueTable, View};
 
 fn config_for(n: usize) -> ConditionBasedConfig {
     // t ≈ n/2, k = 2, d = t − 2, ℓ = 2 — a representative operating point.
@@ -162,10 +164,20 @@ impl SyncProtocol for ViewFlood {
     }
 }
 
-/// The broadcast hot path at large n: one owned `View` per sender per
+/// The interned inputs for an `n`-process dense flood with the same
+/// value shape as [`ViewFlood::system`]: process `i` proposes `i + 1`.
+fn dense_inputs(n: usize) -> DenseVector {
+    let vector = InputVector::new((1..=n as u32).collect::<Vec<_>>());
+    ValueTable::from_vector(&vector).intern_vector(&vector)
+}
+
+/// The broadcast hot path at large n: one owned view per sender per
 /// round, delivered n times by reference (simulator) or behind one `Arc`
-/// (threaded). Tracks the clone-elimination win alongside
-/// `suite_batch`/`suite_cache`.
+/// (threaded). The `simulator`/`threaded` rows run the generic
+/// `View<u32>` flood (the pre-dense representation, kept as the
+/// baseline); the `dense`/`dense_threaded` rows run [`DenseFlood`] on
+/// the interned-id engine, whose word-level union merges are what make
+/// the n ≥ 256 rows feasible at all.
 fn bench_broadcast(c: &mut Criterion) {
     let mut group = c.benchmark_group("broadcast");
     const ROUNDS: usize = 3;
@@ -175,12 +187,27 @@ fn bench_broadcast(c: &mut Criterion) {
             b.iter(|| run_protocol(ViewFlood::system(n, ROUNDS), &pattern, ROUNDS + 1).unwrap());
         });
     }
-    // The threaded executor spawns n OS threads per run; keep it to the
-    // mid sizes so the group stays runnable on small machines.
+    for n in [16usize, 64, 128, 256, 512, 1024] {
+        let pattern = FailurePattern::none(n);
+        let inputs = dense_inputs(n);
+        group.bench_with_input(BenchmarkId::new("dense", n), &n, |b, _| {
+            b.iter(|| {
+                run_protocol(DenseFlood::system(&inputs, ROUNDS), &pattern, ROUNDS + 1).unwrap()
+            });
+        });
+    }
+    // The threaded executor runs n pooled OS threads per run; keep it to
+    // the mid sizes so the group stays runnable on small machines.
     for n in [16usize, 64] {
         let pattern = FailurePattern::none(n);
         group.bench_with_input(BenchmarkId::new("threaded", n), &n, |b, &n| {
             b.iter(|| run_threaded(ViewFlood::system(n, ROUNDS), &pattern, ROUNDS + 1).unwrap());
+        });
+        let inputs = dense_inputs(n);
+        group.bench_with_input(BenchmarkId::new("dense_threaded", n), &n, |b, _| {
+            b.iter(|| {
+                run_threaded(DenseFlood::system(&inputs, ROUNDS), &pattern, ROUNDS + 1).unwrap()
+            });
         });
     }
     group.finish();

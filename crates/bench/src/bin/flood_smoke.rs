@@ -1,0 +1,202 @@
+//! Runs one large-`n` view-flood scenario to a checked verdict and
+//! prints the wall-clock time — the large-`n` smoke test of the dense
+//! state engine, and the measurement tool behind the README's
+//! before/after broadcast table.
+//!
+//! Every process starts knowing only its own proposal, floods its view
+//! for a fixed round budget, and decides the number of distinct
+//! proposals it observed. The verdict checks that every process decided,
+//! at the budget round exactly, on the true distinct count — so a merge
+//! or counting bug at scale fails the binary, not just slows it down.
+//!
+//! ```text
+//! cargo run --release -p setagree-bench --bin flood_smoke -- \
+//!     [--n N] [--engine dense|generic] [--rounds R] [--repeat K]
+//! ```
+//!
+//! Defaults: `--n 256 --engine dense --rounds 3 --repeat 1`. With
+//! `--repeat K` the scenario runs `K` times and the fastest run is
+//! reported (the measurement mode). The `generic` engine is the
+//! pre-dense `View<u32>` flood, kept for the before column.
+
+use std::process::exit;
+use std::time::Instant;
+
+use setagree_core::DenseFlood;
+use setagree_sync::{run_protocol, FailurePattern, Step, SyncProtocol, Trace};
+use setagree_types::{InputVector, ProcessId, ValueTable, View};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Engine {
+    Dense,
+    Generic,
+}
+
+struct Args {
+    n: usize,
+    engine: Engine,
+    rounds: usize,
+    repeat: usize,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        n: 256,
+        engine: Engine::Dense,
+        rounds: 3,
+        repeat: 1,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let (key, value) = match arg.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => match args.next() {
+                Some(v) => (arg, v),
+                None => usage(&format!("`{arg}` needs a value")),
+            },
+        };
+        match key.as_str() {
+            "--n" => parsed.n = parse_positive(&key, &value),
+            "--rounds" => parsed.rounds = parse_positive(&key, &value),
+            "--repeat" => parsed.repeat = parse_positive(&key, &value),
+            "--engine" => {
+                parsed.engine = match value.as_str() {
+                    "dense" => Engine::Dense,
+                    "generic" => Engine::Generic,
+                    other => usage(&format!("unknown engine `{other}`")),
+                }
+            }
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    parsed
+}
+
+fn parse_positive(key: &str, value: &str) -> usize {
+    match value.parse::<usize>() {
+        Ok(v) if v > 0 => v,
+        _ => usage(&format!("{key} needs a positive integer, got `{value}`")),
+    }
+}
+
+fn usage(problem: &str) -> ! {
+    eprintln!(
+        "{problem}\nusage: flood_smoke [--n N] [--engine dense|generic] \
+         [--rounds R] [--repeat K]"
+    );
+    exit(2)
+}
+
+/// Process `i` proposes `i / 2 + 1`: half the proposals are duplicated,
+/// so the expected verdict `⌈n/2⌉` exercises the distinct counting, not
+/// just the merging.
+fn proposals(n: usize) -> Vec<u32> {
+    (0..n).map(|i| i as u32 / 2 + 1).collect()
+}
+
+/// The pre-dense flood: `View<u32>` snapshots with overwrite-merge.
+#[derive(Debug)]
+struct GenericFlood {
+    rounds: usize,
+    view: View<u32>,
+}
+
+impl GenericFlood {
+    fn system(values: &[u32], rounds: usize) -> Vec<GenericFlood> {
+        (0..values.len())
+            .map(|i| {
+                let mut view = View::all_bottom(values.len());
+                view.set(ProcessId::new(i), values[i]);
+                GenericFlood { rounds, view }
+            })
+            .collect()
+    }
+}
+
+impl SyncProtocol for GenericFlood {
+    type Msg = View<u32>;
+    type Output = usize;
+
+    fn message(&mut self, _round: usize) -> View<u32> {
+        self.view.clone()
+    }
+
+    fn receive(&mut self, _round: usize, _from: ProcessId, msg: &View<u32>) {
+        self.view.merge_from(msg);
+    }
+
+    fn compute(&mut self, round: usize) -> Step<usize> {
+        if round >= self.rounds {
+            Step::Decide(self.view.distinct_count())
+        } else {
+            Step::Continue
+        }
+    }
+}
+
+/// Checks the flood's verdict: everyone decided the true distinct count,
+/// at the budget round exactly.
+fn check(trace: &Trace<usize>, n: usize, rounds: usize) -> Result<(), String> {
+    let expected = n.div_ceil(2);
+    if !trace.all_correct_decided() {
+        return Err("not every process decided".into());
+    }
+    let decided = trace.decided_values();
+    if decided != [expected].into_iter().collect() {
+        return Err(format!("decided {decided:?}, expected {{{expected}}}"));
+    }
+    if trace.last_decision_round() != Some(rounds) {
+        return Err(format!(
+            "decided at {:?}, expected round {rounds}",
+            trace.last_decision_round()
+        ));
+    }
+    Ok(())
+}
+
+fn main() {
+    let args = parse_args();
+    let values = proposals(args.n);
+    let pattern = FailurePattern::none(args.n);
+    let limit = args.rounds + 1;
+
+    let vector = InputVector::new(values.clone());
+    let table = ValueTable::from_vector(&vector);
+    let inputs = table.intern_vector(&vector);
+
+    let mut best = None;
+    for _ in 0..args.repeat {
+        let start = Instant::now();
+        let trace = match args.engine {
+            Engine::Dense => {
+                run_protocol(DenseFlood::system(&inputs, args.rounds), &pattern, limit)
+            }
+            Engine::Generic => {
+                run_protocol(GenericFlood::system(&values, args.rounds), &pattern, limit)
+            }
+        };
+        let elapsed = start.elapsed();
+        let trace = match trace {
+            Ok(trace) => trace,
+            Err(e) => {
+                eprintln!("flood_smoke: execution failed: {e}");
+                exit(1);
+            }
+        };
+        if let Err(problem) = check(&trace, args.n, args.rounds) {
+            eprintln!("flood_smoke: verdict failed at n = {}: {problem}", args.n);
+            exit(1);
+        }
+        best = Some(best.map_or(elapsed, |b: std::time::Duration| b.min(elapsed)));
+    }
+
+    let engine = match args.engine {
+        Engine::Dense => "dense",
+        Engine::Generic => "generic",
+    };
+    let micros = best.expect("repeat >= 1").as_micros();
+    println!(
+        "flood_smoke: engine = {engine}, n = {}, rounds = {}, verdict ok, best of {}: {micros} us",
+        args.n, args.rounds, args.repeat
+    );
+}

@@ -11,28 +11,61 @@
 //! 3. **Plain Figure 2 vs the Section 8 early-deciding combination**:
 //!    rounds under few actual crashes.
 //!
+//! Set `SETAGREE_SUITE_CACHE` and/or `SETAGREE_SUITE_JOURNAL` to
+//! persist the suite-driven ablations (1 and 3) across invocations —
+//! a warm rerun serves their grids without re-executing a protocol
+//! (see [`SuiteStore`]).
+//!
 //! ```text
 //! cargo run -p setagree-bench --bin table_ablation
 //! ```
 
+use std::sync::Arc;
+
 use setagree_conditions::{Condition, ExplicitOracle, LegalityParams, MaxCondition, MaxEll};
-use setagree_core::{ConditionBasedConfig, ProtocolSpec, Scenario, ScenarioSuite};
+use setagree_core::{
+    ConditionBasedConfig, ProtocolSpec, Scenario, ScenarioSuite, SuiteCache, SuiteCase,
+    SuiteRunStats,
+};
 use setagree_sync::{CrashSpec, FailurePattern, SubsetCrash, UnorderedFailurePattern};
 use setagree_types::{InputVector, ProcessId, ProcessSet};
 
-use setagree_bench::{in_condition_input, out_of_condition_input, Table};
+use setagree_bench::{in_condition_input, out_of_condition_input, SuiteStore, Table};
+
+fn with_cache<O: std::hash::Hash>(
+    suite: ScenarioSuite<u32, O>,
+    cache: &Option<Arc<SuiteCache<u32>>>,
+) -> ScenarioSuite<u32, O> {
+    match cache {
+        Some(cache) => suite.cache(cache),
+        None => suite,
+    }
+}
 
 fn main() {
-    ordered_sends_ablation();
+    let store: Option<SuiteStore<u32>> = SuiteStore::from_env();
+    let cache = store.as_ref().map(|s| Arc::clone(s.cache()));
+    let mut run_totals = SuiteRunStats::default();
+    ordered_sends_ablation(&cache, &mut run_totals);
     println!();
     condition_ablation();
     println!();
-    early_combination_ablation();
+    early_combination_ablation(&cache, &mut run_totals);
+    if let Some(store) = store {
+        store.finish(run_totals);
+    }
+}
+
+/// Folds one suite outcome into the run's store totals.
+fn tally(totals: &mut SuiteRunStats, outcome: &setagree_core::SuiteReport<u32>) {
+    totals.cases += outcome.len();
+    totals.cache_hits += outcome.cache_hits();
+    totals.cache_misses += outcome.cache_misses();
 }
 
 /// Ablation 1: ordered vs arbitrary-subset sends — same algorithm, same
 /// condition, same crash count; only the adversary model changes.
-fn ordered_sends_ablation() {
+fn ordered_sends_ablation(cache: &Option<Arc<SuiteCache<u32>>>, totals: &mut SuiteRunStats) {
     let config = ConditionBasedConfig::builder(4, 2, 1)
         .condition_degree(1)
         .ell(1)
@@ -48,7 +81,7 @@ fn ordered_sends_ablation() {
 
     // Ordered model, worst case over all prefix pairs — one suite over
     // the 25-pattern grid.
-    let outcome = ScenarioSuite::new()
+    let outcome = with_cache(ScenarioSuite::new(), cache)
         .spec(ProtocolSpec::condition_based(config, oracle))
         .input(input)
         .patterns((0..=4).flat_map(|p1| {
@@ -64,6 +97,7 @@ fn ordered_sends_ablation() {
             })
         }))
         .run();
+    tally(totals, &outcome);
     assert_eq!(outcome.failures().count(), 0, "every prefix pair must run");
     let ordered_worst = outcome
         .reports()
@@ -194,8 +228,9 @@ fn condition_ablation() {
     );
 }
 
-/// Ablation 3: plain Figure 2 vs the Section 8 early-deciding combination.
-fn early_combination_ablation() {
+/// Ablation 3: plain Figure 2 vs the Section 8 early-deciding
+/// combination — one suite grid, {Figure 2, + early} × {f = 0, 2, 4}.
+fn early_combination_ablation(cache: &Option<Arc<SuiteCache<u32>>>, totals: &mut SuiteRunStats) {
     let config = ConditionBasedConfig::builder(12, 6, 2)
         .condition_degree(4)
         .ell(1)
@@ -203,22 +238,31 @@ fn early_combination_ablation() {
         .expect("valid");
     let oracle = MaxCondition::new(config.legality());
     let outside = out_of_condition_input(12, config.legality());
+    let crash_counts = [0usize, 2, 4];
+
+    let outcome = with_cache(ScenarioSuite::new(), cache)
+        .spec(ProtocolSpec::condition_based(config, oracle))
+        .spec(ProtocolSpec::early_condition_based(config, oracle))
+        .input(outside)
+        .patterns(crash_counts.iter().map(|&f| {
+            FailurePattern::initial(12, (0..f).map(|i| ProcessId::new(11 - i)))
+                .expect("valid")
+                .into()
+        }))
+        .run();
+    tally(totals, &outcome);
 
     println!("Ablation 3 — Figure 2 vs + early decision (n=12, t=6, k=2, input ∉ C)");
     println!();
     let mut t = Table::new(vec!["f", "Figure 2", "+ early decision", "adaptive bound"]);
-    for f in [0usize, 2, 4] {
-        let pattern =
-            FailurePattern::initial(12, (0..f).map(|i| ProcessId::new(11 - i))).expect("valid");
-        let plain = Scenario::condition_based(config, oracle)
-            .input(outside.clone())
-            .pattern(pattern.clone())
-            .run()
+    for (pattern_index, f) in crash_counts.into_iter().enumerate() {
+        let plain = outcome
+            .find(0, 0, Some(pattern_index), None)
+            .and_then(SuiteCase::report)
             .expect("runs");
-        let early = Scenario::early_condition_based(config, oracle)
-            .input(outside.clone())
-            .pattern(pattern)
-            .run()
+        let early = outcome
+            .find(1, 0, Some(pattern_index), None)
+            .and_then(SuiteCase::report)
             .expect("runs");
         assert!(plain.satisfies_all() && early.satisfies_all());
         assert!(early.within_predicted_rounds());

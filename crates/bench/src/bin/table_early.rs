@@ -4,23 +4,43 @@
 //! extension targets. Sweeps `f` and compares the early-deciding protocol
 //! against the fixed flood-set baseline, one [`ScenarioSuite`] per `f`.
 //!
+//! Set `SETAGREE_SUITE_CACHE` and/or `SETAGREE_SUITE_JOURNAL` to
+//! persist cells across invocations — a warm rerun prints the same
+//! table without re-executing a protocol, and a killed sweep resumes
+//! from the journal's verified prefix (see [`SuiteStore`]).
+//!
 //! ```text
 //! cargo run -p setagree-bench --bin table_early
 //! ```
 
+use std::sync::Arc;
+
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use setagree_core::{ProtocolKind, ProtocolSpec, ScenarioSuite};
+use setagree_core::{ProtocolKind, ProtocolSpec, ScenarioSuite, SuiteCache, SuiteRunStats};
 use setagree_sync::{CrashSpec, FailurePattern};
 use setagree_types::{InputVector, ProcessId};
 
-use setagree_bench::Table;
+use setagree_bench::{SuiteStore, Table};
+
+fn with_cache(
+    suite: ScenarioSuite<u32>,
+    cache: &Option<Arc<SuiteCache<u32>>>,
+) -> ScenarioSuite<u32> {
+    match cache {
+        Some(cache) => suite.cache(cache),
+        None => suite,
+    }
+}
 
 fn main() {
     let n = 12;
     let t = 8;
     let k = 2;
+    let store: Option<SuiteStore<u32>> = SuiteStore::from_env();
+    let cache = store.as_ref().map(|s| Arc::clone(s.cache()));
+    let mut run_totals = SuiteRunStats::default();
     let mut table = Table::new(vec![
         "f",
         "bound min(⌊f/k⌋+2, ⌊t/k⌋+1)",
@@ -37,7 +57,7 @@ fn main() {
         // adversaries — including the adaptive worst case: k silent
         // crashes per round keep the early rule from firing as long as
         // crashes last.
-        let outcome = ScenarioSuite::new()
+        let outcome = with_cache(ScenarioSuite::new(), &cache)
             .spec(ProtocolSpec::early_deciding(n, t, k))
             .spec(ProtocolSpec::flood_set(n, t, k))
             .inputs((0..10).map(|seed| shuffled_input(n, seed)))
@@ -45,6 +65,9 @@ fn main() {
             .pattern(silent_staircase(n, f, k))
             .run();
         assert!(outcome.all_satisfy_properties(), "properties at f = {f}");
+        run_totals.cases += outcome.len();
+        run_totals.cache_hits += outcome.cache_hits();
+        run_totals.cache_misses += outcome.cache_misses();
 
         let mut early_worst = 0;
         let mut floodset_worst = 0;
@@ -75,6 +98,9 @@ fn main() {
         t / k + 1,
         if all_ok { "VERIFIED" } else { "FAILED" }
     );
+    if let Some(store) = store {
+        store.finish(run_totals);
+    }
     assert!(all_ok);
 }
 

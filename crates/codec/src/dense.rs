@@ -1,0 +1,139 @@
+//! Wire form of the dense state engine's containers.
+//!
+//! The networked tier floods views; on the wire a [`DenseView`] is its
+//! interned essence — a domain size plus one `u32` id slot per process
+//! (`u32::MAX` marks `⊥`), exactly the flat array the engine stores, so
+//! encoding is a bulk copy and decoding re-validates every slot against
+//! the declared domain before a view is built. Same discipline as the
+//! rest of the crate: never panic, never allocate on a hostile count.
+//!
+//! # Example
+//!
+//! ```
+//! use setagree_codec::{decode_dense_view, encode_dense_view, Reader, Writer};
+//! use setagree_types::{DenseView, ProcessId, ValueId, ValueTable};
+//!
+//! let table = ValueTable::from_values([10u32, 20, 30]);
+//! let mut view = DenseView::all_bottom(5, &table);
+//! view.set(ProcessId::new(2), table.id_of(&20).unwrap());
+//!
+//! let mut w = Writer::new();
+//! encode_dense_view(&mut w, &view);
+//! let bytes = w.into_vec();
+//!
+//! let mut r = Reader::new(&bytes);
+//! assert_eq!(decode_dense_view(&mut r)?, view);
+//! # Ok::<(), setagree_codec::DecodeError>(())
+//! ```
+
+use setagree_types::DenseView;
+
+use crate::wire::{DecodeError, Reader, Writer};
+
+/// Encodes a dense view: `u32` domain, `u64` entry count, then one `u32`
+/// id slot per process (`u32::MAX` is `⊥`).
+pub fn encode_dense_view(w: &mut Writer, view: &DenseView) {
+    w.u32(view.domain() as u32);
+    w.usize(view.len());
+    for &slot in view.as_slots() {
+        w.u32(slot);
+    }
+}
+
+/// Decodes a dense view written by [`encode_dense_view`].
+///
+/// # Errors
+///
+/// [`DecodeError::Truncated`]/[`DecodeError::Oversized`] on short input
+/// or a hostile entry count (vetted before any allocation);
+/// [`DecodeError::Invalid`] when the view is empty or an observed slot
+/// is outside the declared domain.
+pub fn decode_dense_view(r: &mut Reader<'_>) -> Result<DenseView, DecodeError> {
+    let domain = r.u32()? as usize;
+    let n = r.count(4)?;
+    let mut slots = Vec::with_capacity(n);
+    for _ in 0..n {
+        slots.push(r.u32()?);
+    }
+    DenseView::from_slots(domain, &slots).ok_or(DecodeError::Invalid {
+        what: "dense view (empty or slot outside its domain)",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setagree_types::{ProcessId, ValueId, ValueTable};
+
+    fn sample(n: usize) -> DenseView {
+        let table = ValueTable::from_values(0u32..8);
+        let mut view = DenseView::all_bottom(n, &table);
+        for i in (0..n).step_by(3) {
+            view.set(ProcessId::new(i), ValueId::new((i % 8) as u32));
+        }
+        view
+    }
+
+    #[test]
+    fn round_trips_inline_and_heap_views() {
+        for n in [1usize, 3, 16, 17, 64, 65, 130] {
+            let view = sample(n);
+            let mut w = Writer::new();
+            encode_dense_view(&mut w, &view);
+            let bytes = w.into_vec();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(decode_dense_view(&mut r).unwrap(), view, "n = {n}");
+            assert_eq!(r.finish(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn hostile_count_is_rejected_before_allocation() {
+        let mut w = Writer::new();
+        w.u32(8);
+        w.u64(u64::MAX); // claims ~2^64 entries with no bytes behind them
+        let bytes = w.into_vec();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(
+            decode_dense_view(&mut r),
+            Err(DecodeError::Oversized { claimed: u64::MAX })
+        );
+    }
+
+    #[test]
+    fn out_of_domain_slot_is_invalid() {
+        let mut w = Writer::new();
+        w.u32(2); // domain {0, 1}
+        w.usize(1);
+        w.u32(5); // claims id 5
+        let bytes = w.into_vec();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(
+            decode_dense_view(&mut r),
+            Err(DecodeError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_view_is_invalid() {
+        let mut w = Writer::new();
+        w.u32(2);
+        w.usize(0);
+        let bytes = w.into_vec();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(
+            decode_dense_view(&mut r),
+            Err(DecodeError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_slots_are_reported() {
+        let view = sample(10);
+        let mut w = Writer::new();
+        encode_dense_view(&mut w, &view);
+        let bytes = w.into_vec();
+        let mut r = Reader::new(&bytes[..bytes.len() - 2]);
+        assert!(decode_dense_view(&mut r).is_err());
+    }
+}

@@ -87,6 +87,7 @@ pub mod cache;
 pub mod codec;
 pub mod condition_based;
 pub mod config;
+pub mod dense_flood;
 pub mod early_condition;
 pub mod early_deciding;
 pub mod experiment;
@@ -98,6 +99,7 @@ pub use baselines::FloodSet;
 pub use cache::{CacheKey, CacheableValue, CachedResult, JournalReplayStats, SuiteCache};
 pub use condition_based::{CbMessage, ConditionBased};
 pub use config::{ConditionBasedConfig, ConfigBuilder, ConfigError};
+pub use dense_flood::DenseFlood;
 pub use early_condition::{EarlyConditionBased, EcbMessage};
 pub use early_deciding::EarlyDeciding;
 pub use experiment::{Adversary, Executor, ExperimentError, ProtocolKind, ProtocolSpec, Scenario};

@@ -814,7 +814,10 @@ where
                     let next = Arc::clone(&next);
                     let window = Arc::clone(&window);
                     let tx = tx.clone();
-                    thread::spawn(move || loop {
+                    // Pooled: a sweep-heavy binary opening many suites
+                    // back to back reuses the same OS threads instead of
+                    // spawning `workers` fresh ones per suite.
+                    setagree_runtime::pool::spawn(move || loop {
                         let case = next.fetch_add(1, Ordering::Relaxed);
                         if case >= plan.total {
                             break;
@@ -895,7 +898,7 @@ enum RunSource<V: Ord> {
     Workers {
         rx: Option<mpsc::Receiver<(usize, SuiteCase<V>)>>,
         window: Arc<ClaimWindow>,
-        handles: Vec<thread::JoinHandle<()>>,
+        handles: Vec<setagree_runtime::PooledJoinHandle<()>>,
     },
 }
 

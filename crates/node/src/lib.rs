@@ -76,5 +76,6 @@ pub use setagree_codec::{Frame, FrameError, FrameKind, MAX_FRAME_LEN};
 pub use tcp::{TcpError, TcpTransport};
 pub use testnet::{run_testnet, TestnetConfig, TestnetError};
 pub use transport::{
-    MsgCodec, Transport, TransportKind, Typed, TypedError, U32Codec, UnknownTransport,
+    DenseViewCodec, MsgCodec, Transport, TransportKind, Typed, TypedError, U32Codec,
+    UnknownTransport,
 };

@@ -50,12 +50,14 @@ use std::error::Error;
 use std::fmt;
 use std::panic;
 use std::sync::{Arc, Barrier};
-use std::thread;
 
 use setagree_sync::{FailurePattern, Outcome, Step, SyncProtocol, Trace};
 use setagree_types::ProcessId;
 
 pub mod delivery;
+pub mod pool;
+
+pub use pool::PooledJoinHandle;
 
 /// Error running a threaded execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -139,8 +141,12 @@ where
         // A panicking protocol must not deadlock the barrier: every
         // protocol call is wrapped in `catch_unwind`, and a panicked
         // worker keeps crossing barriers (silent, like a crashed process)
-        // until the execution winds down, then reports `Err`.
-        handles.push(thread::spawn(move || -> Result<Outcome<P::Output>, ()> {
+        // until the execution winds down, then reports `Err`. Processes
+        // run on pooled threads — the pool's spawn guarantees each task
+        // its own thread, so the barrier discipline is unchanged, but a
+        // suite sweeping thousands of runs reuses threads instead of
+        // recreating `n` of them per run.
+        handles.push(pool::spawn(move || -> Result<Outcome<P::Output>, ()> {
             let mut outcome: Option<Outcome<P::Output>> = None;
             let mut panicked = false;
             for round in 1..=max_rounds {

@@ -1,0 +1,260 @@
+//! A long-lived worker pool with `thread::spawn` semantics.
+//!
+//! The threaded runtime spawns one OS thread per process and the suite
+//! engine one per worker — for a sweep of thousands of short runs that
+//! is thousands of `clone(2)` calls doing identical setup. This pool
+//! keeps finished workers parked for a grace period and hands them the
+//! next task instead.
+//!
+//! The design constraint is that pooled tasks *block on each other*:
+//! the runtime's process tasks rendezvous on a [`Barrier`](std::sync::Barrier)
+//! every round, and suite workers block in `ClaimWindow` admission. A
+//! fixed-size pool with a shared queue would deadlock the moment a
+//! cohort of mutually-waiting tasks exceeds the pool size, so this pool
+//! is *cached*, not fixed: [`spawn`] hands the task to a parked idle
+//! worker if one exists and **starts a fresh thread otherwise** — every
+//! task is running on its own thread by the time `spawn` returns, the
+//! exact liveness guarantee of `thread::spawn`. Parked workers expire
+//! after [`IDLE_EXPIRY`] so an idle program holds no threads.
+//!
+//! Each idle worker parks on its own slot (a `Mutex<Option<Task>>` +
+//! `Condvar` pair) and the global idle list is a stack, so hand-off is
+//! one lock, one move, one wake — there is no shared run queue to
+//! starve. Panics in a task are caught and surface through
+//! [`PooledJoinHandle::join`] as the familiar `Err(payload)`, and the
+//! worker survives to serve the next task.
+
+use std::any::Any;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How long a finished worker stays parked waiting for its next task
+/// before exiting.
+pub const IDLE_EXPIRY: Duration = Duration::from_secs(2);
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// One parked worker's mailbox: the spawner moves a task in and rings
+/// the bell; the worker moves it out or expires.
+struct Slot {
+    task: Mutex<Option<Task>>,
+    bell: Condvar,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            task: Mutex::new(None),
+            bell: Condvar::new(),
+        }
+    }
+}
+
+/// The global idle-worker stack. Lock order: this list first, then a
+/// slot's mutex — both the spawner's hand-off and a worker's expiry
+/// path honour it, which is what makes expiry race-free.
+fn idle() -> &'static Mutex<Vec<Arc<Slot>>> {
+    static IDLE: OnceLock<Mutex<Vec<Arc<Slot>>>> = OnceLock::new();
+    IDLE.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// A handle to a pooled task, joining like a
+/// [`thread::JoinHandle`]: the task's return value, or `Err` with the
+/// panic payload if the task panicked.
+#[derive(Debug)]
+pub struct PooledJoinHandle<T> {
+    result: mpsc::Receiver<thread::Result<T>>,
+}
+
+impl<T> PooledJoinHandle<T> {
+    /// Waits for the task to finish.
+    ///
+    /// # Errors
+    ///
+    /// Returns the panic payload if the task panicked, exactly like
+    /// [`thread::JoinHandle::join`].
+    pub fn join(self) -> thread::Result<T> {
+        self.result.recv().unwrap_or_else(|_| {
+            // The worker thread vanished without reporting — only
+            // possible if the process is tearing down; surface it as a
+            // panic-shaped error rather than hanging.
+            Err(Box::new("pool worker terminated without a result") as Box<dyn Any + Send>)
+        })
+    }
+}
+
+/// Runs `f` on a pool worker — a parked idle thread when one is
+/// available, a freshly spawned one otherwise. In both cases `f` is
+/// running on its own dedicated thread when `spawn` returns, so tasks
+/// may freely block on one another (barriers, channels) exactly as with
+/// [`thread::spawn`].
+pub fn spawn<T, F>(f: F) -> PooledJoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (tx, rx) = mpsc::channel();
+    let task: Task = Box::new(move || {
+        let result = panic::catch_unwind(AssertUnwindSafe(f));
+        // The receiver may have been dropped (nobody joins); that is
+        // fine, the result is simply discarded.
+        let _ = tx.send(result);
+    });
+
+    let parked = idle().lock().expect("pool idle list poisoned").pop();
+    match parked {
+        Some(slot) => {
+            let mut mailbox = slot.task.lock().expect("pool slot poisoned");
+            debug_assert!(mailbox.is_none(), "idle worker already has a task");
+            *mailbox = Some(task);
+            slot.bell.notify_one();
+        }
+        None => {
+            thread::Builder::new()
+                .name("setagree-pool".into())
+                .spawn(move || worker_main(task))
+                .expect("failed to spawn pool worker");
+        }
+    }
+    PooledJoinHandle { result: rx }
+}
+
+/// The number of currently parked idle workers (for tests and
+/// diagnostics).
+pub fn idle_workers() -> usize {
+    idle().lock().expect("pool idle list poisoned").len()
+}
+
+fn worker_main(first: Task) {
+    let mut task = first;
+    loop {
+        task();
+        match park_for_next() {
+            Some(next) => task = next,
+            None => return,
+        }
+    }
+}
+
+/// Parks the calling worker on a fresh slot until a task is handed to
+/// it or the idle grace period elapses. `None` means expiry: the slot
+/// has been unlinked and the worker should exit.
+fn park_for_next() -> Option<Task> {
+    let slot = Arc::new(Slot::new());
+    idle()
+        .lock()
+        .expect("pool idle list poisoned")
+        .push(Arc::clone(&slot));
+
+    let deadline = Instant::now() + IDLE_EXPIRY;
+    let mut mailbox = slot.task.lock().expect("pool slot poisoned");
+    loop {
+        if let Some(task) = mailbox.take() {
+            return Some(task);
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        let (guard, _timeout) = slot
+            .bell
+            .wait_timeout(mailbox, deadline - now)
+            .expect("pool slot poisoned");
+        mailbox = guard;
+    }
+    // Expired with an empty mailbox. Re-acquire in list-then-slot order
+    // (the spawner's order) and decide atomically: a spawner that
+    // already popped this slot from the list is committed to filling
+    // it, so the mailbox check below cannot miss a hand-off.
+    drop(mailbox);
+    let mut list = idle().lock().expect("pool idle list poisoned");
+    let mut mailbox = slot.task.lock().expect("pool slot poisoned");
+    if let Some(task) = mailbox.take() {
+        return Some(task);
+    }
+    list.retain(|s| !Arc::ptr_eq(s, &slot));
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn returns_the_task_result() {
+        let handle = spawn(|| 6 * 7);
+        assert_eq!(handle.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn propagates_panics_like_thread_join() {
+        let handle = spawn(|| -> u32 { panic!("task bug") });
+        let payload = handle.join().unwrap_err();
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"task bug"));
+        // The worker survived the panic and can serve another task.
+        assert_eq!(spawn(|| 1u32).join().unwrap(), 1);
+    }
+
+    #[test]
+    fn reuses_parked_workers() {
+        // Run one task to completion, give the worker a moment to park,
+        // then check the next spawn drains the idle list instead of
+        // growing it.
+        spawn(|| ()).join().unwrap();
+        let deadline = Instant::now() + Duration::from_secs(1);
+        while idle_workers() == 0 && Instant::now() < deadline {
+            thread::yield_now();
+        }
+        let parked = idle_workers();
+        assert!(parked > 0, "finished worker did not park");
+        let ids: &'static Mutex<Vec<thread::ThreadId>> = Box::leak(Box::default());
+        spawn(move || ids.lock().unwrap().push(thread::current().id()))
+            .join()
+            .unwrap();
+        assert_eq!(ids.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn mutually_blocking_tasks_all_run() {
+        // The liveness property the runtime depends on: a cohort larger
+        // than any plausible idle pool, all meeting on one barrier.
+        // With a fixed-size queueing pool this deadlocks; here every
+        // spawn gets its own thread.
+        const COHORT: usize = 48;
+        let barrier = Arc::new(Barrier::new(COHORT));
+        let met = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..COHORT)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let met = Arc::clone(&met);
+                spawn(move || {
+                    barrier.wait();
+                    met.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(met.load(Ordering::SeqCst), COHORT);
+    }
+
+    #[test]
+    fn dropped_handle_discards_the_result() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::clone(&ran);
+        drop(spawn(move || {
+            flag.fetch_add(1, Ordering::SeqCst);
+        }));
+        let deadline = Instant::now() + Duration::from_secs(1);
+        while ran.load(Ordering::SeqCst) == 0 && Instant::now() < deadline {
+            thread::yield_now();
+        }
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+}

@@ -35,12 +35,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod dense;
 pub mod distance;
 pub mod process;
 pub mod value;
 pub mod vector;
 pub mod view;
 
+pub use dense::{DenseVector, DenseView, IdSet, ValueId, ValueTable};
 pub use distance::{generalized, hamming, intersecting_vector};
 pub use process::{ProcessId, ProcessSet};
 pub use value::{ProposalValue, Value};

@@ -85,7 +85,36 @@ impl<V: ProposalValue> InputVector<V> {
     /// `|val(I)|`: the number of distinct values, without allocating the set
     /// contents beyond what ordering requires.
     pub fn distinct_count(&self) -> usize {
-        self.entries.iter().collect::<BTreeSet<_>>().len()
+        self.distinct_with_counts().len()
+    }
+
+    /// The distinct values with their multiplicities, ascending — one
+    /// sort of borrowed entries, zero clones (the counterpart of
+    /// [`View::distinct_with_counts`](crate::View::distinct_with_counts)).
+    pub fn distinct_with_counts(&self) -> Vec<(&V, usize)> {
+        let mut refs: Vec<&V> = self.entries.iter().collect();
+        refs.sort_unstable();
+        let mut runs: Vec<(&V, usize)> = Vec::with_capacity(refs.len().min(16));
+        for v in refs {
+            match runs.last_mut() {
+                Some((last, count)) if *last == v => *count += 1,
+                _ => runs.push((v, 1)),
+            }
+        }
+        runs
+    }
+
+    /// `Σ_{v ∈ max_ℓ(I)} #_v(I)`: the total multiplicity of the `ℓ`
+    /// greatest distinct values — the density the paper's `C_max(x, ℓ)`
+    /// membership compares against `x` — without materializing any value
+    /// set.
+    pub fn greatest_distinct_weight(&self, ell: usize) -> usize {
+        self.distinct_with_counts()
+            .iter()
+            .rev()
+            .take(ell)
+            .map(|(_, count)| count)
+            .sum()
     }
 
     /// `#_v(I)`: the number of entries equal to `v`.
@@ -128,14 +157,21 @@ impl<V: ProposalValue> InputVector<V> {
     /// assert_eq!(i.greatest_distinct(2), [5, 9].into_iter().collect());
     /// ```
     pub fn greatest_distinct(&self, ell: usize) -> BTreeSet<V> {
-        let distinct = self.distinct_values();
-        distinct.into_iter().rev().take(ell).collect()
+        self.distinct_with_counts()
+            .iter()
+            .rev()
+            .take(ell)
+            .map(|(v, _)| (*v).clone())
+            .collect()
     }
 
     /// The `ℓ` smallest distinct values — the paper's `min_ℓ(I)`.
     pub fn smallest_distinct(&self, ell: usize) -> BTreeSet<V> {
-        let distinct = self.distinct_values();
-        distinct.into_iter().take(ell).collect()
+        self.distinct_with_counts()
+            .iter()
+            .take(ell)
+            .map(|(v, _)| (*v).clone())
+            .collect()
     }
 
     /// The full view of this vector: every entry observed, none `⊥`.

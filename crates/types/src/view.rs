@@ -113,7 +113,38 @@ impl<V: ProposalValue> View<V> {
     /// — use it in checks that would otherwise materialize
     /// [`distinct_values`](View::distinct_values) only to take `.len()`).
     pub fn distinct_count(&self) -> usize {
-        self.entries.iter().flatten().collect::<BTreeSet<_>>().len()
+        self.distinct_with_counts().len()
+    }
+
+    /// The distinct non-`⊥` values with their multiplicities, ascending —
+    /// one sort of borrowed entries, **zero clones**. This is the single
+    /// counting pass behind [`distinct_count`](View::distinct_count),
+    /// [`greatest_distinct`](View::greatest_distinct) and the legality
+    /// oracles' `C_max` checks, which previously materialized whole
+    /// `BTreeSet<V>`s per check.
+    pub fn distinct_with_counts(&self) -> Vec<(&V, usize)> {
+        let mut refs: Vec<&V> = self.entries.iter().flatten().collect();
+        refs.sort_unstable();
+        let mut runs: Vec<(&V, usize)> = Vec::with_capacity(refs.len().min(16));
+        for v in refs {
+            match runs.last_mut() {
+                Some((last, count)) if *last == v => *count += 1,
+                _ => runs.push((v, 1)),
+            }
+        }
+        runs
+    }
+
+    /// `Σ_{v ∈ max_ℓ(J)} #_v(J)`: the total multiplicity of the `ℓ`
+    /// greatest distinct observed values — the density `C_max` compares
+    /// against `x` — in one counting pass with no value set materialized.
+    pub fn greatest_distinct_weight(&self, ell: usize) -> usize {
+        self.distinct_with_counts()
+            .iter()
+            .rev()
+            .take(ell)
+            .map(|(_, count)| count)
+            .sum()
     }
 
     /// `#_v(J)`: the number of non-`⊥` entries equal to `v`.
@@ -139,9 +170,15 @@ impl<V: ProposalValue> View<V> {
         self.entries.iter().flatten().max()
     }
 
-    /// The `ℓ` greatest distinct non-`⊥` values (`max_ℓ(J)`).
+    /// The `ℓ` greatest distinct non-`⊥` values (`max_ℓ(J)`). Clones only
+    /// the `≤ ℓ` returned values, not the whole distinct set.
     pub fn greatest_distinct(&self, ell: usize) -> BTreeSet<V> {
-        self.distinct_values().into_iter().rev().take(ell).collect()
+        self.distinct_with_counts()
+            .iter()
+            .rev()
+            .take(ell)
+            .map(|(v, _)| (*v).clone())
+            .collect()
     }
 
     /// Containment `J ≤ J'`: every non-`⊥` entry of `self` equals the
