@@ -38,6 +38,14 @@
 //!   file must be **sequential**: `save` rewrites the file wholesale,
 //!   so a concurrent writer would clobber keys saved after it loaded.
 //!   Shards that must run concurrently need a cache file each.
+//! * pass `--faults seed:rate` to append a synchronous **omission
+//!   cross-check**: the same conditions under the simulator's
+//!   `Adversary::Omission` (seeded link drops layered under round-1
+//!   crashes). The async substrates refuse live fault plans — asynchrony
+//!   already subsumes omission-by-delay — so the cross-check runs where
+//!   omission is a first-class adversary; its cells share the claimer
+//!   and cache, so omission sweeps are cached/sharded/journaled like
+//!   every other cell.
 //!
 //! ```text
 //! cargo run -p setagree-bench --bin table_async
@@ -52,11 +60,13 @@ use std::sync::Arc;
 
 use setagree_conditions::{LegalityParams, MaxCondition};
 use setagree_core::{
-    AsyncCrashes, CaseSpec, Executor, ProtocolSpec, ScenarioSuite, SuiteCache, SuiteRunStats,
+    Adversary, AsyncCrashes, CaseSpec, ConditionBasedConfig, Executor, FaultPlan, ProtocolSpec,
+    ScenarioSuite, SuiteCache, SuiteRunStats,
 };
+use setagree_sync::{CrashSpec, FailurePattern};
 use setagree_types::ProcessId;
 
-use setagree_bench::{SuiteStore, Table, Workload};
+use setagree_bench::{take_faults_flag, SuiteStore, Table, Workload};
 
 /// One shard of a cross-process run: this process claims the cells whose
 /// position in the deterministic sweep order is ≡ `index` (mod `modulus`).
@@ -104,9 +114,9 @@ impl CellClaimer {
     }
 }
 
-/// Parses `--shard i/m` / `--shard=i/m` from the command line.
-fn parse_shard() -> Option<Shard> {
-    let mut args = std::env::args().skip(1);
+/// Parses `--shard i/m` / `--shard=i/m` from the remaining arguments.
+fn parse_shard(remaining: Vec<String>) -> Option<Shard> {
+    let mut args = remaining.into_iter();
     let mut shard = None;
     while let Some(arg) = args.next() {
         let value = if let Some(v) = arg.strip_prefix("--shard=") {
@@ -134,7 +144,7 @@ fn parse_shard() -> Option<Shard> {
 }
 
 fn usage(problem: &str) -> ! {
-    eprintln!("{problem}\nusage: table_async [--shard i/m]  (0 <= i < m)");
+    eprintln!("{problem}\nusage: table_async [--shard i/m] [--faults seed:rate]  (0 <= i < m)");
     exit(2)
 }
 
@@ -150,7 +160,12 @@ struct SweepStats {
 fn main() {
     let n = 8;
     let seeds = 25u64;
-    let shard = parse_shard();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let faults = match take_faults_flag(&mut args) {
+        Ok(faults) => faults,
+        Err(problem) => usage(&problem),
+    };
+    let shard = parse_shard(args);
     let mut claimer = CellClaimer::new(shard);
     let store: Option<SuiteStore<u32>> = SuiteStore::from_env();
     let cache = store.as_ref().map(|s| Arc::clone(s.cache()));
@@ -335,7 +350,115 @@ fn main() {
              emulation — see setagree-async::message_passing docs)"
         );
         assert!(mp_ok);
-    } else {
+    }
+
+    // With --faults: a synchronous omission cross-check. The async
+    // substrates refuse live fault plans by design (asynchrony already
+    // subsumes omission-by-delay, and silently dropping the plan would
+    // mislabel a benign run as a faulty one — see run_on_async), so the
+    // omission sweep drives the same conditions through the simulator's
+    // omission adversary. Its cells flow through the same claimer and
+    // cache: omission sweeps join the cached / sharded / journaled
+    // pipeline like every other cell.
+    if let Some((fault_seed, rate)) = faults {
+        let mut om = Table::new(vec![
+            "x",
+            "ℓ",
+            "crashes",
+            "runs",
+            "terminated",
+            "valid",
+            "max |decided|",
+            "ok",
+        ]);
+        let mut om_ok = true;
+        for (x, ell) in [(1usize, 1usize), (2, 1), (2, 2), (3, 2)] {
+            let params = LegalityParams::new(x, ell).unwrap();
+            let oracle = MaxCondition::new(params);
+            // A degree-2 condition with t = x + 2 reproduces the pair's
+            // legality: (t − d, ℓ) = (x, ℓ).
+            let config = ConditionBasedConfig::builder(n, x + 2, ell)
+                .condition_degree(2)
+                .ell(ell)
+                .build()
+                .expect("omission cross-check configs are valid");
+            let inputs = Workload::InCondition {
+                n,
+                params,
+                seed: 0x0A15 ^ workload_seed(params, x, Substrate::SharedMemory),
+                count: seeds as usize,
+            }
+            .inputs();
+            let spec = Arc::new(ProtocolSpec::condition_based(config, oracle));
+            let suite = with_cache(
+                ScenarioSuite::new().cases((0..seeds).filter(|_| claimer.claims()).map(|seed| {
+                    let mut crashes = FailurePattern::none(n);
+                    for i in 0..x {
+                        crashes
+                            .crash(
+                                ProcessId::new(n - 1 - i),
+                                CrashSpec::new(1, (seed as usize + i) % n),
+                            )
+                            .expect("valid spec");
+                    }
+                    CaseSpec::shared(
+                        Arc::clone(&spec),
+                        Arc::new(inputs[seed as usize].clone()),
+                        Executor::Simulator,
+                    )
+                    .pattern(Adversary::Omission {
+                        plan: FaultPlan::uniform_drop(n, fault_seed ^ seed, rate),
+                        crashes,
+                    })
+                })),
+                &cache,
+            );
+            let (mut runs, mut terminated, mut valid, mut max_decided) = (0usize, 0usize, 0, 0);
+            let run = suite.run_streaming(|case| {
+                let report = case.result.as_ref().expect("omission cases are valid");
+                runs += 1;
+                if report.satisfies_termination() {
+                    terminated += 1;
+                }
+                if report.satisfies_validity() {
+                    valid += 1;
+                }
+                max_decided = max_decided.max(report.decided_values().len());
+            });
+            accumulate(&mut run_totals, run);
+            // Omission faults void the crash-model ≤ ℓ bound; the
+            // robustness contract is a principled, honest run.
+            let ok = terminated == runs && valid == runs;
+            om_ok &= ok;
+            om.row(vec![
+                x.to_string(),
+                ell.to_string(),
+                x.to_string(),
+                runs.to_string(),
+                terminated.to_string(),
+                valid.to_string(),
+                max_decided.to_string(),
+                verdict(ok),
+            ]);
+        }
+        if !sharded {
+            println!();
+            println!(
+                "omission cross-check ({} executor, seeded link drops {fault_seed}:{rate}/10000):",
+                Executor::Simulator.label()
+            );
+            println!();
+            println!("{om}");
+            println!(
+                "omission runs terminate with honest, valid Reports; agreement spread \
+                 is data — {}",
+                if om_ok { "VERIFIED" } else { "FAILED" }
+            );
+            assert!(om_ok);
+        }
+    }
+
+    if sharded {
         let Shard { index, modulus } = shard.expect("sharded");
         // The shard's aggregates cover only its own cells, so the table
         // verdicts are meaningless here; the full table comes from an

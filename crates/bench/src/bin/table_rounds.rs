@@ -18,22 +18,44 @@
 //! rows without re-executing a protocol, and a killed sweep resumes
 //! from the journal's verified prefix (see [`SuiteStore`]).
 //!
+//! Pass `--faults <seed>:<rate>` (rate in parts per 10,000 per link per
+//! round) to turn every crash pattern into an omission adversary
+//! (`Adversary::Omission`) layering a seeded link-drop `FaultPlan` under
+//! the same crashes. Under injected omissions the paper's round bounds
+//! and the ≤ k agreement of the crash model are no longer guaranteed —
+//! the sweep then verifies the robustness contract instead: every run
+//! terminates with an honest Report whose decided values are genuine
+//! proposals (validity), with agreement reported as data. Omission
+//! cells key the cache on the plan, so they share the cached / sharded
+//! / journaled pipeline with the crash-only cells without colliding.
+//!
 //! ```text
 //! cargo run -p setagree-bench --bin table_rounds
+//! cargo run -p setagree-bench --bin table_rounds -- --faults 7:1500
 //! ```
 
+use std::process::exit;
 use std::sync::Arc;
 
 use setagree_conditions::MaxCondition;
 use setagree_core::{
-    ConditionBasedConfig, Executor, ProtocolSpec, ScenarioSuite, SuiteCache, SuiteRunStats,
+    Adversary, ConditionBasedConfig, Executor, FaultPlan, ProtocolSpec, ScenarioSuite, SuiteCache,
+    SuiteRunStats,
 };
 use setagree_sync::{CrashSpec, FailurePattern};
 use setagree_types::ProcessId;
 
-use setagree_bench::{StreamingTable, SuiteStore, Workload};
+use setagree_bench::{take_faults_flag, StreamingTable, SuiteStore, Workload};
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let faults = match take_faults_flag(&mut args) {
+        Ok(faults) => faults,
+        Err(problem) => usage(&problem),
+    };
+    if let Some(arg) = args.first() {
+        usage(&format!("unknown argument `{arg}`"));
+    }
     let store: Option<SuiteStore<u32>> = SuiteStore::from_env();
     let cache = store.as_ref().map(|s| Arc::clone(s.cache()));
     let mut run_totals = SuiteRunStats::default();
@@ -66,6 +88,12 @@ fn main() {
         "(rows stream as grid cells finish; executor: {})",
         Executor::Simulator.label()
     );
+    if let Some((seed, rate)) = faults {
+        println!(
+            "(omission mode: seeded link drops, seed {seed}, rate {rate}/10000 — \
+             checking termination + validity; rounds and k-agree are data)"
+        );
+    }
     println!();
     table.header();
 
@@ -84,6 +112,18 @@ fn main() {
             count: 1,
         };
 
+        // With --faults, every crash pattern carries the same seeded
+        // link-drop plan underneath — the omission adversary.
+        let adversary = |crashes: FailurePattern| -> Adversary {
+            match faults {
+                Some((seed, rate)) => Adversary::Omission {
+                    plan: FaultPlan::uniform_drop(n, seed, rate),
+                    crashes,
+                },
+                None => Adversary::from(crashes),
+            }
+        };
+
         let run = with_cache(ScenarioSuite::new(), &cache)
             .spec(ProtocolSpec::condition_based(config, oracle))
             .spec(ProtocolSpec::flood_set(n, t, k))
@@ -95,13 +135,19 @@ fn main() {
                 }
                 .inputs(),
             )
-            .pattern(FailurePattern::none(n))
-            .pattern(few_crashes(n, t_minus_d))
-            .pattern(FailurePattern::staircase(n, t, k))
-            .pattern(initial_crashes(n, t_minus_d + 1))
+            .pattern(adversary(FailurePattern::none(n)))
+            .pattern(adversary(few_crashes(n, t_minus_d)))
+            .pattern(adversary(FailurePattern::staircase(n, t, k)))
+            .pattern(adversary(initial_crashes(n, t_minus_d + 1)))
             .run_streaming(|case| {
                 let report = case.result.as_ref().expect("grid cases are valid");
-                let ok = report.satisfies_all() && report.within_predicted_rounds();
+                let ok = if faults.is_some() {
+                    // Omission faults void the crash-model bounds; the
+                    // robustness contract is a principled, honest run.
+                    report.satisfies_termination() && report.satisfies_validity()
+                } else {
+                    report.satisfies_all() && report.within_predicted_rounds()
+                };
                 all_ok &= ok;
                 table.row(vec![
                     n.to_string(),
@@ -132,15 +178,28 @@ fn main() {
     }
 
     println!();
-    println!(
-        "paper shape: in-condition runs beat the ⌊t/k⌋+1 baseline; bounds of \
-         Lemmas 1–2 hold — {}",
-        if all_ok { "VERIFIED" } else { "FAILED" }
-    );
+    if faults.is_some() {
+        println!(
+            "robustness shape: every omission run terminates with an honest, valid \
+             Report — {}",
+            if all_ok { "VERIFIED" } else { "FAILED" }
+        );
+    } else {
+        println!(
+            "paper shape: in-condition runs beat the ⌊t/k⌋+1 baseline; bounds of \
+             Lemmas 1–2 hold — {}",
+            if all_ok { "VERIFIED" } else { "FAILED" }
+        );
+    }
     assert!(all_ok);
     if let Some(store) = store {
         store.finish(run_totals);
     }
+}
+
+fn usage(problem: &str) -> ! {
+    eprintln!("{problem}\nusage: table_rounds [--faults seed:rate]");
+    exit(2)
 }
 
 fn with_cache(

@@ -5,10 +5,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod faults;
 pub mod persist;
 pub mod table;
 pub mod workloads;
 
+pub use faults::take_faults_flag;
 pub use persist::SuiteStore;
 pub use table::{StreamingTable, Table};
 pub use workloads::{in_condition_input, out_of_condition_input, spread_input, Workload};

@@ -45,6 +45,17 @@ pub enum FrameKind {
     /// The sender has settled (decided) and will send nothing further;
     /// peers stop waiting for it in later rounds.
     Settled,
+    /// A recovery request: `from` is missing `round` broadcasts and asks
+    /// the receiver to relay what it has seen (payload empty). Sent by a
+    /// self-healing transport when a round stalls past its suspicion
+    /// deadline.
+    Resend,
+    /// A relayed round broadcast answering a [`FrameKind::Resend`]:
+    /// `from` is the *relayer*, the payload is the original sender's
+    /// id (u32 LE) followed by its original payload. Relays carry
+    /// already-delivered data, so injected link faults never apply to
+    /// them — recovery frames model recovery, not fresh transmissions.
+    Relay,
 }
 
 impl FrameKind {
@@ -53,6 +64,8 @@ impl FrameKind {
             FrameKind::Hello => 0,
             FrameKind::Msg => 1,
             FrameKind::Settled => 2,
+            FrameKind::Resend => 3,
+            FrameKind::Relay => 4,
         }
     }
 
@@ -61,6 +74,8 @@ impl FrameKind {
             0 => Some(FrameKind::Hello),
             1 => Some(FrameKind::Msg),
             2 => Some(FrameKind::Settled),
+            3 => Some(FrameKind::Resend),
+            4 => Some(FrameKind::Relay),
             _ => None,
         }
     }
@@ -108,6 +123,40 @@ impl Frame {
             round,
             payload: Vec::new(),
         }
+    }
+
+    /// A recovery request: `from` is missing `round` broadcasts.
+    pub fn resend(from: ProcessId, round: usize) -> Frame {
+        Frame {
+            kind: FrameKind::Resend,
+            from,
+            round,
+            payload: Vec::new(),
+        }
+    }
+
+    /// A relay of `original`'s `round` broadcast, forwarded by `relayer`.
+    pub fn relay(relayer: ProcessId, original: ProcessId, round: usize, payload: &[u8]) -> Frame {
+        let mut body = Vec::with_capacity(4 + payload.len());
+        body.extend_from_slice(&(original.index() as u32).to_le_bytes());
+        body.extend_from_slice(payload);
+        Frame {
+            kind: FrameKind::Relay,
+            from: relayer,
+            round,
+            payload: body,
+        }
+    }
+
+    /// Splits a [`FrameKind::Relay`] payload into the original sender and
+    /// its original payload; `None` when the payload is too short to hold
+    /// the sender id (a malformed relay is dropped, never a panic).
+    pub fn relay_parts(&self) -> Option<(ProcessId, &[u8])> {
+        if self.kind != FrameKind::Relay || self.payload.len() < 4 {
+            return None;
+        }
+        let original = u32::from_le_bytes(self.payload[..4].try_into().expect("four bytes"));
+        Some((ProcessId::new(original as usize), &self.payload[4..]))
     }
 
     /// Appends the frame's wire encoding to `out`.
@@ -257,6 +306,8 @@ mod tests {
             Frame::msg(ProcessId::new(0), 7, vec![1, 2, 3, 255]),
             Frame::settled(ProcessId::new(11), 4),
             Frame::msg(ProcessId::new(2), 1, Vec::new()),
+            Frame::resend(ProcessId::new(1), 6),
+            Frame::relay(ProcessId::new(2), ProcessId::new(4), 6, &[8, 9]),
         ] {
             let bytes = frame.encode();
             let (decoded, consumed) = Frame::decode(&bytes).expect("valid frame");
@@ -321,6 +372,25 @@ mod tests {
         assert_eq!(Frame::read_from(&mut cursor).unwrap(), Some(a));
         assert_eq!(Frame::read_from(&mut cursor).unwrap(), Some(b));
         assert_eq!(Frame::read_from(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn relay_payloads_split_back_into_sender_and_body() {
+        let relay = Frame::relay(ProcessId::new(2), ProcessId::new(4), 6, &[8, 9]);
+        assert_eq!(
+            relay.relay_parts(),
+            Some((ProcessId::new(4), &[8u8, 9][..]))
+        );
+        // Not a relay → no parts.
+        assert_eq!(
+            Frame::msg(ProcessId::new(0), 1, vec![1]).relay_parts(),
+            None
+        );
+        // A hostile relay whose payload cannot hold the sender id is
+        // rejected, not a panic.
+        let mut short = relay;
+        short.payload.truncate(3);
+        assert_eq!(short.relay_parts(), None);
     }
 
     #[test]

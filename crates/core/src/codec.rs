@@ -356,6 +356,14 @@ pub fn encode_error(error: &ExperimentError, out: &mut Writer) {
             out.u8(12);
             out.str(message);
         }
+        ExperimentError::RoundTimeout { round, peers } => {
+            out.u8(13);
+            out.usize(*round);
+            out.usize(peers.len());
+            for peer in peers {
+                out.usize(peer.index());
+            }
+        }
     }
 }
 
@@ -408,6 +416,17 @@ pub fn decode_error(r: &mut Reader<'_>) -> Result<ExperimentError, DecodeError> 
         12 => ExperimentError::Internal {
             message: r.str()?.to_owned(),
         },
+        13 => ExperimentError::RoundTimeout {
+            round: r.usize()?,
+            peers: {
+                let count = r.count(1)?;
+                let mut peers = Vec::with_capacity(count);
+                for _ in 0..count {
+                    peers.push(ProcessId::new(r.usize()?));
+                }
+                peers
+            },
+        },
         _ => return Err(invalid("error tag")),
     })
 }
@@ -457,6 +476,10 @@ mod tests {
             },
             ExperimentError::Internal {
                 message: "spaces, %, é → ∞, and\nnewlines".into(),
+            },
+            ExperimentError::RoundTimeout {
+                round: 3,
+                peers: vec![ProcessId::new(1), ProcessId::new(4)],
             },
         ]
     }

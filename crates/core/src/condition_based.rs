@@ -196,8 +196,15 @@ impl<V: ProposalValue, O: ConditionOracle<V>> SyncProtocol for ConditionBased<V,
     fn receive(&mut self, round: usize, from: ProcessId, msg: &CbMessage<V>) {
         match msg {
             CbMessage::Proposal(v) => {
-                debug_assert_eq!(round, 1, "proposals only fly in round 1");
-                self.view.set(from, v.clone());
+                // Proposals belong to round 1; under an injected delay
+                // fault a stale copy can surface in a later round, and
+                // the synchronous algorithm simply has no line for it —
+                // the view was folded into the estimates at the end of
+                // round 1, so a late proposal is dropped, not asserted
+                // away.
+                if round == 1 {
+                    self.view.set(from, v.clone());
+                }
             }
             CbMessage::State { cond, tmf, out } => {
                 // The message is shared with every recipient; clone a slot

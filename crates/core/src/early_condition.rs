@@ -173,8 +173,12 @@ impl<V: ProposalValue, O: ConditionOracle<V>> SyncProtocol for EarlyConditionBas
         self.heard_now += 1;
         match msg {
             EcbMessage::Proposal(v) => {
-                debug_assert_eq!(round, 1);
-                self.view.set(from, v.clone());
+                // Proposals belong to round 1; a fault-delayed stale
+                // copy in a later round is dropped (the view already
+                // fed the estimates), never asserted away.
+                if round == 1 {
+                    self.view.set(from, v.clone());
+                }
             }
             EcbMessage::State {
                 cond,

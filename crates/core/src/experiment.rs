@@ -53,11 +53,11 @@ use setagree_async::{
 };
 use setagree_conditions::{ConditionOracle, LegalityParams, MaxCondition};
 pub use setagree_node::TransportKind;
-use setagree_node::{run_loopback, NodeError};
+use setagree_node::{run_loopback, run_loopback_faulty, NodeError};
 use setagree_runtime::{run_threaded, ThreadedError};
 use setagree_sync::{
-    run_protocol, run_protocol_unordered, EngineError, FailurePattern, SyncProtocol, Trace,
-    UnorderedFailurePattern,
+    run_protocol, run_protocol_faulty, run_protocol_unordered, run_protocol_unordered_faulty,
+    EngineError, FailurePattern, FaultPlan, SyncProtocol, Trace, UnorderedFailurePattern,
 };
 use setagree_types::{InputVector, ProcessId, ProposalValue};
 
@@ -160,6 +160,19 @@ pub enum ExperimentError {
         /// The transport that was asked.
         transport: TransportKind,
     },
+    /// A networked round timed out on peers that were never confirmed
+    /// dead: they were *suspected* — slow, partitioned, or silently
+    /// lossy — and the transport's resend/reconnect budget ran out
+    /// before either a frame or an end-of-stream arrived. Distinct from
+    /// a crash on purpose: mislabelling a slow node as a paper-model
+    /// crash would fabricate a failure pattern the adversary never
+    /// scheduled.
+    RoundTimeout {
+        /// The round that timed out.
+        round: usize,
+        /// The suspected-but-unconfirmed peers.
+        peers: Vec<ProcessId>,
+    },
     /// An engine or runtime error this crate predates (the backends'
     /// error enums are `#[non_exhaustive]`); carries the original
     /// message rather than mislabelling it.
@@ -228,6 +241,13 @@ impl fmt::Display for ExperimentError {
                 "the {transport} transport does not run through Scenario::run \
                  (use the setagree-node testnet harness for real node processes)"
             ),
+            ExperimentError::RoundTimeout { round, peers } => {
+                write!(f, "round {round} timed out waiting on unconfirmed peers")?;
+                for (i, peer) in peers.iter().enumerate() {
+                    write!(f, "{} {peer}", if i == 0 { ":" } else { "," })?;
+                }
+                Ok(())
+            }
             ExperimentError::Internal { message } => write!(f, "backend error: {message}"),
         }
     }
@@ -399,6 +419,30 @@ pub enum Adversary {
     /// than a validation error, which is how experiments probe the
     /// impossibility frontier.
     Async(AsyncCrashes),
+    /// Link omissions layered over ordered-send crashes: the seeded
+    /// [`FaultPlan`] drops, delays, duplicates, reorders and partitions
+    /// messages per `(round, sender, receiver)` while `crashes` keeps the
+    /// paper's crash-prefix semantics. Runs on the simulator and the
+    /// networked-loopback executor — byte-identically, since both realize
+    /// the plan through the same `FaultInbox` (pinned by
+    /// `tests/fault_equivalence.rs`). The Figure 2 sharp bounds assume
+    /// reliable links, so a report under a non-benign plan falls back to
+    /// the generic `⌊t/k⌋ + 1` prediction.
+    Omission {
+        /// The seeded link-fault plan.
+        plan: FaultPlan,
+        /// The crash pattern underneath the link faults.
+        crashes: FailurePattern,
+    },
+    /// The same link-fault plan over **unordered** (arbitrary-subset)
+    /// crashes — the fully hostile network: no send-order discipline *and*
+    /// lossy links. Simulator only.
+    Network {
+        /// The seeded link-fault plan.
+        plan: FaultPlan,
+        /// The unordered crash pattern underneath the link faults.
+        crashes: UnorderedFailurePattern,
+    },
 }
 
 impl Adversary {
@@ -409,15 +453,30 @@ impl Adversary {
             Adversary::Ordered(p) => Some(p.system_size()),
             Adversary::Unordered(p) => Some(p.system_size()),
             Adversary::Async(_) => None,
+            Adversary::Omission { crashes, .. } => Some(crashes.system_size()),
+            Adversary::Network { crashes, .. } => Some(crashes.system_size()),
         }
     }
 
-    /// The number of faulty processes.
+    /// The number of faulty processes. Link faults are not crashes: an
+    /// omission adversary counts only the processes its crash pattern
+    /// kills, so the `t` budget constrains crashes exactly as in the
+    /// crash-only models.
     pub fn fault_count(&self) -> usize {
         match self {
             Adversary::Ordered(p) => p.fault_count(),
             Adversary::Unordered(p) => p.fault_count(),
             Adversary::Async(c) => c.fault_count(),
+            Adversary::Omission { crashes, .. } => crashes.fault_count(),
+            Adversary::Network { crashes, .. } => crashes.fault_count(),
+        }
+    }
+
+    /// The link-fault plan, when this adversary injects one.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        match self {
+            Adversary::Omission { plan, .. } | Adversary::Network { plan, .. } => Some(plan),
+            _ => None,
         }
     }
 
@@ -1071,8 +1130,14 @@ impl<V: ProposalValue, O: ConditionOracle<V> + Clone> Scenario<V, O> {
         let crashes = match &*adversary {
             Adversary::Async(crashes) => crashes.clone(),
             // Any failure-free pattern means "no crashes" in every model,
-            // so shared suite grids can mix sync and async cells.
-            other if other.fault_count() == 0 => AsyncCrashes::none(),
+            // so shared suite grids can mix sync and async cells — but a
+            // live fault plan is not failure-free, and silently ignoring
+            // it would report a benign run as a faulty one.
+            other
+                if other.fault_count() == 0 && other.fault_plan().is_none_or(|p| p.is_benign()) =>
+            {
+                AsyncCrashes::none()
+            }
             _ => return Err(ExperimentError::UnsupportedAdversary { executor }),
         };
         let n = self.spec.n();
@@ -1180,13 +1245,19 @@ where
         let limit = self
             .round_limit
             .unwrap_or_else(|| self.spec.default_round_limit());
-        let Adversary::Ordered(pattern) = &*adversary else {
-            return Err(ExperimentError::UnsupportedAdversary { executor });
+        let trace = match &*adversary {
+            Adversary::Ordered(pattern) => dispatch_spec!(self.spec, input, |procs| run_loopback(
+                procs, pattern, limit
+            )
+            .map_err(ExperimentError::from))?,
+            Adversary::Omission { plan, crashes } => {
+                dispatch_spec!(self.spec, input, |procs| run_loopback_faulty(
+                    procs, crashes, plan, limit
+                )
+                .map_err(ExperimentError::from))?
+            }
+            _ => return Err(ExperimentError::UnsupportedAdversary { executor }),
         };
-        let trace = dispatch_spec!(self.spec, input, |procs| run_loopback(
-            procs, pattern, limit
-        )
-        .map_err(ExperimentError::from))?;
         Ok(Report::new(
             trace,
             Arc::clone(input),
@@ -1278,6 +1349,12 @@ fn run_sim<P: SyncProtocol>(
         Adversary::Async(_) => Err(ExperimentError::UnsupportedAdversary {
             executor: Executor::Simulator,
         }),
+        Adversary::Omission { plan, crashes } => {
+            Ok(run_protocol_faulty(processes, crashes, plan, limit)?)
+        }
+        Adversary::Network { plan, crashes } => Ok(run_protocol_unordered_faulty(
+            processes, crashes, plan, limit,
+        )?),
     }
 }
 
@@ -1641,5 +1718,121 @@ mod tests {
         .into();
         assert!(e.to_string().contains("panicked"));
         assert!(ExperimentError::MissingInput.to_string().contains("input"));
+        let timeout = ExperimentError::RoundTimeout {
+            round: 3,
+            peers: vec![ProcessId::new(1), ProcessId::new(4)],
+        };
+        assert_eq!(
+            timeout.to_string(),
+            "round 3 timed out waiting on unconfirmed peers: p2, p5"
+        );
+    }
+
+    #[test]
+    fn omission_adversary_runs_on_simulator_and_networked_loopback() {
+        let plan = FaultPlan::new(4, 0xC0FFEE)
+            .drop_rate(1500)
+            .reorder_rate(3000);
+        let mut crashes = FailurePattern::none(4);
+        crashes
+            .crash(ProcessId::new(3), CrashSpec::new(1, 1))
+            .unwrap();
+        let scenario = Scenario::flood_set(4, 2, 1)
+            .input(vec![3u32, 9, 1, 4])
+            .pattern(Adversary::Omission {
+                plan: plan.clone(),
+                crashes,
+            })
+            .round_limit(20);
+        let simulated = scenario.run().unwrap();
+        let networked = scenario
+            .clone()
+            .executor(Executor::Networked {
+                transport: TransportKind::Loopback,
+            })
+            .run()
+            .unwrap();
+        assert_eq!(simulated.trace(), networked.trace());
+        // Sharp Figure-2-style bounds assume reliable links, so omission
+        // reports carry only the generic fallback prediction.
+        assert_eq!(simulated.predicted_rounds(), Some(3));
+
+        let err = scenario.executor(Executor::Threaded).run().unwrap_err();
+        assert_eq!(
+            err,
+            ExperimentError::UnsupportedAdversary {
+                executor: Executor::Threaded
+            }
+        );
+    }
+
+    #[test]
+    fn benign_omission_plan_reproduces_the_crash_only_report() {
+        let mut crashes = FailurePattern::none(4);
+        crashes
+            .crash(ProcessId::new(0), CrashSpec::new(1, 2))
+            .unwrap();
+        let base = Scenario::flood_set(4, 2, 1).input(vec![3u32, 9, 1, 4]);
+        let plain = base.clone().pattern(crashes.clone()).run().unwrap();
+        let benign = base
+            .pattern(Adversary::Omission {
+                plan: FaultPlan::none(4),
+                crashes,
+            })
+            .run()
+            .unwrap();
+        assert_eq!(plain.trace(), benign.trace());
+    }
+
+    #[test]
+    fn network_adversary_composes_unordered_crashes_with_link_faults() {
+        let mut delivered = ProcessSet::empty(4);
+        delivered.insert(ProcessId::new(2));
+        let mut crashes = UnorderedFailurePattern::none(4);
+        crashes
+            .crash(
+                ProcessId::new(0),
+                setagree_sync::SubsetCrash::new(1, delivered),
+            )
+            .unwrap();
+        let plan = FaultPlan::new(4, 7).drop_rate(2000).duplicate_rate(1000);
+        let scenario = Scenario::flood_set(4, 2, 1)
+            .input(vec![3u32, 9, 1, 4])
+            .pattern(Adversary::Network { plan, crashes })
+            .round_limit(20);
+        let first = scenario.run().unwrap();
+        let second = scenario.run().unwrap();
+        assert_eq!(first.trace(), second.trace());
+        assert!(first.satisfies_termination());
+    }
+
+    #[test]
+    fn live_fault_plans_do_not_masquerade_as_failure_free_on_async_executors() {
+        let cfg = config(6, 3, 2, 2, 1);
+        let scenario = Scenario::condition_based(cfg, MaxCondition::new(cfg.legality()))
+            .input(vec![5u32, 5, 1, 2, 5, 5])
+            .executor(Executor::AsyncSharedMemory { seed: 1 });
+        let benign = scenario
+            .clone()
+            .pattern(Adversary::Omission {
+                plan: FaultPlan::none(6),
+                crashes: FailurePattern::none(6),
+            })
+            .run()
+            .unwrap();
+        assert!(benign.satisfies_all());
+        let err = scenario
+            .pattern(Adversary::Omission {
+                plan: FaultPlan::new(6, 3).drop_rate(1000),
+                crashes: FailurePattern::none(6),
+            })
+            .run()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ExperimentError::UnsupportedAdversary {
+                executor: Executor::AsyncSharedMemory { seed: 1 }
+            }
+        );
     }
 }

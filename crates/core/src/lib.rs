@@ -120,4 +120,8 @@ pub use setagree_codec::{DecodeError, Reader, Writer};
 // Re-exported so scenario authors can select the networked executor's
 // transport without a separate setagree-node dependency.
 pub use setagree_node::TransportKind;
+// Re-exported so scenario authors can build omission adversaries
+// (Adversary::Omission / Adversary::Network) without a separate
+// setagree-sync dependency.
+pub use setagree_sync::{FaultPlan, LinkFault, Partition, RATE_SCALE};
 pub use suite::{CaseSpec, ScenarioSuite, SuiteCase, SuiteReport, SuiteRun, SuiteRunStats};

@@ -9,7 +9,10 @@ use std::error::Error;
 use std::fmt;
 use std::net::SocketAddr;
 
-use crate::config::parse_peers;
+use setagree_sync::{FaultPlan, Partition};
+use setagree_types::{ProcessId, ProcessSet};
+
+use crate::config::{parse_peers, DEFAULT_ROUND_TIMEOUT};
 use crate::transport::TransportKind;
 
 /// Usage text for the binary.
@@ -18,17 +21,22 @@ setagree-node — networked condition-based k-set agreement nodes
 
 USAGE:
     setagree-node run --id <I> --peers <A,B,…> --input <V,V,…> \
-[--t <T>] [--k <K>] [--crash <ROUND>:<AFTER_SENDS>] [--round-timeout-ms <MS>]
+[--t <T>] [--k <K>] [--crash <ROUND>:<AFTER_SENDS>] [--round-timeout-ms <MS>] \
+[--faults <SEED>:<DROP_RATE>] [--partition <ID,ID,…>:<FROM>:<TO> …]
         One TCP node: joins the mesh, runs FloodSet over its proposal,
         prints `OUTCOME`/`RECEIVED` lines. With --crash, aborts itself
-        at the scheduled point (the kill-based adversary).
+        at the scheduled point (the kill-based adversary). --faults and
+        --partition install the seeded link-fault plan (identical flags
+        on every node yield the identical plan).
 
     setagree-node testnet --input <V,V,…> [--t <T>] [--k <K>] \
 [--crash <ID>:<ROUND>:<AFTER_SENDS> …] [--port-base <P>] \
-[--transport tcp|loopback] [--round-timeout-ms <MS>]
+[--transport tcp|loopback] [--round-timeout-ms <MS>] \
+[--faults <SEED>:<DROP_RATE>] [--partition <ID,ID,…>:<FROM>:<TO> …]
         Spawns one node per proposal (TCP: real processes on localhost;
         loopback: in-process tasks), kills the scheduled victims, and
-        prints the collected Report.";
+        prints the collected Report. Fault flags are forwarded to every
+        node; DROP_RATE is parts per 10,000 per link per round.";
 
 /// What the binary was asked to do.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,6 +64,10 @@ pub struct RunArgs {
     pub crash: Option<(usize, usize)>,
     /// Per-round wait for silent peers, in milliseconds.
     pub round_timeout_ms: u64,
+    /// Injected link faults: `(seed, drop rate in parts per 10,000)`.
+    pub faults: Option<(u64, u32)>,
+    /// Scheduled partitions: `(members, from_round, to_round)`.
+    pub partitions: Vec<(Vec<usize>, usize, usize)>,
 }
 
 /// Arguments of the `testnet` subcommand.
@@ -75,6 +87,45 @@ pub struct TestnetArgs {
     pub transport: TransportKind,
     /// Per-round wait for silent peers, in milliseconds (TCP only).
     pub round_timeout_ms: u64,
+    /// Injected link faults: `(seed, drop rate in parts per 10,000)`.
+    pub faults: Option<(u64, u32)>,
+    /// Scheduled partitions: `(members, from_round, to_round)`.
+    pub partitions: Vec<(Vec<usize>, usize, usize)>,
+}
+
+/// Builds the [`FaultPlan`] the fault flags describe, or `None` when no
+/// fault flag was given. Every node passes the same flags, so every
+/// node derives the identical plan — the seeded decisions are a pure
+/// function of `(seed, round, sender, receiver)`.
+///
+/// # Errors
+///
+/// [`CliError::InvalidValue`] when a partition member is out of range
+/// for the system size `n`.
+pub fn fault_plan(
+    n: usize,
+    faults: Option<(u64, u32)>,
+    partitions: &[(Vec<usize>, usize, usize)],
+) -> Result<Option<FaultPlan>, CliError> {
+    if faults.is_none() && partitions.is_empty() {
+        return Ok(None);
+    }
+    let (seed, rate) = faults.unwrap_or((0, 0));
+    let mut plan = FaultPlan::new(n, seed).drop_rate(rate);
+    for (members, from_round, to_round) in partitions {
+        let mut side = ProcessSet::empty(n);
+        for &id in members {
+            if id >= n {
+                return Err(CliError::InvalidValue {
+                    flag: "--partition".to_string(),
+                    value: id.to_string(),
+                });
+            }
+            side.insert(ProcessId::new(id));
+        }
+        plan = plan.partition(Partition::new(side, *from_round, *to_round));
+    }
+    Ok(Some(plan))
 }
 
 /// A bad command line.
@@ -141,6 +192,38 @@ fn parse_u32_list(flag: &str, value: &str) -> Result<Vec<u32>, CliError> {
             })
         })
         .collect()
+}
+
+fn parse_faults(value: &str) -> Result<(u64, u32), CliError> {
+    let invalid = || CliError::InvalidValue {
+        flag: "--faults".to_string(),
+        value: value.to_string(),
+    };
+    let (seed, rate) = value.split_once(':').ok_or_else(invalid)?;
+    Ok((
+        seed.trim().parse().map_err(|_| invalid())?,
+        rate.trim().parse().map_err(|_| invalid())?,
+    ))
+}
+
+fn parse_partition(value: &str) -> Result<(Vec<usize>, usize, usize), CliError> {
+    let invalid = || CliError::InvalidValue {
+        flag: "--partition".to_string(),
+        value: value.to_string(),
+    };
+    let parts: Vec<&str> = value.split(':').collect();
+    let [ids, from_round, to_round] = parts.as_slice() else {
+        return Err(invalid());
+    };
+    let members = ids
+        .split(',')
+        .map(|v| v.trim().parse().map_err(|_| invalid()))
+        .collect::<Result<Vec<usize>, CliError>>()?;
+    Ok((
+        members,
+        from_round.trim().parse().map_err(|_| invalid())?,
+        to_round.trim().parse().map_err(|_| invalid())?,
+    ))
 }
 
 fn parse_colon_tuple<const N: usize>(flag: &str, value: &str) -> Result<[usize; N], CliError> {
@@ -213,6 +296,8 @@ pub fn parse_command(args: impl IntoIterator<Item = String>) -> Result<NodeComma
                 "--input",
                 "--crash",
                 "--round-timeout-ms",
+                "--faults",
+                "--partition",
             ])?;
             let peers_text = required("--peers")?;
             let peers = parse_peers(&peers_text).map_err(|_| CliError::InvalidValue {
@@ -242,8 +327,16 @@ pub fn parse_command(args: impl IntoIterator<Item = String>) -> Result<NodeComma
                 crash,
                 round_timeout_ms: match single("--round-timeout-ms")? {
                     Some(v) => parse_num("--round-timeout-ms", &v)? as u64,
-                    None => 10_000,
+                    None => DEFAULT_ROUND_TIMEOUT.as_millis() as u64,
                 },
+                faults: single("--faults")?
+                    .as_deref()
+                    .map(parse_faults)
+                    .transpose()?,
+                partitions: take("--partition")
+                    .iter()
+                    .map(|v| parse_partition(v))
+                    .collect::<Result<_, _>>()?,
             }))
         }
         "testnet" => {
@@ -255,6 +348,8 @@ pub fn parse_command(args: impl IntoIterator<Item = String>) -> Result<NodeComma
                 "--port-base",
                 "--transport",
                 "--round-timeout-ms",
+                "--faults",
+                "--partition",
             ])?;
             let input = parse_u32_list("--input", &required("--input")?)?;
             let crashes = take("--crash")
@@ -292,8 +387,16 @@ pub fn parse_command(args: impl IntoIterator<Item = String>) -> Result<NodeComma
                 transport,
                 round_timeout_ms: match single("--round-timeout-ms")? {
                     Some(v) => parse_num("--round-timeout-ms", &v)? as u64,
-                    None => 10_000,
+                    None => DEFAULT_ROUND_TIMEOUT.as_millis() as u64,
                 },
+                faults: single("--faults")?
+                    .as_deref()
+                    .map(parse_faults)
+                    .transpose()?,
+                partitions: take("--partition")
+                    .iter()
+                    .map(|v| parse_partition(v))
+                    .collect::<Result<_, _>>()?,
             }))
         }
         other => Err(CliError::UnknownCommand {
@@ -305,7 +408,7 @@ pub fn parse_command(args: impl IntoIterator<Item = String>) -> Result<NodeComma
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::localhost_peers;
+    use crate::config::{localhost_peers, NodeConfig};
 
     fn strings(args: &[&str]) -> Vec<String> {
         args.iter().map(|s| s.to_string()).collect()
@@ -341,8 +444,66 @@ mod tests {
                 input: vec![3, 9, 1],
                 crash: Some((1, 2)),
                 round_timeout_ms: 500,
+                faults: None,
+                partitions: vec![],
             })
         );
+    }
+
+    #[test]
+    fn fault_flags_build_the_same_plan_on_every_node() {
+        let cmd = parse_command(strings(&[
+            "testnet",
+            "--input",
+            "1,2,3,4,5",
+            "--faults",
+            "7:2500",
+            "--partition",
+            "0,1:1:2",
+            "--partition",
+            "4:3:3",
+        ]))
+        .unwrap();
+        let NodeCommand::Testnet(args) = cmd else {
+            panic!("expected testnet");
+        };
+        assert_eq!(args.faults, Some((7, 2500)));
+        assert_eq!(args.partitions, vec![(vec![0, 1], 1, 2), (vec![4], 3, 3)]);
+        let plan = fault_plan(5, args.faults, &args.partitions)
+            .unwrap()
+            .expect("fault flags present");
+        assert_eq!(plan.seed(), 7);
+        assert_eq!(plan.partitions().len(), 2);
+        // The plan is a pure function of the flags: re-deriving it (as
+        // every node process does independently) yields the same plan.
+        assert_eq!(
+            Some(plan),
+            fault_plan(5, args.faults, &args.partitions).unwrap()
+        );
+        assert_eq!(fault_plan(5, None, &[]).unwrap(), None);
+        assert_eq!(
+            fault_plan(3, None, &[(vec![3], 1, 2)]),
+            Err(CliError::InvalidValue {
+                flag: "--partition".to_string(),
+                value: "3".to_string(),
+            })
+        );
+    }
+
+    #[test]
+    fn cli_round_timeout_default_matches_the_node_config_default() {
+        // Satellite of the robustness issue: the CLI's default must be
+        // *derived from* NodeConfig's, not a second hard-coded copy.
+        let cmd = parse_command(strings(&["testnet", "--input", "1,2"])).unwrap();
+        let NodeCommand::Testnet(args) = cmd else {
+            panic!("expected testnet");
+        };
+        let config = NodeConfig::new(ProcessId::new(0), localhost_peers(2, 7000)).unwrap();
+        assert_eq!(
+            u128::from(args.round_timeout_ms),
+            config.round_timeout.as_millis()
+        );
+        assert_eq!(config.round_timeout, DEFAULT_ROUND_TIMEOUT);
     }
 
     #[test]

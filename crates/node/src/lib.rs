@@ -59,16 +59,18 @@
 
 pub mod cli;
 pub mod config;
+pub mod faulty;
 pub mod loopback;
 pub mod node;
 pub mod tcp;
 pub mod testnet;
 pub mod transport;
 
-pub use cli::{parse_command, CliError, NodeCommand, RunArgs, TestnetArgs, USAGE};
+pub use cli::{fault_plan, parse_command, CliError, NodeCommand, RunArgs, TestnetArgs, USAGE};
 pub use config::{localhost_peers, parse_peers, ConfigError, NodeConfig};
 // The frame codec moved to the shared `setagree-codec` wire tier; both
 // the module path and the flat re-exports keep working from here.
+pub use faulty::{run_loopback_faulty, FaultyTransport};
 pub use loopback::{loopback_mesh, LoopbackTransport, RoundGate};
 pub use node::{drive, run_loopback, DriveError, NodeError};
 pub use setagree_codec::frame;

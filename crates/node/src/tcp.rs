@@ -10,26 +10,71 @@
 //! There is no barrier over TCP: lock-step rounds emerge from
 //! [`collect`](Transport::collect), which blocks until every live,
 //! unsettled peer has contributed its frame for the round (early frames
-//! from fast peers are buffered per round). Crash detection is the real
-//! thing — a killed node's kernel closes its sockets, peers observe
-//! end-of-stream and stop waiting for it; a round timeout backstops
-//! pathological hangs. A deciding node announces [`FrameKind::Settled`]
-//! so peers distinguish a clean exit from a kill.
+//! from fast peers are buffered per round). A deciding node announces
+//! [`FrameKind::Settled`] so peers distinguish a clean exit from a kill.
+//!
+//! # Self-healing
+//!
+//! An anomaly is not instantly a death. A round that stalls escalates
+//! through **suspicion**: the node rebroadcasts [`FrameKind::Resend`]
+//! requests, and any peer answers with [`FrameKind::Relay`] copies of
+//! the round's broadcasts it has seen (including a crashed sender's
+//! delivered prefix — relays propagate it to peers the prefix missed).
+//! A *closed* stream starts a bounded-exponential-backoff redial
+//! campaign (for peers this node dials) or an acceptance window on the
+//! persistent listener (for peers that dial this node); a successful
+//! re-handshake resumes at the current round by replaying the sender's
+//! recent frames. Only when the reconnect budget is exhausted does the
+//! transport fall back to the old kill-detection and confirm the peer
+//! dead. A peer that stays *connected but silent* past `round_timeout`
+//! is **not** declared crashed — that would fabricate a paper-model
+//! failure the adversary never scheduled — and surfaces as
+//! [`TcpError::RoundTimeout`] instead.
+//!
+//! # Injected faults
+//!
+//! An optional [`FaultPlan`] (see [`NodeConfig::fault_plan`]) filters
+//! **first-arrival [`FrameKind::Msg`] frames** at the receive boundary
+//! with the same per-`(round, sender, receiver)` decisions the
+//! simulator uses. Recovery frames ([`FrameKind::Relay`]) are exempt:
+//! the plan models loss of the original transmission, and recovery is
+//! recovery. Consequences of real sockets:
+//!
+//! * a **drop** (or a partition cut) loses the original frame; the
+//!   round then heals through resend/relay, so the verdict survives;
+//! * a **delay** stashes the original for a later round's inbox while
+//!   the current round heals through relay — over TCP a delay behaves
+//!   like a drop-with-recovery plus a stale duplicate;
+//! * a **duplicate** is absorbed by the sender-keyed round inbox;
+//! * a **reorder** is absorbed by the ordered collect.
+//!
+//! Strict byte-level trace equality under a plan is a simulator ↔
+//! loopback property (`tests/fault_equivalence.rs`); the TCP tier's
+//! contract is to *survive* the plan with a correct verdict.
 
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 use std::io;
-use std::net::{Shutdown, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::mpsc;
 use std::thread;
 use std::time::{Duration, Instant};
 
+use setagree_sync::{FaultPlan, LinkFault};
 use setagree_types::ProcessId;
 
 use crate::config::NodeConfig;
 use crate::frame::{Frame, FrameError, FrameKind};
 use crate::transport::Transport;
+
+/// How many past rounds of broadcasts are retained for relay service.
+const RELAY_KEEP: usize = 4;
+
+/// Poll granularity of the collect loop: how often suspicion deadlines,
+/// reconnect windows and the round deadline are re-checked while
+/// blocked on the event channel.
+const COLLECT_TICK: Duration = Duration::from_millis(25);
 
 /// A TCP transport failure.
 #[derive(Debug)]
@@ -48,6 +93,17 @@ pub enum TcpError {
     BadHello,
     /// Not every peer connected before the deadline.
     HandshakeTimeout,
+    /// A round stalled past `round_timeout` on peers that are still
+    /// *connected* — suspected, resent to, but neither heard from nor
+    /// confirmed dead. Treating them as crashed would mislabel a slow
+    /// node as a paper-model failure, so the round fails loudly
+    /// instead.
+    RoundTimeout {
+        /// The round that stalled.
+        round: usize,
+        /// The suspected-but-unconfirmed peers.
+        peers: Vec<ProcessId>,
+    },
 }
 
 impl TcpError {
@@ -68,6 +124,13 @@ impl fmt::Display for TcpError {
             TcpError::HandshakeTimeout => {
                 write!(f, "full mesh did not form before the connect deadline")
             }
+            TcpError::RoundTimeout { round, peers } => {
+                write!(f, "round {round} timed out waiting on unconfirmed peers")?;
+                for (i, peer) in peers.iter().enumerate() {
+                    write!(f, "{} {peer}", if i == 0 { ":" } else { "," })?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -78,15 +141,39 @@ impl Error for TcpError {}
 enum PeerEvent {
     Frame(Frame),
     Closed,
+    /// A (re)connected, hello-identified stream for this peer — from the
+    /// persistent listener (peer redialled us) or from one of our redial
+    /// campaigns (we reached the peer again).
+    Reconnected(TcpStream),
+    /// A redial campaign exhausted its backoff budget.
+    GaveUp,
 }
 
 /// What this node knows about one peer.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 struct PeerState {
     /// The round after which the peer (cleanly) stopped participating.
     settled_at: Option<usize>,
-    /// The peer's stream closed — over TCP, how a kill looks.
+    /// Confirmed dead: stream closed *and* the reconnect budget ran out.
     down: bool,
+    /// The peer's stream closed; recovery is in progress.
+    suspect: bool,
+    /// When the stream closed (drives the inbound reconnect window).
+    closed_at: Option<Instant>,
+    /// Redial campaigns left before a closed outbound link is final.
+    redials_left: u32,
+}
+
+impl PeerState {
+    fn fresh(redials: u32) -> PeerState {
+        PeerState {
+            settled_at: None,
+            down: false,
+            suspect: false,
+            closed_at: None,
+            redials_left: redials,
+        }
+    }
 }
 
 /// One node's TCP connection to the rest of the system.
@@ -96,6 +183,10 @@ pub struct TcpTransport {
     n: usize,
     writers: Vec<Option<TcpStream>>,
     events: mpsc::Receiver<(usize, PeerEvent)>,
+    /// Kept for redial campaigns and adopted-stream reader threads; also
+    /// guarantees `events` never observes a disconnect.
+    event_tx: mpsc::Sender<(usize, PeerEvent)>,
+    peer_addrs: Vec<SocketAddr>,
     peers: Vec<PeerState>,
     /// Frames that arrived for rounds we have not collected yet,
     /// `round → sender → payload`.
@@ -103,13 +194,30 @@ pub struct TcpTransport {
     /// This node's own broadcast, looped back locally (the model: a
     /// process receives its own message when its send prefix reaches it).
     self_letter: Option<(usize, Vec<u8>)>,
+    /// This node's recent broadcasts, `round → payload` — replayed on
+    /// reconnect and served to `Resend` requests.
+    sent_log: BTreeMap<usize, Vec<u8>>,
+    /// Recent broadcasts *accepted* from others, `round → sender →
+    /// payload` — the relay pool answering peers' `Resend` requests.
+    relay_store: BTreeMap<usize, BTreeMap<usize, Vec<u8>>>,
+    /// Fault-delayed originals waiting for their due round,
+    /// `due round → [(sender, payload)]`.
+    delayed: BTreeMap<usize, Vec<(usize, Vec<u8>)>>,
     received: u64,
+    current_round: usize,
+    settled_round: Option<usize>,
     round_timeout: Duration,
+    reconnect_attempts: u32,
+    reconnect_base_delay: Duration,
+    reconnect_window: Duration,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl TcpTransport {
     /// Establishes the full mesh for `config`, blocking until every peer
-    /// is connected and identified (or the connect deadline passes).
+    /// is connected and identified (or the connect deadline passes). The
+    /// listener then stays alive for the node's lifetime, accepting
+    /// re-handshakes from peers recovering a broken link.
     ///
     /// # Errors
     ///
@@ -122,9 +230,15 @@ impl TcpTransport {
         let listener =
             TcpListener::bind(config.my_addr()).map_err(|e| TcpError::io("bind listener", e))?;
 
-        // Inbound half of the mesh: every higher id dials us.
+        let (event_tx, events) = mpsc::channel();
+
+        // Inbound half of the mesh: every higher id dials us. After the
+        // initial mesh forms, the same listener keeps accepting —
+        // re-handshakes from peers healing a broken link arrive as
+        // identified `Reconnected` events.
         let expected_inbound = n - 1 - me.index();
         let (accept_tx, accept_rx) = mpsc::channel();
+        let reconnect_tx = event_tx.clone();
         thread::spawn(move || {
             for _ in 0..expected_inbound {
                 match listener.accept() {
@@ -134,6 +248,28 @@ impl TcpTransport {
                         }
                     }
                     Err(_) => return,
+                }
+            }
+            drop(accept_tx);
+            loop {
+                let Ok((mut stream, _)) = listener.accept() else {
+                    return;
+                };
+                let _ = stream.set_nodelay(true);
+                // Identify inline, but never let a silent dialer wedge
+                // the listener.
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+                let hello = Frame::read_from(&mut stream);
+                let _ = stream.set_read_timeout(None);
+                let peer = match hello {
+                    Ok(Some(f)) if f.kind == FrameKind::Hello => f.from.index(),
+                    _ => continue,
+                };
+                if reconnect_tx
+                    .send((peer, PeerEvent::Reconnected(stream)))
+                    .is_err()
+                {
+                    return;
                 }
             }
         });
@@ -183,26 +319,12 @@ impl TcpTransport {
         }
 
         // One reader thread per peer, all feeding one ordered channel.
-        let (event_tx, events) = mpsc::channel();
         for (peer, writer) in writers.iter().enumerate() {
             let Some(writer) = writer else { continue };
-            let mut reader = writer
+            let reader = writer
                 .try_clone()
                 .map_err(|e| TcpError::io("clone stream", e))?;
-            let tx = event_tx.clone();
-            thread::spawn(move || loop {
-                match Frame::read_from(&mut reader) {
-                    Ok(Some(frame)) => {
-                        if tx.send((peer, PeerEvent::Frame(frame))).is_err() {
-                            return;
-                        }
-                    }
-                    Ok(None) | Err(_) => {
-                        let _ = tx.send((peer, PeerEvent::Closed));
-                        return;
-                    }
-                }
-            });
+            spawn_reader(peer, reader, event_tx.clone());
         }
 
         Ok(TcpTransport {
@@ -210,11 +332,22 @@ impl TcpTransport {
             n,
             writers,
             events,
-            peers: vec![PeerState::default(); n],
+            event_tx,
+            peer_addrs: config.peers.clone(),
+            peers: vec![PeerState::fresh(config.reconnect_attempts); n],
             pending: BTreeMap::new(),
             self_letter: None,
+            sent_log: BTreeMap::new(),
+            relay_store: BTreeMap::new(),
+            delayed: BTreeMap::new(),
             received: 0,
+            current_round: 0,
+            settled_round: None,
             round_timeout: config.round_timeout,
+            reconnect_attempts: config.reconnect_attempts,
+            reconnect_base_delay: config.reconnect_base_delay,
+            reconnect_window: config.reconnect_window,
+            fault_plan: config.fault_plan.clone(),
         })
     }
 
@@ -225,17 +358,151 @@ impl TcpTransport {
     }
 
     /// Whether the round loop still expects a frame from `peer` in
-    /// `round`.
+    /// `round`. Suspects are expected: they may heal.
     fn expects(&self, peer: usize, round: usize) -> bool {
         let state = self.peers[peer];
         !state.down && state.settled_at.is_none_or(|r| r >= round)
     }
 
+    /// Confirms a peer dead: its stream is gone and its reconnect budget
+    /// is spent. The old instant-death path, now the last resort.
     fn mark_down(&mut self, peer: usize) {
         self.peers[peer].down = true;
+        self.peers[peer].suspect = false;
         if let Some(w) = self.writers[peer].take() {
             let _ = w.shutdown(Shutdown::Both);
         }
+    }
+
+    /// A peer's stream broke (EOF, read error or write failure): mark it
+    /// suspect and start recovery — a redial campaign if we are the
+    /// dialing side, otherwise the listener's reconnect window.
+    fn note_closed(&mut self, peer: usize) {
+        if self.peers[peer].down {
+            return;
+        }
+        if let Some(w) = self.writers[peer].take() {
+            let _ = w.shutdown(Shutdown::Both);
+        }
+        let state = &mut self.peers[peer];
+        state.suspect = true;
+        state.closed_at = Some(Instant::now());
+        if peer < self.me.index() && state.redials_left > 0 {
+            state.redials_left -= 1;
+            spawn_redial(
+                self.me,
+                peer,
+                self.peer_addrs[peer],
+                self.reconnect_attempts,
+                self.reconnect_base_delay,
+                self.event_tx.clone(),
+            );
+        }
+    }
+
+    /// Adopts a freshly (re)identified stream for `peer` and resumes at
+    /// the current round: replay our recent broadcasts (the originals
+    /// may have died with the old socket) and our settlement, then pull
+    /// whatever we missed.
+    fn adopt_stream(&mut self, peer: usize, stream: TcpStream) {
+        if peer >= self.n || peer == self.me.index() || self.peers[peer].down {
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+        if !self.peers[peer].suspect && self.writers[peer].is_some() {
+            // The link is healthy; a spurious extra handshake (hostile
+            // or raced) must not hijack it.
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+        let Ok(reader) = stream.try_clone() else {
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        };
+        self.writers[peer] = Some(stream);
+        spawn_reader(peer, reader, self.event_tx.clone());
+        let state = &mut self.peers[peer];
+        state.suspect = false;
+        state.closed_at = None;
+
+        // Resume: recent broadcasts as ordinary first-arrival Msg frames
+        // (an injected plan judges them exactly once, deterministically),
+        // plus our settlement notice, plus a pull for the stalled round.
+        let replay: Vec<Frame> = self
+            .sent_log
+            .iter()
+            .map(|(&round, payload)| Frame::msg(self.me, round, payload.clone()))
+            .collect();
+        for frame in replay {
+            self.write_frame(peer, &frame);
+        }
+        if let Some(round) = self.settled_round {
+            self.write_frame(peer, &Frame::settled(self.me, round));
+        }
+        let round = self.current_round;
+        if round > 0 {
+            self.write_frame(peer, &Frame::resend(self.me, round));
+        }
+    }
+
+    /// Writes one frame to `peer`, converting a write failure into a
+    /// closed-stream observation.
+    fn write_frame(&mut self, peer: usize, frame: &Frame) {
+        let gone = match &mut self.writers[peer] {
+            Some(w) => frame.write_to(w).is_err(),
+            None => false,
+        };
+        if gone {
+            self.note_closed(peer);
+        }
+    }
+
+    /// Asks every reachable peer to relay what it has seen of `round`.
+    fn send_resends(&mut self, round: usize) {
+        for peer in 0..self.n {
+            if peer == self.me.index() || self.writers[peer].is_none() {
+                continue;
+            }
+            self.write_frame(peer, &Frame::resend(self.me, round));
+        }
+    }
+
+    /// Answers a peer's `Resend` for `round` with relays of everything
+    /// this node has: its own broadcast and the accepted broadcasts of
+    /// others (which is how a crashed sender's delivered prefix still
+    /// propagates to peers the prefix missed).
+    fn serve_resend(&mut self, peer: usize, round: usize) {
+        let mut relays = Vec::new();
+        if let Some(payload) = self.sent_log.get(&round) {
+            relays.push(Frame::relay(self.me, self.me, round, payload));
+        }
+        if let Some(seen) = self.relay_store.get(&round) {
+            for (&orig, payload) in seen {
+                if orig != peer {
+                    relays.push(Frame::relay(self.me, ProcessId::new(orig), round, payload));
+                }
+            }
+        }
+        for frame in relays {
+            self.write_frame(peer, &frame);
+        }
+    }
+
+    /// The injected-fault verdict for a first-arrival `Msg` frame.
+    fn filter(&self, round: usize, from: usize) -> LinkFault {
+        match &self.fault_plan {
+            Some(plan) => plan.decide(round, ProcessId::new(from), self.me),
+            None => LinkFault::Deliver,
+        }
+    }
+
+    /// Stores an accepted broadcast in the relay pool.
+    fn remember(&mut self, round: usize, from: usize, payload: &[u8]) {
+        self.relay_store
+            .entry(round)
+            .or_default()
+            .entry(from)
+            .or_insert_with(|| payload.to_vec());
     }
 
     fn note_frame(
@@ -246,14 +513,29 @@ impl TcpTransport {
         got: &mut BTreeMap<usize, Vec<u8>>,
     ) {
         match frame.kind {
-            FrameKind::Msg if frame.round == round => {
-                got.insert(peer, frame.payload);
-            }
-            FrameKind::Msg if frame.round > round => {
-                self.pending
-                    .entry(frame.round)
-                    .or_default()
-                    .insert(peer, frame.payload);
+            FrameKind::Msg if frame.round >= round => {
+                match self.filter(frame.round, peer) {
+                    LinkFault::Drop => return,
+                    LinkFault::Delay(by) => {
+                        self.delayed
+                            .entry(frame.round + by)
+                            .or_default()
+                            .push((peer, frame.payload));
+                        return;
+                    }
+                    // The sender-keyed round inbox absorbs duplicates.
+                    LinkFault::Deliver | LinkFault::Duplicate => {}
+                }
+                self.remember(frame.round, peer, &frame.payload);
+                if frame.round == round {
+                    got.entry(peer).or_insert(frame.payload);
+                } else {
+                    self.pending
+                        .entry(frame.round)
+                        .or_default()
+                        .entry(peer)
+                        .or_insert(frame.payload);
+                }
             }
             // Stale rounds (we gave up on the sender) and stray hellos
             // are dropped.
@@ -261,8 +543,109 @@ impl TcpTransport {
             FrameKind::Settled => {
                 self.peers[peer].settled_at = Some(frame.round);
             }
+            FrameKind::Resend => {
+                self.serve_resend(peer, frame.round);
+            }
+            FrameKind::Relay => {
+                // Recovery data: exempt from the fault filter, deduped by
+                // the sender-keyed maps. A malformed relay is dropped.
+                let Some((orig, payload)) = frame.relay_parts() else {
+                    return;
+                };
+                let (orig, payload) = (orig.index(), payload.to_vec());
+                if orig >= self.n || orig == self.me.index() {
+                    return;
+                }
+                if frame.round >= round {
+                    self.remember(frame.round, orig, &payload);
+                    if frame.round == round {
+                        if self.expects(orig, round) {
+                            got.entry(orig).or_insert(payload);
+                        }
+                    } else {
+                        self.pending
+                            .entry(frame.round)
+                            .or_default()
+                            .entry(orig)
+                            .or_insert(payload);
+                    }
+                }
+            }
         }
     }
+
+    fn handle_event(
+        &mut self,
+        peer: usize,
+        event: PeerEvent,
+        round: usize,
+        got: &mut BTreeMap<usize, Vec<u8>>,
+    ) {
+        if peer >= self.n {
+            return;
+        }
+        match event {
+            PeerEvent::Frame(frame) => self.note_frame(peer, frame, round, got),
+            PeerEvent::Closed => self.note_closed(peer),
+            PeerEvent::Reconnected(stream) => self.adopt_stream(peer, stream),
+            PeerEvent::GaveUp => {
+                // The campaign failed; if the link healed through the
+                // listener in the meantime, the give-up is stale.
+                if self.peers[peer].suspect {
+                    self.mark_down(peer);
+                }
+            }
+        }
+    }
+
+    /// Drops relay/broadcast history too old to be useful.
+    fn prune(&mut self, round: usize) {
+        let floor = round.saturating_sub(RELAY_KEEP);
+        self.sent_log = self.sent_log.split_off(&floor);
+        self.relay_store = self.relay_store.split_off(&floor);
+    }
+}
+
+fn spawn_reader(peer: usize, mut reader: TcpStream, tx: mpsc::Sender<(usize, PeerEvent)>) {
+    thread::spawn(move || loop {
+        match Frame::read_from(&mut reader) {
+            Ok(Some(frame)) => {
+                if tx.send((peer, PeerEvent::Frame(frame))).is_err() {
+                    return;
+                }
+            }
+            Ok(None) | Err(_) => {
+                let _ = tx.send((peer, PeerEvent::Closed));
+                return;
+            }
+        }
+    });
+}
+
+/// One redial campaign: bounded exponential backoff, then give up.
+fn spawn_redial(
+    me: ProcessId,
+    peer: usize,
+    addr: SocketAddr,
+    attempts: u32,
+    base_delay: Duration,
+    tx: mpsc::Sender<(usize, PeerEvent)>,
+) {
+    thread::spawn(move || {
+        let mut delay = base_delay;
+        for _ in 0..attempts.max(1) {
+            if let Ok(mut stream) = TcpStream::connect(addr) {
+                let _ = stream.set_nodelay(true);
+                if Frame::hello(me).write_to(&mut stream).is_ok() {
+                    let _ = tx.send((peer, PeerEvent::Reconnected(stream)));
+                    return;
+                }
+            }
+            thread::sleep(delay);
+            delay = delay.saturating_mul(2);
+        }
+        let _ = tx.send((peer, PeerEvent::GaveUp));
+    });
 }
 
 impl Transport for TcpTransport {
@@ -279,6 +662,8 @@ impl Transport for TcpTransport {
     }
 
     fn broadcast(&mut self, round: usize, payload: Vec<u8>, reach: usize) -> Result<(), TcpError> {
+        self.current_round = round;
+        self.sent_log.insert(round, payload.clone());
         for recipient in 0..reach.min(self.n) {
             if recipient == self.me.index() {
                 self.self_letter = Some((round, payload.clone()));
@@ -288,15 +673,7 @@ impl Transport for TcpTransport {
                 continue;
             }
             let frame = Frame::msg(self.me, round, payload.clone());
-            let gone = match &mut self.writers[recipient] {
-                Some(w) => frame.write_to(w).is_err(),
-                // A write failure means the recipient died; over TCP
-                // that is a crash observation, not a transport error.
-                None => false,
-            };
-            if gone {
-                self.mark_down(recipient);
-            }
+            self.write_frame(recipient, &frame);
         }
         Ok(())
     }
@@ -309,6 +686,20 @@ impl Transport for TcpTransport {
     }
 
     fn collect(&mut self, round: usize) -> Result<Vec<(ProcessId, Vec<u8>)>, TcpError> {
+        self.current_round = round;
+        self.prune(round);
+
+        // Fault-delayed originals whose due round has come: delivered
+        // first, like the simulator's inbox (stale metadata and all).
+        let mut late = Vec::new();
+        while let Some((&due, _)) = self.delayed.first_key_value() {
+            if due > round {
+                break;
+            }
+            let (_, batch) = self.delayed.pop_first().expect("checked non-empty");
+            late.extend(batch);
+        }
+
         let mut got: BTreeMap<usize, Vec<u8>> = self.pending.remove(&round).unwrap_or_default();
         if let Some((r, payload)) = self.self_letter.take() {
             if r == round {
@@ -316,6 +707,11 @@ impl Transport for TcpTransport {
             }
         }
         let deadline = Instant::now() + self.round_timeout;
+        // Suspicion cadence: a stalled round asks for relays well before
+        // the deadline, and keeps asking.
+        let resend_interval =
+            (self.round_timeout / 10).clamp(Duration::from_millis(50), Duration::from_secs(1));
+        let mut next_resend = Instant::now() + resend_interval;
         loop {
             let missing: Vec<usize> = (0..self.n)
                 .filter(|&p| {
@@ -325,47 +721,79 @@ impl Transport for TcpTransport {
             if missing.is_empty() {
                 break;
             }
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            let event = if remaining.is_zero() {
-                Err(mpsc::RecvTimeoutError::Timeout)
-            } else {
-                self.events.recv_timeout(remaining)
-            };
-            match event {
-                Ok((peer, PeerEvent::Frame(frame))) => {
-                    self.note_frame(peer, frame, round, &mut got)
-                }
-                Ok((peer, PeerEvent::Closed)) => self.mark_down(peer),
-                // The timeout backstop: whoever is still missing is
-                // declared dead, exactly like an observed close.
-                Err(_) => {
-                    for peer in missing {
-                        self.mark_down(peer);
+            let now = Instant::now();
+            // A closed peer that did not re-handshake within the window
+            // has spent its reconnect budget: confirmed dead.
+            for &p in &missing {
+                let state = self.peers[p];
+                if let (true, Some(at)) = (state.suspect, state.closed_at) {
+                    if now >= at + self.reconnect_window {
+                        self.mark_down(p);
                     }
-                    break;
                 }
             }
+            if now >= deadline {
+                let mut silent = Vec::new();
+                for &p in &missing {
+                    let state = self.peers[p];
+                    if state.down {
+                        continue;
+                    }
+                    if state.suspect {
+                        // Stream gone and the deadline beat the window:
+                        // the budget is spent either way.
+                        self.mark_down(p);
+                    } else {
+                        silent.push(ProcessId::new(p));
+                    }
+                }
+                if silent.is_empty() {
+                    break;
+                }
+                return Err(TcpError::RoundTimeout {
+                    round,
+                    peers: silent,
+                });
+            }
+            if now >= next_resend {
+                self.send_resends(round);
+                for &p in &missing {
+                    if !self.peers[p].down {
+                        self.peers[p].suspect = true;
+                    }
+                }
+                next_resend = now + resend_interval;
+            }
+            let wait = COLLECT_TICK
+                .min(deadline.saturating_duration_since(now))
+                .min(next_resend.saturating_duration_since(now))
+                .max(Duration::from_millis(1));
+            // A timeout tick just re-checks the deadlines; `event_tx`
+            // lives in self, so the channel can never disconnect.
+            if let Ok((peer, event)) = self.events.recv_timeout(wait) {
+                self.handle_event(peer, event, round, &mut got);
+            }
         }
-        self.received += got.len() as u64;
-        Ok(got
+        self.received += (late.len() + got.len()) as u64;
+        let mut letters: Vec<(ProcessId, Vec<u8>)> = late
             .into_iter()
             .map(|(peer, payload)| (ProcessId::new(peer), payload))
-            .collect())
+            .collect();
+        letters.extend(
+            got.into_iter()
+                .map(|(peer, payload)| (ProcessId::new(peer), payload)),
+        );
+        Ok(letters)
     }
 
     fn settle(&mut self, round: usize) -> Result<(), TcpError> {
+        self.settled_round = Some(round);
         for recipient in 0..self.n {
             if recipient == self.me.index() {
                 continue;
             }
             let frame = Frame::settled(self.me, round);
-            let gone = match &mut self.writers[recipient] {
-                Some(w) => frame.write_to(w).is_err(),
-                None => false,
-            };
-            if gone {
-                self.mark_down(recipient);
-            }
+            self.write_frame(recipient, &frame);
         }
         Ok(())
     }
@@ -409,7 +837,8 @@ mod tests {
     use crate::config::localhost_peers;
     use crate::drive;
     use crate::transport::{MsgCodec, Typed, U32Codec};
-    use setagree_sync::{CrashSpec, Outcome, Step, SyncProtocol};
+    use setagree_sync::{CrashSpec, Outcome, Partition, Step, SyncProtocol};
+    use setagree_types::ProcessSet;
 
     /// Max-flood over real sockets (in-process: one thread per node).
     #[derive(Debug)]
@@ -436,10 +865,12 @@ mod tests {
         }
     }
 
-    fn tcp_system(
+    fn tcp_system_with(
         port_base: u16,
         inputs: &[u32],
         crash: Option<(usize, CrashSpec)>,
+        plan: Option<FaultPlan>,
+        round_timeout: Duration,
     ) -> Vec<Option<Outcome<u32>>> {
         let n = inputs.len();
         let peers = localhost_peers(n, port_base);
@@ -448,11 +879,15 @@ mod tests {
             .enumerate()
             .map(|(i, &best)| {
                 let peers = peers.clone();
+                let plan = plan.clone();
                 let spec = crash.and_then(|(victim, s)| (victim == i).then_some(s));
                 thread::spawn(move || {
-                    let config = NodeConfig::new(ProcessId::new(i), peers)
+                    let mut config = NodeConfig::new(ProcessId::new(i), peers)
                         .expect("valid config")
-                        .with_round_timeout(Duration::from_secs(5));
+                        .with_round_timeout(round_timeout);
+                    if let Some(plan) = plan {
+                        config = config.with_fault_plan(plan);
+                    }
                     let tcp = TcpTransport::establish(&config).expect("mesh forms");
                     let transport = Typed::new(tcp, U32Codec);
                     drive(MaxFlood { rounds: 3, best }, transport, spec, 10).ok()
@@ -463,6 +898,14 @@ mod tests {
             .into_iter()
             .map(|h| h.join().expect("node thread"))
             .collect()
+    }
+
+    fn tcp_system(
+        port_base: u16,
+        inputs: &[u32],
+        crash: Option<(usize, CrashSpec)>,
+    ) -> Vec<Option<Outcome<u32>>> {
+        tcp_system_with(port_base, inputs, crash, None, Duration::from_secs(5))
     }
 
     #[test]
@@ -482,6 +925,142 @@ mod tests {
         assert_eq!(outcomes[0], Some(Outcome::Crashed { round: 1 }));
         for outcome in &outcomes[1..] {
             assert_eq!(*outcome, Some(Outcome::Decided { value: 9, round: 3 }));
+        }
+    }
+
+    #[test]
+    fn dropped_links_heal_through_relays() {
+        // A plan that cuts node 0 off from everyone for rounds 1–2 (its
+        // original frames in both directions). Resend/relay recovery
+        // restores the lost broadcasts, so every node still floods the
+        // maximum held by node 0.
+        let mut side = ProcessSet::empty(3);
+        side.insert(ProcessId::new(0));
+        let plan = FaultPlan::new(3, 0xD1A1).partition(Partition::new(side, 1, 2));
+        let outcomes = tcp_system_with(42130, &[9, 1, 4], None, Some(plan), Duration::from_secs(5));
+        for outcome in outcomes {
+            assert_eq!(outcome, Some(Outcome::Decided { value: 9, round: 3 }));
+        }
+    }
+
+    #[test]
+    fn a_broken_link_reconnects_and_resumes() {
+        // Two nodes run three manual rounds; between rounds 1 and 2 node
+        // 1 slams its socket to node 0 (a transient link failure, not a
+        // kill — both processes keep running). The redial campaign plus
+        // the persistent listener re-form the link and the remaining
+        // rounds complete with full inboxes; nobody is declared dead.
+        let peers = localhost_peers(2, 42140);
+        let run = |i: usize, sabotage: bool| {
+            let peers = peers.clone();
+            thread::spawn(move || {
+                let config = NodeConfig::new(ProcessId::new(i), peers)
+                    .expect("valid config")
+                    .with_round_timeout(Duration::from_secs(5));
+                let mut tcp = TcpTransport::establish(&config).expect("mesh forms");
+                let mut counts = Vec::new();
+                for round in 1..=3 {
+                    tcp.broadcast(round, vec![i as u8, round as u8], 2)
+                        .expect("broadcast");
+                    let letters = tcp.collect(round).expect("collect");
+                    counts.push(letters.len());
+                    if sabotage && round == 1 {
+                        if let Some(w) = &tcp.writers[0] {
+                            let _ = w.shutdown(Shutdown::Both);
+                        }
+                    }
+                }
+                assert!(!tcp.peers[1 - i].down, "peer wrongly confirmed dead");
+                counts
+            })
+        };
+        let a = run(0, false);
+        let b = run(1, true);
+        assert_eq!(a.join().expect("node 0"), vec![2, 2, 2]);
+        assert_eq!(b.join().expect("node 1"), vec![2, 2, 2]);
+    }
+
+    /// A hostile peer speaks the frame protocol badly on purpose:
+    /// duplicated round frames, future rounds out of order, a malformed
+    /// relay, a stray resend, and finally a truncated frame that kills
+    /// the stream mid-conversation. The real nodes never panic, absorb
+    /// the noise (sender-keyed inboxes dedup, pending buffers reorder,
+    /// malformed relays drop), and still reach their verdict.
+    #[test]
+    fn hostile_frames_mid_round_never_panic_the_readers() {
+        use std::io::Write;
+
+        let peers = localhost_peers(3, 42160);
+        let real = |i: usize| {
+            let peers = peers.clone();
+            thread::spawn(move || {
+                let config = NodeConfig::new(ProcessId::new(i), peers)
+                    .expect("valid config")
+                    .with_round_timeout(Duration::from_secs(5));
+                let tcp = TcpTransport::establish(&config).expect("mesh forms");
+                let transport = Typed::new(tcp, U32Codec);
+                drive(
+                    MaxFlood {
+                        rounds: 3,
+                        best: (i + 1) as u32,
+                    },
+                    transport,
+                    None,
+                    10,
+                )
+                .expect("hostile peer must not break the drive loop")
+            })
+        };
+        let a = real(0);
+        let b = real(1);
+
+        let targets: Vec<_> = peers[..2].to_vec();
+        let hostile = thread::spawn(move || {
+            let codec = U32Codec;
+            let me = ProcessId::new(2);
+            for addr in targets {
+                let mut s = loop {
+                    match TcpStream::connect(addr) {
+                        Ok(s) => break s,
+                        Err(_) => thread::sleep(Duration::from_millis(10)),
+                    }
+                };
+                Frame::hello(me).write_to(&mut s).expect("hello");
+                let msg = |r: usize| Frame::msg(me, r, codec.encode(&9));
+                // The round-1 frame, three times over.
+                for _ in 0..3 {
+                    msg(1).write_to(&mut s).expect("dup");
+                }
+                // Rounds 3 and 2, reordered.
+                msg(3).write_to(&mut s).expect("future");
+                msg(2).write_to(&mut s).expect("reordered");
+                // A relay whose payload is shorter than its own header.
+                Frame {
+                    kind: FrameKind::Relay,
+                    from: me,
+                    round: 2,
+                    payload: vec![1, 2],
+                }
+                .write_to(&mut s)
+                .expect("malformed relay");
+                // A resend for a round nobody has run.
+                Frame::resend(me, 7).write_to(&mut s).expect("stray resend");
+                Frame::settled(me, 3).write_to(&mut s).expect("settled");
+                // A truncated frame: a length header promising far more
+                // bytes than ever arrive, then a slammed socket.
+                s.write_all(&[200, 0, 0, 0, 1]).expect("truncated header");
+                let _ = s.shutdown(Shutdown::Both);
+            }
+        });
+
+        hostile.join().expect("hostile thread");
+        // The hostile peer's value 9 arrived through ordinary (if noisy)
+        // Msg frames, so the flood still converges on it.
+        for handle in [a, b] {
+            assert_eq!(
+                handle.join().expect("node thread"),
+                Outcome::Decided { value: 9, round: 3 }
+            );
         }
     }
 

@@ -22,6 +22,11 @@
 //! letters — what the network observably delivered (a killed node's
 //! pre-crash receptions die with it, unlike in the in-process tiers
 //! where the shared counter survives).
+//!
+//! A node whose round times out on a *connected but silent* peer prints
+//! a third line form instead — `TIMEOUT <round> <peers>` — which the
+//! harness surfaces as [`TestnetError::RoundTimeout`] rather than
+//! fabricating a crash nobody injected.
 
 use std::error::Error;
 use std::fmt;
@@ -52,6 +57,12 @@ pub struct TestnetConfig {
     pub port_base: u16,
     /// Per-round wait before a silent peer is declared dead.
     pub round_timeout: Duration,
+    /// Injected link faults forwarded to every node as `--faults`:
+    /// `(seed, drop rate in parts per 10,000)`.
+    pub faults: Option<(u64, u32)>,
+    /// Scheduled partitions forwarded to every node as `--partition`:
+    /// `(members, from_round, to_round)`.
+    pub partitions: Vec<(Vec<usize>, usize, usize)>,
 }
 
 impl TestnetConfig {
@@ -87,6 +98,17 @@ pub enum TestnetError {
         /// What it left behind (exit status and stdout).
         detail: String,
     },
+    /// A node's round stalled on peers that stayed connected but silent
+    /// — a liveness anomaly the transport refuses to mislabel as a
+    /// crash (see `TcpError::RoundTimeout`).
+    RoundTimeout {
+        /// The node that timed out.
+        id: usize,
+        /// The round that stalled.
+        round: usize,
+        /// The silent peers, as the node printed them (`p2,p5`).
+        peers: String,
+    },
 }
 
 impl fmt::Display for TestnetError {
@@ -99,6 +121,12 @@ impl fmt::Display for TestnetError {
             TestnetError::Io { id, source } => write!(f, "node {id}: {source}"),
             TestnetError::NodeFailed { id, detail } => {
                 write!(f, "node {id} failed without a crash scheduled: {detail}")
+            }
+            TestnetError::RoundTimeout { id, round, peers } => {
+                write!(
+                    f,
+                    "node {id}: round {round} timed out waiting on unconfirmed peers: {peers}"
+                )
             }
         }
     }
@@ -151,6 +179,17 @@ pub fn run_testnet(config: &TestnetConfig) -> Result<Trace<u32>, TestnetError> {
         if let Some(spec) = config.pattern.spec(ProcessId::new(id)) {
             cmd.args(["--crash", &format!("{}:{}", spec.round, spec.after_sends)]);
         }
+        if let Some((seed, rate)) = config.faults {
+            cmd.args(["--faults", &format!("{seed}:{rate}")]);
+        }
+        for (members, from_round, to_round) in &config.partitions {
+            let ids = members
+                .iter()
+                .map(|m| m.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            cmd.args(["--partition", &format!("{ids}:{from_round}:{to_round}")]);
+        }
         children.push(
             cmd.spawn()
                 .map_err(|source| TestnetError::Io { id, source })?,
@@ -180,6 +219,13 @@ pub fn run_testnet(config: &TestnetConfig) -> Result<Trace<u32>, TestnetError> {
                 }
                 ["RECEIVED", count] => {
                     delivered += count.parse::<u64>().unwrap_or(0);
+                }
+                ["TIMEOUT", round, peers] => {
+                    return Err(TestnetError::RoundTimeout {
+                        id,
+                        round: round.parse().unwrap_or(0),
+                        peers: (*peers).to_string(),
+                    });
                 }
                 _ => {}
             }

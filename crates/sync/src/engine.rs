@@ -15,10 +15,12 @@
 
 use std::error::Error;
 use std::fmt;
+use std::rc::Rc;
 
 use setagree_types::ProcessId;
 
 use crate::adversary::{FailurePattern, UnorderedFailurePattern};
+use crate::fault::{FaultInbox, FaultPlan};
 use crate::protocol::{Step, SyncProtocol};
 use crate::trace::{Outcome, Trace};
 
@@ -158,6 +160,43 @@ pub fn run_protocol_unordered<P: SyncProtocol>(
     run_with_policy(processes, pattern, max_rounds)
 }
 
+/// Runs under the ordered-send crash model *composed with* a message
+/// [`FaultPlan`]: link faults (drop / delay / duplicate / reorder /
+/// partition) apply receiver-side on top of the crash pattern's
+/// deliveries. `FaultPlan::none` runs trace-identical to
+/// [`run_protocol`] — the benign plan takes the full fault path on
+/// purpose, so the identity is a property of the machinery, not of a
+/// short-circuit (pinned by `tests/fault_equivalence.rs`).
+///
+/// # Errors
+///
+/// As [`run_protocol`]; additionally
+/// [`EngineError::SystemSizeMismatch`] if the plan's system size
+/// differs from the process vector's.
+pub fn run_protocol_faulty<P: SyncProtocol>(
+    processes: Vec<P>,
+    pattern: &FailurePattern,
+    plan: &FaultPlan,
+    max_rounds: usize,
+) -> Result<Trace<P::Output>, EngineError> {
+    run_with_policy_faulty(processes, pattern, plan, max_rounds)
+}
+
+/// [`run_protocol_faulty`] under the **standard** (arbitrary-subset)
+/// crash model instead — the composition `Adversary::Network` exposes.
+///
+/// # Errors
+///
+/// As [`run_protocol_faulty`].
+pub fn run_protocol_unordered_faulty<P: SyncProtocol>(
+    processes: Vec<P>,
+    pattern: &UnorderedFailurePattern,
+    plan: &FaultPlan,
+    max_rounds: usize,
+) -> Result<Trace<P::Output>, EngineError> {
+    run_with_policy_faulty(processes, pattern, plan, max_rounds)
+}
+
 pub(crate) fn run_with_policy<P: SyncProtocol, D: DeliveryPolicy>(
     processes: Vec<P>,
     policy: &D,
@@ -243,6 +282,129 @@ pub(crate) fn run_with_policy<P: SyncProtocol, D: DeliveryPolicy>(
         .map(|o| o.expect("checked above"))
         .collect();
     Ok(Trace::new(outcomes, rounds_executed, messages_delivered))
+}
+
+/// The fault-composed round loop. Delivery counting matches the node
+/// mesh's discipline exactly, so faulty simulator traces are
+/// byte-identical to faulty loopback traces:
+///
+/// * a delivery is counted when the sender's broadcast *accepts* it
+///   (every unsettled in-prefix recipient), before any link fault —
+///   the mesh counts sends into a channel;
+/// * drops then subtract and duplicates add at the live recipient's
+///   collect ([`FaultInbox::assemble`]'s adjustment); delays adjust
+///   nothing (counted at the accepting broadcast, delivered later);
+/// * a recipient crashing *this* round never collects — its accepted
+///   deliveries stay counted, exactly like a loopback victim departing
+///   with an undrained channel.
+pub(crate) fn run_with_policy_faulty<P: SyncProtocol, D: DeliveryPolicy>(
+    processes: Vec<P>,
+    policy: &D,
+    plan: &FaultPlan,
+    max_rounds: usize,
+) -> Result<Trace<P::Output>, EngineError> {
+    let n = processes.len();
+    if n != policy.system_size() {
+        return Err(EngineError::SystemSizeMismatch {
+            processes: n,
+            pattern: policy.system_size(),
+        });
+    }
+    if n != plan.n() {
+        return Err(EngineError::SystemSizeMismatch {
+            processes: n,
+            pattern: plan.n(),
+        });
+    }
+
+    let mut procs = processes;
+    let mut outcomes: Vec<Option<Outcome<P::Output>>> = (0..n).map(|_| None).collect();
+    let mut inboxes: Vec<FaultInbox<Rc<P::Msg>>> = (0..n)
+        .map(|i| FaultInbox::new(plan.clone(), ProcessId::new(i)))
+        .collect();
+    let mut delivered: i64 = 0;
+    let mut rounds_executed = 0;
+
+    for round in 1..=max_rounds {
+        let active: Vec<usize> = (0..n).filter(|&i| outcomes[i].is_none()).collect();
+        if active.is_empty() {
+            break;
+        }
+        rounds_executed = round;
+
+        // Send phase.
+        let mut sends: Vec<(usize, Rc<P::Msg>, bool)> = Vec::with_capacity(active.len());
+        for &i in &active {
+            let crashing_now = policy.crash_round(ProcessId::new(i)) == Some(round);
+            let msg = Rc::new(procs[i].message(round));
+            sends.push((i, msg, crashing_now));
+        }
+
+        // Delivery determination + broadcast-accept counting.
+        let mut arrivals: Vec<Vec<(ProcessId, Rc<P::Msg>)>> = (0..n).map(|_| Vec::new()).collect();
+        for &(sender, ref msg, crashing_now) in &sends {
+            for recipient in 0..n {
+                if outcomes[recipient].is_some() {
+                    continue;
+                }
+                if crashing_now
+                    && !policy.delivers_while_crashing(
+                        ProcessId::new(sender),
+                        round,
+                        ProcessId::new(recipient),
+                    )
+                {
+                    continue;
+                }
+                delivered += 1;
+                arrivals[recipient].push((ProcessId::new(sender), Rc::clone(msg)));
+            }
+        }
+
+        // This round's crashes take effect before the receive phase: a
+        // victim departs without collecting its crash-round inbox.
+        for &i in &active {
+            if policy.crash_round(ProcessId::new(i)) == Some(round) {
+                outcomes[i] = Some(Outcome::Crashed { round });
+            }
+        }
+
+        // Receive phase: live recipients assemble through the plan.
+        for &i in &active {
+            if outcomes[i].is_some() {
+                continue;
+            }
+            let (inbox, adjust) = inboxes[i].assemble(round, std::mem::take(&mut arrivals[i]));
+            delivered += adjust;
+            for (from, msg) in inbox {
+                procs[i].receive(round, from, &msg);
+            }
+        }
+
+        // Compute phase.
+        for &i in &active {
+            if outcomes[i].is_some() {
+                continue;
+            }
+            if let Step::Decide(value) = procs[i].compute(round) {
+                outcomes[i] = Some(Outcome::Decided { value, round });
+            }
+        }
+    }
+
+    if outcomes.iter().any(|o| o.is_none()) {
+        return Err(EngineError::RoundLimitExceeded { limit: max_rounds });
+    }
+    let outcomes = outcomes
+        .into_iter()
+        .map(|o| o.expect("checked above"))
+        .collect();
+    debug_assert!(delivered >= 0, "drops only subtract accepted deliveries");
+    Ok(Trace::new(
+        outcomes,
+        rounds_executed,
+        delivered.max(0) as u64,
+    ))
 }
 
 #[cfg(test)]
@@ -481,6 +643,100 @@ mod tests {
             .unwrap();
         let a = run_protocol(flood_system(4, 2), &pattern, 5).unwrap();
         let b = run_protocol(flood_system(4, 2), &pattern, 5).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn benign_plan_is_trace_identical_to_the_plain_path() {
+        use crate::fault::FaultPlan;
+        let mut pattern = FailurePattern::none(5);
+        pattern
+            .crash(ProcessId::new(0), CrashSpec::new(1, 2))
+            .unwrap();
+        pattern
+            .crash(ProcessId::new(4), CrashSpec::new(2, 0))
+            .unwrap();
+        let plain = run_protocol(flood_system(5, 3), &pattern, 10).unwrap();
+        let faulty =
+            run_protocol_faulty(flood_system(5, 3), &pattern, &FaultPlan::none(5), 10).unwrap();
+        assert_eq!(plain, faulty);
+    }
+
+    #[test]
+    fn dropped_links_lose_exactly_their_messages() {
+        use crate::fault::FaultPlan;
+        // Every peer link drops: each process only ever sees its own
+        // input, and the delivered count collapses to self-deliveries.
+        let plan = FaultPlan::new(3, 1).drop_rate(crate::fault::RATE_SCALE);
+        let trace =
+            run_protocol_faulty(flood_system(3, 1), &FailurePattern::none(3), &plan, 5).unwrap();
+        for (i, o) in trace.outcomes().iter().enumerate() {
+            let view = o.decided_value().unwrap();
+            assert_eq!(view.count_bottom(), 2, "p{i} heard only itself");
+        }
+        assert_eq!(trace.messages_delivered(), 3);
+    }
+
+    #[test]
+    fn duplicated_links_double_the_delivered_count() {
+        use crate::fault::FaultPlan;
+        let plan = FaultPlan::new(3, 1).duplicate_rate(crate::fault::RATE_SCALE);
+        let trace =
+            run_protocol_faulty(flood_system(3, 1), &FailurePattern::none(3), &plan, 5).unwrap();
+        // 3 self-deliveries + 6 peer links delivered twice each.
+        assert_eq!(trace.messages_delivered(), 15);
+        for o in trace.outcomes() {
+            assert_eq!(o.decided_value().unwrap().count_bottom(), 0);
+        }
+    }
+
+    #[test]
+    fn delayed_messages_arrive_in_a_later_round() {
+        use crate::fault::FaultPlan;
+        // All peer messages delayed by exactly one round: a two-round
+        // flood still assembles every input (round-1 messages arrive at
+        // round 2), so views are full even though round-1 views are not.
+        let plan = FaultPlan::new(4, 3).delay_rate(crate::fault::RATE_SCALE, 1);
+        let trace =
+            run_protocol_faulty(flood_system(4, 2), &FailurePattern::none(4), &plan, 5).unwrap();
+        for o in trace.outcomes() {
+            assert_eq!(o.decided_value().unwrap().count_bottom(), 0);
+        }
+    }
+
+    #[test]
+    fn faulty_plan_size_mismatch_is_reported() {
+        use crate::fault::FaultPlan;
+        let err = run_protocol_faulty(
+            flood_system(3, 1),
+            &FailurePattern::none(3),
+            &FaultPlan::none(4),
+            5,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::SystemSizeMismatch {
+                processes: 3,
+                pattern: 4
+            }
+        );
+    }
+
+    #[test]
+    fn faulty_replay_is_deterministic() {
+        use crate::fault::FaultPlan;
+        let plan = FaultPlan::new(4, 0xD1CE)
+            .drop_rate(2000)
+            .delay_rate(2000, 2)
+            .duplicate_rate(1000)
+            .reorder_rate(5000);
+        let mut pattern = FailurePattern::none(4);
+        pattern
+            .crash(ProcessId::new(3), CrashSpec::new(2, 1))
+            .unwrap();
+        let a = run_protocol_faulty(flood_system(4, 3), &pattern, &plan, 10).unwrap();
+        let b = run_protocol_faulty(flood_system(4, 3), &pattern, &plan, 10).unwrap();
         assert_eq!(a, b);
     }
 }

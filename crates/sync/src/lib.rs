@@ -46,12 +46,17 @@
 
 pub mod adversary;
 pub mod engine;
+pub mod fault;
 pub mod protocol;
 pub mod trace;
 
 pub use adversary::{
     CrashSpec, FailurePattern, PatternError, SubsetCrash, UnorderedFailurePattern,
 };
-pub use engine::{run_protocol, run_protocol_unordered, EngineError};
+pub use engine::{
+    run_protocol, run_protocol_faulty, run_protocol_unordered, run_protocol_unordered_faulty,
+    EngineError,
+};
+pub use fault::{FaultInbox, FaultPlan, LinkFault, Partition, RATE_SCALE};
 pub use protocol::{Step, SyncProtocol};
 pub use trace::{Outcome, Trace};

@@ -22,10 +22,10 @@ use std::error::Error;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use setagree_core::{Executor, FloodSet, ProtocolKind, Report, Scenario, TransportKind};
+use setagree_core::{Adversary, Executor, FloodSet, ProtocolKind, Report, Scenario, TransportKind};
 use setagree_node::{
-    drive, parse_command, run_testnet, NodeCommand, NodeConfig, RunArgs, TcpTransport, TestnetArgs,
-    TestnetConfig, Typed, U32Codec, USAGE,
+    drive, fault_plan, parse_command, run_testnet, DriveError, NodeCommand, NodeConfig, RunArgs,
+    TcpError, TcpTransport, TestnetArgs, TestnetConfig, Typed, TypedError, U32Codec, USAGE,
 };
 use setagree_sync::{CrashSpec, FailurePattern, Outcome};
 use setagree_types::{InputVector, ProcessId};
@@ -74,8 +74,11 @@ fn run_one_node(args: RunArgs) -> Result<ExitCode, Box<dyn Error>> {
         return Err(format!("--id {} out of range for n = {}", args.id, args.input.len()).into());
     }
     let limit = predicted_rounds(args.t, args.k)?;
-    let config = NodeConfig::new(ProcessId::new(args.id), args.peers)?
+    let mut config = NodeConfig::new(ProcessId::new(args.id), args.peers)?
         .with_round_timeout(Duration::from_millis(args.round_timeout_ms));
+    if let Some(plan) = fault_plan(args.input.len(), args.faults, &args.partitions)? {
+        config = config.with_fault_plan(plan);
+    }
     let tcp = TcpTransport::establish(&config)?;
     let mut transport = Typed::new(tcp, U32Codec);
     let proto = FloodSet::new(args.t, args.k, args.input[args.id]);
@@ -96,6 +99,21 @@ fn run_one_node(args: RunArgs) -> Result<ExitCode, Box<dyn Error>> {
             Ok(ExitCode::SUCCESS)
         }
         Ok(Outcome::Undecided) => Err(format!("no decision within the {limit}-round bound").into()),
+        Err(DriveError::Transport(TypedError::Transport(TcpError::RoundTimeout {
+            round,
+            peers,
+        }))) => {
+            // A liveness anomaly, not a crash: silent-but-connected
+            // peers. Report it machine-readably so the harness can
+            // surface a distinct RoundTimeout instead of NodeFailed.
+            let peers = peers
+                .iter()
+                .map(|p| p.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            println!("TIMEOUT {round} {peers}");
+            Err(format!("node {}: round {round} timed out on {peers}", args.id).into())
+        }
         Err(err) => Err(format!("node {}: {err}", args.id).into()),
     }
 }
@@ -109,6 +127,8 @@ fn run_testnet_system(args: TestnetArgs) -> Result<ExitCode, Box<dyn Error>> {
         pattern.crash(ProcessId::new(id), CrashSpec::new(round, after_sends))?;
     }
 
+    let plan = fault_plan(n, args.faults, &args.partitions)?;
+
     let report = match args.transport {
         TransportKind::Tcp => {
             let config = TestnetConfig {
@@ -119,11 +139,18 @@ fn run_testnet_system(args: TestnetArgs) -> Result<ExitCode, Box<dyn Error>> {
                 pattern,
                 port_base: args.port_base,
                 round_timeout: Duration::from_millis(args.round_timeout_ms),
+                faults: args.faults,
+                partitions: args.partitions.clone(),
             };
             println!(
-                "testnet: {n} node processes on 127.0.0.1:{}…, {} kill(s) scheduled",
+                "testnet: {n} node processes on 127.0.0.1:{}…, {} kill(s) scheduled{}",
                 args.port_base,
-                args.crashes.len()
+                args.crashes.len(),
+                if plan.is_some() {
+                    ", link faults injected"
+                } else {
+                    ""
+                }
             );
             let trace = run_testnet(&config)?;
             Report::from_trace(
@@ -139,12 +166,24 @@ fn run_testnet_system(args: TestnetArgs) -> Result<ExitCode, Box<dyn Error>> {
         }
         TransportKind::Loopback => {
             println!(
-                "testnet: {n} loopback node tasks, {} kill(s) scheduled",
-                args.crashes.len()
+                "testnet: {n} loopback node tasks, {} kill(s) scheduled{}",
+                args.crashes.len(),
+                if plan.is_some() {
+                    ", link faults injected"
+                } else {
+                    ""
+                }
             );
+            let adversary = match plan {
+                Some(plan) => Adversary::Omission {
+                    plan,
+                    crashes: pattern,
+                },
+                None => Adversary::from(pattern),
+            };
             Scenario::flood_set(n, args.t, args.k)
                 .input(args.input)
-                .pattern(pattern)
+                .pattern(adversary)
                 .executor(Executor::Networked {
                     transport: TransportKind::Loopback,
                 })

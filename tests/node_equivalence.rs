@@ -103,13 +103,16 @@ proptest! {
     }
 
     /// Every frame the transport can form survives an encode → decode
-    /// round trip, and decoding reports exactly the encoded length.
+    /// round trip, and decoding reports exactly the encoded length —
+    /// including the self-healing tier's `Resend` and `Relay` kinds.
     #[test]
     fn frames_round_trip(
-        kind in (0u8..3).prop_map(|code| match code {
+        kind in (0u8..5).prop_map(|code| match code {
             0 => FrameKind::Hello,
             1 => FrameKind::Msg,
-            _ => FrameKind::Settled,
+            2 => FrameKind::Settled,
+            3 => FrameKind::Resend,
+            _ => FrameKind::Relay,
         }),
         from in 0usize..64,
         round in 0usize..=(u32::MAX as usize),
@@ -139,6 +142,32 @@ proptest! {
             }
             Err(FrameError::Oversized { len }) => prop_assert!(len > MAX_FRAME_LEN),
             Err(_) => {}
+        }
+    }
+
+    /// A `Relay` frame with an arbitrary (possibly truncated) payload
+    /// never panics the reader: `relay_parts` yields the original sender
+    /// and body only when the payload actually carries the 4-byte sender
+    /// prefix, and a short payload is a clean `None` — the transport
+    /// drops the malformed relay instead of crashing mid-round.
+    #[test]
+    fn truncated_relay_payloads_are_rejected_not_panicked(
+        from in 0usize..64,
+        round in 0usize..1000,
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let frame = Frame {
+            kind: FrameKind::Relay,
+            from: ProcessId::new(from),
+            round,
+            payload,
+        };
+        match frame.relay_parts() {
+            Some((_, body)) => {
+                prop_assert!(frame.payload.len() >= 4);
+                prop_assert_eq!(body.len(), frame.payload.len() - 4);
+            }
+            None => prop_assert!(frame.payload.len() < 4),
         }
     }
 }
