@@ -8,9 +8,10 @@
 
 use setagree_conditions::{legality, witness, LegalityParams};
 
-use setagree_bench::Table;
+use setagree_bench::{MetricsDump, Table};
 
 fn main() {
+    let _metrics = MetricsDump::from_env();
     let (cond, h) = witness::table_1();
     let p11 = LegalityParams::new(1, 1).unwrap();
     let p22 = LegalityParams::new(2, 2).unwrap();

@@ -30,7 +30,7 @@ use setagree_core::{
 use setagree_sync::{CrashSpec, FailurePattern, SubsetCrash, UnorderedFailurePattern};
 use setagree_types::{InputVector, ProcessId, ProcessSet};
 
-use setagree_bench::{in_condition_input, out_of_condition_input, SuiteStore, Table};
+use setagree_bench::{in_condition_input, out_of_condition_input, MetricsDump, SuiteStore, Table};
 
 fn with_cache<O: std::hash::Hash>(
     suite: ScenarioSuite<u32, O>,
@@ -43,6 +43,7 @@ fn with_cache<O: std::hash::Hash>(
 }
 
 fn main() {
+    let _metrics = MetricsDump::from_env();
     let store: Option<SuiteStore<u32>> = SuiteStore::from_env();
     let cache = store.as_ref().map(|s| Arc::clone(s.cache()));
     let mut run_totals = SuiteRunStats::default();

@@ -66,7 +66,7 @@ use setagree_core::{
 use setagree_sync::{CrashSpec, FailurePattern};
 use setagree_types::ProcessId;
 
-use setagree_bench::{take_faults_flag, SuiteStore, Table, Workload};
+use setagree_bench::{take_faults_flag, MetricsDump, SuiteStore, Table, Workload};
 
 /// One shard of a cross-process run: this process claims the cells whose
 /// position in the deterministic sweep order is ≡ `index` (mod `modulus`).
@@ -158,6 +158,7 @@ struct SweepStats {
 }
 
 fn main() {
+    let _metrics = MetricsDump::from_env();
     let n = 8;
     let seeds = 25u64;
     let mut args: Vec<String> = std::env::args().skip(1).collect();

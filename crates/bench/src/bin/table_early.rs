@@ -22,7 +22,7 @@ use setagree_core::{ProtocolKind, ProtocolSpec, ScenarioSuite, SuiteCache, Suite
 use setagree_sync::{CrashSpec, FailurePattern};
 use setagree_types::{InputVector, ProcessId};
 
-use setagree_bench::{SuiteStore, Table};
+use setagree_bench::{MetricsDump, SuiteStore, Table};
 
 fn with_cache(
     suite: ScenarioSuite<u32>,
@@ -35,6 +35,7 @@ fn with_cache(
 }
 
 fn main() {
+    let _metrics = MetricsDump::from_env();
     let n = 12;
     let t = 8;
     let k = 2;

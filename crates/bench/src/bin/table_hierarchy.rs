@@ -17,9 +17,10 @@
 
 use setagree_conditions::{counting, SdtParams};
 
-use setagree_bench::Table;
+use setagree_bench::{MetricsDump, Table};
 
 fn main() {
+    let _metrics = MetricsDump::from_env();
     let t = 4;
     let ell = 2;
     let k = 2;

@@ -8,18 +8,26 @@
 //! inputs × {failure-free, staircase, bound-attaining, random}
 //! adversaries, worst-cased over the whole grid.
 //!
+//! Set `SETAGREE_SUITE_CACHE` and/or `SETAGREE_SUITE_JOURNAL` to
+//! persist cells across invocations (warm reruns serve every cell from
+//! the cache; a killed sweep resumes from the journal's verified
+//! prefix — see [`SuiteStore`]), and `SETAGREE_METRICS=<path|->` to
+//! dump the run's metrics snapshot at exit.
+//!
 //! ```text
 //! cargo run -p setagree-bench --bin table_pairs
 //! ```
+
+use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use setagree_conditions::MaxCondition;
-use setagree_core::{ConditionBasedConfig, ProtocolSpec, ScenarioSuite};
+use setagree_core::{ConditionBasedConfig, ProtocolSpec, ScenarioSuite, SuiteCache, SuiteRunStats};
 use setagree_sync::FailurePattern;
 
-use setagree_bench::{in_condition_input, Table};
+use setagree_bench::{in_condition_input, MetricsDump, SuiteStore, Table};
 use setagree_types::ProcessId;
 
 /// More than t − d initial crashes: every survivor witnesses too many
@@ -31,9 +39,13 @@ fn tmf_forcing(n: usize, t: usize, d: usize) -> FailurePattern {
 }
 
 fn main() {
+    let _metrics = MetricsDump::from_env();
     let n = 14;
     let t = 8;
     let mut rng = SmallRng::seed_from_u64(0x9A12);
+    let store: Option<SuiteStore<u32>> = SuiteStore::from_env();
+    let cache = store.as_ref().map(|s| Arc::clone(s.cache()));
+    let mut run_totals = SuiteRunStats::default();
     let mut table = Table::new(vec!["d", "k", "formula ⌊d/k⌋+1", "measured worst", "ok"]);
     let mut all_ok = true;
 
@@ -47,7 +59,7 @@ fn main() {
             let oracle = MaxCondition::new(config.legality());
             let formula = d / k + 1;
 
-            let outcome = ScenarioSuite::new()
+            let outcome = with_cache(ScenarioSuite::new(), &cache)
                 .spec(ProtocolSpec::condition_based(config, oracle))
                 .inputs((0..8).map(|_| in_condition_input(n, config.legality(), &mut rng)))
                 .pattern(FailurePattern::none(n))
@@ -62,6 +74,9 @@ fn main() {
                         .into()
                 }))
                 .run();
+            run_totals.cases += outcome.len();
+            run_totals.cache_hits += outcome.cache_hits();
+            run_totals.cache_misses += outcome.cache_misses();
             assert!(
                 outcome.all_satisfy_properties(),
                 "properties at d={d}, k={k}"
@@ -91,4 +106,17 @@ fn main() {
         if all_ok { "VERIFIED" } else { "FAILED" }
     );
     assert!(all_ok);
+    if let Some(store) = store {
+        store.finish(run_totals);
+    }
+}
+
+fn with_cache(
+    suite: ScenarioSuite<u32, MaxCondition>,
+    cache: &Option<Arc<SuiteCache<u32>>>,
+) -> ScenarioSuite<u32, MaxCondition> {
+    match cache {
+        Some(cache) => suite.cache(cache),
+        None => suite,
+    }
 }

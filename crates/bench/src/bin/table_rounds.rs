@@ -45,9 +45,10 @@ use setagree_core::{
 use setagree_sync::{CrashSpec, FailurePattern};
 use setagree_types::ProcessId;
 
-use setagree_bench::{take_faults_flag, StreamingTable, SuiteStore, Workload};
+use setagree_bench::{take_faults_flag, MetricsDump, StreamingTable, SuiteStore, Workload};
 
 fn main() {
+    let _metrics = MetricsDump::from_env();
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let faults = match take_faults_flag(&mut args) {
         Ok(faults) => faults,

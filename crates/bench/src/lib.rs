@@ -6,11 +6,13 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod faults;
+pub mod metrics;
 pub mod persist;
 pub mod table;
 pub mod workloads;
 
 pub use faults::take_faults_flag;
+pub use metrics::MetricsDump;
 pub use persist::SuiteStore;
 pub use table::{StreamingTable, Table};
 pub use workloads::{in_condition_input, out_of_condition_input, spread_input, Workload};

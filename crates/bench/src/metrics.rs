@@ -1,0 +1,55 @@
+//! `SETAGREE_METRICS` support for the table binaries: enable the
+//! observability registry at startup, dump the process snapshot at
+//! exit.
+//!
+//! Every `table_*` binary opens its `main` with
+//! [`MetricsDump::from_env`]; when the variable is unset the guard is
+//! inert and the run costs one relaxed atomic load per instrumentation
+//! site. With `SETAGREE_METRICS=<path|->` set, the registry is enabled
+//! for the whole run and the guard's `Drop` writes the rendered
+//! snapshot to the path (stderr for `-`) — including on a panicking
+//! exit, so a `FAILED` sweep still ships its telemetry.
+
+use std::fmt;
+
+/// RAII guard: enables metrics from the environment on construction,
+/// dumps the global registry's snapshot on drop.
+pub struct MetricsDump {
+    target: Option<String>,
+}
+
+impl fmt::Debug for MetricsDump {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MetricsDump")
+            .field("target", &self.target)
+            .finish()
+    }
+}
+
+impl MetricsDump {
+    /// Reads `SETAGREE_METRICS`, enabling the observability registry
+    /// when it names a dump target. Keep the guard alive for the whole
+    /// run: dropping it writes the snapshot.
+    pub fn from_env() -> MetricsDump {
+        MetricsDump {
+            target: setagree_obs::init_from_env(),
+        }
+    }
+
+    /// Whether a dump target is configured (metrics are enabled).
+    pub fn active(&self) -> bool {
+        self.target.is_some()
+    }
+}
+
+impl Drop for MetricsDump {
+    fn drop(&mut self) {
+        let Some(target) = &self.target else {
+            return;
+        };
+        let snapshot = setagree_obs::global().snapshot();
+        if let Err(e) = setagree_obs::dump(target, &snapshot) {
+            eprintln!("metrics: dump to {target} failed: {e}");
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Binary encoding for metrics snapshots ([`SnapshotCodec`]), so a
+//! snapshot can ride inside journals and cache files and a replayed run
+//! carries its own telemetry.
+//!
+//! The encoding follows the crate's discipline: fixed-width
+//! little-endian fields through [`Writer`]/[`Reader`], counts vetted
+//! before any allocation, decode of arbitrary bytes never panics. It
+//! writes the snapshot's canonical entry order verbatim, so
+//! encode→decode→re-encode is byte-identical (pinned by the proptest
+//! battery in `tests/obs_roundtrip.rs`).
+
+use setagree_obs::{HistogramData, MetricValue, Snapshot, SnapshotEntry};
+
+use crate::wire::{DecodeError, Reader, Writer};
+
+/// Kind tags on the wire.
+const TAG_COUNTER: u8 = 0;
+const TAG_GAUGE: u8 = 1;
+const TAG_HISTOGRAM: u8 = 2;
+
+/// The binary codec for [`Snapshot`]s.
+///
+/// A unit struct (like the other codecs in this crate) so call sites
+/// read `SnapshotCodec::encode(…)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SnapshotCodec;
+
+impl SnapshotCodec {
+    /// Encodes a snapshot as a self-contained byte string.
+    pub fn encode(snapshot: &Snapshot) -> Vec<u8> {
+        let mut w = Writer::new();
+        Self::encode_into(&mut w, snapshot);
+        w.into_vec()
+    }
+
+    /// Appends a snapshot's encoding to an in-progress [`Writer`] — the
+    /// embedded form journals and cache records use.
+    pub fn encode_into(w: &mut Writer, snapshot: &Snapshot) {
+        let entries = snapshot.entries();
+        w.usize(entries.len());
+        for entry in entries {
+            w.str(&entry.name);
+            w.usize(entry.labels.len());
+            for (k, v) in &entry.labels {
+                w.str(k);
+                w.str(v);
+            }
+            match &entry.value {
+                MetricValue::Counter(v) => {
+                    w.u8(TAG_COUNTER);
+                    w.u64(*v);
+                }
+                MetricValue::Gauge(v) => {
+                    w.u8(TAG_GAUGE);
+                    w.u64(*v as u64);
+                }
+                MetricValue::Histogram(h) => {
+                    w.u8(TAG_HISTOGRAM);
+                    w.u64(h.count);
+                    w.u64(h.sum);
+                    w.usize(h.buckets.len());
+                    for &(idx, n) in &h.buckets {
+                        w.u8(idx);
+                        w.u64(n);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Decodes a self-contained snapshot, demanding every byte is
+    /// consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] for truncated, oversized, or invalid input —
+    /// arbitrary bytes never panic and never allocate unbounded memory.
+    pub fn decode(bytes: &[u8]) -> Result<Snapshot, DecodeError> {
+        let mut r = Reader::new(bytes);
+        let snapshot = Self::decode_from(&mut r)?;
+        r.finish()?;
+        Ok(snapshot)
+    }
+
+    /// Decodes a snapshot from an in-progress [`Reader`], leaving any
+    /// following fields unread (the embedded form).
+    ///
+    /// # Errors
+    ///
+    /// As [`SnapshotCodec::decode`].
+    pub fn decode_from(r: &mut Reader<'_>) -> Result<Snapshot, DecodeError> {
+        // The smallest entry is an empty-name counter:
+        // 4 (name len) + 8 (label count) + 1 (tag) + 8 (value).
+        let entries = r.count(21)?;
+        let mut snapshot = Snapshot::new();
+        for _ in 0..entries {
+            let name = r.str()?.to_string();
+            // A label is two length-prefixed strings: ≥ 8 bytes.
+            let label_count = r.count(8)?;
+            let mut labels = Vec::with_capacity(label_count);
+            for _ in 0..label_count {
+                let k = r.str()?.to_string();
+                let v = r.str()?.to_string();
+                labels.push((k, v));
+            }
+            let value = match r.u8()? {
+                TAG_COUNTER => MetricValue::Counter(r.u64()?),
+                TAG_GAUGE => MetricValue::Gauge(r.u64()? as i64),
+                TAG_HISTOGRAM => {
+                    let count = r.u64()?;
+                    let sum = r.u64()?;
+                    // A bucket is a u8 index plus a u64 occupancy.
+                    let bucket_count = r.count(9)?;
+                    let mut buckets = Vec::with_capacity(bucket_count);
+                    for _ in 0..bucket_count {
+                        let idx = r.u8()?;
+                        let n = r.u64()?;
+                        buckets.push((idx, n));
+                    }
+                    MetricValue::Histogram(HistogramData {
+                        count,
+                        sum,
+                        buckets,
+                    })
+                }
+                _ => {
+                    return Err(DecodeError::Invalid {
+                        what: "snapshot metric kind tag",
+                    })
+                }
+            };
+            snapshot.add_entry(SnapshotEntry {
+                name,
+                labels,
+                value,
+            });
+        }
+        Ok(snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        let mut s = Snapshot::new();
+        s.add_entry(SnapshotEntry {
+            name: "suite_cache_hits".to_string(),
+            labels: Vec::new(),
+            value: MetricValue::Counter(17),
+        });
+        s.add_entry(SnapshotEntry {
+            name: "pool_idle".to_string(),
+            labels: Vec::new(),
+            value: MetricValue::Gauge(-4),
+        });
+        s.add_entry(SnapshotEntry {
+            name: "tcp_frames_sent".to_string(),
+            labels: vec![("kind".to_string(), "msg".to_string())],
+            value: MetricValue::Counter(99),
+        });
+        s.add_entry(SnapshotEntry {
+            name: "node_round_duration_us".to_string(),
+            labels: Vec::new(),
+            value: MetricValue::Histogram(HistogramData {
+                count: 5,
+                sum: 1234,
+                buckets: vec![(7, 3), (11, 2)],
+            }),
+        });
+        s
+    }
+
+    #[test]
+    fn round_trips_byte_identically() {
+        let snapshot = sample();
+        let bytes = SnapshotCodec::encode(&snapshot);
+        let decoded = SnapshotCodec::decode(&bytes).expect("valid encoding");
+        assert_eq!(decoded, snapshot);
+        assert_eq!(SnapshotCodec::encode(&decoded), bytes);
+    }
+
+    #[test]
+    fn embedded_form_leaves_the_tail() {
+        let snapshot = sample();
+        let mut w = Writer::new();
+        SnapshotCodec::encode_into(&mut w, &snapshot);
+        w.u32(0xFEED);
+        let buf = w.into_vec();
+        let mut r = Reader::new(&buf);
+        let decoded = SnapshotCodec::decode_from(&mut r).expect("valid embedding");
+        assert_eq!(decoded, snapshot);
+        assert_eq!(r.u32().unwrap(), 0xFEED);
+        assert!(r.finish().is_ok());
+    }
+
+    #[test]
+    fn truncation_and_junk_are_errors_not_panics() {
+        let bytes = SnapshotCodec::encode(&sample());
+        for cut in 0..bytes.len() {
+            assert!(SnapshotCodec::decode(&bytes[..cut]).is_err());
+        }
+        assert!(SnapshotCodec::decode(&[0xFF; 40]).is_err());
+    }
+
+    #[test]
+    fn hostile_counts_are_rejected_before_allocating() {
+        let mut w = Writer::new();
+        w.u64(u64::MAX); // entry count
+        let err = SnapshotCodec::decode(&w.into_vec()).unwrap_err();
+        assert!(matches!(err, DecodeError::Oversized { .. }));
+    }
+}

@@ -563,6 +563,9 @@ impl<V: CacheableValue> SuiteCache<V> {
         file.set_len(keep_len as u64)?;
         file.seek(io::SeekFrom::End(0))?;
         self.attach(JournalWriter::resume(file, head, recovered));
+        if setagree_obs::enabled() && recovered > 0 {
+            setagree_obs::counter("suite_journal_resumed", &[]).add(recovered as u64);
+        }
         Ok(JournalReplayStats { recovered, tail })
     }
 

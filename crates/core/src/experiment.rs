@@ -382,6 +382,17 @@ impl Executor {
             } => "networked-tcp",
         }
     }
+
+    /// [`label`](Executor::label) plus a compact ` [faults …]` suffix
+    /// when an injected link-fault plan shaped the run, so logs and
+    /// metrics snapshots are attributable to the adversary that
+    /// produced them (see [`FaultPlan::summary`]).
+    pub fn label_with_faults(&self, plan: Option<&FaultPlan>) -> String {
+        match plan {
+            Some(plan) => format!("{} [{}]", self.label(), plan.summary()),
+            None => self.label().to_string(),
+        }
+    }
 }
 
 impl fmt::Display for Executor {
@@ -1361,7 +1372,7 @@ fn run_sim<P: SyncProtocol>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use setagree_sync::CrashSpec;
+    use setagree_sync::{CrashSpec, Partition};
     use setagree_types::ProcessSet;
 
     fn config(n: usize, t: usize, k: usize, d: usize, ell: usize) -> ConditionBasedConfig {
@@ -1370,6 +1381,26 @@ mod tests {
             .ell(ell)
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn executor_labels_carry_the_fault_plan_summary() {
+        let executor = Executor::Networked {
+            transport: TransportKind::Tcp,
+        };
+        assert_eq!(executor.label_with_faults(None), "networked-tcp");
+        let mut side = ProcessSet::empty(5);
+        side.insert(ProcessId::new(0));
+        side.insert(ProcessId::new(1));
+        let plan = FaultPlan::uniform_drop(5, 0xCAFE, 1500).partition(Partition::new(side, 1, 1));
+        assert_eq!(
+            executor.label_with_faults(Some(&plan)),
+            format!("networked-tcp [{}]", plan.summary()),
+        );
+        assert_eq!(
+            executor.label_with_faults(Some(&plan)),
+            "networked-tcp [faults 51966:1500 partitions:1]",
+        );
     }
 
     #[test]

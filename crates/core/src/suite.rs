@@ -76,8 +76,9 @@ use std::hash::Hash;
 use std::num::NonZeroUsize;
 use std::panic;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
 use std::thread;
+use std::time::Instant;
 
 use setagree_conditions::{ConditionOracle, MaxCondition};
 use setagree_types::{InputVector, ProposalValue};
@@ -544,10 +545,33 @@ where
 }
 
 /// Per-run cache counters, shared between the workers and the consumer.
+///
+/// These stay per-run (table binaries and tests assert exact per-run
+/// hit/miss numbers); when `setagree_obs` instrumentation is enabled
+/// every increment is *also* mirrored into the process-cumulative
+/// registry counters (`suite_cache_hits` / `suite_cache_misses`).
 #[derive(Debug, Default)]
 struct RunCounters {
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+/// The suite engine's registry handles, created once on first use.
+struct SuiteMetrics {
+    cell_latency_us: Arc<setagree_obs::Histogram>,
+    queue_wait_us: Arc<setagree_obs::Histogram>,
+    cache_hits: Arc<setagree_obs::Counter>,
+    cache_misses: Arc<setagree_obs::Counter>,
+}
+
+fn suite_metrics() -> &'static SuiteMetrics {
+    static METRICS: OnceLock<SuiteMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| SuiteMetrics {
+        cell_latency_us: setagree_obs::histogram("suite_cell_latency_us", &[]),
+        queue_wait_us: setagree_obs::histogram("suite_queue_wait_us", &[]),
+        cache_hits: setagree_obs::counter("suite_cache_hits", &[]),
+        cache_misses: setagree_obs::counter("suite_cache_misses", &[]),
+    })
 }
 
 /// Gates how far workers may run ahead of the consumer's emission
@@ -573,8 +597,17 @@ impl ClaimWindow {
     /// `case < frontier + window`, so its holder is never blocked here.
     fn admit(&self, case: usize, window: usize) -> bool {
         let mut state = self.frontier.lock().expect("window lock poisoned");
-        while !state.1 && case >= state.0 + window {
-            state = self.advanced.wait(state).expect("window lock poisoned");
+        if !state.1 && case >= state.0 + window {
+            // The worker is about to block at the window's edge — that
+            // wait is the suite's queue-wait metric.
+            let blocked_at = setagree_obs::enabled().then(Instant::now);
+            while !state.1 && case >= state.0 + window {
+                state = self.advanced.wait(state).expect("window lock poisoned");
+            }
+            if let Some(at) = blocked_at {
+                let us = u64::try_from(at.elapsed().as_micros()).unwrap_or(u64::MAX);
+                suite_metrics().queue_wait_us.record(us);
+            }
         }
         !state.1
     }
@@ -683,9 +716,15 @@ where
         if let (Some(plan), Some(key)) = (&self.cache, key) {
             if let Some(result) = plan.cache.lookup(&key) {
                 self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                if setagree_obs::enabled() {
+                    suite_metrics().cache_hits.inc();
+                }
                 return positioned(result);
             }
             self.counters.misses.fetch_add(1, Ordering::Relaxed);
+            if setagree_obs::enabled() {
+                suite_metrics().cache_misses.inc();
+            }
         }
 
         let mut scenario = Scenario::from_shared(Arc::clone(&self.specs[coords.spec]))
@@ -703,6 +742,9 @@ where
         // A panicking protocol/oracle must cost its own cell, not the
         // whole grid — mirroring how the threaded executor already
         // degrades (per-case ProcessPanicked).
+        let _cell_span = setagree_obs::Span::start("suite", "cell")
+            .with_histogram(Arc::clone(&suite_metrics().cell_latency_us))
+            .with_detail(case as u64);
         let result = panic::catch_unwind(panic::AssertUnwindSafe(|| scenario.run()))
             .unwrap_or_else(|payload| {
                 let message = payload

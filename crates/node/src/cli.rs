@@ -22,21 +22,28 @@ setagree-node — networked condition-based k-set agreement nodes
 USAGE:
     setagree-node run --id <I> --peers <A,B,…> --input <V,V,…> \
 [--t <T>] [--k <K>] [--crash <ROUND>:<AFTER_SENDS>] [--round-timeout-ms <MS>] \
-[--faults <SEED>:<DROP_RATE>] [--partition <ID,ID,…>:<FROM>:<TO> …]
+[--faults <SEED>:<DROP_RATE>] [--partition <ID,ID,…>:<FROM>:<TO> …] \
+[--metrics <PATH|->]
         One TCP node: joins the mesh, runs FloodSet over its proposal,
         prints `OUTCOME`/`RECEIVED` lines. With --crash, aborts itself
         at the scheduled point (the kill-based adversary). --faults and
         --partition install the seeded link-fault plan (identical flags
-        on every node yield the identical plan).
+        on every node yield the identical plan). --metrics enables the
+        observability registry: machine-readable `METRIC` lines go to
+        stdout (for the testnet harness) and a rendered snapshot to
+        PATH, or stderr for `-`.
 
     setagree-node testnet --input <V,V,…> [--t <T>] [--k <K>] \
 [--crash <ID>:<ROUND>:<AFTER_SENDS> …] [--port-base <P>] \
 [--transport tcp|loopback] [--round-timeout-ms <MS>] \
-[--faults <SEED>:<DROP_RATE>] [--partition <ID,ID,…>:<FROM>:<TO> …]
+[--faults <SEED>:<DROP_RATE>] [--partition <ID,ID,…>:<FROM>:<TO> …] \
+[--metrics <PATH|->]
         Spawns one node per proposal (TCP: real processes on localhost;
         loopback: in-process tasks), kills the scheduled victims, and
         prints the collected Report. Fault flags are forwarded to every
-        node; DROP_RATE is parts per 10,000 per link per round.";
+        node; DROP_RATE is parts per 10,000 per link per round.
+        --metrics aggregates every node's snapshot into one system-wide
+        report written to PATH (stderr for `-`).";
 
 /// What the binary was asked to do.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,6 +75,9 @@ pub struct RunArgs {
     pub faults: Option<(u64, u32)>,
     /// Scheduled partitions: `(members, from_round, to_round)`.
     pub partitions: Vec<(Vec<usize>, usize, usize)>,
+    /// Metrics dump target (`-` for stderr); `None` leaves the
+    /// observability layer disabled.
+    pub metrics: Option<String>,
 }
 
 /// Arguments of the `testnet` subcommand.
@@ -91,6 +101,9 @@ pub struct TestnetArgs {
     pub faults: Option<(u64, u32)>,
     /// Scheduled partitions: `(members, from_round, to_round)`.
     pub partitions: Vec<(Vec<usize>, usize, usize)>,
+    /// Metrics dump target (`-` for stderr); `None` leaves the
+    /// observability layer disabled.
+    pub metrics: Option<String>,
 }
 
 /// Builds the [`FaultPlan`] the fault flags describe, or `None` when no
@@ -298,6 +311,7 @@ pub fn parse_command(args: impl IntoIterator<Item = String>) -> Result<NodeComma
                 "--round-timeout-ms",
                 "--faults",
                 "--partition",
+                "--metrics",
             ])?;
             let peers_text = required("--peers")?;
             let peers = parse_peers(&peers_text).map_err(|_| CliError::InvalidValue {
@@ -337,6 +351,7 @@ pub fn parse_command(args: impl IntoIterator<Item = String>) -> Result<NodeComma
                     .iter()
                     .map(|v| parse_partition(v))
                     .collect::<Result<_, _>>()?,
+                metrics: single("--metrics")?,
             }))
         }
         "testnet" => {
@@ -350,6 +365,7 @@ pub fn parse_command(args: impl IntoIterator<Item = String>) -> Result<NodeComma
                 "--round-timeout-ms",
                 "--faults",
                 "--partition",
+                "--metrics",
             ])?;
             let input = parse_u32_list("--input", &required("--input")?)?;
             let crashes = take("--crash")
@@ -397,6 +413,7 @@ pub fn parse_command(args: impl IntoIterator<Item = String>) -> Result<NodeComma
                     .iter()
                     .map(|v| parse_partition(v))
                     .collect::<Result<_, _>>()?,
+                metrics: single("--metrics")?,
             }))
         }
         other => Err(CliError::UnknownCommand {
@@ -446,8 +463,18 @@ mod tests {
                 round_timeout_ms: 500,
                 faults: None,
                 partitions: vec![],
+                metrics: None,
             })
         );
+    }
+
+    #[test]
+    fn metrics_flag_takes_a_dump_target() {
+        let cmd = parse_command(strings(&["testnet", "--input", "1,2", "--metrics", "-"])).unwrap();
+        let NodeCommand::Testnet(args) = cmd else {
+            panic!("expected testnet");
+        };
+        assert_eq!(args.metrics.as_deref(), Some("-"));
     }
 
     #[test]

@@ -76,7 +76,7 @@ pub use node::{drive, run_loopback, DriveError, NodeError};
 pub use setagree_codec::frame;
 pub use setagree_codec::{Frame, FrameError, FrameKind, MAX_FRAME_LEN};
 pub use tcp::{TcpError, TcpTransport};
-pub use testnet::{run_testnet, TestnetConfig, TestnetError};
+pub use testnet::{run_testnet, run_testnet_observed, TestnetConfig, TestnetError};
 pub use transport::{
     DenseViewCodec, MsgCodec, Transport, TransportKind, Typed, TypedError, U32Codec,
     UnknownTransport,

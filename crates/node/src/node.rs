@@ -68,9 +68,18 @@ where
 {
     let n = transport.n();
     let mut outcome: Option<Outcome<P::Output>> = None;
+    // One registry lookup per drive, one relaxed load per round when
+    // instrumentation is off.
+    let round_hist =
+        setagree_obs::enabled().then(|| setagree_obs::histogram("node_round_duration_us", &[]));
     for round in 1..=max_rounds {
         let active = outcome.is_none();
         let mut panicked = false;
+        let _round_span = round_hist.as_ref().map(|h| {
+            setagree_obs::Span::start("node", "round")
+                .with_histogram(std::sync::Arc::clone(h))
+                .with_detail(round as u64)
+        });
 
         // Send phase: broadcast in the predetermined p_1 … p_n order,
         // truncated to the crash prefix if this is the crash round.

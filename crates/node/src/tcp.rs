@@ -57,10 +57,11 @@ use std::error::Error;
 use std::fmt;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc, OnceLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use setagree_obs::Counter;
 use setagree_sync::{FaultPlan, LinkFault};
 use setagree_types::ProcessId;
 
@@ -75,6 +76,76 @@ const RELAY_KEEP: usize = 4;
 /// reconnect windows and the round deadline are re-checked while
 /// blocked on the event channel.
 const COLLECT_TICK: Duration = Duration::from_millis(25);
+
+/// Every frame kind, in tag order — drives the per-kind counter arrays.
+const FRAME_KINDS: [FrameKind; 5] = [
+    FrameKind::Hello,
+    FrameKind::Msg,
+    FrameKind::Settled,
+    FrameKind::Resend,
+    FrameKind::Relay,
+];
+
+/// The `kind` label value for a frame-kind counter.
+fn kind_label(kind: FrameKind) -> &'static str {
+    match kind {
+        FrameKind::Hello => "hello",
+        FrameKind::Msg => "msg",
+        FrameKind::Settled => "settled",
+        FrameKind::Resend => "resend",
+        FrameKind::Relay => "relay",
+    }
+}
+
+/// Index of `kind` into a [`FRAME_KINDS`]-ordered counter array.
+fn kind_index(kind: FrameKind) -> usize {
+    match kind {
+        FrameKind::Hello => 0,
+        FrameKind::Msg => 1,
+        FrameKind::Settled => 2,
+        FrameKind::Resend => 3,
+        FrameKind::Relay => 4,
+    }
+}
+
+/// Registry handles for the transport counters, resolved once per
+/// process so the per-frame cost is one relaxed load plus one atomic
+/// add. `tcp_frames_sent`/`tcp_frames_received` are labeled by frame
+/// kind; the recovery counters (`tcp_frames_resent`,
+/// `tcp_relays_served`, `tcp_redial_*`, `tcp_peers_confirmed_down`,
+/// `tcp_round_timeouts`) expose how hard the self-healing machinery is
+/// working.
+struct TcpMetrics {
+    frames_sent: [Arc<Counter>; 5],
+    frames_received: [Arc<Counter>; 5],
+    frames_resent: Arc<Counter>,
+    relays_served: Arc<Counter>,
+    redial_attempts: Arc<Counter>,
+    redials_ok: Arc<Counter>,
+    redials_failed: Arc<Counter>,
+    peers_confirmed_down: Arc<Counter>,
+    round_timeouts: Arc<Counter>,
+}
+
+fn tcp_metrics() -> &'static TcpMetrics {
+    static METRICS: OnceLock<TcpMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let per_kind = |name: &'static str| {
+            FRAME_KINDS.map(|kind| setagree_obs::counter(name, &[("kind", kind_label(kind))]))
+        };
+        TcpMetrics {
+            frames_sent: per_kind("tcp_frames_sent"),
+            frames_received: per_kind("tcp_frames_received"),
+            frames_resent: setagree_obs::counter("tcp_frames_resent", &[]),
+            relays_served: setagree_obs::counter("tcp_relays_served", &[]),
+            redial_attempts: setagree_obs::counter("tcp_redial_attempts", &[]),
+            redials_ok: setagree_obs::counter("tcp_redials_ok", &[]),
+            redials_failed: setagree_obs::counter("tcp_redials_failed", &[]),
+            peers_confirmed_down: setagree_obs::counter("tcp_peers_confirmed_down", &[]),
+            round_timeouts: setagree_obs::counter("tcp_round_timeouts", &[]),
+        }
+    })
+}
 
 /// A TCP transport failure.
 #[derive(Debug)]
@@ -367,6 +438,9 @@ impl TcpTransport {
     /// Confirms a peer dead: its stream is gone and its reconnect budget
     /// is spent. The old instant-death path, now the last resort.
     fn mark_down(&mut self, peer: usize) {
+        if !self.peers[peer].down && setagree_obs::enabled() {
+            tcp_metrics().peers_confirmed_down.inc();
+        }
         self.peers[peer].down = true;
         self.peers[peer].suspect = false;
         if let Some(w) = self.writers[peer].take() {
@@ -448,20 +522,27 @@ impl TcpTransport {
     /// Writes one frame to `peer`, converting a write failure into a
     /// closed-stream observation.
     fn write_frame(&mut self, peer: usize, frame: &Frame) {
-        let gone = match &mut self.writers[peer] {
-            Some(w) => frame.write_to(w).is_err(),
-            None => false,
-        };
-        if gone {
-            self.note_closed(peer);
+        let wrote = self.writers[peer]
+            .as_mut()
+            .map(|w| frame.write_to(w).is_ok());
+        match wrote {
+            Some(true) if setagree_obs::enabled() => {
+                tcp_metrics().frames_sent[kind_index(frame.kind)].inc();
+            }
+            Some(false) => self.note_closed(peer),
+            _ => {}
         }
     }
 
     /// Asks every reachable peer to relay what it has seen of `round`.
     fn send_resends(&mut self, round: usize) {
+        let obs_on = setagree_obs::enabled();
         for peer in 0..self.n {
             if peer == self.me.index() || self.writers[peer].is_none() {
                 continue;
+            }
+            if obs_on {
+                tcp_metrics().frames_resent.inc();
             }
             self.write_frame(peer, &Frame::resend(self.me, round));
         }
@@ -482,6 +563,9 @@ impl TcpTransport {
                     relays.push(Frame::relay(self.me, ProcessId::new(orig), round, payload));
                 }
             }
+        }
+        if setagree_obs::enabled() {
+            tcp_metrics().relays_served.add(relays.len() as u64);
         }
         for frame in relays {
             self.write_frame(peer, &frame);
@@ -512,11 +596,26 @@ impl TcpTransport {
         round: usize,
         got: &mut BTreeMap<usize, Vec<u8>>,
     ) {
+        let obs_on = setagree_obs::enabled();
+        if obs_on {
+            tcp_metrics().frames_received[kind_index(frame.kind)].inc();
+        }
         match frame.kind {
             FrameKind::Msg if frame.round >= round => {
                 match self.filter(frame.round, peer) {
-                    LinkFault::Drop => return,
+                    LinkFault::Drop => {
+                        // Same counter names the simulator's fault inbox
+                        // uses, so a fault plan's footprint aggregates
+                        // across tiers.
+                        if obs_on {
+                            setagree_obs::counter("fault_messages_dropped", &[]).inc();
+                        }
+                        return;
+                    }
                     LinkFault::Delay(by) => {
+                        if obs_on {
+                            setagree_obs::counter("fault_messages_delayed", &[]).inc();
+                        }
                         self.delayed
                             .entry(frame.round + by)
                             .or_default()
@@ -632,17 +731,27 @@ fn spawn_redial(
     tx: mpsc::Sender<(usize, PeerEvent)>,
 ) {
     thread::spawn(move || {
+        let obs_on = setagree_obs::enabled();
         let mut delay = base_delay;
         for _ in 0..attempts.max(1) {
+            if obs_on {
+                tcp_metrics().redial_attempts.inc();
+            }
             if let Ok(mut stream) = TcpStream::connect(addr) {
                 let _ = stream.set_nodelay(true);
                 if Frame::hello(me).write_to(&mut stream).is_ok() {
+                    if obs_on {
+                        tcp_metrics().redials_ok.inc();
+                    }
                     let _ = tx.send((peer, PeerEvent::Reconnected(stream)));
                     return;
                 }
             }
             thread::sleep(delay);
             delay = delay.saturating_mul(2);
+        }
+        if obs_on {
+            tcp_metrics().redials_failed.inc();
         }
         let _ = tx.send((peer, PeerEvent::GaveUp));
     });
@@ -749,6 +858,9 @@ impl Transport for TcpTransport {
                 }
                 if silent.is_empty() {
                     break;
+                }
+                if setagree_obs::enabled() {
+                    tcp_metrics().round_timeouts.inc();
                 }
                 return Err(TcpError::RoundTimeout {
                     round,
@@ -956,7 +1068,13 @@ mod tests {
             thread::spawn(move || {
                 let config = NodeConfig::new(ProcessId::new(i), peers)
                     .expect("valid config")
-                    .with_round_timeout(Duration::from_secs(5));
+                    .with_round_timeout(Duration::from_secs(5))
+                    // The default 3×3 redial budget and 500 ms window are
+                    // marginal when the whole suite's meshes run in
+                    // parallel; the property under test is that the link
+                    // heals, not that it heals on a shoestring.
+                    .with_reconnect(5, Duration::from_millis(25))
+                    .with_reconnect_window(Duration::from_secs(5));
                 let mut tcp = TcpTransport::establish(&config).expect("mesh forms");
                 let mut counts = Vec::new();
                 for round in 1..=3 {

@@ -27,6 +27,12 @@
 //! a third line form instead — `TIMEOUT <round> <peers>` — which the
 //! harness surfaces as [`TestnetError::RoundTimeout`] rather than
 //! fabricating a crash nobody injected.
+//!
+//! With [`TestnetConfig::metrics`] set, every child runs with its
+//! observability registry enabled and additionally prints `METRIC`
+//! machine lines (see `setagree_obs::Snapshot::to_lines`); the harness
+//! folds them into one system-wide [`Snapshot`] — snapshots merge
+//! commutatively, so the fold order does not matter.
 
 use std::error::Error;
 use std::fmt;
@@ -35,6 +41,7 @@ use std::path::PathBuf;
 use std::process::{Command, Stdio};
 use std::time::Duration;
 
+use setagree_obs::Snapshot;
 use setagree_sync::{FailurePattern, Outcome, Trace};
 use setagree_types::ProcessId;
 
@@ -63,6 +70,9 @@ pub struct TestnetConfig {
     /// Scheduled partitions forwarded to every node as `--partition`:
     /// `(members, from_round, to_round)`.
     pub partitions: Vec<(Vec<usize>, usize, usize)>,
+    /// Run every child with metrics enabled (`--metrics -`) and fold
+    /// the per-child `METRIC` lines into one aggregated [`Snapshot`].
+    pub metrics: bool,
 }
 
 impl TestnetConfig {
@@ -142,6 +152,19 @@ impl Error for TestnetError {}
 /// *without* a scheduled kill. Scheduled kills are not errors — they are
 /// the adversary.
 pub fn run_testnet(config: &TestnetConfig) -> Result<Trace<u32>, TestnetError> {
+    run_testnet_observed(config).map(|(trace, _)| trace)
+}
+
+/// [`run_testnet`], also returning the system-wide metrics [`Snapshot`]
+/// folded from every child's `METRIC` lines (empty unless
+/// [`TestnetConfig::metrics`] is set).
+///
+/// # Errors
+///
+/// As [`run_testnet`].
+pub fn run_testnet_observed(
+    config: &TestnetConfig,
+) -> Result<(Trace<u32>, Snapshot), TestnetError> {
     let n = config.n();
     if n != config.pattern.system_size() {
         return Err(TestnetError::SystemSizeMismatch {
@@ -190,6 +213,9 @@ pub fn run_testnet(config: &TestnetConfig) -> Result<Trace<u32>, TestnetError> {
                 .join(",");
             cmd.args(["--partition", &format!("{ids}:{from_round}:{to_round}")]);
         }
+        if config.metrics {
+            cmd.args(["--metrics", "-"]);
+        }
         children.push(
             cmd.spawn()
                 .map_err(|source| TestnetError::Io { id, source })?,
@@ -198,6 +224,7 @@ pub fn run_testnet(config: &TestnetConfig) -> Result<Trace<u32>, TestnetError> {
 
     let mut outcomes = Vec::with_capacity(n);
     let mut delivered = 0u64;
+    let mut metrics = Snapshot::new();
     for (id, child) in children.into_iter().enumerate() {
         let output = child
             .wait_with_output()
@@ -227,6 +254,11 @@ pub fn run_testnet(config: &TestnetConfig) -> Result<Trace<u32>, TestnetError> {
                         peers: (*peers).to_string(),
                     });
                 }
+                ["METRIC", ..] => {
+                    if let Some(entry) = Snapshot::parse_line(line) {
+                        metrics.add_entry(entry);
+                    }
+                }
                 _ => {}
             }
         }
@@ -249,5 +281,8 @@ pub fn run_testnet(config: &TestnetConfig) -> Result<Trace<u32>, TestnetError> {
         })
         .max()
         .unwrap_or(0);
-    Ok(Trace::from_parts(outcomes, rounds_executed, delivered))
+    Ok((
+        Trace::from_parts(outcomes, rounds_executed, delivered),
+        metrics,
+    ))
 }

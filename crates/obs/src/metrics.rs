@@ -1,0 +1,214 @@
+//! The atomic metric primitives: [`Counter`], [`Gauge`], [`Histogram`].
+//!
+//! All three are lock-free after creation: a handle is an `Arc` around
+//! plain atomics, so recording from the hot path is one or two relaxed
+//! atomic RMWs and never takes a lock. Snapshots read with relaxed
+//! ordering too — the numbers are monotone aggregates, not
+//! synchronization points.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+use crate::snapshot::HistogramData;
+
+/// Number of histogram buckets: one per power-of-two magnitude of a
+/// `u64` observation (bucket 0 holds zeros).
+pub const BUCKETS: usize = 64;
+
+/// The bucket a value lands in: 0 for 0, otherwise
+/// `floor(log2(value)) + 1`, saturated into the last bucket.
+///
+/// Monotone in `value`, so bucket order is value order — the property
+/// the proptest battery pins.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    ((64 - value.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// The largest value bucket `index` can hold (`u64::MAX` for the last
+/// bucket) — the `le` bound the Prometheus-style rendering prints.
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous level (queue depth, pooled workers, …).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub const fn new() -> Gauge {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Overwrites the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Moves the level by `delta` (negative to decrease).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-log-bucket distribution of `u64` observations.
+///
+/// [`BUCKETS`] power-of-two buckets plus a running sum and count; one
+/// relaxed RMW per field to record. No floats, no locks, no allocation.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub const fn new() -> Histogram {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The canonical snapshot form: non-zero buckets only, in index
+    /// order.
+    pub fn data(&self) -> HistogramData {
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n != 0).then_some((i as u8, n))
+            })
+            .collect();
+        HistogramData {
+            count: self.count(),
+            sum: self.sum(),
+            buckets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_is_monotone_and_covers_the_range() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        let mut prev = 0;
+        for shift in 0..64 {
+            let idx = bucket_index(1u64 << shift);
+            assert!(idx >= prev);
+            prev = idx;
+        }
+    }
+
+    #[test]
+    fn bounds_bracket_their_buckets() {
+        for v in [0u64, 1, 2, 3, 7, 8, 1000, u64::MAX / 2, u64::MAX] {
+            let idx = bucket_index(v);
+            assert!(v <= bucket_upper_bound(idx));
+            if idx > 0 {
+                assert!(v > bucket_upper_bound(idx - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_accumulates() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(5);
+        h.record(5);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 10);
+        let data = h.data();
+        assert_eq!(data.buckets, vec![(0, 1), (bucket_index(5) as u8, 2)]);
+    }
+
+    #[test]
+    fn counter_and_gauge_move() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+    }
+}

@@ -1,0 +1,177 @@
+//! The metrics [`Registry`]: named + labeled handles over the atomic
+//! primitives, and the process-wide [`global`] instance.
+//!
+//! Creation takes a short-held lock (a `BTreeMap` keyed by
+//! `(name, labels, kind)`); recording through a handle never does —
+//! handles are `Arc`s around atomics. Instrumented modules fetch their
+//! handles once (typically into a `OnceLock`'d struct) and record
+//! lock-free from then on.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use crate::snapshot::{MetricKind, MetricValue, Snapshot, SnapshotEntry};
+
+type Key = (String, Vec<(String, String)>, MetricKind);
+
+enum Handle {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A set of named, labeled metrics that freezes into a [`Snapshot`].
+///
+/// ```
+/// use setagree_obs::Registry;
+///
+/// let registry = Registry::new();
+/// let sent = registry.counter("tcp_frames_sent", &[("kind", "msg")]);
+/// sent.add(3);
+/// // The same (name, labels) pair always yields the same handle:
+/// registry.counter("tcp_frames_sent", &[("kind", "msg")]).inc();
+/// assert_eq!(sent.get(), 4);
+/// assert!(registry.snapshot().render().contains("tcp_frames_sent{kind=\"msg\"} 4"));
+/// ```
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<BTreeMap<Key, Handle>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn key(name: &str, labels: &[(&str, &str)], kind: MetricKind) -> Key {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        (name.to_string(), labels, kind)
+    }
+
+    /// The counter registered under `(name, labels)`, created at zero
+    /// on first use.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let key = Self::key(name, labels, MetricKind::Counter);
+        let mut map = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        match map
+            .entry(key)
+            .or_insert_with(|| Handle::Counter(Arc::new(Counter::new())))
+        {
+            Handle::Counter(c) => Arc::clone(c),
+            // The kind is part of the key, so the arms always agree.
+            _ => unreachable!("kind mismatch despite keyed lookup"),
+        }
+    }
+
+    /// The gauge registered under `(name, labels)`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let key = Self::key(name, labels, MetricKind::Gauge);
+        let mut map = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        match map
+            .entry(key)
+            .or_insert_with(|| Handle::Gauge(Arc::new(Gauge::new())))
+        {
+            Handle::Gauge(g) => Arc::clone(g),
+            _ => unreachable!("kind mismatch despite keyed lookup"),
+        }
+    }
+
+    /// The histogram registered under `(name, labels)`.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let key = Self::key(name, labels, MetricKind::Histogram);
+        let mut map = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        match map
+            .entry(key)
+            .or_insert_with(|| Handle::Histogram(Arc::new(Histogram::new())))
+        {
+            Handle::Histogram(h) => Arc::clone(h),
+            _ => unreachable!("kind mismatch despite keyed lookup"),
+        }
+    }
+
+    /// Freezes every registered metric into a canonical [`Snapshot`].
+    /// Empty histograms are skipped (they render nothing useful and
+    /// would bloat child snapshot lines).
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut snapshot = Snapshot::new();
+        for ((name, labels, _), handle) in map.iter() {
+            let value = match handle {
+                Handle::Counter(c) => MetricValue::Counter(c.get()),
+                Handle::Gauge(g) => MetricValue::Gauge(g.get()),
+                Handle::Histogram(h) => {
+                    let data = h.data();
+                    if data.count == 0 {
+                        continue;
+                    }
+                    MetricValue::Histogram(data)
+                }
+            };
+            snapshot.add_entry(SnapshotEntry {
+                name: name.clone(),
+                labels: labels.clone(),
+                value,
+            });
+        }
+        snapshot
+    }
+}
+
+/// The process-wide registry all the convenience functions use.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// [`Registry::counter`] on the [`global`] registry.
+pub fn counter(name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+    global().counter(name, labels)
+}
+
+/// [`Registry::gauge`] on the [`global`] registry.
+pub fn gauge(name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+    global().gauge(name, labels)
+}
+
+/// [`Registry::histogram`] on the [`global`] registry.
+pub fn histogram(name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+    global().histogram(name, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_per_key() {
+        let r = Registry::new();
+        r.counter("hits", &[]).add(2);
+        r.counter("hits", &[]).add(3);
+        assert_eq!(r.counter("hits", &[]).get(), 5);
+        r.counter("hits", &[("shard", "0")]).inc();
+        assert_eq!(r.counter("hits", &[("shard", "0")]).get(), 1);
+    }
+
+    #[test]
+    fn label_order_does_not_split_handles() {
+        let r = Registry::new();
+        r.counter("x", &[("a", "1"), ("b", "2")]).inc();
+        r.counter("x", &[("b", "2"), ("a", "1")]).inc();
+        assert_eq!(r.counter("x", &[("a", "1"), ("b", "2")]).get(), 2);
+    }
+
+    #[test]
+    fn empty_histograms_are_skipped() {
+        let r = Registry::new();
+        let _ = r.histogram("quiet", &[]);
+        assert!(r.snapshot().is_empty());
+        r.histogram("quiet", &[]).record(1);
+        assert_eq!(r.snapshot().entries().len(), 1);
+    }
+}

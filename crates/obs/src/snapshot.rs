@@ -1,0 +1,448 @@
+//! Point-in-time metric snapshots: canonical, mergeable, renderable.
+//!
+//! A [`Snapshot`] is the registry frozen into plain data — sorted
+//! entries of `(name, labels, kind)` → value. Snapshots **merge**
+//! (counters and gauges add, histograms add bucket-wise), which is how
+//! the testnet harness folds per-child reports into one aggregate, and
+//! they render two ways:
+//!
+//! * [`Snapshot::render`] — Prometheus-style exposition text for
+//!   humans, files, and CI greps;
+//! * [`Snapshot::to_lines`] / [`Snapshot::parse_line`] — a one-entry-
+//!   per-line machine form (`METRIC <kind> <name> <labels> <value…>`)
+//!   that child processes print on stdout and a harness folds back.
+//!
+//! The binary form lives in `setagree-codec` (`SnapshotCodec`), built
+//! on the same canonical ordering so encode→decode→re-encode is
+//! byte-identical.
+
+use crate::metrics::bucket_upper_bound;
+
+/// The three metric shapes. The kind participates in the entry key, so
+/// merging never has to reconcile mismatched shapes under one name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MetricKind {
+    /// Monotone event count.
+    Counter,
+    /// Signed instantaneous level.
+    Gauge,
+    /// Fixed-log-bucket distribution.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The single-character tag used by the line form.
+    pub fn tag(self) -> char {
+        match self {
+            MetricKind::Counter => 'c',
+            MetricKind::Gauge => 'g',
+            MetricKind::Histogram => 'h',
+        }
+    }
+
+    fn from_tag(tag: &str) -> Option<MetricKind> {
+        match tag {
+            "c" => Some(MetricKind::Counter),
+            "g" => Some(MetricKind::Gauge),
+            "h" => Some(MetricKind::Histogram),
+            _ => None,
+        }
+    }
+}
+
+/// A frozen histogram: total count, sum, and the non-zero buckets in
+/// index order (the canonical form every rendering shares).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramData {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations (wrapping).
+    pub sum: u64,
+    /// `(bucket index, occupancy)` for non-zero buckets, ascending.
+    pub buckets: Vec<(u8, u64)>,
+}
+
+impl HistogramData {
+    /// Adds another histogram bucket-wise.
+    pub fn merge(&mut self, other: &HistogramData) {
+        self.count = self.count.wrapping_add(other.count);
+        self.sum = self.sum.wrapping_add(other.sum);
+        let mut merged: Vec<(u8, u64)> = Vec::with_capacity(self.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ia, na)), Some(&&(ib, nb))) => {
+                    if ia == ib {
+                        merged.push((ia, na.wrapping_add(nb)));
+                        a.next();
+                        b.next();
+                    } else if ia < ib {
+                        merged.push((ia, na));
+                        a.next();
+                    } else {
+                        merged.push((ib, nb));
+                        b.next();
+                    }
+                }
+                (Some(_), None) => {
+                    merged.extend(a.cloned());
+                    break;
+                }
+                (None, Some(_)) => {
+                    merged.extend(b.cloned());
+                    break;
+                }
+                (None, None) => break,
+            }
+        }
+        self.buckets = merged;
+    }
+}
+
+/// A snapshot value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// See [`MetricKind::Counter`].
+    Counter(u64),
+    /// See [`MetricKind::Gauge`].
+    Gauge(i64),
+    /// See [`MetricKind::Histogram`].
+    Histogram(HistogramData),
+}
+
+impl MetricValue {
+    /// The value's kind.
+    pub fn kind(&self) -> MetricKind {
+        match self {
+            MetricValue::Counter(_) => MetricKind::Counter,
+            MetricValue::Gauge(_) => MetricKind::Gauge,
+            MetricValue::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+/// One named, labeled metric in a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotEntry {
+    /// Metric name (`suite_cache_hits`, `tcp_frames_sent`, …).
+    pub name: String,
+    /// Sorted `(key, value)` label pairs.
+    pub labels: Vec<(String, String)>,
+    /// The value (its kind completes the entry key).
+    pub value: MetricValue,
+}
+
+impl SnapshotEntry {
+    fn key(&self) -> (&str, &[(String, String)], MetricKind) {
+        (&self.name, &self.labels, self.value.kind())
+    }
+}
+
+/// A canonical, mergeable set of metric values.
+///
+/// Entries are kept sorted by `(name, labels, kind)`; every rendering
+/// and the binary codec emit exactly this order, which is what makes
+/// re-encoding byte-identical.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    entries: Vec<SnapshotEntry>,
+}
+
+impl Snapshot {
+    /// An empty snapshot.
+    pub fn new() -> Snapshot {
+        Snapshot::default()
+    }
+
+    /// The entries, in canonical order.
+    pub fn entries(&self) -> &[SnapshotEntry] {
+        &self.entries
+    }
+
+    /// Whether the snapshot holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a counter's value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.entries
+            .iter()
+            .filter_map(|e| match &e.value {
+                MetricValue::Counter(v) if e.name == name => Some(*v),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Folds one entry in: merged into an existing entry with the same
+    /// `(name, labels, kind)`, inserted in canonical position otherwise.
+    pub fn add_entry(&mut self, entry: SnapshotEntry) {
+        let key = (entry.name.clone(), entry.labels.clone(), entry.value.kind());
+        let probe = self.entries.binary_search_by(|e| {
+            let k = e.key();
+            (k.0, k.1, k.2).cmp(&(key.0.as_str(), key.1.as_slice(), key.2))
+        });
+        match probe {
+            Ok(at) => match (&mut self.entries[at].value, &entry.value) {
+                (MetricValue::Counter(a), MetricValue::Counter(b)) => *a = a.wrapping_add(*b),
+                (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a = a.wrapping_add(*b),
+                (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.merge(b),
+                // Kind is part of the key, so the shapes always match.
+                _ => unreachable!("entry kind mismatch despite keyed lookup"),
+            },
+            Err(at) => self.entries.insert(at, entry),
+        }
+    }
+
+    /// Merges another snapshot in: counters and gauges add, histograms
+    /// add bucket-wise. Commutative and associative (pinned by the
+    /// proptest battery).
+    pub fn merge(&mut self, other: &Snapshot) {
+        for entry in &other.entries {
+            self.add_entry(entry.clone());
+        }
+    }
+
+    /// Prometheus-style exposition text.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut last_typed: Option<(&str, MetricKind)> = None;
+        for e in &self.entries {
+            let kind = e.value.kind();
+            if last_typed != Some((&e.name, kind)) {
+                let ty = match kind {
+                    MetricKind::Counter => "counter",
+                    MetricKind::Gauge => "gauge",
+                    MetricKind::Histogram => "histogram",
+                };
+                let _ = writeln!(out, "# TYPE {} {ty}", e.name);
+                last_typed = Some((&e.name, kind));
+            }
+            match &e.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{}{} {v}", e.name, Self::label_set(&e.labels, &[]));
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{}{} {v}", e.name, Self::label_set(&e.labels, &[]));
+                }
+                MetricValue::Histogram(h) => {
+                    let mut cumulative = 0u64;
+                    for &(idx, n) in &h.buckets {
+                        cumulative += n;
+                        let le = bucket_upper_bound(idx as usize).to_string();
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {cumulative}",
+                            e.name,
+                            Self::label_set(&e.labels, &[("le", &le)])
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        e.name,
+                        Self::label_set(&e.labels, &[("le", "+Inf")]),
+                        h.count
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        e.name,
+                        Self::label_set(&e.labels, &[]),
+                        h.sum
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        e.name,
+                        Self::label_set(&e.labels, &[]),
+                        h.count
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    fn label_set(labels: &[(String, String)], extra: &[(&str, &str)]) -> String {
+        if labels.is_empty() && extra.is_empty() {
+            return String::new();
+        }
+        let rendered: Vec<String> = labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{v}\""))
+            .chain(extra.iter().map(|(k, v)| format!("{k}=\"{v}\"")))
+            .collect();
+        format!("{{{}}}", rendered.join(","))
+    }
+
+    /// The machine line form: one `METRIC …` line per entry, in
+    /// canonical order. Each line parses back via [`Snapshot::parse_line`].
+    pub fn to_lines(&self) -> Vec<String> {
+        self.entries
+            .iter()
+            .map(|e| {
+                let labels = if e.labels.is_empty() {
+                    "-".to_string()
+                } else {
+                    e.labels
+                        .iter()
+                        .map(|(k, v)| format!("{k}={v}"))
+                        .collect::<Vec<_>>()
+                        .join(";")
+                };
+                match &e.value {
+                    MetricValue::Counter(v) => format!("METRIC c {} {labels} {v}", e.name),
+                    MetricValue::Gauge(v) => format!("METRIC g {} {labels} {v}", e.name),
+                    MetricValue::Histogram(h) => {
+                        let buckets = if h.buckets.is_empty() {
+                            "-".to_string()
+                        } else {
+                            h.buckets
+                                .iter()
+                                .map(|(i, n)| format!("{i}:{n}"))
+                                .collect::<Vec<_>>()
+                                .join(",")
+                        };
+                        format!(
+                            "METRIC h {} {labels} {} {} {buckets}",
+                            e.name, h.count, h.sum
+                        )
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Parses one line of the machine form; `None` for anything that is
+    /// not a well-formed `METRIC` line (harnesses skip such lines).
+    pub fn parse_line(line: &str) -> Option<SnapshotEntry> {
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let (tag, name, labels, rest) = match fields.as_slice() {
+            ["METRIC", tag, name, labels, rest @ ..] => (*tag, *name, *labels, rest),
+            _ => return None,
+        };
+        if name.is_empty() {
+            return None;
+        }
+        let labels = Self::parse_labels(labels)?;
+        let value = match (MetricKind::from_tag(tag)?, rest) {
+            (MetricKind::Counter, [v]) => MetricValue::Counter(v.parse().ok()?),
+            (MetricKind::Gauge, [v]) => MetricValue::Gauge(v.parse().ok()?),
+            (MetricKind::Histogram, [count, sum, buckets]) => {
+                MetricValue::Histogram(HistogramData {
+                    count: count.parse().ok()?,
+                    sum: sum.parse().ok()?,
+                    buckets: Self::parse_buckets(buckets)?,
+                })
+            }
+            _ => return None,
+        };
+        Some(SnapshotEntry {
+            name: name.to_string(),
+            labels,
+            value,
+        })
+    }
+
+    fn parse_labels(field: &str) -> Option<Vec<(String, String)>> {
+        if field == "-" {
+            return Some(Vec::new());
+        }
+        field
+            .split(';')
+            .map(|pair| {
+                let (k, v) = pair.split_once('=')?;
+                (!k.is_empty()).then(|| (k.to_string(), v.to_string()))
+            })
+            .collect()
+    }
+
+    fn parse_buckets(field: &str) -> Option<Vec<(u8, u64)>> {
+        if field == "-" {
+            return Some(Vec::new());
+        }
+        field
+            .split(',')
+            .map(|pair| {
+                let (i, n) = pair.split_once(':')?;
+                Some((i.parse().ok()?, n.parse().ok()?))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter_entry(name: &str, v: u64) -> SnapshotEntry {
+        SnapshotEntry {
+            name: name.to_string(),
+            labels: Vec::new(),
+            value: MetricValue::Counter(v),
+        }
+    }
+
+    #[test]
+    fn merge_adds_and_keeps_canonical_order() {
+        let mut a = Snapshot::new();
+        a.add_entry(counter_entry("z", 1));
+        a.add_entry(counter_entry("a", 2));
+        let mut b = Snapshot::new();
+        b.add_entry(counter_entry("a", 3));
+        b.add_entry(counter_entry("m", 4));
+        a.merge(&b);
+        let names: Vec<&str> = a.entries().iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["a", "m", "z"]);
+        assert_eq!(a.counter("a"), 5);
+    }
+
+    #[test]
+    fn lines_round_trip() {
+        let mut s = Snapshot::new();
+        s.add_entry(counter_entry("suite_cache_hits", 42));
+        s.add_entry(SnapshotEntry {
+            name: "tcp_frames_sent".to_string(),
+            labels: vec![("kind".to_string(), "msg".to_string())],
+            value: MetricValue::Counter(7),
+        });
+        s.add_entry(SnapshotEntry {
+            name: "node_round_duration_us".to_string(),
+            labels: Vec::new(),
+            value: MetricValue::Histogram(HistogramData {
+                count: 3,
+                sum: 900,
+                buckets: vec![(8, 2), (9, 1)],
+            }),
+        });
+        let mut folded = Snapshot::new();
+        for line in s.to_lines() {
+            folded.add_entry(Snapshot::parse_line(&line).expect("line parses"));
+        }
+        assert_eq!(folded, s);
+    }
+
+    #[test]
+    fn render_is_prometheus_shaped() {
+        let mut s = Snapshot::new();
+        s.add_entry(counter_entry("tcp_redial_attempts", 3));
+        let text = s.render();
+        assert!(text.contains("# TYPE tcp_redial_attempts counter"));
+        assert!(text.contains("tcp_redial_attempts 3"));
+    }
+
+    #[test]
+    fn junk_lines_do_not_parse() {
+        assert!(Snapshot::parse_line("OUTCOME decided 3 2").is_none());
+        assert!(Snapshot::parse_line("METRIC c").is_none());
+        assert!(Snapshot::parse_line("METRIC x name - 1").is_none());
+        assert!(Snapshot::parse_line("METRIC c name - notanumber").is_none());
+        assert!(Snapshot::parse_line("METRIC h name - 1 2 3-4").is_none());
+    }
+}

@@ -15,7 +15,8 @@
 //! worker if one exists and **starts a fresh thread otherwise** — every
 //! task is running on its own thread by the time `spawn` returns, the
 //! exact liveness guarantee of `thread::spawn`. Parked workers expire
-//! after [`IDLE_EXPIRY`] so an idle program holds no threads.
+//! after [`idle_expiry`] (default [`IDLE_EXPIRY`], overridable via
+//! `SETAGREE_POOL_IDLE_MS`) so an idle program holds no threads.
 //!
 //! Each idle worker parks on its own slot (a `Mutex<Option<Task>>` +
 //! `Condvar` pair) and the global idle list is a stack, so hand-off is
@@ -23,6 +24,11 @@
 //! starve. Panics in a task are caught and surface through
 //! [`PooledJoinHandle::join`] as the familiar `Err(payload)`, and the
 //! worker survives to serve the next task.
+//!
+//! When `setagree_obs` instrumentation is enabled, the pool reports
+//! `pool_workers_spawned` / `pool_workers_reused` / `pool_workers_expired`
+//! counters and a `pool_handoff_wait_us` histogram (how long a parked
+//! worker waited before its next task arrived).
 
 use std::any::Any;
 use std::panic::{self, AssertUnwindSafe};
@@ -31,9 +37,41 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
-/// How long a finished worker stays parked waiting for its next task
-/// before exiting.
+/// The default idle grace period (see [`idle_expiry`]).
 pub const IDLE_EXPIRY: Duration = Duration::from_secs(2);
+
+/// How long a finished worker stays parked waiting for its next task
+/// before exiting: `SETAGREE_POOL_IDLE_MS` when set to a valid
+/// millisecond count, [`IDLE_EXPIRY`] otherwise. Read once, at the
+/// first park.
+pub fn idle_expiry() -> Duration {
+    static EXPIRY: OnceLock<Duration> = OnceLock::new();
+    *EXPIRY.get_or_init(|| {
+        std::env::var("SETAGREE_POOL_IDLE_MS")
+            .ok()
+            .and_then(|ms| ms.trim().parse::<u64>().ok())
+            .map(Duration::from_millis)
+            .unwrap_or(IDLE_EXPIRY)
+    })
+}
+
+/// The pool's metric handles, registered once on first use.
+struct PoolMetrics {
+    spawned: Arc<setagree_obs::Counter>,
+    reused: Arc<setagree_obs::Counter>,
+    expired: Arc<setagree_obs::Counter>,
+    handoff_wait_us: Arc<setagree_obs::Histogram>,
+}
+
+fn metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| PoolMetrics {
+        spawned: setagree_obs::counter("pool_workers_spawned", &[]),
+        reused: setagree_obs::counter("pool_workers_reused", &[]),
+        expired: setagree_obs::counter("pool_workers_expired", &[]),
+        handoff_wait_us: setagree_obs::histogram("pool_handoff_wait_us", &[]),
+    })
+}
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
@@ -107,12 +145,18 @@ where
     let parked = idle().lock().expect("pool idle list poisoned").pop();
     match parked {
         Some(slot) => {
+            if setagree_obs::enabled() {
+                metrics().reused.inc();
+            }
             let mut mailbox = slot.task.lock().expect("pool slot poisoned");
             debug_assert!(mailbox.is_none(), "idle worker already has a task");
             *mailbox = Some(task);
             slot.bell.notify_one();
         }
         None => {
+            if setagree_obs::enabled() {
+                metrics().spawned.inc();
+            }
             thread::Builder::new()
                 .name("setagree-pool".into())
                 .spawn(move || worker_main(task))
@@ -143,16 +187,24 @@ fn worker_main(first: Task) {
 /// it or the idle grace period elapses. `None` means expiry: the slot
 /// has been unlinked and the worker should exit.
 fn park_for_next() -> Option<Task> {
+    let parked_at = setagree_obs::enabled().then(Instant::now);
+    let handed_off = |at: Option<Instant>| {
+        if let Some(at) = at {
+            let us = u64::try_from(at.elapsed().as_micros()).unwrap_or(u64::MAX);
+            metrics().handoff_wait_us.record(us);
+        }
+    };
     let slot = Arc::new(Slot::new());
     idle()
         .lock()
         .expect("pool idle list poisoned")
         .push(Arc::clone(&slot));
 
-    let deadline = Instant::now() + IDLE_EXPIRY;
+    let deadline = Instant::now() + idle_expiry();
     let mut mailbox = slot.task.lock().expect("pool slot poisoned");
     loop {
         if let Some(task) = mailbox.take() {
+            handed_off(parked_at);
             return Some(task);
         }
         let now = Instant::now();
@@ -173,9 +225,13 @@ fn park_for_next() -> Option<Task> {
     let mut list = idle().lock().expect("pool idle list poisoned");
     let mut mailbox = slot.task.lock().expect("pool slot poisoned");
     if let Some(task) = mailbox.take() {
+        handed_off(parked_at);
         return Some(task);
     }
     list.retain(|s| !Arc::ptr_eq(s, &slot));
+    if setagree_obs::enabled() {
+        metrics().expired.inc();
+    }
     None
 }
 

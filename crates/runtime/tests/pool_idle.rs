@@ -1,0 +1,39 @@
+//! The configurable idle expiry (`SETAGREE_POOL_IDLE_MS`), confirmed
+//! through the pool's own metrics: a parked worker must expire after
+//! the configured grace period, counted by `pool_workers_expired`.
+//!
+//! Lives in its own integration-test binary because the expiry period
+//! is read once per process — the env var must be set before the pool's
+//! first park, which an in-crate unit test sharing the process with the
+//! other pool tests could not guarantee.
+
+use std::time::{Duration, Instant};
+
+use setagree_runtime::pool;
+
+#[test]
+fn configured_idle_expiry_is_honoured_and_counted() {
+    std::env::set_var("SETAGREE_POOL_IDLE_MS", "100");
+    setagree_obs::set_enabled(true);
+    assert_eq!(pool::idle_expiry(), Duration::from_millis(100));
+
+    let expired = setagree_obs::counter("pool_workers_expired", &[]);
+    let spawned = setagree_obs::counter("pool_workers_spawned", &[]);
+    pool::spawn(|| ()).join().unwrap();
+    assert!(spawned.get() >= 1, "fresh worker not counted as spawned");
+
+    // The worker parks after finishing; within the 100 ms grace period
+    // it must still be reusable, and well after it must have expired.
+    let deadline = Instant::now() + Duration::from_secs(1);
+    while pool::idle_workers() == 0 && Instant::now() < deadline {
+        std::thread::yield_now();
+    }
+    assert!(pool::idle_workers() > 0, "finished worker did not park");
+
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while pool::idle_workers() > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(pool::idle_workers(), 0, "worker outlived the 100 ms expiry");
+    assert!(expired.get() >= 1, "expiry not counted by pool metrics");
+}

@@ -16,6 +16,8 @@
 use std::error::Error;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use setagree_types::ProcessId;
 
@@ -197,6 +199,31 @@ pub fn run_protocol_unordered_faulty<P: SyncProtocol>(
     run_with_policy_faulty(processes, pattern, plan, max_rounds)
 }
 
+/// The simulator's metric handles: a per-round duration histogram and
+/// a delivered-messages counter, shared by the plain and fault-composed
+/// loops. The plain loop is the zero-copy broadcast hot path, so every
+/// use is hoisted behind one `enabled()` check per execution.
+struct EngineMetrics {
+    round_duration_us: Arc<setagree_obs::Histogram>,
+    messages_delivered: Arc<setagree_obs::Counter>,
+}
+
+fn engine_metrics() -> &'static EngineMetrics {
+    static METRICS: OnceLock<EngineMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| EngineMetrics {
+        round_duration_us: setagree_obs::histogram("engine_round_duration_us", &[]),
+        messages_delivered: setagree_obs::counter("engine_messages_delivered", &[]),
+    })
+}
+
+/// Records one round's wall-clock into the engine histogram.
+fn record_round(started: Option<Instant>) {
+    if let Some(at) = started {
+        let us = u64::try_from(at.elapsed().as_micros()).unwrap_or(u64::MAX);
+        engine_metrics().round_duration_us.record(us);
+    }
+}
+
 pub(crate) fn run_with_policy<P: SyncProtocol, D: DeliveryPolicy>(
     processes: Vec<P>,
     policy: &D,
@@ -214,6 +241,7 @@ pub(crate) fn run_with_policy<P: SyncProtocol, D: DeliveryPolicy>(
     let mut outcomes: Vec<Option<Outcome<P::Output>>> = (0..n).map(|_| None).collect();
     let mut messages_delivered: u64 = 0;
     let mut rounds_executed = 0;
+    let obs_on = setagree_obs::enabled();
 
     for round in 1..=max_rounds {
         let active: Vec<usize> = (0..n).filter(|&i| outcomes[i].is_none()).collect();
@@ -221,6 +249,7 @@ pub(crate) fn run_with_policy<P: SyncProtocol, D: DeliveryPolicy>(
             break;
         }
         rounds_executed = round;
+        let round_started = obs_on.then(Instant::now);
 
         // Send phase: collect each active process's broadcast.
         let mut sends: Vec<(usize, P::Msg, bool)> = Vec::with_capacity(active.len());
@@ -272,8 +301,12 @@ pub(crate) fn run_with_policy<P: SyncProtocol, D: DeliveryPolicy>(
                 outcomes[i] = Some(Outcome::Decided { value, round });
             }
         }
+        record_round(round_started);
     }
 
+    if obs_on {
+        engine_metrics().messages_delivered.add(messages_delivered);
+    }
     if outcomes.iter().any(|o| o.is_none()) {
         return Err(EngineError::RoundLimitExceeded { limit: max_rounds });
     }
@@ -324,6 +357,7 @@ pub(crate) fn run_with_policy_faulty<P: SyncProtocol, D: DeliveryPolicy>(
         .collect();
     let mut delivered: i64 = 0;
     let mut rounds_executed = 0;
+    let obs_on = setagree_obs::enabled();
 
     for round in 1..=max_rounds {
         let active: Vec<usize> = (0..n).filter(|&i| outcomes[i].is_none()).collect();
@@ -331,6 +365,7 @@ pub(crate) fn run_with_policy_faulty<P: SyncProtocol, D: DeliveryPolicy>(
             break;
         }
         rounds_executed = round;
+        let round_started = obs_on.then(Instant::now);
 
         // Send phase.
         let mut sends: Vec<(usize, Rc<P::Msg>, bool)> = Vec::with_capacity(active.len());
@@ -390,8 +425,14 @@ pub(crate) fn run_with_policy_faulty<P: SyncProtocol, D: DeliveryPolicy>(
                 outcomes[i] = Some(Outcome::Decided { value, round });
             }
         }
+        record_round(round_started);
     }
 
+    if obs_on {
+        engine_metrics()
+            .messages_delivered
+            .add(delivered.max(0) as u64);
+    }
     if outcomes.iter().any(|o| o.is_none()) {
         return Err(EngineError::RoundLimitExceeded { limit: max_rounds });
     }

@@ -218,6 +218,36 @@ impl FaultPlan {
         &self.partitions
     }
 
+    /// A compact, deterministic summary for log lines, verdicts and
+    /// metric attributions: `faults <seed>:<drop_rate>`, extended with
+    /// the non-zero optional rates and the partition count.
+    ///
+    /// ```
+    /// use setagree_sync::{FaultPlan, Partition};
+    /// use setagree_types::ProcessSet;
+    ///
+    /// let plan = FaultPlan::uniform_drop(5, 51966, 1500)
+    ///     .partition(Partition::new(ProcessSet::full(5), 1, 1));
+    /// assert_eq!(plan.summary(), "faults 51966:1500 partitions:1");
+    /// ```
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!("faults {}:{}", self.seed, self.drop_rate);
+        if self.delay_rate > 0 {
+            let _ = write!(s, " delay:{}x{}", self.delay_rate, self.max_delay);
+        }
+        if self.duplicate_rate > 0 {
+            let _ = write!(s, " dup:{}", self.duplicate_rate);
+        }
+        if self.reorder_rate > 0 {
+            let _ = write!(s, " reorder:{}", self.reorder_rate);
+        }
+        if !self.partitions.is_empty() {
+            let _ = write!(s, " partitions:{}", self.partitions.len());
+        }
+        s
+    }
+
     /// `true` when the plan can never fault a link — such a plan is
     /// guaranteed to run trace-identical to the fault-free path.
     pub fn is_benign(&self) -> bool {
@@ -330,6 +360,26 @@ fn splitmix(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// The fault layer's metric handles. [`FaultInbox::assemble`] is the
+/// single realization of the plan's delivery semantics for *both* the
+/// simulator and the transport wrapper, so counting here covers every
+/// tier: `fault_messages_dropped` / `fault_messages_delayed` /
+/// `fault_messages_duplicated`.
+struct FaultMetrics {
+    dropped: std::sync::Arc<setagree_obs::Counter>,
+    delayed: std::sync::Arc<setagree_obs::Counter>,
+    duplicated: std::sync::Arc<setagree_obs::Counter>,
+}
+
+fn fault_metrics() -> &'static FaultMetrics {
+    static METRICS: std::sync::OnceLock<FaultMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| FaultMetrics {
+        dropped: setagree_obs::counter("fault_messages_dropped", &[]),
+        delayed: setagree_obs::counter("fault_messages_delayed", &[]),
+        duplicated: setagree_obs::counter("fault_messages_duplicated", &[]),
+    })
+}
+
 /// One receiver's fault-plan bookkeeping: stashes delayed letters and
 /// assembles each round's final inbox. This is the *single* realization
 /// of the plan's delivery semantics — the simulator engine feeds it
@@ -369,6 +419,7 @@ impl<L: Clone> FaultInbox<L> {
         round: usize,
         arrivals: Vec<(ProcessId, L)>,
     ) -> (Vec<(ProcessId, L)>, i64) {
+        let obs_on = setagree_obs::enabled();
         let mut adjust = 0i64;
         // Due (and, defensively, overdue) stashed letters lead the inbox.
         let mut inbox: Vec<(ProcessId, L)> = Vec::new();
@@ -389,17 +440,28 @@ impl<L: Clone> FaultInbox<L> {
             }
             match self.plan.decide(round, from, self.me) {
                 LinkFault::Deliver => inbox.push((from, letter)),
-                LinkFault::Drop => adjust -= 1,
+                LinkFault::Drop => {
+                    adjust -= 1;
+                    if obs_on {
+                        fault_metrics().dropped.inc();
+                    }
+                }
                 LinkFault::Duplicate => {
                     inbox.push((from, letter.clone()));
                     inbox.push((from, letter));
                     adjust += 1;
+                    if obs_on {
+                        fault_metrics().duplicated.inc();
+                    }
                 }
                 LinkFault::Delay(by) => {
                     self.stash
                         .entry(round + by)
                         .or_default()
                         .push((round, from, letter));
+                    if obs_on {
+                        fault_metrics().delayed.inc();
+                    }
                 }
             }
         }

@@ -22,13 +22,27 @@ use std::error::Error;
 use std::process::ExitCode;
 use std::time::Duration;
 
+use setagree_codec::SnapshotCodec;
 use setagree_core::{Adversary, Executor, FloodSet, ProtocolKind, Report, Scenario, TransportKind};
 use setagree_node::{
-    drive, fault_plan, parse_command, run_testnet, DriveError, NodeCommand, NodeConfig, RunArgs,
-    TcpError, TcpTransport, TestnetArgs, TestnetConfig, Typed, TypedError, U32Codec, USAGE,
+    drive, fault_plan, parse_command, run_testnet_observed, DriveError, NodeCommand, NodeConfig,
+    RunArgs, TcpError, TcpTransport, TestnetArgs, TestnetConfig, Typed, TypedError, U32Codec,
+    USAGE,
 };
+use setagree_obs::Snapshot;
 use setagree_sync::{CrashSpec, FailurePattern, Outcome};
 use setagree_types::{InputVector, ProcessId};
+
+/// Resolves the metrics dump target — the `--metrics` flag wins, then
+/// the `SETAGREE_METRICS` environment variable — and enables the
+/// observability registry when one is set.
+fn metrics_target(flag: &Option<String>) -> Option<String> {
+    let target = flag.clone().or_else(setagree_obs::init_from_env);
+    if target.is_some() {
+        setagree_obs::set_enabled(true);
+    }
+    target
+}
 
 fn main() -> ExitCode {
     let command = match parse_command(std::env::args().skip(1)) {
@@ -73,6 +87,7 @@ fn run_one_node(args: RunArgs) -> Result<ExitCode, Box<dyn Error>> {
     if args.id >= args.input.len() {
         return Err(format!("--id {} out of range for n = {}", args.id, args.input.len()).into());
     }
+    let metrics = metrics_target(&args.metrics);
     let limit = predicted_rounds(args.t, args.k)?;
     let mut config = NodeConfig::new(ProcessId::new(args.id), args.peers)?
         .with_round_timeout(Duration::from_millis(args.round_timeout_ms));
@@ -96,6 +111,16 @@ fn run_one_node(args: RunArgs) -> Result<ExitCode, Box<dyn Error>> {
         Ok(Outcome::Decided { value, round }) => {
             println!("OUTCOME decided {value} {round}");
             println!("RECEIVED {}", transport.inner().received_total());
+            if let Some(target) = metrics {
+                let snapshot = setagree_obs::global().snapshot();
+                // Machine lines on stdout for the testnet harness; the
+                // rendered exposition goes to the target (stderr for
+                // `-`), keeping stdout parseable.
+                for line in snapshot.to_lines() {
+                    println!("{line}");
+                }
+                setagree_obs::dump(&target, &snapshot)?;
+            }
             Ok(ExitCode::SUCCESS)
         }
         Ok(Outcome::Undecided) => Err(format!("no decision within the {limit}-round bound").into()),
@@ -127,8 +152,16 @@ fn run_testnet_system(args: TestnetArgs) -> Result<ExitCode, Box<dyn Error>> {
         pattern.crash(ProcessId::new(id), CrashSpec::new(round, after_sends))?;
     }
 
+    let metrics = metrics_target(&args.metrics);
     let plan = fault_plan(n, args.faults, &args.partitions)?;
+    // Attribution suffix for the verdict line: a run shaped by an
+    // injected fault plan says so, compactly and deterministically.
+    let fault_suffix = plan
+        .as_ref()
+        .map(|p| format!(" [{}]", p.summary()))
+        .unwrap_or_default();
 
+    let mut child_metrics = Snapshot::new();
     let report = match args.transport {
         TransportKind::Tcp => {
             let config = TestnetConfig {
@@ -141,6 +174,7 @@ fn run_testnet_system(args: TestnetArgs) -> Result<ExitCode, Box<dyn Error>> {
                 round_timeout: Duration::from_millis(args.round_timeout_ms),
                 faults: args.faults,
                 partitions: args.partitions.clone(),
+                metrics: metrics.is_some(),
             };
             println!(
                 "testnet: {n} node processes on 127.0.0.1:{}…, {} kill(s) scheduled{}",
@@ -152,7 +186,8 @@ fn run_testnet_system(args: TestnetArgs) -> Result<ExitCode, Box<dyn Error>> {
                     ""
                 }
             );
-            let trace = run_testnet(&config)?;
+            let (trace, folded) = run_testnet_observed(&config)?;
+            child_metrics = folded;
             Report::from_trace(
                 trace,
                 InputVector::new(args.input),
@@ -174,7 +209,7 @@ fn run_testnet_system(args: TestnetArgs) -> Result<ExitCode, Box<dyn Error>> {
                     ""
                 }
             );
-            let adversary = match plan {
+            let adversary = match plan.clone() {
                 Some(plan) => Adversary::Omission {
                     plan,
                     crashes: pattern,
@@ -195,9 +230,31 @@ fn run_testnet_system(args: TestnetArgs) -> Result<ExitCode, Box<dyn Error>> {
     if let Some(trace) = report.trace() {
         print!("{trace}");
     }
+    if let Some(target) = metrics {
+        // System-wide snapshot: the children's folded METRIC lines (TCP)
+        // merged with this process's own registry (which holds
+        // everything on the loopback tier).
+        let mut aggregate = child_metrics;
+        aggregate.merge(&setagree_obs::global().snapshot());
+        // The snapshot must survive the cache/journal wire format
+        // losslessly before anyone stores it there.
+        let bytes = SnapshotCodec::encode(&aggregate);
+        let decoded = SnapshotCodec::decode(&bytes)
+            .map_err(|e| format!("metrics snapshot failed to decode: {e}"))?;
+        if SnapshotCodec::encode(&decoded) != bytes {
+            return Err("metrics snapshot codec round-trip diverged".into());
+        }
+        eprintln!(
+            "metrics: {} series from {} ({} bytes, codec round-trip ok)",
+            aggregate.entries().len(),
+            report.executor().label_with_faults(plan.as_ref()),
+            bytes.len(),
+        );
+        setagree_obs::dump(&target, &aggregate)?;
+    }
     let satisfied = report.satisfies_all();
     println!(
-        "verdict: {}",
+        "verdict: {}{fault_suffix}",
         if satisfied { "SATISFIED" } else { "VIOLATED" }
     );
     Ok(if satisfied {

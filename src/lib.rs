@@ -13,6 +13,10 @@
 //!   of Figure 2, baselines and the early-deciding extension (Sections 6–8);
 //! * [`asynchronous`] — the shared-memory substrate and the asynchronous
 //!   condition-based ℓ-set agreement algorithm (Section 4);
+//! * [`obs`] — the observability layer: a lock-light metrics registry
+//!   (counters, gauges, log-bucket histograms, mergeable snapshots with
+//!   a Prometheus-style rendering) and a structured event recorder,
+//!   threaded through every execution tier and near-free when disabled;
 //! * [`runtime`] — a real-thread, channel-based synchronous runtime;
 //! * [`codec`] — the shared wire tier: a never-panicking binary
 //!   reader/writer, the length-prefixed network frame codec, and the
@@ -72,6 +76,7 @@ pub use setagree_codec as codec;
 pub use setagree_conditions as conditions;
 pub use setagree_core as core;
 pub use setagree_node as node;
+pub use setagree_obs as obs;
 pub use setagree_runtime as runtime;
 pub use setagree_sync as sync;
 pub use setagree_types as types;

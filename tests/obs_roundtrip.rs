@@ -1,0 +1,186 @@
+//! Fuzz-grade proptest battery for the observability layer (same bar
+//! as `tests/journal_roundtrip.rs`): the histogram's log-bucket mapping
+//! is monotone and exhaustive, snapshot merging is commutative and
+//! histogram merging associative, every snapshot survives
+//! [`SnapshotCodec`] encode → decode → re-encode **byte-identically**,
+//! the `METRIC` line form round-trips, and decoding arbitrary or
+//! corrupted bytes never panics.
+
+use proptest::prelude::*;
+
+use setagree::codec::SnapshotCodec;
+use setagree::obs::{
+    bucket_index, bucket_upper_bound, HistogramData, MetricValue, Snapshot, SnapshotEntry, BUCKETS,
+};
+
+fn histogram_strategy() -> impl Strategy<Value = HistogramData> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        proptest::collection::vec((0u8..BUCKETS as u8, 1u64..=u64::MAX), 0..6),
+    )
+        .prop_map(|(count, sum, pairs)| {
+            // Last write per bucket index wins; BTreeMap gives the sorted,
+            // duplicate-free form every live histogram snapshot has.
+            let buckets: std::collections::BTreeMap<u8, u64> = pairs.into_iter().collect();
+            HistogramData {
+                count,
+                sum,
+                buckets: buckets.into_iter().collect(),
+            }
+        })
+}
+
+fn value_strategy() -> impl Strategy<Value = MetricValue> {
+    (0u8..3, any::<u64>(), any::<i64>(), histogram_strategy()).prop_map(
+        |(kind, counter, gauge, histogram)| match kind {
+            0 => MetricValue::Counter(counter),
+            1 => MetricValue::Gauge(gauge),
+            _ => MetricValue::Histogram(histogram),
+        },
+    )
+}
+
+/// Metric-name and label pools: a small alphabet forces same-key
+/// collisions (exercising `add_entry`'s merge path) while still
+/// covering distinct names, empty label values, and `:`-bearing values
+/// like the live `faults 51966:1500` summaries.
+const NAMES: [&str; 6] = [
+    "suite_cache_hits",
+    "tcp_frames_sent",
+    "node_round_duration_us",
+    "pool_handoff_wait_us",
+    "fault_messages_dropped",
+    "x",
+];
+const LABEL_KEYS: [&str; 3] = ["kind", "peer", "tier"];
+const LABEL_VALS: [&str; 4] = ["msg", "resend", "51966:1500", ""];
+
+fn entry_strategy() -> impl Strategy<Value = SnapshotEntry> {
+    let label = (0usize..LABEL_KEYS.len(), 0usize..LABEL_VALS.len())
+        .prop_map(|(k, v)| (LABEL_KEYS[k].to_string(), LABEL_VALS[v].to_string()));
+    (
+        (0usize..NAMES.len()).prop_map(|i| NAMES[i].to_string()),
+        proptest::collection::vec(label, 0..3),
+        value_strategy(),
+    )
+        .prop_map(|(name, labels, value)| SnapshotEntry {
+            name,
+            labels,
+            value,
+        })
+}
+
+/// Arbitrary snapshots: entries folded through `add_entry`, so same-key
+/// collisions merge exactly as live registry snapshots and harness
+/// folds do.
+fn snapshot_strategy() -> impl Strategy<Value = Snapshot> {
+    proptest::collection::vec(entry_strategy(), 0..10).prop_map(|entries| {
+        let mut snapshot = Snapshot::new();
+        for entry in entries {
+            snapshot.add_entry(entry);
+        }
+        snapshot
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The log-bucket mapping is monotone: a larger value never lands
+    /// in a smaller bucket, and every value lands within its bucket's
+    /// bounds.
+    #[test]
+    fn bucketing_is_monotone_and_exhaustive(a in any::<u64>(), b in any::<u64>()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+        let i = bucket_index(a);
+        prop_assert!(i < BUCKETS);
+        prop_assert!(a <= bucket_upper_bound(i));
+        if i > 0 {
+            prop_assert!(a > bucket_upper_bound(i - 1));
+        }
+    }
+
+    /// Histogram merging is associative: folding child histograms in
+    /// any grouping yields the same aggregate.
+    #[test]
+    fn histogram_merge_is_associative(
+        a in histogram_strategy(),
+        b in histogram_strategy(),
+        c in histogram_strategy(),
+    ) {
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Snapshot merging is commutative: the testnet harness may fold
+    /// child reports in any order.
+    #[test]
+    fn snapshot_merge_is_commutative(a in snapshot_strategy(), b in snapshot_strategy()) {
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Every snapshot survives the binary codec byte-identically:
+    /// encode → decode reproduces the value, re-encode reproduces the
+    /// bytes (canonical form).
+    #[test]
+    fn snapshots_round_trip_byte_identically(snapshot in snapshot_strategy()) {
+        let bytes = SnapshotCodec::encode(&snapshot);
+        let decoded = match SnapshotCodec::decode(&bytes) {
+            Ok(decoded) => decoded,
+            Err(e) => return Err(TestCaseError::Fail(format!("decode failed: {e}"))),
+        };
+        prop_assert_eq!(&decoded, &snapshot);
+        prop_assert_eq!(SnapshotCodec::encode(&decoded), bytes, "byte-identical re-encode");
+    }
+
+    /// The `METRIC` line form round-trips: a child's printed lines fold
+    /// back into the identical snapshot.
+    #[test]
+    fn metric_lines_round_trip(snapshot in snapshot_strategy()) {
+        let mut folded = Snapshot::new();
+        for line in snapshot.to_lines() {
+            let entry = Snapshot::parse_line(&line)
+                .ok_or_else(|| TestCaseError::Fail("own line failed to parse".into()))?;
+            folded.add_entry(entry);
+        }
+        prop_assert_eq!(folded, snapshot);
+    }
+
+    /// Decoding arbitrary bytes returns an error or a value — never a
+    /// panic — whatever the length or content.
+    #[test]
+    fn decoding_arbitrary_bytes_never_panics(
+        bytes in proptest::collection::vec(any::<u8>(), 0..=300),
+    ) {
+        let _ = SnapshotCodec::decode(&bytes);
+    }
+
+    /// Flipping any single byte of a valid encoding decodes to an error
+    /// or some snapshot — never a panic.
+    #[test]
+    fn flipped_encodings_never_panic(
+        snapshot in snapshot_strategy(),
+        position in any::<usize>(),
+        mask in 1u8..=255,
+    ) {
+        let mut bytes = SnapshotCodec::encode(&snapshot);
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let at = position % bytes.len();
+        bytes[at] ^= mask;
+        let _ = SnapshotCodec::decode(&bytes);
+    }
+}
